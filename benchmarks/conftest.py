@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs a complete simulated deployment inside the
+``benchmark`` callable (so pytest-benchmark captures the wall-clock cost of
+the simulation) and reports the *simulated-time* metrics — the quantities
+the paper actually plots — via printed tables and ``extra_info``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run a heavy simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,88 @@
+"""Ablation (§4.2.2): client-server handshake replay on/off.
+
+Paper: the client's ORB encapsulates the results of the initial
+vendor-specific handshake (short object keys, code sets) in its requests;
+a new server replica whose ORB "missed the initial client-server handshake
+is unable to interpret the already-negotiated information in A's requests.
+Thus, A's requests, when delivered to B2's ORB, will be discarded."
+
+Eternal stores the handshake message and delivers it to the new server
+replica's ORB ahead of any other request.  With replay disabled, the
+recovered replica's ORB discards every short-key request and the replica —
+although its application state was restored — permanently diverges."""
+
+from repro.bench.deployments import build_client_server
+from repro.bench.reporting import print_table
+from repro.core.config import EternalConfig
+from repro.ftcorba.properties import ReplicationStyle
+
+
+def _run(sync: bool):
+    deployment = build_client_server(
+        style=ReplicationStyle.ACTIVE,
+        server_replicas=2,
+        state_size=1_000,
+        eternal_config=EternalConfig(sync_handshake=sync),
+        warmup=0.3,
+    )
+    system = deployment.system
+    group = deployment.server_group
+    system.kill_node("s2")
+    system.run_for(0.2)
+    system.restart_node("s2")
+    recovered = system.wait_for(lambda: group.is_operational_on("s2"),
+                                timeout=5.0)
+    assert recovered
+    system.run_for(0.2)
+    s1 = group.servant_on("s1")
+    s2 = group.servant_on("s2")
+    counts_mid = (s1.echo_count, s2.echo_count)
+    system.run_for(0.5)
+    binding2 = group.binding_on("s2")
+    return {
+        "s1_progress": s1.echo_count - counts_mid[0],
+        "s2_progress": s2.echo_count - counts_mid[1],
+        "s2_discarded_requests": binding2.container.orb.requests_discarded,
+        "divergence": abs(s1.echo_count - s2.echo_count),
+        "consistent": s1.echo_count == s2.echo_count,
+        "client_progressing": deployment.driver.acked > 0,
+    }
+
+
+def test_handshake_replay_ablation(benchmark):
+    results = {}
+
+    def run_both():
+        results["on"] = _run(True)
+        results["off"] = _run(False)
+        return results
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for label in ("on", "off"):
+        r = results[label]
+        rows.append([label, r["s1_progress"], r["s2_progress"],
+                     r["s2_discarded_requests"], r["divergence"],
+                     "yes" if r["consistent"] else "NO"])
+    print_table(
+        "§4.2.2 ablation — recovering a server replica with and without "
+        "handshake replay",
+        ["handshake_replay", "existing_progress", "recovered_progress",
+         "recovered_discards", "divergence", "consistent"],
+        rows,
+        paper_note="a new server replica that missed the handshake "
+                   "discards the client's requests although its "
+                   "application state was recovered",
+    )
+
+    on, off = results["on"], results["off"]
+    assert on["consistent"] and on["s2_progress"] > 100
+    assert on["s2_discarded_requests"] == 0
+    # Without replay: every delivered short-key request is discarded.
+    assert off["s2_progress"] == 0, off
+    assert off["s2_discarded_requests"] > 100
+    assert off["divergence"] > 100
+    # The *existing* replica keeps the service available regardless.
+    assert off["client_progressing"]
+    benchmark.extra_info["results"] = results

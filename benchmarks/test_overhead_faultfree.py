@@ -1,0 +1,102 @@
+"""§6 overhead claim: fault-free cost of interception + multicast +
+replica-consistency mechanisms.
+
+Paper: "The overheads, under normal fault-free operation, of the
+interception, multicast and replica consistency mechanisms of our prototype
+Eternal system are reasonable, within the range of 10-15% of the response
+time for fault-tolerant CORBA test applications, over their unreplicated
+counterparts."
+
+We measure mean response time of the same packet-driver workload over (a)
+the unreplicated point-to-point path and (b) the full Eternal path, for a
+sweep of operation execution costs.  The paper's test applications ran on
+167 MHz UltraSPARCs where one CORBA invocation cost milliseconds; at those
+operation costs the reproduced overhead lands in the paper's band, and the
+sweep shows the overhead is a fixed absolute cost (token wait + multicast)
+that shrinks relatively as operations grow."""
+
+from repro.bench.baseline import BaselinePair
+from repro.bench.deployments import (
+    build_client_server,
+    make_weighted_kvstore_factory,
+)
+from repro.bench.reporting import print_table
+from repro.ftcorba.properties import ReplicationStyle
+
+OP_DURATIONS_MS = [0.2, 0.5, 1.0, 2.0, 5.0]
+MEASURE_SECONDS = 2.0
+
+
+JITTER = 0.15    # ±15% deterministic spread breaks token-rotation beats
+
+
+def _baseline_rtt(op_duration: float) -> float:
+    pair = BaselinePair(
+        make_weighted_kvstore_factory(100, op_duration, jitter=JITTER)
+    )
+    pair.run(MEASURE_SECONDS)
+    return pair.client.mean_latency
+
+
+def _eternal_rtt(op_duration: float) -> float:
+    deployment = build_client_server(
+        style=ReplicationStyle.ACTIVE,
+        server_replicas=2,
+        client_replicas=1,
+        state_size=100,
+        echo_duration=op_duration,
+        echo_jitter=JITTER,
+        warmup=0.1,
+    )
+    driver = deployment.driver
+    start_acked = driver.acked
+    start_time = deployment.system.now
+    deployment.system.run_for(MEASURE_SECONDS)
+    ops = driver.acked - start_acked
+    elapsed = deployment.system.now - start_time
+    return elapsed / max(1, ops)
+
+
+def test_faultfree_overhead(benchmark):
+    results = {}
+
+    def run_sweep():
+        for ms in OP_DURATIONS_MS:
+            duration = ms / 1000.0
+            results[ms] = (_baseline_rtt(duration), _eternal_rtt(duration))
+        return results
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    overheads = {}
+    for ms in OP_DURATIONS_MS:
+        base, eternal = results[ms]
+        overhead = (eternal - base) / base * 100.0
+        overheads[ms] = overhead
+        rows.append([ms, round(base * 1000, 4), round(eternal * 1000, 4),
+                     round(overhead, 1)])
+    print_table(
+        "§6 — fault-free response-time overhead of Eternal vs unreplicated",
+        ["op_cost_ms", "unreplicated_rtt_ms", "eternal_rtt_ms",
+         "overhead_pct"],
+        rows,
+        paper_note="10-15% of response time for fault-tolerant CORBA test "
+                   "applications on 167 MHz UltraSPARC (ms-scale "
+                   "invocations)",
+    )
+
+    # The overhead is an additive cost (token wait + multicast frames), so
+    # the relative overhead must shrink as operations get more expensive.
+    # (It is not strictly monotone: the serial client beats against the
+    # token rotation, quantizing the wait.)
+    ordered = [overheads[ms] for ms in OP_DURATIONS_MS]
+    assert all(o > 0 for o in ordered), ordered
+    assert ordered[0] > max(ordered[-2:]), ordered
+    # At 1999-era invocation costs (ms-scale) the overhead sits in/near the
+    # paper's 10-15% band.
+    assert max(overheads[2.0], overheads[5.0]) < 25.0
+    assert min(overheads[1.0], overheads[2.0], overheads[5.0]) < 15.0
+    benchmark.extra_info["overhead_pct"] = {
+        str(ms): round(overheads[ms], 2) for ms in OP_DURATIONS_MS
+    }

@@ -1,0 +1,147 @@
+"""§6 trade-off: active vs warm passive vs cold passive replication.
+
+Paper: "the size of the object's application-level state, and the
+constraints placed on the object's recovery time, also influence the choice
+of the object's replication style — active replication (more
+resource-intensive, fewer state transfers, faster recovery) vs passive
+replication (less resource-intensive, more frequent state transfers, slower
+recovery)."
+
+For each style we kill the serving replica (an active member / the primary)
+and measure:
+
+* **client-visible disruption** — the longest gap between consecutive
+  replies around the fault (active replication masks the fault: the other
+  replica keeps answering; passive styles pay detection + failover);
+* **state-transfer traffic** — periodic checkpoints for passive styles vs
+  none for active until a recovery happens;
+* **execution resource usage** — operations executed across all server
+  replicas (active executes everywhere).
+"""
+
+from repro.bench.deployments import build_client_server
+from repro.bench.reporting import print_table
+from repro.ftcorba.properties import ReplicationStyle
+
+STYLES = [ReplicationStyle.ACTIVE, ReplicationStyle.WARM_PASSIVE,
+          ReplicationStyle.COLD_PASSIVE]
+STATE_SIZE = 20_000
+RUN_BEFORE = 1.0
+RUN_AFTER = 1.0
+
+
+class _GapMeter:
+    """Tracks the largest inter-reply gap seen by the client."""
+
+    def __init__(self, system, driver):
+        self.system = system
+        self.driver = driver
+        self.last_acked = driver.acked
+        self.last_time = system.now
+        self.max_gap = 0.0
+
+    def sample(self):
+        if self.driver.acked > self.last_acked:
+            gap = self.system.now - self.last_time
+            self.max_gap = max(self.max_gap, gap)
+            self.last_acked = self.driver.acked
+            self.last_time = self.system.now
+
+    def watch(self, duration, step=0.002):
+        end = self.system.now + duration
+        while self.system.now < end:
+            self.system.run_for(step)
+            self.sample()
+
+
+def _run_style(style: ReplicationStyle):
+    deployment = build_client_server(
+        style=style,
+        server_replicas=2,
+        state_size=STATE_SIZE,
+        checkpoint_interval=0.2,
+        warmup=0.1,
+    )
+    system = deployment.system
+    tracer = system.tracer
+    driver = deployment.driver
+    system.run_for(RUN_BEFORE)
+
+    checkpoints = tracer.count("recovery.checkpoint_initiated")
+    executed_before = sum(
+        deployment.server_group.binding_on(n).container.operations_executed
+        for n in deployment.server_nodes
+        if deployment.server_group.binding_on(n) is not None
+    )
+
+    meter = _GapMeter(system, driver)
+    victim = (deployment.server_group.primary_node()
+              if style.is_passive else "s1")
+    system.kill_node(victim)
+    meter.watch(RUN_AFTER)
+    progressing = driver.acked > meter.last_acked - 1
+    serving = [n for n in deployment.server_nodes if n != victim][0]
+    servant = deployment.server_servant(serving)
+    # Exactly-once check: after the dust settles, the surviving replica has
+    # executed every acked invocation, plus at most the one in flight.
+    system.run_for(0.3)
+    consistent = (servant is not None
+                  and 0 <= servant.echo_count - driver.acked <= 1)
+    return {
+        "style": style.value,
+        "disruption_ms": meter.max_gap * 1000,
+        "checkpoints_per_s": checkpoints / RUN_BEFORE,
+        "ops_executed": executed_before,
+        "progressing": progressing,
+        "consistent": consistent,
+    }
+
+
+def test_replication_style_tradeoff(benchmark):
+    results = {}
+
+    def run_sweep():
+        for style in STYLES:
+            results[style] = _run_style(style)
+        return results
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for style in STYLES:
+        r = results[style]
+        rows.append([r["style"], round(r["disruption_ms"], 2),
+                     round(r["checkpoints_per_s"], 1), r["ops_executed"],
+                     "yes" if r["consistent"] else "NO"])
+    print_table(
+        "§6 — replication-style trade-off at replica failure "
+        f"({STATE_SIZE} B state)",
+        ["style", "client_disruption_ms", "checkpoints_per_s",
+         "server_ops_executed", "consistent"],
+        rows,
+        paper_note="active: more resources, fewer state transfers, faster "
+                   "recovery; passive: fewer resources, more state "
+                   "transfers, slower recovery",
+    )
+
+    active = results[ReplicationStyle.ACTIVE]
+    warm = results[ReplicationStyle.WARM_PASSIVE]
+    cold = results[ReplicationStyle.COLD_PASSIVE]
+    # Faster recovery: active masks the fault; passives pay failover.
+    assert active["disruption_ms"] < warm["disruption_ms"]
+    assert warm["disruption_ms"] <= cold["disruption_ms"] * 1.05
+    # Fewer state transfers: active takes no periodic checkpoints.
+    assert active["checkpoints_per_s"] == 0
+    assert warm["checkpoints_per_s"] > 0
+    assert cold["checkpoints_per_s"] > 0
+    # More resource-intensive: active executes on every replica (≈2× the
+    # primary-only execution of the passive styles).
+    assert active["ops_executed"] > 1.5 * warm["ops_executed"]
+    # All styles end consistent and progressing.
+    for r in results.values():
+        assert r["consistent"], r
+    benchmark.extra_info["results"] = {
+        s.value: {k: (round(v, 3) if isinstance(v, float) else v)
+                  for k, v in results[s].items() if k != "style"}
+        for s in STYLES
+    }

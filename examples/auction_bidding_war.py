@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""A bidding war over a fault-tolerant auction house.
+
+Two bidder bots (each its own replicated client group) compete for a lot on
+an actively replicated auction house.  Mid-war, one auction replica is
+killed and recovered; the war, the rejections, and the final winner are
+identical on every replica — including the recovered one.
+
+Run:  python examples/auction_bidding_war.py
+"""
+
+from repro import EternalSystem, FTProperties
+from repro.apps.auction import AuctionServant
+from repro.ftcorba.checkpointable import Checkpointable
+from repro.giop.ior import IOR
+from repro.giop.messages import ReplyStatus
+from repro.orb.servant import operation
+
+
+class WarBidder(Checkpointable):
+    """Raises by a fixed increment whenever it is outbid (via rejection)."""
+
+    type_id = "IDL:example/WarBidder:1.0"
+
+    def __init__(self, auction_ior, name, increment, limit):
+        self._ior = auction_ior
+        self.name = name
+        self.increment = increment
+        self.limit = limit
+        self.next_amount = 100 + increment
+        self.victories = 0
+        self.rejections = 0
+        self._proxy = None
+
+    def _ensure(self):
+        if self._proxy is None:
+            self._proxy = self._eternal_container.connect(
+                IOR.from_string(self._ior)
+            )
+        return self._proxy
+
+    def start(self):
+        self._ensure().invoke("create_auction", "lot", 100,
+                              on_reply=lambda r: self._bid())
+
+    def resume(self):
+        self._bid()
+
+    def _bid(self):
+        if self.next_amount > self.limit:
+            return                     # bowed out
+        self._ensure().invoke("bid", "lot", self.name, self.next_amount,
+                              on_reply=self._on_bid)
+
+    def _on_bid(self, reply):
+        if reply.reply_status is ReplyStatus.NO_EXCEPTION:
+            self.victories += 1
+            # wait to be outbid: probe by re-bidding one increment higher
+            self.next_amount += self.increment
+            self._bid()
+        else:
+            self.rejections += 1
+            self.next_amount += self.increment
+            self._bid()
+
+    def get_state(self):
+        return {"name": self.name, "next_amount": self.next_amount,
+                "victories": self.victories, "rejections": self.rejections,
+                "increment": self.increment, "limit": self.limit}
+
+    def set_state(self, state):
+        self.name = state["name"]
+        self.next_amount = state["next_amount"]
+        self.victories = state["victories"]
+        self.rejections = state["rejections"]
+        self.increment = state["increment"]
+        self.limit = state["limit"]
+
+
+def main():
+    system = EternalSystem(["m", "alice-node", "bob-node", "h1", "h2"])
+    system.register_factory(AuctionServant.type_id, AuctionServant,
+                            nodes=["h1", "h2"])
+    house = system.create_group("house", AuctionServant.type_id,
+                                FTProperties(initial_replicas=2,
+                                             min_replicas=1),
+                                nodes=["h1", "h2"])
+    system.run_for(0.05)
+    iogr = house.iogr().stringify()
+
+    system.register_factory("IDL:example/Alice:1.0",
+                            lambda: WarBidder(iogr, "alice", 7, 2_000),
+                            nodes=["alice-node"])
+    system.register_factory("IDL:example/Bob:1.0",
+                            lambda: WarBidder(iogr, "bob", 11, 1_500),
+                            nodes=["bob-node"])
+    system.create_group("alice", "IDL:example/Alice:1.0",
+                        FTProperties(initial_replicas=1),
+                        nodes=["alice-node"])
+    system.create_group("bob", "IDL:example/Bob:1.0",
+                        FTProperties(initial_replicas=1),
+                        nodes=["bob-node"])
+    system.run_for(0.3)
+
+    print("mid-war: killing auction replica h2 and recovering it …")
+    system.kill_node("h2")
+    system.run_for(0.2)
+    system.restart_node("h2")
+    system.wait_for(lambda: house.is_operational_on("h2"), timeout=5.0)
+
+    # let the war run to exhaustion, then close
+    system.run_for(2.0)
+    closer = house.connect_from("h1")
+    winner = []
+    closer.invoke("close_auction", "lot",
+                  on_reply=lambda r: winner.append(r.result))
+    system.wait_for(lambda: bool(winner), timeout=2.0)
+    system.run_for(0.1)
+
+    h1 = house.servant_on("h1")
+    h2 = house.servant_on("h2")
+    status = h1.status("lot")
+    print(f"winner: {winner[0]}  high bid: {status['high_bid']}  "
+          f"total bids: {status['bids']}")
+    print(f"replica agreement: h1==h2 → {h1.get_state() == h2.get_state()}")
+    h1.check_invariants()
+    h2.check_invariants()
+    assert h1.get_state() == h2.get_state()
+    assert winner[0] == "alice"        # the deeper pocket wins
+    print("OK: the war survived the fault; both replicas agree on history")
+
+
+if __name__ == "__main__":
+    main()

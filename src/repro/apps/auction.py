@@ -1,0 +1,191 @@
+"""A replicated auction house: richer application semantics for tests.
+
+Exercises paths the simpler apps don't combine: user exceptions on normal
+operations (rejected bids), oneway notifications (non-binding watch
+registrations), time-independent deterministic logic (auction close is an
+explicit operation, not a timer — replicas must not consult clocks), and a
+nested-structure state with invariants the test suite can check after
+arbitrary fault schedules:
+
+* the highest bid never decreases;
+* a closed auction's winner is the highest bidder at close;
+* every accepted bid id is unique and retained in the history.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.ftcorba.checkpointable import Checkpointable, InvalidState
+from repro.orb.servant import CorbaUserException, operation
+
+
+class BidRejected(CorbaUserException):
+    """The bid did not beat the reserve or the current high bid."""
+
+    exception_id = "IDL:repro/Auction/BidRejected:1.0"
+
+
+class NoSuchAuction(CorbaUserException):
+    """No auction with the requested name exists."""
+
+    exception_id = "IDL:repro/Auction/NoSuchAuction:1.0"
+
+
+class AuctionClosed(CorbaUserException):
+    """The auction has been closed; no further bids are accepted."""
+
+    exception_id = "IDL:repro/Auction/AuctionClosed:1.0"
+
+
+class AuctionServant(Checkpointable):
+    """Multiple named auctions with bids, watchers, and explicit close."""
+
+    type_id = "IDL:repro/Auction:1.0"
+
+    def __init__(self) -> None:
+        self.auctions: Dict[str, Dict[str, Any]] = {}
+        self.bid_counter = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _auction(self, name: str) -> Dict[str, Any]:
+        auction = self.auctions.get(name)
+        if auction is None:
+            raise NoSuchAuction(name)
+        return auction
+
+    def _open_auction(self, name: str) -> Dict[str, Any]:
+        auction = self._auction(name)
+        if auction["closed"]:
+            raise AuctionClosed(name)
+        return auction
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    @operation
+    def create_auction(self, name: str, reserve: int) -> bool:
+        """Open a new auction with a reserve price (idempotent)."""
+        if name not in self.auctions:
+            self.auctions[name] = {
+                "reserve": reserve,
+                "closed": False,
+                "winner": None,
+                "high_bid": 0,
+                "high_bidder": None,
+                "history": [],
+                "watchers": [],
+            }
+        return True
+
+    @operation
+    def bid(self, name: str, bidder: str, amount: int) -> int:
+        """Place a bid; returns the bid id.  Raises BidRejected unless the
+        bid beats both the reserve and the current high bid."""
+        auction = self._open_auction(name)
+        if amount < auction["reserve"]:
+            raise BidRejected(f"{amount} below reserve {auction['reserve']}")
+        if amount <= auction["high_bid"]:
+            raise BidRejected(f"{amount} does not beat {auction['high_bid']}")
+        self.bid_counter += 1
+        bid_id = self.bid_counter
+        auction["high_bid"] = amount
+        auction["high_bidder"] = bidder
+        auction["history"].append(
+            {"id": bid_id, "bidder": bidder, "amount": amount}
+        )
+        return bid_id
+
+    @operation(oneway=True)
+    def watch(self, name: str, watcher: str) -> None:
+        """Register interest (oneway: no reply, best-effort semantics —
+        but still totally ordered and executed on every replica)."""
+        auction = self.auctions.get(name)
+        if auction is None or auction["closed"]:
+            return
+        if watcher not in auction["watchers"]:
+            auction["watchers"].append(watcher)
+
+    @operation
+    def close_auction(self, name: str) -> Optional[str]:
+        """Close the auction; returns the winner (None if reserve unmet)."""
+        auction = self._open_auction(name)
+        auction["closed"] = True
+        auction["winner"] = auction["high_bidder"]
+        return auction["winner"]
+
+    @operation
+    def status(self, name: str) -> Dict[str, Any]:
+        auction = self._auction(name)
+        return {
+            "closed": auction["closed"],
+            "high_bid": auction["high_bid"],
+            "high_bidder": auction["high_bidder"],
+            "winner": auction["winner"],
+            "bids": len(auction["history"]),
+            "watchers": len(auction["watchers"]),
+        }
+
+    # ------------------------------------------------------------------
+    # Invariants (test support)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any internal invariant is broken."""
+        seen_ids: set = set()
+        for name, auction in self.auctions.items():
+            amounts = [entry["amount"] for entry in auction["history"]]
+            assert amounts == sorted(amounts), f"{name}: bids not increasing"
+            assert len(set(amounts)) == len(amounts), f"{name}: equal bids"
+            for entry in auction["history"]:
+                assert entry["id"] not in seen_ids, "duplicate bid id"
+                seen_ids.add(entry["id"])
+            if auction["history"]:
+                top = auction["history"][-1]
+                assert auction["high_bid"] == top["amount"]
+                assert auction["high_bidder"] == top["bidder"]
+            if auction["closed"]:
+                assert auction["winner"] == auction["high_bidder"]
+
+    # ------------------------------------------------------------------
+    # Checkpointable
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> Any:
+        return {
+            "auctions": {
+                name: {
+                    "reserve": a["reserve"],
+                    "closed": a["closed"],
+                    "winner": a["winner"],
+                    "high_bid": a["high_bid"],
+                    "high_bidder": a["high_bidder"],
+                    "history": [dict(e) for e in a["history"]],
+                    "watchers": list(a["watchers"]),
+                }
+                for name, a in self.auctions.items()
+            },
+            "bid_counter": self.bid_counter,
+        }
+
+    def set_state(self, state: Any) -> None:
+        try:
+            self.auctions = {
+                name: {
+                    "reserve": a["reserve"],
+                    "closed": a["closed"],
+                    "winner": a["winner"],
+                    "high_bid": a["high_bid"],
+                    "high_bidder": a["high_bidder"],
+                    "history": [dict(e) for e in a["history"]],
+                    "watchers": list(a["watchers"]),
+                }
+                for name, a in state["auctions"].items()
+            }
+            self.bid_counter = int(state["bid_counter"])
+        except (TypeError, KeyError, ValueError, AttributeError) as exc:
+            raise InvalidState(f"bad auction state: {exc}") from exc

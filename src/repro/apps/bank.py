@@ -1,0 +1,104 @@
+"""A replicated bank: accounts, transfers, history, user exceptions.
+
+Exercises structured application-level state (nested dicts and lists inside
+the CORBA ``any``) and the user-exception path through GIOP replies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.ftcorba.checkpointable import Checkpointable, InvalidState
+from repro.orb.servant import CorbaUserException, operation
+
+
+class InsufficientFunds(CorbaUserException):
+    """The account balance cannot cover the requested amount."""
+
+    exception_id = "IDL:repro/Bank/InsufficientFunds:1.0"
+
+
+class NoSuchAccount(CorbaUserException):
+    """No account with the requested name exists."""
+
+    exception_id = "IDL:repro/Bank/NoSuchAccount:1.0"
+
+
+class BankServant(Checkpointable):
+    """Accounts with integer balances and a bounded operation history."""
+
+    type_id = "IDL:repro/Bank:1.0"
+    MAX_HISTORY = 1000
+
+    def __init__(self) -> None:
+        self.balances: Dict[str, int] = {}
+        self.history: List[str] = []
+
+    def _note(self, entry: str) -> None:
+        self.history.append(entry)
+        if len(self.history) > self.MAX_HISTORY:
+            del self.history[: len(self.history) - self.MAX_HISTORY]
+
+    def _account(self, name: str) -> int:
+        if name not in self.balances:
+            raise NoSuchAccount(name)
+        return self.balances[name]
+
+    @operation
+    def open_account(self, name: str, initial: int = 0) -> int:
+        """Create an account (idempotent); returns its balance."""
+        if name not in self.balances:
+            self.balances[name] = initial
+            self._note(f"open {name} {initial}")
+        return self.balances[name]
+
+    @operation
+    def deposit(self, name: str, amount: int) -> int:
+        """Add funds; returns the new balance."""
+        balance = self._account(name)
+        self.balances[name] = balance + amount
+        self._note(f"deposit {name} {amount}")
+        return self.balances[name]
+
+    @operation
+    def withdraw(self, name: str, amount: int) -> int:
+        """Remove funds; raises InsufficientFunds if uncovered."""
+        balance = self._account(name)
+        if amount > balance:
+            raise InsufficientFunds(f"{name}: {amount} > {balance}")
+        self.balances[name] = balance - amount
+        self._note(f"withdraw {name} {amount}")
+        return self.balances[name]
+
+    @operation
+    def transfer(self, src: str, dst: str, amount: int) -> int:
+        """Move funds between accounts; returns the source balance."""
+        src_balance = self._account(src)
+        self._account(dst)
+        if amount > src_balance:
+            raise InsufficientFunds(f"{src}: {amount} > {src_balance}")
+        self.balances[src] -= amount
+        self.balances[dst] += amount
+        self._note(f"transfer {src}->{dst} {amount}")
+        return self.balances[src]
+
+    @operation
+    def balance(self, name: str) -> int:
+        return self._account(name)
+
+    @operation
+    def audit(self) -> Dict[str, int]:
+        """Totals for invariant checking: sum and account count."""
+        return {"total": sum(self.balances.values()),
+                "accounts": len(self.balances)}
+
+    def get_state(self) -> Any:
+        return {"balances": dict(self.balances),
+                "history": list(self.history)}
+
+    def set_state(self, state: Any) -> None:
+        try:
+            self.balances = dict(state["balances"])
+            self.history = list(state["history"])
+        except (TypeError, KeyError) as exc:
+            raise InvalidState(f"bad bank state: {exc}") from exc

@@ -1,0 +1,43 @@
+"""A minimal replicated counter."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ftcorba.checkpointable import Checkpointable, InvalidState
+from repro.orb.servant import operation
+
+
+class CounterServant(Checkpointable):
+    """A counter whose whole application-level state is one integer."""
+
+    type_id = "IDL:repro/Counter:1.0"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    @operation
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount``; returns the new value."""
+        self.value += amount
+        return self.value
+
+    @operation
+    def read(self) -> int:
+        """Current value."""
+        return self.value
+
+    @operation
+    def reset(self) -> int:
+        """Zero the counter; returns the previous value."""
+        previous, self.value = self.value, 0
+        return previous
+
+    def get_state(self) -> Any:
+        return {"value": self.value}
+
+    def set_state(self, state: Any) -> None:
+        if not isinstance(state, dict) or "value" not in state:
+            raise InvalidState(f"counter state must be {{'value': int}}, "
+                               f"got {state!r}")
+        self.value = state["value"]

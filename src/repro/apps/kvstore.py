@@ -1,0 +1,81 @@
+"""A key-value store with bulk state of configurable size.
+
+This is the Figure 6 server: the experiment varies "the size of the
+replica's application-level state ... from 10 bytes to 350,000 bytes" and
+measures recovery time.  ``preload(size)`` (or constructing via
+:func:`make_kvstore_factory`) installs an opaque payload of exactly that
+many bytes into the state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.ftcorba.checkpointable import Checkpointable, InvalidState
+from repro.orb.servant import operation
+
+
+class KvStoreServant(Checkpointable):
+    """String-keyed store plus an opaque bulk payload."""
+
+    type_id = "IDL:repro/KvStore:1.0"
+
+    def __init__(self, payload_size: int = 0) -> None:
+        self.data: Dict[str, Any] = {}
+        self.payload = self._make_payload(payload_size)
+        self.echo_count = 0
+
+    @staticmethod
+    def _make_payload(size: int) -> bytes:
+        if size <= 0:
+            return b""
+        pattern = b"0123456789abcdef"
+        return (pattern * (size // len(pattern) + 1))[:size]
+
+    @operation
+    def put(self, key: str, value: Any) -> bool:
+        self.data[key] = value
+        return True
+
+    @operation
+    def get(self, key: str) -> Any:
+        return self.data.get(key)
+
+    @operation
+    def delete(self, key: str) -> bool:
+        return self.data.pop(key, None) is not None
+
+    @operation
+    def size(self) -> int:
+        return len(self.data)
+
+    @operation
+    def preload(self, payload_size: int) -> int:
+        """Install an opaque payload of exactly ``payload_size`` bytes."""
+        self.payload = self._make_payload(payload_size)
+        return len(self.payload)
+
+    @operation
+    def echo(self, token: int) -> int:
+        """The packet driver's two-way no-op; counts invocations."""
+        self.echo_count += 1
+        return token
+
+    def get_state(self) -> Any:
+        return {"data": dict(self.data), "payload": self.payload,
+                "echo_count": self.echo_count}
+
+    def set_state(self, state: Any) -> None:
+        try:
+            self.data = dict(state["data"])
+            self.payload = bytes(state["payload"])
+            self.echo_count = int(state["echo_count"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise InvalidState(f"bad kvstore state: {exc}") from exc
+
+
+def make_kvstore_factory(payload_size: int) -> Callable[[], KvStoreServant]:
+    """Factory producing stores pre-loaded with ``payload_size`` bytes."""
+    def factory() -> KvStoreServant:
+        return KvStoreServant(payload_size)
+    return factory

@@ -1,0 +1,104 @@
+"""The paper's measurement client (§6).
+
+"The client object of the test application acts as a packet driver, sending
+a constant stream of two-way invocations to the actively replicated server
+object."  Each reply immediately triggers the next invocation, so the
+driver keeps exactly one request in flight — a deterministic, replicable
+client whose whole behaviour is a function of its application state.
+
+Recovery contract (see :meth:`resume`): after ``set_state()``, the driver
+re-issues its single in-flight invocation (derived from its state) before
+anything new, which keeps its recovered ORB's request_ids aligned with the
+Interceptor's rewrite offset (paper §4.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.ftcorba.checkpointable import Checkpointable, InvalidState
+from repro.giop.ior import IOR
+from repro.giop.messages import ReplyMessage, ReplyStatus
+
+
+class PacketDriverServant(Checkpointable):
+    """Streams ``echo(token)`` invocations at a replicated server."""
+
+    type_id = "IDL:repro/PacketDriver:1.0"
+
+    def __init__(self, target_ior: str, *, max_invocations: int = 0,
+                 payload_token_base: int = 0) -> None:
+        self._target_ior = target_ior
+        self._max_invocations = max_invocations     # 0: unbounded
+        self._token_base = payload_token_base
+        self.sent = 0           # invocations issued so far
+        self.acked = 0          # replies received so far
+        self.last_token: Optional[int] = None
+        self._proxy = None
+
+    # ------------------------------------------------------------------
+    # Application logic (deterministic function of state)
+    # ------------------------------------------------------------------
+
+    def _ensure_proxy(self):
+        if self._proxy is None:
+            container = self._eternal_container
+            self._proxy = container.connect(IOR.from_string(self._target_ior))
+        return self._proxy
+
+    def _next_token(self) -> int:
+        return self._token_base + self.sent
+
+    def _send_next(self) -> None:
+        if self._max_invocations and self.sent >= self._max_invocations:
+            return
+        proxy = self._ensure_proxy()
+        token = self._next_token()
+        self.sent += 1
+        proxy.invoke("echo", token, on_reply=self._on_reply)
+
+    def _reissue_inflight(self) -> None:
+        """Re-issue the invocation the state says is outstanding; the
+        Interceptor suppresses the duplicate on the wire."""
+        proxy = self._ensure_proxy()
+        token = self._token_base + self.sent - 1
+        proxy.invoke("echo", token, on_reply=self._on_reply)
+
+    def _on_reply(self, reply: ReplyMessage) -> None:
+        if reply.reply_status is not ReplyStatus.NO_EXCEPTION:
+            return
+        self.acked += 1
+        self.last_token = reply.result
+        self._send_next()
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (called by the replica container)
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Initial kick: begin the invocation stream."""
+        if self.sent == 0:
+            self._send_next()
+
+    def resume(self) -> None:
+        """Post-recovery: re-issue the in-flight invocation, if any."""
+        if self.sent > self.acked:
+            self._reissue_inflight()
+        elif self.sent == 0:
+            self._send_next()
+
+    # ------------------------------------------------------------------
+    # Checkpointable
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> Any:
+        return {"sent": self.sent, "acked": self.acked,
+                "last_token": self.last_token}
+
+    def set_state(self, state: Any) -> None:
+        try:
+            self.sent = int(state["sent"])
+            self.acked = int(state["acked"])
+            self.last_token = state["last_token"]
+        except (TypeError, KeyError, ValueError) as exc:
+            raise InvalidState(f"bad packet driver state: {exc}") from exc

@@ -1,0 +1,41 @@
+"""Benchmark harness support: deployments, baselines, and reporting.
+
+The benchmark files under ``benchmarks/`` regenerate the paper's evaluation
+(Figure 6, the §6 overhead claim, and the replication-style trade-offs) plus
+ablations; this package holds the shared machinery they use:
+
+* :mod:`repro.bench.deployments` — canned EternalSystem deployments
+  (replicated server + packet-driver client, per style/size/config).
+* :mod:`repro.bench.baseline` — the *unreplicated* client/server pair over
+  plain point-to-point messaging, the comparison point for the fault-free
+  overhead measurement.
+* :mod:`repro.bench.reporting` — fixed-width result tables with
+  paper-vs-measured context.
+"""
+
+from repro.bench.baseline import BaselinePair
+from repro.bench.deployments import ClientServerDeployment, build_client_server
+from repro.bench.plot import ascii_plot
+from repro.bench.reporting import print_table
+from repro.bench.stats import Summary, aggregate, summarize
+from repro.bench.workloads import (
+    OpenLoopDriverServant,
+    bursty_schedule,
+    poisson_schedule,
+    uniform_schedule,
+)
+
+__all__ = [
+    "BaselinePair",
+    "ClientServerDeployment",
+    "build_client_server",
+    "print_table",
+    "ascii_plot",
+    "Summary",
+    "aggregate",
+    "summarize",
+    "OpenLoopDriverServant",
+    "uniform_schedule",
+    "poisson_schedule",
+    "bursty_schedule",
+]

@@ -1,0 +1,74 @@
+"""Terminal line/scatter plots for benchmark sweeps.
+
+Dependency-free ASCII rendering so the Figure 6 curve is *visible* in the
+benchmark output, not just tabulated.
+
+::
+
+    print(ascii_plot(sizes, times_ms, x_label="state bytes",
+                     y_label="recovery ms", logx=True))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def _transform(values: Sequence[float], log: bool) -> List[float]:
+    if not log:
+        return [float(v) for v in values]
+    return [math.log10(max(v, 1e-12)) for v in values]
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    logx: bool = False,
+    marker: str = "*",
+) -> str:
+    """Render (xs, ys) as an ASCII chart; points are joined visually by
+    their own density, not interpolated."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("need equal, non-empty xs and ys")
+    tx = _transform(xs, logx)
+    ty = [float(y) for y in ys]
+    x_lo, x_hi = min(tx), max(tx)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(tx, ty):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    lines = []
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label) + 1)
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(margin)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif index == height // 2:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_lo_label = f"{xs[0]:.3g}" if not logx else f"{min(xs):.3g}"
+    x_hi_label = f"{max(xs):.3g}"
+    scale_note = " (log x)" if logx else ""
+    footer = (" " * margin + "  " + x_lo_label
+              + x_label.center(width - len(x_lo_label) - len(x_hi_label))
+              + x_hi_label + scale_note)
+    lines.append(footer)
+    return "\n".join(lines)

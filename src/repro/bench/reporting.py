@@ -1,0 +1,50 @@
+"""Fixed-width result tables for benchmark output.
+
+Every experiment prints a header naming the paper artifact it regenerates
+and a row per sweep point, so ``pytest benchmarks/ --benchmark-only -s``
+reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    paper_note: Optional[str] = None,
+) -> str:
+    """Render (and print) a fixed-width table; returns the rendered text."""
+    rendered_rows: List[List[str]] = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(c) for c in columns]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["", "=" * max(len(title), 8), title, "=" * max(len(title), 8)]
+    if paper_note:
+        lines.append(f"paper: {paper_note}")
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    text = "\n".join(lines)
+    print(text)
+    return text

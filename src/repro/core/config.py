@@ -1,0 +1,48 @@
+"""Tunables of the Eternal mechanisms (and ablation switches).
+
+The two ``sync_*`` flags exist for the ablation benchmarks: disabling them
+reproduces the failure modes the paper uses to motivate ORB/POA-level state
+synchronization (Figure 4's request_id mismatch, §4.2.2's lost handshake).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EternalConfig:
+    """Per-deployment mechanism parameters."""
+
+    reply_processing_delay: float = 10e-6
+    """Simulated client-side cost of processing one delivered reply."""
+
+    state_capture_bps: float = 400e6
+    """Simulated get_state/set_state serialization rate (bytes/second):
+    capturing or assigning S bytes of state costs S / rate seconds of
+    replica CPU time, in addition to the operation's base duration."""
+
+    cold_start_delay: float = 0.020
+    """Simulated process-launch time for a cold-passive backup."""
+
+    recovery_retry_timeout: float = 1.0
+    """A joining replica re-announces itself if not synchronized in time."""
+
+    sync_orb_request_ids: bool = True
+    """Transfer and re-align GIOP request_id counters during recovery
+    (§4.2.1).  Disabling reproduces Figure 4's inconsistency."""
+
+    sync_handshake: bool = True
+    """Store and replay the client-server handshake message into a new
+    server replica's ORB (§4.2.2).  Disabling reproduces the discarded
+    requests failure."""
+
+    sync_infra_state: bool = True
+    """Piggyback infrastructure-level state (duplicate filters, outstanding
+    invocations) during recovery (§4.3)."""
+
+    def __post_init__(self) -> None:
+        if self.state_capture_bps <= 0:
+            raise ValueError("state_capture_bps must be positive")
+        if self.cold_start_delay < 0:
+            raise ValueError("cold_start_delay must be non-negative")

@@ -1,0 +1,274 @@
+"""Multicast envelopes: everything Eternal sends over Totem.
+
+Application IIOP traffic travels in :class:`IiopEnvelope` (the captured GIOP
+bytes plus the operation identifier Eternal derived for them).  Group
+administration and the state-transfer protocol travel in control envelopes.
+All envelopes serialize to real bytes (CDR) so the network model charges
+honest transmission time — in particular a :class:`StateSet` carrying a
+large application state produces a proportionally large multicast message,
+which Totem fragments at the Ethernet MTU: the mechanism behind Figure 6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.errors import ProtocolError
+from repro.giop.cdr import CdrInputStream, CdrOutputStream
+from repro.core.identifiers import ConnectionKey, OperationId, OpKind
+
+
+class TransferPurpose(enum.Enum):
+    """Why a state transfer is happening (§5.1 recovery vs §3.3 checkpoint)."""
+
+    RECOVERY = 0      # synchronizing a new/recovered replica (§5.1)
+    CHECKPOINT = 1    # periodic state retrieval for passive styles (§3.3)
+
+
+@dataclass(frozen=True)
+class IiopEnvelope:
+    """A captured IIOP message plus Eternal's routing/dedup metadata."""
+
+    connection: ConnectionKey
+    kind: OpKind
+    request_id: int
+    sender_node: str
+    iiop_bytes: bytes
+
+    @property
+    def operation_id(self) -> OperationId:
+        return OperationId(self.connection, self.request_id, self.kind)
+
+    @property
+    def target_group(self) -> str:
+        """Requests go to the server group; replies to the client group."""
+        if self.kind is OpKind.REQUEST:
+            return self.connection.server_group
+        return self.connection.client_group
+
+
+@dataclass(frozen=True)
+class GroupUpdate:
+    """Replication Manager: authoritative group-membership update.
+
+    Carries the *full* membership (node, role, operational) so that a node
+    that just rejoined the ring can rebuild its group view from any single
+    update.  ``action`` selects the side effect at the affected node:
+
+    * ``create`` — initial deployment; every listed member instantiates its
+      replica, already consistent (identical initial state), and starts it;
+    * ``add`` — ``subject_node`` instantiates a new replica and announces a
+      :class:`ReplicaJoin` to start recovery;
+    * ``remove`` — ``subject_node`` destroys its replica;
+    * ``sync`` — membership bookkeeping only.
+    """
+
+    group_id: str
+    type_id: str
+    style: str                 # ReplicationStyle.value
+    checkpoint_interval: float
+    app_version: int
+    members: Tuple[Tuple[str, str, bool], ...]  # (node, role, operational)
+    action: str = "sync"
+    subject_node: str = ""
+    fault_monitoring_interval: float = 0.05
+    max_log_messages: int = 0
+
+
+@dataclass(frozen=True)
+class ReplicaJoin:
+    """Announced by the node hosting a newly launched replica; its delivery
+    position starts the recovery protocol for that replica."""
+
+    group_id: str
+    node_id: str
+    transfer_id: str
+
+
+@dataclass(frozen=True)
+class StateGet:
+    """The fabricated ``get_state()`` marker in the total order (§5.1 i)."""
+
+    group_id: str
+    transfer_id: str
+    purpose: TransferPurpose
+    initiator: str
+    target_node: str = ""      # RECOVERY: the node being synchronized
+
+
+@dataclass(frozen=True)
+class ReplicaFault:
+    """A fault detector's report: a replica on a (live) node is faulty.
+
+    Travels in the total order so every node — and the Replication Manager
+    — learns of the fault at the same logical point (FT-CORBA pull
+    monitoring at the fault monitoring interval, paper §2)."""
+
+    group_id: str
+    node_id: str
+    reason: str = "unresponsive"
+
+
+@dataclass(frozen=True)
+class NodeRestarted:
+    """A node's stack re-launched with a fresh incarnation.
+
+    A process that restarts faster than the token timeout never leaves the
+    ring view, so membership alone cannot reveal that its replicas'
+    volatile state is gone.  The rebuilt stack announces itself in the
+    total order; every node drops the announcer's (dead) members at the
+    same logical point, and the Replication Manager re-places them."""
+
+    node_id: str
+    incarnation: int
+
+
+@dataclass(frozen=True)
+class StateSet:
+    """The fabricated ``set_state()`` with the piggybacked ORB/POA-level
+    and infrastructure-level state (§5.1 iv-v)."""
+
+    group_id: str
+    transfer_id: str
+    purpose: TransferPurpose
+    source_node: str
+    target_node: str
+    app_state: bytes
+    orb_state: bytes
+    infra_state: bytes
+
+
+Envelope = Union[IiopEnvelope, GroupUpdate, ReplicaJoin, StateGet, StateSet,
+                 ReplicaFault, NodeRestarted]
+
+_TAG_IIOP = 1
+_TAG_GROUP_UPDATE = 2
+_TAG_REPLICA_JOIN = 5
+_TAG_STATE_GET = 6
+_TAG_STATE_SET = 7
+_TAG_REPLICA_FAULT = 8
+_TAG_NODE_RESTARTED = 9
+
+
+def encode_envelope(envelope: Envelope) -> bytes:
+    """Serialize an envelope for multicast."""
+    out = CdrOutputStream()
+    if isinstance(envelope, IiopEnvelope):
+        out.write_octet(_TAG_IIOP)
+        out.write_string(envelope.connection.client_group)
+        out.write_string(envelope.connection.server_group)
+        out.write_octet(envelope.kind.value)
+        out.write_ulong(envelope.request_id)
+        out.write_string(envelope.sender_node)
+        out.write_octets(envelope.iiop_bytes)
+    elif isinstance(envelope, GroupUpdate):
+        out.write_octet(_TAG_GROUP_UPDATE)
+        out.write_string(envelope.group_id)
+        out.write_string(envelope.type_id)
+        out.write_string(envelope.style)
+        out.write_double(envelope.checkpoint_interval)
+        out.write_ulong(envelope.app_version)
+        out.write_ulong(len(envelope.members))
+        for node_id, role, operational in envelope.members:
+            out.write_string(node_id)
+            out.write_string(role)
+            out.write_boolean(operational)
+        out.write_string(envelope.action)
+        out.write_string(envelope.subject_node)
+        out.write_double(envelope.fault_monitoring_interval)
+        out.write_ulong(envelope.max_log_messages)
+    elif isinstance(envelope, ReplicaJoin):
+        out.write_octet(_TAG_REPLICA_JOIN)
+        out.write_string(envelope.group_id)
+        out.write_string(envelope.node_id)
+        out.write_string(envelope.transfer_id)
+    elif isinstance(envelope, StateGet):
+        out.write_octet(_TAG_STATE_GET)
+        out.write_string(envelope.group_id)
+        out.write_string(envelope.transfer_id)
+        out.write_octet(envelope.purpose.value)
+        out.write_string(envelope.initiator)
+        out.write_string(envelope.target_node)
+    elif isinstance(envelope, StateSet):
+        out.write_octet(_TAG_STATE_SET)
+        out.write_string(envelope.group_id)
+        out.write_string(envelope.transfer_id)
+        out.write_octet(envelope.purpose.value)
+        out.write_string(envelope.source_node)
+        out.write_string(envelope.target_node)
+        out.write_octets(envelope.app_state)
+        out.write_octets(envelope.orb_state)
+        out.write_octets(envelope.infra_state)
+    elif isinstance(envelope, ReplicaFault):
+        out.write_octet(_TAG_REPLICA_FAULT)
+        out.write_string(envelope.group_id)
+        out.write_string(envelope.node_id)
+        out.write_string(envelope.reason)
+    elif isinstance(envelope, NodeRestarted):
+        out.write_octet(_TAG_NODE_RESTARTED)
+        out.write_string(envelope.node_id)
+        out.write_ulong(envelope.incarnation)
+    else:
+        raise ProtocolError(f"cannot encode envelope {type(envelope).__name__}")
+    return out.getvalue()
+
+
+def decode_envelope(data: bytes) -> Envelope:
+    """Inverse of :func:`encode_envelope`."""
+    try:
+        return _decode_envelope(data)
+    except ValueError as exc:
+        # invalid enum discriminants in hostile/corrupted bytes
+        raise ProtocolError(f"malformed envelope: {exc}") from exc
+
+
+def _decode_envelope(data: bytes) -> Envelope:
+    inp = CdrInputStream(data)
+    tag = inp.read_octet()
+    if tag == _TAG_IIOP:
+        connection = ConnectionKey(inp.read_string(), inp.read_string())
+        kind = OpKind(inp.read_octet())
+        request_id = inp.read_ulong()
+        sender_node = inp.read_string()
+        iiop_bytes = inp.read_octets()
+        return IiopEnvelope(connection, kind, request_id, sender_node,
+                            iiop_bytes)
+    if tag == _TAG_GROUP_UPDATE:
+        group_id = inp.read_string()
+        type_id = inp.read_string()
+        style = inp.read_string()
+        checkpoint_interval = inp.read_double()
+        app_version = inp.read_ulong()
+        count = inp.read_ulong()
+        members = tuple(
+            (inp.read_string(), inp.read_string(), inp.read_boolean())
+            for _ in range(count)
+        )
+        action = inp.read_string()
+        subject_node = inp.read_string()
+        fault_monitoring_interval = inp.read_double()
+        max_log_messages = inp.read_ulong()
+        return GroupUpdate(group_id, type_id, style, checkpoint_interval,
+                           app_version, members, action, subject_node,
+                           fault_monitoring_interval, max_log_messages)
+    if tag == _TAG_REPLICA_JOIN:
+        return ReplicaJoin(inp.read_string(), inp.read_string(),
+                           inp.read_string())
+    if tag == _TAG_STATE_GET:
+        return StateGet(inp.read_string(), inp.read_string(),
+                        TransferPurpose(inp.read_octet()),
+                        inp.read_string(), inp.read_string())
+    if tag == _TAG_STATE_SET:
+        return StateSet(inp.read_string(), inp.read_string(),
+                        TransferPurpose(inp.read_octet()),
+                        inp.read_string(), inp.read_string(),
+                        inp.read_octets(), inp.read_octets(),
+                        inp.read_octets())
+    if tag == _TAG_REPLICA_FAULT:
+        return ReplicaFault(inp.read_string(), inp.read_string(),
+                            inp.read_string())
+    if tag == _TAG_NODE_RESTARTED:
+        return NodeRestarted(inp.read_string(), inp.read_ulong())
+    raise ProtocolError(f"unknown envelope tag {tag}")

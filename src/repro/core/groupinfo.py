@@ -1,0 +1,123 @@
+"""Per-node view of object-group membership and roles.
+
+Every node maintains its own :class:`GroupInfo` per group, updated *only*
+from totally-ordered events (group-administration envelopes from the
+Replication Manager, state-transfer completions, and Totem view changes,
+which virtual synchrony orders consistently against the message stream).
+All nodes therefore transition their views identically, without any shared
+global state — the property that makes failover decisions deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.ftcorba.properties import ReplicationStyle
+
+ROLE_ACTIVE = "active"
+ROLE_PRIMARY = "primary"
+ROLE_BACKUP = "backup"
+
+
+@dataclass
+class GroupInfo:
+    """One node's knowledge of one object group."""
+
+    group_id: str
+    type_id: str
+    style: ReplicationStyle
+    checkpoint_interval: float
+    app_version: int = 0
+    fault_monitoring_interval: float = 0.05
+    max_log_messages: int = 0
+    roles: Dict[str, str] = field(default_factory=dict)
+    operational: Set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def member_nodes(self) -> List[str]:
+        return sorted(self.roles)
+
+    @property
+    def primary_node(self) -> Optional[str]:
+        for node_id, role in self.roles.items():
+            if role == ROLE_PRIMARY:
+                return node_id
+        return None
+
+    def role_of(self, node_id: str) -> Optional[str]:
+        return self.roles.get(node_id)
+
+    def executes(self, node_id: str) -> bool:
+        """Does this member execute (and reply to) normal invocations?"""
+        role = self.roles.get(node_id)
+        return role in (ROLE_ACTIVE, ROLE_PRIMARY)
+
+    def responds_to_recovery(self, node_id: str) -> bool:
+        """Does this member answer a recovery get_state()?
+
+        Active: every operational replica (their fabricated set_states are
+        duplicate-suppressed).  Passive: the primary alone has current state.
+        """
+        if node_id not in self.operational:
+            return False
+        return self.executes(node_id)
+
+    def operational_nodes(self) -> List[str]:
+        return sorted(self.operational)
+
+    def surviving_backups(self, lost: Set[str]) -> List[str]:
+        return sorted(
+            n for n, role in self.roles.items()
+            if role == ROLE_BACKUP and n not in lost
+        )
+
+    # ------------------------------------------------------------------
+    # Transitions (driven by totally-ordered events only)
+    # ------------------------------------------------------------------
+
+    def add_member(self, node_id: str, role: str,
+                   operational: bool = False) -> None:
+        self.roles[node_id] = role
+        if operational:
+            self.operational.add(node_id)
+        else:
+            self.operational.discard(node_id)
+
+    def remove_member(self, node_id: str) -> None:
+        self.roles.pop(node_id, None)
+        self.operational.discard(node_id)
+
+    def mark_operational(self, node_id: str) -> None:
+        if node_id in self.roles:
+            self.operational.add(node_id)
+
+    def promote(self, node_id: str) -> None:
+        current = self.primary_node
+        if current is not None and current != node_id:
+            self.roles[current] = ROLE_BACKUP
+        if node_id in self.roles:
+            self.roles[node_id] = ROLE_PRIMARY
+
+    def handle_node_loss(self, lost: Set[str]) -> Optional[str]:
+        """Apply a view change that lost ``lost`` nodes.
+
+        Removes lost members; if the primary was lost, deterministically
+        selects and promotes the new primary (first surviving backup in
+        node-id order) and returns it; otherwise returns None.
+        """
+        lost_primary = self.primary_node in lost if self.primary_node else False
+        promoted: Optional[str] = None
+        if lost_primary:
+            candidates = self.surviving_backups(lost)
+            if candidates:
+                promoted = candidates[0]
+        for node_id in lost:
+            self.remove_member(node_id)
+        if promoted is not None:
+            self.promote(promoted)
+        return promoted

@@ -1,0 +1,142 @@
+"""Eternal-generated operation identifiers for duplicate suppression.
+
+"Eternal provides unique invocation (response) identifiers that enable the
+Replication Mechanisms to ensure that such duplicate invocations
+(responses) from a replicated client (server) are never delivered to their
+target server (client) objects" (paper §2.1).
+
+An operation identifier is ``(connection, request_id, kind)``:
+
+* the *connection* is the logical client-group → server-group link (all
+  replicas of a client share it, which is what makes their copies of one
+  invocation recognizable as duplicates);
+* the *request_id* is the GIOP request id the client-side ORBs assigned —
+  identical across replicas because deterministic replicas drive
+  deterministic ORBs (and because Eternal re-aligns a recovered ORB's ids,
+  §4.2.1);
+* the *kind* distinguishes the invocation from its response.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.Enum):
+    """Distinguishes an invocation from its response in operation ids."""
+
+    REQUEST = 0
+    REPLY = 1
+
+
+@dataclass(frozen=True, order=True)
+class ConnectionKey:
+    """The logical connection between two object groups."""
+
+    client_group: str
+    server_group: str
+
+    def as_str(self) -> str:
+        return f"{self.client_group}->{self.server_group}"
+
+    @classmethod
+    def from_str(cls, text: str) -> "ConnectionKey":
+        client_group, _, server_group = text.partition("->")
+        return cls(client_group, server_group)
+
+
+@dataclass(frozen=True, order=True)
+class OperationId:
+    """Unique identity of one invocation or one response."""
+
+    connection: ConnectionKey
+    request_id: int
+    kind: OpKind
+
+    def matching_reply(self) -> "OperationId":
+        """The identifier of the response to this invocation."""
+        return OperationId(self.connection, self.request_id, OpKind.REPLY)
+
+
+class DuplicateFilter:
+    """At-most-once delivery filter over operation identifiers.
+
+    Request ids on a connection are consecutive, so the filter keeps a
+    contiguous watermark plus a sparse overflow set per (connection, kind);
+    the set stays tiny because duplicates arrive close together in the
+    total order.
+    """
+
+    def __init__(self) -> None:
+        self._watermark: dict = {}   # (conn, kind) -> highest contiguous id
+        self._sparse: dict = {}      # (conn, kind) -> set of ids beyond it
+
+    def seen_before(self, op: OperationId) -> bool:
+        """Record ``op``; True if it was already delivered (a duplicate)."""
+        key = (op.connection, op.kind)
+        watermark = self._watermark.get(key, -1)
+        if op.request_id <= watermark:
+            return True
+        sparse = self._sparse.setdefault(key, set())
+        if op.request_id in sparse:
+            return True
+        sparse.add(op.request_id)
+        while (watermark + 1) in sparse:
+            watermark += 1
+            sparse.discard(watermark)
+        self._watermark[key] = watermark
+        return False
+
+    def merge(self, other: "DuplicateFilter") -> None:
+        """Union another filter into this one.
+
+        Used when adopting transferred infrastructure-level state: a warm
+        backup (or recovering replica) must keep remembering duplicates it
+        filtered locally after the state was captured at the source.
+        """
+        for key, mark in other._watermark.items():
+            local_mark = self._watermark.get(key, -1)
+            sparse = self._sparse.setdefault(key, set())
+            if mark > local_mark:
+                # ids (local_mark, mark] are covered by the other watermark
+                sparse.difference_update(range(local_mark + 1, mark + 1))
+                local_mark = mark
+            sparse.update(
+                i for i in other._sparse.get(key, ()) if i > local_mark
+            )
+            while (local_mark + 1) in sparse:
+                local_mark += 1
+                sparse.discard(local_mark)
+            self._watermark[key] = local_mark
+        for key, ids in other._sparse.items():
+            if key not in self._watermark:
+                local = self._sparse.setdefault(key, set())
+                local.update(ids)
+
+    def capture(self) -> dict:
+        """Serializable snapshot (part of infrastructure-level state)."""
+        return {
+            "watermark": {
+                f"{conn.as_str()}|{kind.value}": mark
+                for (conn, kind), mark in self._watermark.items()
+            },
+            "sparse": {
+                f"{conn.as_str()}|{kind.value}": sorted(ids)
+                for (conn, kind), ids in self._sparse.items() if ids
+            },
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "DuplicateFilter":
+        """Rebuild a filter from :meth:`capture` output."""
+        instance = cls()
+        for key_text, mark in snapshot.get("watermark", {}).items():
+            conn_text, _, kind_text = key_text.rpartition("|")
+            key = (ConnectionKey.from_str(conn_text), OpKind(int(kind_text)))
+            instance._watermark[key] = mark
+        for key_text, ids in snapshot.get("sparse", {}).items():
+            conn_text, _, kind_text = key_text.rpartition("|")
+            key = (ConnectionKey.from_str(conn_text), OpKind(int(kind_text)))
+            instance._sparse[key] = set(ids)
+        return instance

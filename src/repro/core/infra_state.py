@@ -1,0 +1,136 @@
+"""Infrastructure-level state (paper §4.3).
+
+"Completely independent of, and invisible to, the replicated object as well
+as to the ORB and the POA" — the bookkeeping Eternal itself needs for
+duplicate detection and log garbage collection:
+
+* the duplicate-suppression filter over operation identifiers;
+* the invocations the replica has issued and awaits responses to;
+* the high-water mark of issued request ids per connection (so a recovered
+  client replica that deterministically re-issues work is suppressed on the
+  wire rather than duplicated);
+* the replica's replication style and role.
+
+During recovery this state is piggybacked onto the fabricated
+``set_state()`` and assigned *last*, before the replica becomes operational.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.identifiers import ConnectionKey, DuplicateFilter
+from repro.giop.types import decode_any, encode_any, to_any
+
+
+class InfraState:
+    """One replica's infrastructure-level state."""
+
+    def __init__(self, style: str = "active", role: str = "active") -> None:
+        self.style = style
+        self.role = role
+        self.duplicates = DuplicateFilter()
+        # client side: wire request ids issued on each connection
+        self.issued: Dict[ConnectionKey, int] = {}
+        # client side: wire request ids awaiting replies -> operation name
+        self.awaiting: Dict[ConnectionKey, Dict[int, str]] = {}
+
+    # -- client-side bookkeeping -------------------------------------------
+
+    def record_issued(self, connection: ConnectionKey, wire_request_id: int,
+                      operation: str, response_expected: bool) -> bool:
+        """Record an outgoing invocation.
+
+        Returns True if it is *new* (must be multicast) or False if this
+        request id was already issued before the replica recovered — a
+        deterministic re-issue that must be suppressed on the wire while
+        re-registering interest in its reply.
+        """
+        is_new = wire_request_id > self.issued.get(connection, -1)
+        if is_new:
+            self.issued[connection] = wire_request_id
+        if response_expected:
+            self.awaiting.setdefault(connection, {})[wire_request_id] = \
+                operation
+        return is_new
+
+    def record_reply_delivered(self, connection: ConnectionKey,
+                               wire_request_id: int) -> None:
+        pending = self.awaiting.get(connection)
+        if pending is not None:
+            pending.pop(wire_request_id, None)
+            if not pending:
+                del self.awaiting[connection]
+
+    def awaiting_reply(self, connection: ConnectionKey,
+                       wire_request_id: int) -> Optional[str]:
+        """Operation name if this reply is awaited, else None."""
+        return self.awaiting.get(connection, {}).get(wire_request_id)
+
+    # -- capture / restore ---------------------------------------------------
+
+    def capture(self, duplicates_override: Optional[dict] = None) -> bytes:
+        """Serialize for piggybacking.
+
+        ``duplicates_override`` substitutes a duplicate-filter snapshot
+        taken earlier (at the get_state() marker's delivery position) for
+        the live filter — the filter marks messages at delivery, which can
+        run ahead of the synchronization point.
+        """
+        duplicates = (duplicates_override if duplicates_override is not None
+                      else self.duplicates.capture())
+        payload = {
+            "style": self.style,
+            "role": self.role,
+            "duplicates": duplicates,
+            "issued": {c.as_str(): rid for c, rid in self.issued.items()},
+            "awaiting": {
+                c.as_str(): {str(rid): op for rid, op in pending.items()}
+                for c, pending in self.awaiting.items()
+            },
+        }
+        return encode_any(to_any(payload))
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "InfraState":
+        state = cls()
+        if not blob:
+            return state
+        payload = decode_any(blob).value
+        state.style = payload.get("style", "active")
+        state.role = payload.get("role", "active")
+        state.duplicates = DuplicateFilter.restore(
+            payload.get("duplicates", {})
+        )
+        state.issued = {
+            ConnectionKey.from_str(text): rid
+            for text, rid in payload.get("issued", {}).items()
+        }
+        state.awaiting = {
+            ConnectionKey.from_str(text): {
+                int(rid): op for rid, op in pending.items()
+            }
+            for text, pending in payload.get("awaiting", {}).items()
+        }
+        return state
+
+    def adopt(self, other: "InfraState", *, keep_role: bool = True) -> None:
+        """Assign another replica's captured infrastructure-level state to
+        this one (recovery step: infrastructure state is assigned last).
+
+        Adoption *merges* rather than overwrites the duplicate filter and
+        the issued watermarks: the adopter may have filtered/observed
+        messages ordered after the source captured its state, and must not
+        forget them.  The awaiting map is replaced (it describes the
+        in-flight invocations of the adopted application state).  The local
+        role is preserved by default: a recovering backup adopting the
+        primary's state must not believe it is the primary.
+        """
+        self.style = other.style
+        self.duplicates.merge(other.duplicates)
+        for conn, rid in other.issued.items():
+            if rid > self.issued.get(conn, -1):
+                self.issued[conn] = rid
+        self.awaiting = {c: dict(p) for c, p in other.awaiting.items()}
+        if not keep_role:
+            self.role = other.role

@@ -1,0 +1,130 @@
+"""The Eternal Interceptor (paper §2, footnote 1).
+
+"Eternal's Interceptor is an IIOP message interceptor that is not part of
+the ORB stack and is located outside the ORB, at the ORB's socket-level
+interface to the operating system."  It captures the IIOP messages intended
+for TCP/IP and diverts them to the Replication Mechanisms for multicasting.
+
+Beyond diversion, the interceptor is where ORB/POA-level request_id
+synchronization is *enforced* from outside the ORB (§4.2.1): a recovered
+replica's ORB restarts its per-connection request_id counters at zero, so
+the interceptor installs a per-connection **rewrite offset** — outgoing
+requests have their GIOP request_id patched up to the group-consistent
+value, and incoming replies are patched back down before the ORB sees them.
+The ORB itself is never modified and never knows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict
+
+from repro.core.envelope import IiopEnvelope
+from repro.core.identifiers import ConnectionKey, OpKind
+from repro.core.infra_state import InfraState
+from repro.core.orb_state import OrbStateTracker
+from repro.giop.messages import (
+    ReplyMessage,
+    RequestMessage,
+    decode_message,
+    encode_message,
+)
+from repro.simnet.trace import NULL_TRACER, Tracer
+
+SendFn = Callable[[IiopEnvelope], None]
+
+
+class Interceptor:
+    """Per-replica IIOP capture point between one ORB and the mechanisms."""
+
+    def __init__(
+        self,
+        node_id: str,
+        group_id: str,
+        send: SendFn,
+        infra: InfraState,
+        orb_state: OrbStateTracker,
+        *,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.node_id = node_id
+        self.group_id = group_id
+        self._send = send
+        self._infra = infra
+        self._orb_state = orb_state
+        self.tracer = tracer
+        self._offsets: Dict[ConnectionKey, int] = {}
+        self.suppressed_reissues = 0
+
+    # ------------------------------------------------------------------
+    # request_id rewrite offsets (installed during recovery, §4.2.1)
+    # ------------------------------------------------------------------
+
+    def set_request_id_offset(self, connection: ConnectionKey,
+                              offset: int) -> None:
+        self._offsets[connection] = offset
+
+    def request_id_offset(self, connection: ConnectionKey) -> int:
+        return self._offsets.get(connection, 0)
+
+    # ------------------------------------------------------------------
+    # Outgoing capture (the ORB believes this is TCP)
+    # ------------------------------------------------------------------
+
+    def capture_client_request(self, host: str, port: int,
+                               data: bytes) -> None:
+        """Transport hook installed on the replica ORB's client side."""
+        connection = ConnectionKey(client_group=self.group_id,
+                                   server_group=host)
+        message = decode_message(data)
+        assert isinstance(message, RequestMessage)
+        offset = self._offsets.get(connection, 0)
+        wire_id = message.request_id + offset
+        if offset:
+            data = encode_message(replace(message, request_id=wire_id))
+        self._orb_state.observe_outgoing_request(connection, wire_id)
+        is_new = self._infra.record_issued(
+            connection, wire_id, message.operation,
+            message.response_expected,
+        )
+        if not is_new:
+            # A deterministic re-issue after recovery: already on the wire
+            # before the replica failed.  Suppress the duplicate multicast
+            # but keep awaiting the reply.
+            self.suppressed_reissues += 1
+            self.tracer.emit("interceptor", "reissue_suppressed",
+                             node=self.node_id, group=self.group_id,
+                             request_id=wire_id)
+            return
+        self.tracer.emit("interceptor", "request", node=self.node_id,
+                         conn=connection.as_str(), request_id=wire_id)
+        self._send(IiopEnvelope(connection, OpKind.REQUEST, wire_id,
+                                self.node_id, data))
+
+    def capture_server_reply(self, connection: ConnectionKey,
+                             data: bytes) -> None:
+        """Capture a reply produced by the local server replica."""
+        message = decode_message(data)
+        assert isinstance(message, ReplyMessage)
+        self.tracer.emit("interceptor", "reply", node=self.node_id,
+                         conn=connection.as_str(),
+                         request_id=message.request_id)
+        self._send(IiopEnvelope(connection, OpKind.REPLY,
+                                message.request_id, self.node_id, data))
+
+    # ------------------------------------------------------------------
+    # Incoming rewrite (before the ORB sees a reply)
+    # ------------------------------------------------------------------
+
+    def rewrite_incoming_reply(self, connection: ConnectionKey,
+                               data: bytes) -> bytes:
+        """Patch a delivered reply's request_id back into the local ORB's
+        numbering (inverse of the outgoing rewrite)."""
+        offset = self._offsets.get(connection, 0)
+        if not offset:
+            return data
+        message = decode_message(data)
+        assert isinstance(message, ReplyMessage)
+        return encode_message(
+            replace(message, request_id=message.request_id - offset)
+        )

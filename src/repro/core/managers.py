@@ -1,0 +1,400 @@
+"""The Eternal Replication Manager, Resource Manager and Evolution Manager.
+
+"The Eternal Replication Manager replicates each application object
+according to user-specified fault tolerance properties and distributes the
+replicas across the system.  The Eternal Resource Manager monitors the
+system resources, and maintains the initial and the minimum number of
+replicas.  The Eternal Evolution Manager exploits object replication to
+support upgrades to the CORBA application objects." (paper §2)
+
+In Eternal these managers are themselves replicated CORBA object
+collections; in this reproduction they run unreplicated on a designated
+manager node (a documented simplification — see DESIGN.md).  Crucially they
+act on the system *only* by multicasting totally-ordered
+:class:`~repro.core.envelope.GroupUpdate` envelopes, so every node applies
+membership changes at the same logical point in the message stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.envelope import GroupUpdate
+from repro.core.groupinfo import ROLE_ACTIVE, ROLE_BACKUP, ROLE_PRIMARY
+from repro.core.replication import ReplicationMechanisms
+from repro.errors import ObjectGroupError
+from repro.ftcorba.fault_notifier import FaultNotifier, FaultReport
+from repro.ftcorba.generic_factory import FactoryRegistry
+from repro.ftcorba.properties import FTProperties, ReplicationStyle
+from repro.totem.member import View
+
+
+@dataclass
+class ManagedGroup:
+    """The Replication Manager's record of one group it administers."""
+
+    group_id: str
+    type_id: str
+    properties: FTProperties
+    app_version: int = 0
+    assignments: Dict[str, str] = field(default_factory=dict)  # node -> role
+    pending_replicas: int = 0          # replicas awaiting a usable node
+
+
+class ResourceManager:
+    """Tracks node liveness/load and places replicas."""
+
+    def __init__(self, factories: FactoryRegistry) -> None:
+        self._factories = factories
+        self._alive: Set[str] = set()
+        self._load: Dict[str, int] = {}
+
+    def set_alive(self, nodes: Set[str]) -> None:
+        self._alive = set(nodes)
+
+    @property
+    def alive_nodes(self) -> Set[str]:
+        return set(self._alive)
+
+    def note_placed(self, node_id: str) -> None:
+        self._load[node_id] = self._load.get(node_id, 0) + 1
+
+    def note_removed(self, node_id: str) -> None:
+        if self._load.get(node_id, 0) > 0:
+            self._load[node_id] -= 1
+
+    def load_of(self, node_id: str) -> int:
+        return self._load.get(node_id, 0)
+
+    def pick_node(self, type_id: str, version: int,
+                  exclude: Set[str]) -> Optional[str]:
+        """Least-loaded alive node that can host (type, version) and is not
+        excluded; ties break on node id for determinism."""
+        candidates = [
+            n for n in self._factories.nodes_supporting(type_id, version)
+            if n in self._alive and n not in exclude
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda n: (self._load.get(n, 0), n))
+
+
+class ReplicationManager:
+    """Creates object groups and maintains their replica counts."""
+
+    def __init__(
+        self,
+        mechanisms: ReplicationMechanisms,
+        factories: FactoryRegistry,
+        resource_manager: Optional[ResourceManager] = None,
+        fault_notifier: Optional[FaultNotifier] = None,
+    ) -> None:
+        self.mechanisms = mechanisms
+        self.factories = factories
+        self.resources = resource_manager or ResourceManager(factories)
+        self.notifier = fault_notifier or FaultNotifier()
+        self.groups: Dict[str, ManagedGroup] = {}
+        self._node_incarnations: Dict[str, int] = {}
+        mechanisms.on_view_event(self._on_view_event)
+        mechanisms.on_member_operational(self._on_member_operational)
+        mechanisms.on_replica_fault(self._on_replica_fault)
+        mechanisms.on_node_restarted(self._on_node_restarted)
+        self.resources.set_alive({mechanisms.node_id})
+
+    # ------------------------------------------------------------------
+    # Group creation
+    # ------------------------------------------------------------------
+
+    def create_group(
+        self,
+        group_id: str,
+        type_id: str,
+        properties: FTProperties,
+        nodes: Optional[List[str]] = None,
+    ) -> ManagedGroup:
+        """Deploy a new object group; returns its management record.
+
+        ``nodes`` pins placement; otherwise the Resource Manager picks the
+        ``initial_replicas`` least-loaded capable nodes.
+        """
+        if group_id in self.groups:
+            raise ObjectGroupError(f"group {group_id!r} already exists")
+        if nodes is None:
+            nodes = []
+            exclude: Set[str] = set()
+            for _ in range(properties.initial_replicas):
+                node = self.resources.pick_node(type_id, 0, exclude)
+                if node is None:
+                    break
+                nodes.append(node)
+                exclude.add(node)
+                self.resources.note_placed(node)
+        else:
+            for node in nodes:
+                self.resources.note_placed(node)
+        if len(nodes) < properties.min_replicas:
+            raise ObjectGroupError(
+                f"cannot place {properties.min_replicas} replicas of "
+                f"{type_id!r}: only {len(nodes)} capable nodes"
+            )
+        managed = ManagedGroup(group_id, type_id, properties)
+        managed.pending_replicas = properties.initial_replicas - len(nodes)
+        for index, node in enumerate(nodes):
+            managed.assignments[node] = self._role_for(properties, index == 0)
+        self.groups[group_id] = managed
+        self._multicast_update(managed, action="create")
+        return managed
+
+    @staticmethod
+    def _role_for(properties: FTProperties, first: bool) -> str:
+        if properties.replication_style is ReplicationStyle.ACTIVE:
+            return ROLE_ACTIVE
+        return ROLE_PRIMARY if first else ROLE_BACKUP
+
+    def _multicast_update(self, managed: ManagedGroup, *, action: str,
+                          subject_node: str = "") -> None:
+        info = self.mechanisms.groups.get(managed.group_id)
+        operational = info.operational if info else set()
+        members = tuple(
+            (node, role,
+             node in operational or action == "create")
+            for node, role in sorted(managed.assignments.items())
+        )
+        self.mechanisms.multicast(GroupUpdate(
+            group_id=managed.group_id,
+            type_id=managed.type_id,
+            style=managed.properties.replication_style.value,
+            checkpoint_interval=managed.properties.checkpoint_interval,
+            app_version=managed.app_version,
+            members=members,
+            action=action,
+            subject_node=subject_node,
+            fault_monitoring_interval=
+                managed.properties.fault_monitoring_interval,
+            max_log_messages=managed.properties.max_log_messages,
+        ))
+
+    # ------------------------------------------------------------------
+    # Membership maintenance
+    # ------------------------------------------------------------------
+
+    def add_member(self, group_id: str, node_id: str,
+                   role: Optional[str] = None) -> None:
+        """Add a replica on ``node_id``; it will recover via state transfer."""
+        managed = self._managed(group_id)
+        if node_id in managed.assignments:
+            raise ObjectGroupError(
+                f"{node_id} already hosts a member of {group_id}"
+            )
+        if role is None:
+            style = managed.properties.replication_style
+            if style is ReplicationStyle.ACTIVE:
+                role = ROLE_ACTIVE
+            else:
+                has_primary = ROLE_PRIMARY in managed.assignments.values()
+                role = ROLE_BACKUP if has_primary else ROLE_PRIMARY
+        managed.assignments[node_id] = role
+        self.resources.note_placed(node_id)
+        self._multicast_update(managed, action="add", subject_node=node_id)
+
+    def remove_member(self, group_id: str, node_id: str) -> None:
+        """Administratively remove a replica (also used by Evolution)."""
+        managed = self._managed(group_id)
+        if node_id not in managed.assignments:
+            raise ObjectGroupError(f"{node_id} hosts no member of {group_id}")
+        del managed.assignments[node_id]
+        self.resources.note_removed(node_id)
+        self._promote_if_needed(managed)
+        self._multicast_update(managed, action="remove", subject_node=node_id)
+
+    def _promote_if_needed(self, managed: ManagedGroup) -> None:
+        style = managed.properties.replication_style
+        if style is ReplicationStyle.ACTIVE or not managed.assignments:
+            return
+        if ROLE_PRIMARY not in managed.assignments.values():
+            backups = sorted(n for n, r in managed.assignments.items()
+                             if r == ROLE_BACKUP)
+            if backups:
+                managed.assignments[backups[0]] = ROLE_PRIMARY
+
+    def _managed(self, group_id: str) -> ManagedGroup:
+        managed = self.groups.get(group_id)
+        if managed is None:
+            raise ObjectGroupError(f"unknown group {group_id!r}")
+        return managed
+
+    # ------------------------------------------------------------------
+    # Fault handling (view changes are the fault detector)
+    # ------------------------------------------------------------------
+
+    def _on_view_event(self, view: View, lost: Set[str],
+                       joined: Set[str]) -> None:
+        self.resources.set_alive(set(view.members))
+        now = self.mechanisms.process.scheduler.now
+        for node_id in sorted(lost):
+            self.notifier.push_fault(FaultReport(now, node_id))
+            self._handle_node_loss(node_id)
+        # Joins trigger no placement here: every (re)built stack announces
+        # itself with a NodeRestarted envelope, which is the single ordered
+        # trigger for placement (see _on_node_restarted) — reacting to the
+        # raw view join as well would race with that announcement.
+
+    def _handle_node_loss(self, node_id: str) -> None:
+        for managed in self.groups.values():
+            if node_id not in managed.assignments:
+                continue
+            del managed.assignments[node_id]
+            self.resources.note_removed(node_id)
+            self._promote_if_needed(managed)
+            self._multicast_update(managed, action="sync")
+            self._restore_replica_count(managed)
+
+    def _restore_replica_count(self, managed: ManagedGroup) -> None:
+        missing = (managed.properties.initial_replicas
+                   - len(managed.assignments))
+        for _ in range(max(0, missing)):
+            node = self.resources.pick_node(
+                managed.type_id, managed.app_version,
+                exclude=set(managed.assignments),
+            )
+            if node is None:
+                managed.pending_replicas += 1
+                continue
+            self.add_member(managed.group_id, node)
+        managed.pending_replicas = max(
+            0, managed.properties.initial_replicas - len(managed.assignments)
+        )
+
+    def _place_pending(self, joined: List[str]) -> None:
+        for managed in self.groups.values():
+            while managed.pending_replicas > 0:
+                node = self.resources.pick_node(
+                    managed.type_id, managed.app_version,
+                    exclude=set(managed.assignments),
+                )
+                if node is None:
+                    break
+                managed.pending_replicas -= 1
+                self.add_member(managed.group_id, node)
+
+    def _on_member_operational(self, group_id: str, node_id: str) -> None:
+        # Hook point for observers; the manager itself needs no action —
+        # operational marks propagate via the StateSet deliveries.
+        pass
+
+    def _on_node_restarted(self, envelope) -> None:
+        """A node's stack (re)launched (possibly without ever leaving the
+        ring): any members of the previous incarnation are gone — drop
+        them and re-place, preferring the freshly returned node.
+
+        Incarnation 0 (first boot) never drops: nothing could have been
+        placed on a previous life, and the initial nodes' boot
+        announcements may be ordered after the first group creations.
+        """
+        now = self.mechanisms.process.scheduler.now
+        last_seen = self._node_incarnations.get(envelope.node_id, 0)
+        if envelope.incarnation > 0 and envelope.incarnation > last_seen:
+            had_members = any(envelope.node_id in managed.assignments
+                              for managed in self.groups.values())
+            if had_members:
+                self.notifier.push_fault(FaultReport(now, envelope.node_id,
+                                                     reason="restart"))
+                self._handle_node_loss(envelope.node_id)
+        self._node_incarnations[envelope.node_id] = max(
+            envelope.incarnation, last_seen
+        )
+        self._place_pending([envelope.node_id])
+
+    def _on_replica_fault(self, fault) -> None:
+        """A pull-monitor reported a hung replica on a live node: drop the
+        member and restore the replica count (possibly on the same node —
+        the process is healthy, only the replica object was faulty)."""
+        managed = self.groups.get(fault.group_id)
+        if managed is None or fault.node_id not in managed.assignments:
+            return
+        now = self.mechanisms.process.scheduler.now
+        self.notifier.push_fault(FaultReport(
+            now, fault.node_id, group_id=fault.group_id,
+            reason=fault.reason,
+        ))
+        del managed.assignments[fault.node_id]
+        self.resources.note_removed(fault.node_id)
+        self._promote_if_needed(managed)
+        self._multicast_update(managed, action="sync")
+        self._restore_replica_count(managed)
+
+
+class EvolutionManager:
+    """Rolling upgrade of a replicated object to a new implementation
+    version, exploiting replication: each replica is replaced in turn, and
+    the recovery protocol transfers the (surviving replicas') state into
+    the upgraded implementation (§2)."""
+
+    def __init__(self, replication_manager: ReplicationManager) -> None:
+        self.rm = replication_manager
+        self.mechanisms = replication_manager.mechanisms
+        self._active_upgrades: Dict[str, "._Upgrade"] = {}
+        self.mechanisms.on_member_operational(self._on_member_operational)
+
+    def upgrade(self, group_id: str, new_version: int,
+                on_complete: Optional[Callable[[], None]] = None) -> None:
+        """Begin a rolling upgrade of ``group_id`` to ``new_version``."""
+        managed = self.rm._managed(group_id)
+        if group_id in self._active_upgrades:
+            raise ObjectGroupError(f"upgrade of {group_id!r} in progress")
+        if len(managed.assignments) < 2:
+            raise ObjectGroupError(
+                "rolling upgrade requires at least 2 replicas (state must "
+                "survive in an old replica while each node is replaced)"
+            )
+        plan = sorted(managed.assignments)
+        upgrade = _Upgrade(group_id, new_version, plan, on_complete)
+        self._active_upgrades[group_id] = upgrade
+        # From here on, any replica created for this group (including fault
+        # replacements) is built at the new version; the new implementation's
+        # set_state() must accept the old implementation's state (the
+        # application's migration contract).
+        managed.app_version = new_version
+        self._advance(upgrade)
+
+    def _advance(self, upgrade: "_Upgrade") -> None:
+        managed = self.rm._managed(upgrade.group_id)
+        if not upgrade.remaining:
+            del self._active_upgrades[upgrade.group_id]
+            if upgrade.on_complete is not None:
+                upgrade.on_complete()
+            return
+        node = upgrade.remaining[0]
+        while node not in managed.assignments:
+            # The node fell out (crashed) since the plan was made; skip it.
+            upgrade.remaining.pop(0)
+            if not upgrade.remaining:
+                self._advance(upgrade)
+                return
+            node = upgrade.remaining[0]
+        upgrade.waiting_for = node
+        role = managed.assignments.get(node)
+        self.rm.remove_member(upgrade.group_id, node)
+        # Re-add at the new version; recovery pulls state from the old ones.
+        self.rm.add_member(upgrade.group_id, node, role=role)
+
+    def _on_member_operational(self, group_id: str, node_id: str) -> None:
+        upgrade = self._active_upgrades.get(group_id)
+        if upgrade is None or upgrade.waiting_for != node_id:
+            return
+        upgrade.remaining.pop(0)
+        upgrade.waiting_for = None
+        self._advance(upgrade)
+
+
+class _Upgrade:
+    """Book-keeping for one rolling upgrade."""
+
+    def __init__(self, group_id: str, new_version: int, plan: List[str],
+                 on_complete: Optional[Callable[[], None]]) -> None:
+        self.group_id = group_id
+        self.new_version = new_version
+        self.remaining = list(plan)
+        self.waiting_for: Optional[str] = None
+        self.on_complete = on_complete

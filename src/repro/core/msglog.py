@@ -1,0 +1,82 @@
+"""Logging of checkpoints and messages (paper §3.3).
+
+"Eternal logs each checkpoint and the ordered messages that follow that
+checkpoint, until the next checkpoint (which overwrites the previous
+checkpoint) occurs."
+
+Each node hosting a member of a passively replicated group keeps one
+:class:`MessageLog` for the group.  The checkpoint records all three kinds
+of state (the fabricated set_state's app state plus the piggybacked
+ORB/POA-level and infrastructure-level blobs).  Log positions are the
+node-local delivery indices of the group's totally-ordered message stream;
+a checkpoint taken at the position of its ``get_state()`` marker prunes all
+earlier messages (garbage collection of the log).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.envelope import IiopEnvelope
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One logged checkpoint: the three kinds of state at a log position."""
+
+    transfer_id: str
+    position: int
+    app_state: bytes
+    orb_state: bytes
+    infra_state: bytes
+
+
+class MessageLog:
+    """Checkpoint + ordered messages since, for one group at one node."""
+
+    def __init__(self, group_id: str) -> None:
+        self.group_id = group_id
+        self.checkpoint: Optional[CheckpointRecord] = None
+        self._messages: List[Tuple[int, IiopEnvelope]] = []
+        self._pending_get_positions: Dict[str, int] = {}
+        self.checkpoints_taken = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def mark_get_position(self, transfer_id: str, position: int) -> None:
+        """Record where a checkpoint's get_state() sits in the total order;
+        the checkpoint that returns for it covers everything up to here."""
+        self._pending_get_positions[transfer_id] = position
+
+    def append(self, position: int, envelope: IiopEnvelope) -> None:
+        """Log one ordered message delivered to the group."""
+        self._messages.append((position, envelope))
+
+    def commit_checkpoint(self, transfer_id: str, app_state: bytes,
+                          orb_state: bytes, infra_state: bytes) -> CheckpointRecord:
+        """Install the checkpoint for ``transfer_id``; overwrites the
+        previous checkpoint and prunes messages it covers."""
+        position = self._pending_get_positions.pop(transfer_id, -1)
+        record = CheckpointRecord(transfer_id, position, app_state,
+                                  orb_state, infra_state)
+        self.checkpoint = record
+        self._messages = [(p, e) for p, e in self._messages if p > position]
+        self.checkpoints_taken += 1
+        return record
+
+    # -- replay ---------------------------------------------------------------
+
+    def messages_since_checkpoint(self) -> List[IiopEnvelope]:
+        """The ordered messages to replay on a new primary (§3.3)."""
+        base = self.checkpoint.position if self.checkpoint else -1
+        return [e for p, e in self._messages if p > base]
+
+    @property
+    def log_length(self) -> int:
+        return len(self._messages)
+
+    def clear(self) -> None:
+        self.checkpoint = None
+        self._messages.clear()
+        self._pending_get_positions.clear()

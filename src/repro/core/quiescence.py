@@ -1,0 +1,65 @@
+"""Quiescence: when is it safe to deliver an invocation to an object?
+
+"To decide on the appropriate time to deliver the get_state() invocation,
+the Eternal system must determine the moment that the object is quiescent"
+(paper §5).  The full machinery in Eternal inspects thread activity and
+collocated objects; our replicas are single-threaded POA dispatchers, so
+quiescence reduces to: the replica is not executing an operation and is not
+blocked mid-logical-operation on nested invocations it issued.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+
+class QuiescenceMonitor:
+    """Tracks one replica's activity and fires callbacks at quiescence."""
+
+    def __init__(self) -> None:
+        self._busy_until: Optional[float] = None
+        self._nested_outstanding = 0
+        self._waiters: List[Callable[[], None]] = []
+
+    # -- activity transitions ------------------------------------------------
+
+    def begin_operation(self, until: float) -> None:
+        self._busy_until = until
+
+    def end_operation(self) -> None:
+        self._busy_until = None
+        self._maybe_notify()
+
+    def nested_issued(self) -> None:
+        """The replica issued a nested invocation mid-operation."""
+        self._nested_outstanding += 1
+
+    def nested_completed(self) -> None:
+        if self._nested_outstanding > 0:
+            self._nested_outstanding -= 1
+        self._maybe_notify()
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._busy_until is not None
+
+    def is_quiescent(self) -> bool:
+        return self._busy_until is None and self._nested_outstanding == 0
+
+    # -- waiting -----------------------------------------------------------------
+
+    def when_quiescent(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once quiescent (immediately if already)."""
+        if self.is_quiescent():
+            callback()
+        else:
+            self._waiters.append(callback)
+
+    def _maybe_notify(self) -> None:
+        if not self.is_quiescent():
+            return
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback()

@@ -1,0 +1,460 @@
+"""The Eternal Recovery Mechanisms (paper §3.3, §4, §5).
+
+Implements, per node:
+
+* the **state-transfer protocol** of §5.1 — a fabricated ``get_state()``
+  marker multicast into the total order defines the synchronization point;
+  every operational responder executes it at quiescence and multicasts a
+  fabricated ``set_state()`` carrying the application-level state with the
+  ORB/POA-level and infrastructure-level state piggybacked; duplicate
+  set_states are suppressed; at the new replica the three kinds of state
+  are assigned in order (application, ORB/POA, infrastructure) before any
+  enqueued normal message is delivered;
+* **enqueueing** of normal invocations/responses delivered to a replica
+  that is being recovered, and their replay once it is operational;
+* **logging of checkpoints and messages** for the passive styles, with the
+  checkpoint overwriting its predecessor and pruning the log (§3.3);
+* **failover** — promotion of a backup, cold launch if necessary, state
+  restoration from the logged checkpoint, and replay of the logged
+  messages, all concurrent with normal operation of other objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Set
+
+from repro.core.envelope import (
+    IiopEnvelope,
+    ReplicaJoin,
+    StateGet,
+    StateSet,
+    TransferPurpose,
+)
+from repro.core.groupinfo import ROLE_BACKUP, ROLE_PRIMARY
+from repro.core.identifiers import OpKind
+from repro.core.infra_state import InfraState
+from repro.core.msglog import CheckpointRecord
+from repro.core.orb_state import OrbStateTracker
+from repro.ftcorba.properties import ReplicationStyle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.replication import ReplicaBinding, ReplicationMechanisms
+
+STATUS_OPERATIONAL = "operational"
+STATUS_RECOVERING = "recovering"
+
+
+class BoundedIdSet:
+    """A seen-ids set with FIFO eviction.
+
+    Handled-transfer-id sets must not grow for the life of a node.
+    Duplicate protocol messages for one transfer arrive close together in
+    the total order (they come from responders answering the same GET), so
+    evicting ids thousands of transfers old cannot re-admit a duplicate.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._seen: set = set()
+        self._order: list = []
+
+    def add(self, item: str) -> bool:
+        """Record ``item``; returns True if it was new."""
+        if item in self._seen:
+            return False
+        self._seen.add(item)
+        self._order.append(item)
+        if len(self._order) > self._capacity:
+            oldest = self._order.pop(0)
+            self._seen.discard(oldest)
+        return True
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
+class RecoveryMechanisms:
+    """Per-node recovery machinery, colocated with the Replication
+    Mechanisms (they share group views and replica bindings)."""
+
+    def __init__(self, mechanisms: "ReplicationMechanisms") -> None:
+        self.mechanisms = mechanisms
+        self.node_id = mechanisms.node_id
+        self.tracer = mechanisms.tracer
+        self.config = mechanisms.config
+        self._handled_gets = BoundedIdSet()
+        self._handled_sets = BoundedIdSet()
+        self._transfer_counter = itertools.count(1)
+        self._pending_checkpoints: Set[str] = set()
+        # Duplicate-filter snapshots taken at each GET's delivery position
+        # (the synchronization point), keyed by transfer id.
+        self._filter_snapshots: dict = {}
+
+    # ------------------------------------------------------------------
+    # Join announcement (the recovering side starts here)
+    # ------------------------------------------------------------------
+
+    def _new_transfer_id(self, kind: str, group_id: str) -> str:
+        """Globally unique transfer id.
+
+        The node's announce epoch is baked in: a rebuilt or reset stack
+        restarts its counter, and without the epoch its ids would collide
+        with ids the *previous* incarnation already used — which sit in
+        every survivor's handled-sets and would silently swallow the new
+        protocol messages.
+        """
+        epoch = getattr(self.mechanisms, "announce_epoch", 0)
+        return (f"{kind}:{group_id}:{self.node_id}:e{epoch}:"
+                f"{next(self._transfer_counter)}")
+
+    def announce_join(self, binding: "ReplicaBinding") -> None:
+        """Multicast this node's new replica into the total order; the
+        delivery position of the ReplicaJoin starts the §5.1 protocol."""
+        transfer_id = self._new_transfer_id("rec", binding.group_id)
+        binding.pending_transfer = transfer_id
+        binding.sync_point_seen = False
+        self.tracer.emit("recovery", "join_announced", node=self.node_id,
+                         group=binding.group_id, transfer=transfer_id)
+        self.mechanisms.multicast(
+            ReplicaJoin(binding.group_id, self.node_id, transfer_id)
+        )
+        self._arm_retry(binding, transfer_id)
+
+    def _arm_retry(self, binding: "ReplicaBinding", transfer_id: str) -> None:
+        def retry() -> None:
+            if (binding.status == STATUS_RECOVERING
+                    and binding.pending_transfer == transfer_id
+                    and self.mechanisms.bindings.get(binding.group_id) is binding):
+                self.tracer.emit("recovery", "retry", node=self.node_id,
+                                 group=binding.group_id)
+                self.announce_join(binding)
+        self.mechanisms.process.call_after(
+            self.config.recovery_retry_timeout, retry
+        )
+
+    def handle_replica_join(self, envelope: ReplicaJoin) -> None:
+        """All nodes see the join; operational responders fabricate the
+        get_state() invocation (duplicates collapse at GET delivery)."""
+        info = self.mechanisms.groups.get(envelope.group_id)
+        binding = self.mechanisms.bindings.get(envelope.group_id)
+        if info is None or binding is None:
+            return
+        if envelope.node_id == self.node_id:
+            return
+        if binding.operational and info.responds_to_recovery(self.node_id):
+            self.mechanisms.multicast(StateGet(
+                group_id=envelope.group_id,
+                transfer_id=envelope.transfer_id,
+                purpose=TransferPurpose.RECOVERY,
+                initiator=self.node_id,
+                target_node=envelope.node_id,
+            ))
+
+    # ------------------------------------------------------------------
+    # get_state (§5.1 steps i-iii)
+    # ------------------------------------------------------------------
+
+    def handle_state_get(self, envelope: StateGet) -> None:
+        if envelope.transfer_id in self._handled_gets:
+            return
+        self._handled_gets.add(envelope.transfer_id)
+        info = self.mechanisms.groups.get(envelope.group_id)
+        binding = self.mechanisms.bindings.get(envelope.group_id)
+        if info is None or binding is None:
+            return
+        # The GET's position bounds what the matching checkpoint covers.
+        binding.log.mark_get_position(envelope.transfer_id,
+                                      binding.delivery_position)
+        if (envelope.purpose is TransferPurpose.RECOVERY
+                and envelope.target_node == self.node_id
+                and binding.status == STATUS_RECOVERING):
+            # Step (i) at the new replica: the logged get_state() marks the
+            # synchronization point; normal messages enqueue from here on.
+            binding.sync_point_seen = True
+            binding.pending_transfer = envelope.transfer_id
+            self.tracer.emit("recovery", "sync_point", node=self.node_id,
+                             group=envelope.group_id,
+                             transfer=envelope.transfer_id)
+            return
+        if binding.operational and info.responds_to_recovery(self.node_id):
+            # Steps (i)-(iii) at an existing replica: deliver get_state()
+            # through the replica's queue (so it waits for quiescence) and
+            # fabricate the set_state() from its return value.  The
+            # duplicate filter is snapshotted *now*, at the GET's position
+            # in the total order: messages ordered after the GET must not
+            # appear as already-seen in the transferred state.
+            self._filter_snapshots[envelope.transfer_id] = \
+                binding.infra.duplicates.capture()
+            binding.container.submit_get_state(
+                envelope.transfer_id,
+                lambda transfer_id, app_state, e=envelope:
+                    self._complete_get(e, app_state),
+            )
+
+    def _complete_get(self, envelope: StateGet, app_state: bytes) -> None:
+        binding = self.mechanisms.bindings.get(envelope.group_id)
+        if binding is None or not binding.operational:
+            return
+        orb_blob = binding.orb_state.capture()
+        infra_blob = binding.infra.capture(
+            duplicates_override=self._filter_snapshots.pop(
+                envelope.transfer_id, None
+            )
+        )
+        self.tracer.emit("recovery", "set_state_multicast",
+                         node=self.node_id, group=envelope.group_id,
+                         app_bytes=len(app_state),
+                         piggyback_bytes=len(orb_blob) + len(infra_blob))
+        self.mechanisms.multicast(StateSet(
+            group_id=envelope.group_id,
+            transfer_id=envelope.transfer_id,
+            purpose=envelope.purpose,
+            source_node=self.node_id,
+            target_node=envelope.target_node,
+            app_state=app_state,
+            orb_state=orb_blob,
+            infra_state=infra_blob,
+        ))
+        if envelope.purpose is TransferPurpose.CHECKPOINT:
+            self._pending_checkpoints.discard(envelope.transfer_id)
+
+    # ------------------------------------------------------------------
+    # set_state (§5.1 steps iv-vi)
+    # ------------------------------------------------------------------
+
+    def handle_state_set(self, envelope: StateSet) -> None:
+        if envelope.transfer_id in self._handled_sets:
+            return  # duplicate fabricated set_state (other responders)
+        self._handled_sets.add(envelope.transfer_id)
+        info = self.mechanisms.groups.get(envelope.group_id)
+        if info is None:
+            return
+        binding = self.mechanisms.bindings.get(envelope.group_id)
+        if envelope.purpose is TransferPurpose.CHECKPOINT:
+            self._handle_checkpoint_set(info, binding, envelope)
+            return
+        # RECOVERY: the SET's delivery position is the logical point at
+        # which the group regards the target as synchronized.
+        info.mark_operational(envelope.target_node)
+        if envelope.target_node == self.node_id and binding is not None \
+                and binding.status == STATUS_RECOVERING:
+            self._apply_recovery_set(binding, envelope)
+        else:
+            self.mechanisms.notify_member_operational(
+                envelope.group_id, envelope.target_node
+            )
+
+    def _handle_checkpoint_set(self, info, binding,
+                               envelope: StateSet) -> None:
+        if binding is None:
+            return
+        binding.log.commit_checkpoint(
+            envelope.transfer_id, envelope.app_state,
+            envelope.orb_state, envelope.infra_state,
+        )
+        self.tracer.emit("recovery", "checkpoint_logged", node=self.node_id,
+                         group=envelope.group_id,
+                         app_bytes=len(envelope.app_state))
+        # Warm backups synchronize to every checkpoint (§3).
+        if (info.style is ReplicationStyle.WARM_PASSIVE
+                and info.role_of(self.node_id) == ROLE_BACKUP
+                and binding.status == STATUS_OPERATIONAL
+                and binding.container.instantiated):
+            binding.container.submit_set_state(
+                envelope.app_state,
+                lambda b=binding, e=envelope: self._apply_piggyback(b, e),
+            )
+
+    def _apply_recovery_set(self, binding: "ReplicaBinding",
+                            envelope: StateSet) -> None:
+        self.tracer.emit("recovery", "recovery_set_received",
+                         node=self.node_id, group=binding.group_id,
+                         app_bytes=len(envelope.app_state))
+        if not binding.container.instantiated:
+            # A new cold-passive backup: its "state" is the logged
+            # checkpoint; it will be launched only at failover.
+            binding.log.mark_get_position(envelope.transfer_id, 0)
+            binding.log.commit_checkpoint(
+                envelope.transfer_id, envelope.app_state,
+                envelope.orb_state, envelope.infra_state,
+            )
+            self._become_operational(binding, resume=False)
+            return
+        binding.container.submit_set_state(
+            envelope.app_state,
+            lambda: self._finish_recovery(binding, envelope),
+        )
+
+    def _finish_recovery(self, binding: "ReplicaBinding",
+                         envelope: StateSet) -> None:
+        # Assignment order per §4.3: application state is already in (the
+        # set_state just completed); now ORB/POA-level, then infrastructure.
+        infra = InfraState.decode(envelope.infra_state)
+        self._apply_orb_state(binding, envelope.orb_state, infra)
+        if self.config.sync_infra_state:
+            binding.infra.adopt(infra, keep_role=True)
+        self._become_operational(binding, resume=True)
+
+    def _apply_piggyback(self, binding: "ReplicaBinding",
+                         envelope: StateSet) -> None:
+        """Warm backup: absorb the checkpoint's piggybacked state."""
+        infra = InfraState.decode(envelope.infra_state)
+        self._apply_orb_state(binding, envelope.orb_state, infra)
+        if self.config.sync_infra_state:
+            binding.infra.adopt(infra, keep_role=True)
+
+    def _apply_orb_state(self, binding: "ReplicaBinding", orb_blob: bytes,
+                         infra: InfraState) -> None:
+        """Restore ORB/POA-level state from outside the ORB (§4.2)."""
+        captured = OrbStateTracker.decode(orb_blob)
+        if self.config.sync_orb_request_ids:
+            for conn, last_id in captured.client_request_ids.items():
+                awaiting = infra.awaiting.get(conn)
+                # The replica will re-issue its in-flight invocations first
+                # (in order), so the rewrite offset aligns the recovered
+                # ORB's fresh counter with the oldest awaited id; with
+                # nothing in flight, with the next unused id.
+                offset = min(awaiting) if awaiting else last_id + 1
+                binding.interceptor.set_request_id_offset(conn, offset)
+                binding.orb_state.client_request_ids[conn] = last_id
+        if self.config.sync_handshake:
+            for conn, handshake in captured.handshakes.items():
+                # Artificially inject the stored client handshake into the
+                # new server replica's ORB ahead of any client request; the
+                # "response" stays inside Eternal and is discarded (§4.2.2).
+                binding.container.orb.decode_request(conn.as_str(), handshake)
+                binding.orb_state.handshakes.setdefault(conn, handshake)
+                self.tracer.emit("recovery", "handshake_replayed",
+                                 node=self.node_id, group=binding.group_id,
+                                 conn=conn.as_str())
+
+    def _become_operational(self, binding: "ReplicaBinding",
+                            *, resume: bool) -> None:
+        binding.status = STATUS_OPERATIONAL
+        binding.sync_point_seen = False
+        binding.pending_transfer = None
+        if resume:
+            binding.container.resume_application()
+        self._drain(binding)
+        self.tracer.emit("recovery", "recovered", node=self.node_id,
+                         group=binding.group_id)
+        info = self.mechanisms.groups.get(binding.group_id)
+        if info is not None:
+            info.mark_operational(self.node_id)
+            self.mechanisms._sync_checkpoint_timer(info)
+        self.mechanisms.notify_member_operational(binding.group_id,
+                                                  self.node_id)
+
+    def _drain(self, binding: "ReplicaBinding") -> None:
+        """Step (vi): deliver the enqueued messages, in order."""
+        while binding.enqueued:
+            envelope = binding.enqueued.pop(0)
+            self.mechanisms.route_iiop(binding, envelope)
+
+    # ------------------------------------------------------------------
+    # Periodic checkpointing (§3.3)
+    # ------------------------------------------------------------------
+
+    def initiate_checkpoint(self, group_id: str) -> None:
+        """Timer tick on the primary's node: fabricate a checkpoint
+        get_state() unless one is still in flight."""
+        info = self.mechanisms.groups.get(group_id)
+        binding = self.mechanisms.bindings.get(group_id)
+        if info is None or binding is None or not binding.operational:
+            return
+        if info.primary_node != self.node_id:
+            return
+        pending = [t for t in self._pending_checkpoints
+                   if t.startswith(f"ckpt:{group_id}:")]
+        if pending:
+            return
+        transfer_id = self._new_transfer_id("ckpt", group_id)
+        self._pending_checkpoints.add(transfer_id)
+        self.tracer.emit("recovery", "checkpoint_initiated",
+                         node=self.node_id, group=group_id)
+        self.mechanisms.multicast(StateGet(
+            group_id=group_id,
+            transfer_id=transfer_id,
+            purpose=TransferPurpose.CHECKPOINT,
+            initiator=self.node_id,
+        ))
+
+    # ------------------------------------------------------------------
+    # Failover (§3.2, §3.3)
+    # ------------------------------------------------------------------
+
+    def begin_failover(self, group_id: str) -> None:
+        """This node's backup was promoted: restore state from the logged
+        checkpoint, replay the logged messages, then go operational."""
+        info = self.mechanisms.groups.get(group_id)
+        binding = self.mechanisms.bindings.get(group_id)
+        if info is None or binding is None:
+            return
+        binding.infra.role = ROLE_PRIMARY
+        binding.status = STATUS_RECOVERING
+        binding.sync_point_seen = True      # enqueue everything from now on
+        self.tracer.emit("recovery", "failover_begin", node=self.node_id,
+                         group=group_id,
+                         style=info.style.value,
+                         log_length=binding.log.log_length,
+                         has_checkpoint=binding.log.checkpoint is not None)
+        if not binding.container.instantiated:
+            # Cold passive: launch the backup process first (§3.3).
+            servant = self.mechanisms.factory.create_object(
+                info.type_id, info.app_version
+            )
+            self.mechanisms.process.call_after(
+                self.config.cold_start_delay,
+                self._failover_with_servant, binding, servant,
+            )
+            return
+        self._failover_restore(binding)
+
+    def _failover_with_servant(self, binding: "ReplicaBinding",
+                               servant) -> None:
+        binding.container.install_servant(servant)
+        self._failover_restore(binding)
+
+    def _failover_restore(self, binding: "ReplicaBinding") -> None:
+        checkpoint = binding.log.checkpoint
+        if checkpoint is None:
+            # The primary failed before the first checkpoint: the fresh
+            # servant is at the deterministic initial state; re-run the
+            # application from the start and replay the whole log.
+            binding.container.start_application()
+            self._failover_replay(binding)
+            return
+        binding.container.submit_set_state(
+            checkpoint.app_state,
+            lambda: self._failover_apply_piggyback(binding, checkpoint),
+        )
+
+    def _failover_apply_piggyback(self, binding: "ReplicaBinding",
+                                  checkpoint: CheckpointRecord) -> None:
+        infra = InfraState.decode(checkpoint.infra_state)
+        self._apply_orb_state(binding, checkpoint.orb_state, infra)
+        if self.config.sync_infra_state:
+            binding.infra.adopt(infra, keep_role=True)
+        binding.infra.role = ROLE_PRIMARY
+        binding.container.resume_application()
+        self._failover_replay(binding)
+
+    def _failover_replay(self, binding: "ReplicaBinding") -> None:
+        """Deliver the logged messages (since the checkpoint) to the new
+        primary before allowing it to become operational (§3.3)."""
+        replayed = binding.log.messages_since_checkpoint()
+        self.tracer.emit("recovery", "failover_replay", node=self.node_id,
+                         group=binding.group_id, messages=len(replayed))
+        for envelope in replayed:
+            if envelope.kind is OpKind.REQUEST:
+                binding.container.submit_request(envelope.connection,
+                                                 envelope.iiop_bytes)
+            else:
+                self.mechanisms._deliver_reply(binding, envelope)
+        self._become_operational(binding, resume=False)

@@ -1,0 +1,515 @@
+"""The Eternal Replication Mechanisms (one instance per node).
+
+The mechanisms sit between the Totem ring member below and the local
+replica containers above.  They
+
+* multicast every captured IIOP message (wrapped in an envelope carrying
+  its Eternal operation identifier);
+* on delivery, suppress duplicates with the per-replica
+  :class:`~repro.core.identifiers.DuplicateFilter`;
+* route surviving messages according to each local replica's replication
+  style and role (active and primary replicas execute; backups log;
+  recovering replicas enqueue);
+* maintain the node's :class:`~repro.core.groupinfo.GroupInfo` views from
+  totally-ordered administration events and Totem view changes, and hand
+  recovery-protocol envelopes to the Recovery Mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.config import EternalConfig
+from repro.core.container import ReplicaContainer
+from repro.core.envelope import (
+    Envelope,
+    GroupUpdate,
+    IiopEnvelope,
+    NodeRestarted,
+    ReplicaFault,
+    ReplicaJoin,
+    StateGet,
+    StateSet,
+    decode_envelope,
+    encode_envelope,
+)
+from repro.core.groupinfo import (
+    GroupInfo,
+    ROLE_ACTIVE,
+    ROLE_BACKUP,
+    ROLE_PRIMARY,
+)
+from repro.core.identifiers import ConnectionKey, OpKind
+from repro.core.infra_state import InfraState
+from repro.core.interceptor import Interceptor
+from repro.core.msglog import MessageLog
+from repro.core.orb_state import OrbStateTracker
+from repro.errors import ReplicationError
+from repro.ftcorba.generic_factory import GenericFactory
+from repro.ftcorba.properties import ReplicationStyle
+from repro.giop.ior import IOR
+from repro.simnet.clock import PeriodicTimer
+from repro.simnet.trace import NULL_TRACER, Tracer
+from repro.totem.member import TotemMember, View
+
+# Replica status values
+STATUS_OPERATIONAL = "operational"
+STATUS_RECOVERING = "recovering"
+
+
+@dataclass
+class ReplicaBinding:
+    """Everything one node keeps for one locally hosted replica."""
+
+    group_id: str
+    container: ReplicaContainer
+    interceptor: Interceptor
+    infra: InfraState
+    orb_state: OrbStateTracker
+    log: MessageLog
+    status: str = STATUS_RECOVERING
+    delivery_position: int = 0
+    enqueued: List[IiopEnvelope] = field(default_factory=list)
+    sync_point_seen: bool = False      # the recovery get_state() passed by
+    pending_transfer: Optional[str] = None
+
+    @property
+    def operational(self) -> bool:
+        return self.status == STATUS_OPERATIONAL
+
+
+class ReplicationMechanisms:
+    """Per-node replication machinery (paper §2's Replication Mechanisms,
+    working together with the Recovery Mechanisms of
+    :mod:`repro.core.recovery`)."""
+
+    def __init__(
+        self,
+        totem: TotemMember,
+        factory: GenericFactory,
+        config: EternalConfig,
+        *,
+        announce_epoch: int = 0,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        from repro.core.recovery import RecoveryMechanisms
+
+        self.totem = totem
+        self.endpoint = totem.endpoint
+        self.process = totem.endpoint.process
+        self.node_id = totem.node_id
+        self.factory = factory
+        self.config = config
+        self.tracer = tracer
+        self.groups: Dict[str, GroupInfo] = {}
+        self.bindings: Dict[str, ReplicaBinding] = {}
+        self.recovery = RecoveryMechanisms(self)
+        self.fault_detector = None    # created when the first group arrives
+        self._checkpoint_timers: Dict[str, PeriodicTimer] = {}
+        self._view_listeners: List[Callable[[View, Set[str], Set[str]], None]] = []
+        self._operational_listeners: List[Callable[[str, str], None]] = []
+        self._replica_fault_listeners: List[Callable[[ReplicaFault], None]] = []
+        self._node_restart_listeners: List[Callable[[NodeRestarted], None]] = []
+        self._node_incarnations: Dict[str, int] = {}
+        self._known_view_members: Set[str] = set()
+        totem.on_deliver = self._on_deliver
+        totem.on_view_change = self._on_view_change
+        self.process.on_crash(self._on_crash)
+        # Announce this (fresh, empty) stack in the total order.  A fast
+        # restart may never leave the ring view, so membership alone cannot
+        # reveal that our previous incarnation's replicas are gone; and the
+        # announcement is the Replication Manager's single, race-free
+        # trigger for (re)placing replicas on this node.  Epoch 0 marks the
+        # very first boot (nothing to drop); rebuilds announce ever-larger
+        # epochs.
+        self.announce_epoch = announce_epoch
+        self.multicast(NodeRestarted(self.node_id, announce_epoch))
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def multicast(self, envelope: Envelope) -> None:
+        """Encode and reliably totally-order-multicast an envelope."""
+        self.totem.multicast(encode_envelope(envelope))
+
+    # ------------------------------------------------------------------
+    # Observers (managers subscribe here)
+    # ------------------------------------------------------------------
+
+    def on_view_event(self, fn: Callable[[View, Set[str], Set[str]], None]) -> None:
+        """Subscribe to (view, lost_nodes, joined_nodes) events."""
+        self._view_listeners.append(fn)
+
+    def on_member_operational(self, fn: Callable[[str, str], None]) -> None:
+        """Subscribe to (group_id, node_id) becoming operational."""
+        self._operational_listeners.append(fn)
+
+    def on_replica_fault(self, fn: Callable[[ReplicaFault], None]) -> None:
+        """Subscribe to delivered replica-fault reports."""
+        self._replica_fault_listeners.append(fn)
+
+    def notify_member_operational(self, group_id: str, node_id: str) -> None:
+        for fn in list(self._operational_listeners):
+            fn(group_id, node_id)
+
+    # ------------------------------------------------------------------
+    # Delivery from Totem
+    # ------------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        for timer in self._checkpoint_timers.values():
+            timer.stop()
+        self._checkpoint_timers.clear()
+
+    def _on_deliver(self, origin: str, payload: bytes) -> None:
+        envelope = decode_envelope(payload)
+        if isinstance(envelope, IiopEnvelope):
+            self._handle_iiop(envelope)
+        elif isinstance(envelope, GroupUpdate):
+            self._handle_group_update(envelope)
+        elif isinstance(envelope, ReplicaJoin):
+            self.recovery.handle_replica_join(envelope)
+        elif isinstance(envelope, StateGet):
+            self.recovery.handle_state_get(envelope)
+        elif isinstance(envelope, StateSet):
+            self.recovery.handle_state_set(envelope)
+        elif isinstance(envelope, ReplicaFault):
+            self._handle_replica_fault(envelope)
+        elif isinstance(envelope, NodeRestarted):
+            self._handle_node_restarted(envelope)
+        else:  # pragma: no cover - decode_envelope is exhaustive
+            raise ReplicationError(f"unroutable envelope {envelope!r}")
+
+    # ------------------------------------------------------------------
+    # IIOP routing
+    # ------------------------------------------------------------------
+
+    def _handle_iiop(self, envelope: IiopEnvelope) -> None:
+        binding = self.bindings.get(envelope.target_group)
+        if binding is None:
+            return
+        binding.delivery_position += 1
+        if binding.status == STATUS_RECOVERING:
+            # §5.1: before the sync point the new replica's state transfer
+            # will already include these messages' effects — drop them; from
+            # the get_state() marker onwards, enqueue for delivery after
+            # set_state() completes.
+            if binding.sync_point_seen:
+                binding.enqueued.append(envelope)
+                self.tracer.emit("replication", "enqueued",
+                                 node=self.node_id,
+                                 group=envelope.target_group)
+            return
+        self.route_iiop(binding, envelope)
+
+    def route_iiop(self, binding: ReplicaBinding,
+                   envelope: IiopEnvelope) -> None:
+        """Duplicate-filter and dispatch one IIOP envelope to a local
+        replica (also used when draining the recovery queue)."""
+        if binding.infra.duplicates.seen_before(envelope.operation_id):
+            self.tracer.emit("replication", "duplicate", node=self.node_id,
+                             group=binding.group_id,
+                             request_id=envelope.request_id,
+                             kind=envelope.kind.name)
+            return
+        group = self.groups[binding.group_id]
+        executes = group.executes(self.node_id)
+        if group.style.is_passive:
+            binding.log.append(binding.delivery_position, envelope)
+            # Bounded log: the primary forces an early checkpoint when the
+            # log outgrows the configured limit (the in-flight guard in
+            # initiate_checkpoint prevents a storm while one completes).
+            if (group.max_log_messages
+                    and group.primary_node == self.node_id
+                    and binding.log.log_length >= group.max_log_messages):
+                self.recovery.initiate_checkpoint(binding.group_id)
+        if envelope.kind is OpKind.REQUEST:
+            # Watch for the client-server handshake: Eternal stores it so
+            # it can be replayed into a future new replica's ORB (§4.2.2).
+            binding.orb_state.observe_delivered_request(
+                envelope.connection, envelope.iiop_bytes
+            )
+            if executes:
+                binding.container.submit_request(envelope.connection,
+                                                 envelope.iiop_bytes)
+        else:
+            if executes:
+                self._deliver_reply(binding, envelope)
+            else:
+                # Non-executing members (backups) only track bookkeeping.
+                binding.infra.record_reply_delivered(envelope.connection,
+                                                     envelope.request_id)
+
+    def _deliver_reply(self, binding: ReplicaBinding,
+                       envelope: IiopEnvelope) -> None:
+        data = binding.interceptor.rewrite_incoming_reply(
+            envelope.connection, envelope.iiop_bytes
+        )
+        connection = envelope.connection
+        request_id = envelope.request_id
+        binding.container.submit_reply(
+            connection.server_group, IOR_PORT, data,
+            on_executed=lambda: binding.infra.record_reply_delivered(
+                connection, request_id
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Group administration
+    # ------------------------------------------------------------------
+
+    def _handle_group_update(self, envelope: GroupUpdate) -> None:
+        style = ReplicationStyle(envelope.style)
+        info = self.groups.get(envelope.group_id)
+        previously_operational = set(info.operational) if info else set()
+        previous_role = info.role_of(self.node_id) if info else None
+        new_info = GroupInfo(
+            group_id=envelope.group_id,
+            type_id=envelope.type_id,
+            style=style,
+            checkpoint_interval=envelope.checkpoint_interval,
+            app_version=envelope.app_version,
+            fault_monitoring_interval=envelope.fault_monitoring_interval,
+            max_log_messages=envelope.max_log_messages,
+        )
+        for node_id, role, operational in envelope.members:
+            # Union-merge operational marks: a recovery set_state may have
+            # been ordered between the manager composing this update and
+            # its delivery here.
+            already = node_id in previously_operational
+            new_info.add_member(node_id, role,
+                                operational=operational or already)
+        self.groups[envelope.group_id] = new_info
+        info = new_info
+
+        if envelope.action == "create":
+            local_role = info.role_of(self.node_id)
+            if local_role is not None:
+                binding = self._create_binding(info, local_role,
+                                               envelope.app_version)
+                binding.status = STATUS_OPERATIONAL
+                if info.executes(self.node_id):
+                    self.process.call_after(
+                        0.0, binding.container.start_application
+                    )
+        elif envelope.action == "add":
+            if envelope.subject_node == self.node_id:
+                binding = self._create_binding(
+                    info, info.role_of(self.node_id) or ROLE_BACKUP,
+                    envelope.app_version,
+                )
+                binding.status = STATUS_RECOVERING
+                self.recovery.announce_join(binding)
+        elif envelope.action == "remove":
+            if envelope.subject_node == self.node_id:
+                self._destroy_binding(envelope.group_id)
+        # An administrative promotion (e.g. the Evolution Manager removing
+        # the primary) must put the promoted backup through failover just
+        # like a crash-driven promotion.
+        binding = self.bindings.get(envelope.group_id)
+        if (binding is not None and binding.operational
+                and previous_role == ROLE_BACKUP
+                and info.role_of(self.node_id) == ROLE_PRIMARY):
+            self.recovery.begin_failover(envelope.group_id)
+        self._sync_checkpoint_timer(info)
+
+    def _create_binding(self, info: GroupInfo, role: str,
+                        app_version: int) -> ReplicaBinding:
+        if info.group_id in self.bindings:
+            self._destroy_binding(info.group_id)
+        servant = None
+        cold_backup = (info.style is ReplicationStyle.COLD_PASSIVE
+                       and role == ROLE_BACKUP)
+        if not cold_backup:
+            servant = self.factory.create_object(info.type_id, app_version)
+        infra = InfraState(style=info.style.value, role=role)
+        orb_state = OrbStateTracker()
+        binding = ReplicaBinding(
+            group_id=info.group_id,
+            container=None,           # set just below
+            interceptor=None,
+            infra=infra,
+            orb_state=orb_state,
+            log=MessageLog(info.group_id),
+        )
+        interceptor = Interceptor(
+            self.node_id, info.group_id,
+            self.multicast_iiop, infra, orb_state, tracer=self.tracer,
+        )
+        container = ReplicaContainer(
+            self.process, info.group_id, servant, self.config,
+            on_reply_produced=lambda conn, data, b=binding:
+                self._on_reply_produced(b, conn, data),
+            tracer=self.tracer,
+        )
+        container.orb.set_client_transport(interceptor.capture_client_request)
+        binding.container = container
+        binding.interceptor = interceptor
+        self.bindings[info.group_id] = binding
+        self.tracer.emit("replication", "binding_created",
+                         node=self.node_id, group=info.group_id, role=role)
+        self._sync_fault_detector()
+        return binding
+
+    def multicast_iiop(self, envelope: IiopEnvelope) -> None:
+        self.multicast(envelope)
+
+    def _on_reply_produced(self, binding: ReplicaBinding,
+                           connection: ConnectionKey, data: bytes) -> None:
+        group = self.groups.get(binding.group_id)
+        if group is None or not group.executes(self.node_id):
+            return
+        binding.interceptor.capture_server_reply(connection, data)
+
+    def _destroy_binding(self, group_id: str) -> None:
+        binding = self.bindings.pop(group_id, None)
+        if binding is not None:
+            self.tracer.emit("replication", "binding_destroyed",
+                             node=self.node_id, group=group_id)
+
+    # ------------------------------------------------------------------
+    # Replica faults (pull monitoring, FT-CORBA fault detection)
+    # ------------------------------------------------------------------
+
+    def _handle_replica_fault(self, envelope: ReplicaFault) -> None:
+        info = self.groups.get(envelope.group_id)
+        if info is None or envelope.node_id not in info.roles:
+            return
+        self.tracer.emit("replication", "replica_fault", node=self.node_id,
+                         group=envelope.group_id, faulty=envelope.node_id)
+        promoted = info.handle_node_loss({envelope.node_id})
+        if envelope.node_id == self.node_id:
+            self._destroy_binding(envelope.group_id)
+            if self.fault_detector is not None:
+                self.fault_detector.forget(envelope.group_id)
+        if promoted == self.node_id:
+            self.recovery.begin_failover(envelope.group_id)
+        self._sync_checkpoint_timer(info)
+        for fn in list(self._replica_fault_listeners):
+            fn(envelope)
+
+    def _handle_node_restarted(self, envelope: NodeRestarted) -> None:
+        stale_members = (
+            envelope.node_id != self.node_id
+            # Incarnation 0 is the node's very first boot: nothing could
+            # have been placed on a previous life, so there is nothing to
+            # drop (and the boot announcements of the initial nodes may be
+            # ordered after the first group creations).
+            and envelope.incarnation > 0
+            and envelope.incarnation > self._node_incarnations.get(
+                envelope.node_id, 0)
+        )
+        self._node_incarnations[envelope.node_id] = max(
+            envelope.incarnation,
+            self._node_incarnations.get(envelope.node_id, 0),
+        )
+        if stale_members:
+            touched = False
+            for info in self.groups.values():
+                if envelope.node_id not in info.roles:
+                    continue
+                touched = True
+                promoted = info.handle_node_loss({envelope.node_id})
+                if promoted == self.node_id:
+                    self.recovery.begin_failover(info.group_id)
+                self._sync_checkpoint_timer(info)
+            if touched:
+                self.tracer.emit("replication", "node_restart_cleanup",
+                                 node=self.node_id,
+                                 restarted=envelope.node_id)
+        for fn in list(self._node_restart_listeners):
+            fn(envelope)
+
+    def on_node_restarted(self, fn: Callable[[NodeRestarted], None]) -> None:
+        """Subscribe to delivered node-restart announcements."""
+        self._node_restart_listeners.append(fn)
+
+    def _sync_fault_detector(self) -> None:
+        """Run one pull-monitor per node at the tightest fault monitoring
+        interval among the locally hosted groups."""
+        from repro.core.fault_detector import ReplicaFaultDetector
+        local_groups = [self.groups[g] for g in self.bindings
+                        if g in self.groups]
+        if not local_groups:
+            return
+        interval = min(
+            getattr(info, "fault_monitoring_interval", 0.05)
+            for info in local_groups
+        )
+        if self.fault_detector is None:
+            self.fault_detector = ReplicaFaultDetector(self, interval)
+
+    # ------------------------------------------------------------------
+    # Checkpoint timers (passive styles, §3.3)
+    # ------------------------------------------------------------------
+
+    def _sync_checkpoint_timer(self, info: GroupInfo) -> None:
+        """The primary's node runs the periodic state-retrieval timer."""
+        should_run = (
+            info.style.is_passive
+            and info.primary_node == self.node_id
+            and info.group_id in self.bindings
+        )
+        timer = self._checkpoint_timers.get(info.group_id)
+        if should_run and timer is None:
+            self._checkpoint_timers[info.group_id] = PeriodicTimer(
+                self.process.scheduler, info.checkpoint_interval,
+                lambda gid=info.group_id: self.recovery.initiate_checkpoint(gid),
+            )
+        elif not should_run and timer is not None:
+            timer.stop()
+            del self._checkpoint_timers[info.group_id]
+
+    # ------------------------------------------------------------------
+    # View changes (fault detection via the ring membership)
+    # ------------------------------------------------------------------
+
+    def _on_view_change(self, view: View) -> None:
+        if (self.totem.last_install_was_fresh
+                and (self.groups or self.bindings)):
+            # We lost the primary-component vote in a partition merge: our
+            # ring history — and therefore our replicas' consistency — is
+            # gone.  Reset and announce, so the Replication Manager
+            # re-places and re-synchronizes our replicas from the canonical
+            # side's state.
+            self._reset_after_history_loss()
+        current = set(view.members)
+        previous = self._known_view_members or current
+        lost = previous - current
+        joined = current - previous
+        self._known_view_members = current
+        if lost:
+            self._apply_node_loss(lost)
+        for fn in list(self._view_listeners):
+            fn(view, lost, joined)
+
+    def _reset_after_history_loss(self) -> None:
+        self.tracer.emit("replication", "history_lost", node=self.node_id,
+                         groups=sorted(self.groups))
+        for group_id in list(self.bindings):
+            self._destroy_binding(group_id)
+        self.groups.clear()
+        for timer in self._checkpoint_timers.values():
+            timer.stop()
+        self._checkpoint_timers.clear()
+        from repro.core.recovery import RecoveryMechanisms
+        self.recovery = RecoveryMechanisms(self)
+        epoch = self.process.next_announce_epoch()
+        self.announce_epoch = epoch
+        self.multicast(NodeRestarted(self.node_id, epoch))
+
+    def _apply_node_loss(self, lost: Set[str]) -> None:
+        for info in self.groups.values():
+            promoted = info.handle_node_loss(lost)
+            if promoted is not None:
+                self.tracer.emit("replication", "promote",
+                                 node=self.node_id, group=info.group_id,
+                                 new_primary=promoted)
+                if promoted == self.node_id:
+                    self.recovery.begin_failover(info.group_id)
+                self._sync_checkpoint_timer(info)
+
+
+IOR_PORT = 2809

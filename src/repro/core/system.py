@@ -1,0 +1,304 @@
+"""The :class:`EternalSystem` facade: a whole simulated Eternal deployment.
+
+Assembles the substrate (scheduler, Ethernet-like network, fault injector),
+one protocol stack per node (process → endpoint → Totem ring member →
+Replication/Recovery Mechanisms), and the managers on a designated manager
+node.  This is the entry point examples, tests, and benchmarks use.
+
+Typical use::
+
+    system = EternalSystem(["n1", "n2", "n3"])
+    system.register_factory("IDL:Counter:1.0", CounterServant)
+    group = system.create_group("counter", "IDL:Counter:1.0",
+                                FTProperties(initial_replicas=2))
+    system.run_for(0.05)              # let the ring form and deploy
+    ...
+    system.kill_node("n2")            # fault injection
+    system.restart_node("n2")         # re-launch; recovery synchronizes it
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import EternalConfig
+from repro.core.managers import (
+    EvolutionManager,
+    ReplicationManager,
+    ResourceManager,
+)
+from repro.core.replication import ReplicationMechanisms
+from repro.errors import SimulationError, UnknownNode
+from repro.ftcorba.fault_notifier import FaultNotifier
+from repro.ftcorba.generic_factory import FactoryRegistry
+from repro.ftcorba.properties import FTProperties
+from repro.giop.ior import IOR
+from repro.simnet.endpoint import Endpoint
+from repro.simnet.faults import FaultInjector
+from repro.simnet.network import ETHERNET_100MBPS, Network, NetworkConfig
+from repro.simnet.process import Process
+from repro.simnet.scheduler import Scheduler
+from repro.simnet.trace import Tracer
+from repro.totem.config import TotemConfig
+from repro.totem.member import TotemMember
+
+
+class NodeStack:
+    """One node's live protocol stack (rebuilt from scratch on restart)."""
+
+    def __init__(self, system: "EternalSystem", process: Process) -> None:
+        self.system = system
+        self.process = process
+        self.endpoint: Optional[Endpoint] = None
+        self.totem: Optional[TotemMember] = None
+        self.mechanisms: Optional[ReplicationMechanisms] = None
+        self.build()
+        process.on_restart(self.build)
+
+    @property
+    def node_id(self) -> str:
+        return self.process.node_id
+
+    def build(self) -> None:
+        """(Re)construct the stack: a fresh endpoint, a fresh ring member
+        (which joins the ring as a history-less member), and fresh empty
+        mechanisms.  Replica re-placement is the Replication Manager's job."""
+        system = self.system
+        first_build = self.mechanisms is None
+        self.endpoint = Endpoint(self.process, system.network)
+        self.totem = TotemMember(
+            self.endpoint, system.totem_config,
+            on_deliver=lambda origin, payload: None,   # mechanisms rebind
+            tracer=system.tracer,
+        )
+        self.mechanisms = ReplicationMechanisms(
+            self.totem,
+            system.factories.factory_for(self.node_id),
+            system.eternal_config,
+            announce_epoch=(0 if first_build
+                            else self.process.next_announce_epoch()),
+            tracer=system.tracer,
+        )
+        if self.node_id == system.manager_node:
+            system._attach_managers(self.mechanisms)
+
+
+class GroupHandle:
+    """Convenience handle over one deployed object group."""
+
+    def __init__(self, system: "EternalSystem", group_id: str) -> None:
+        self.system = system
+        self.group_id = group_id
+
+    def iogr(self) -> IOR:
+        """The group's published reference (clients connect to this)."""
+        info = self._info()
+        from repro.ftcorba.object_group import GROUP_PORT
+        from repro.orb.objectkey import make_key
+        return IOR(
+            type_id=info.type_id,
+            host=self.group_id,
+            port=GROUP_PORT,
+            object_key=make_key("RootPOA", self.group_id.encode("ascii")),
+        )
+
+    def _info(self):
+        for stack in self.system.stacks.values():
+            if not stack.process.alive or stack.mechanisms is None:
+                continue
+            info = stack.mechanisms.groups.get(self.group_id)
+            if info is not None:
+                return info
+        raise SimulationError(f"no live node knows group {self.group_id!r}")
+
+    def operational_nodes(self) -> List[str]:
+        return self._info().operational_nodes()
+
+    def member_nodes(self) -> List[str]:
+        return self._info().member_nodes
+
+    def primary_node(self) -> Optional[str]:
+        return self._info().primary_node
+
+    def is_operational_on(self, node_id: str) -> bool:
+        stack = self.system.stacks[node_id]
+        if not stack.process.alive or stack.mechanisms is None:
+            return False
+        binding = stack.mechanisms.bindings.get(self.group_id)
+        return binding is not None and binding.operational
+
+    def servant_on(self, node_id: str):
+        """The live servant instance on a node (test/bench introspection)."""
+        stack = self.system.stacks[node_id]
+        binding = stack.mechanisms.bindings.get(self.group_id)
+        return binding.container.servant if binding else None
+
+    def binding_on(self, node_id: str):
+        stack = self.system.stacks[node_id]
+        return stack.mechanisms.bindings.get(self.group_id)
+
+    def connect_from(self, node_id: str):
+        """A proxy to this group from a replica container hosted on
+        ``node_id`` (any group's container on that node works — the proxy
+        rides its ORB and Interceptor, so the invocations are ordered and
+        deduplicated like all application traffic).
+
+        Convenience for tests and interactive exploration; applications
+        normally connect from inside their servants via
+        ``self._eternal_container.connect(ior)``.
+        """
+        stack = self.system.stacks[node_id]
+        for binding in stack.mechanisms.bindings.values():
+            if binding.container.instantiated:
+                return binding.container.connect(self.iogr())
+        raise SimulationError(
+            f"no instantiated replica container on {node_id!r} to "
+            f"connect from"
+        )
+
+
+class EternalSystem:
+    """A complete simulated deployment of the Eternal system."""
+
+    def __init__(
+        self,
+        node_ids: List[str],
+        *,
+        seed: int = 0,
+        network_config: NetworkConfig = ETHERNET_100MBPS,
+        totem_config: Optional[TotemConfig] = None,
+        eternal_config: Optional[EternalConfig] = None,
+        manager_node: Optional[str] = None,
+        keep_trace_records: bool = False,
+    ) -> None:
+        if not node_ids:
+            raise SimulationError("need at least one node")
+        self.scheduler = Scheduler()
+        self.tracer = Tracer(keep_records=keep_trace_records)
+        self.tracer.bind_clock(lambda: self.scheduler.now)
+        self.network = Network(self.scheduler, network_config,
+                               tracer=self.tracer)
+        self.faults = FaultInjector(self.network, seed=seed,
+                                    tracer=self.tracer)
+        self.totem_config = totem_config or TotemConfig()
+        self.eternal_config = eternal_config or EternalConfig()
+        self.factories = FactoryRegistry()
+        self.manager_node = manager_node or node_ids[0]
+        self.fault_notifier = FaultNotifier()
+        self.replication_manager: Optional[ReplicationManager] = None
+        self.evolution_manager: Optional[EvolutionManager] = None
+        self.resource_manager = ResourceManager(self.factories)
+
+        self.stacks: Dict[str, NodeStack] = {}
+        for node_id in node_ids:
+            process = Process(self.scheduler, node_id, tracer=self.tracer)
+            self.stacks[node_id] = NodeStack(self, process)
+        # All nodes are up at t=0; view events keep this current afterwards.
+        self.resource_manager.set_alive(set(node_ids))
+
+    def _attach_managers(self, mechanisms: ReplicationMechanisms) -> None:
+        """(Re)bind the managers to the manager node's current stack."""
+        previous = self.replication_manager
+        self.replication_manager = ReplicationManager(
+            mechanisms, self.factories, self.resource_manager,
+            self.fault_notifier,
+        )
+        if previous is not None:
+            self.replication_manager.groups = previous.groups
+        self.evolution_manager = EvolutionManager(self.replication_manager)
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def register_factory(self, type_id: str, factory: Callable,
+                         *, version: int = 0,
+                         nodes: Optional[List[str]] = None) -> None:
+        """Make ``factory`` available for creating replicas of ``type_id``
+        (on all nodes by default)."""
+        target_nodes = nodes if nodes is not None else list(self.stacks)
+        self.factories.register_everywhere(target_nodes, type_id, factory,
+                                           version)
+
+    def create_group(self, group_id: str, type_id: str,
+                     properties: Optional[FTProperties] = None,
+                     nodes: Optional[List[str]] = None) -> GroupHandle:
+        """Deploy a replicated object group; returns its handle.
+
+        The deployment becomes effective when the GroupUpdate envelope is
+        delivered (run the simulation briefly)."""
+        self.replication_manager.create_group(
+            group_id, type_id, properties or FTProperties(), nodes
+        )
+        return GroupHandle(self, group_id)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def run_until(self, time: float) -> None:
+        self.scheduler.run_until(time)
+
+    def run_for(self, duration: float) -> None:
+        self.scheduler.run_until(self.scheduler.now + duration)
+
+    def wait_for(self, predicate: Callable[[], bool],
+                 timeout: float = 10.0) -> bool:
+        """Run until ``predicate()`` is true; False on timeout."""
+        return self.scheduler.run_while(lambda: not predicate(), timeout)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def kill_node(self, node_id: str) -> None:
+        if node_id not in self.stacks:
+            raise UnknownNode(node_id)
+        self.faults.crash(node_id)
+
+    def restart_node(self, node_id: str) -> None:
+        if node_id not in self.stacks:
+            raise UnknownNode(node_id)
+        self.faults.restart(node_id)
+
+    def hang_replica(self, group_id: str, node_id: str) -> None:
+        """Inject a replica-hang fault: the servant stops completing
+        operations while its process stays alive.  Detected by the
+        pull-based fault monitor at the group's fault monitoring interval."""
+        binding = self.stack(node_id).mechanisms.bindings.get(group_id)
+        if binding is None or binding.container.servant is None:
+            raise SimulationError(
+                f"no live replica of {group_id!r} on {node_id!r}"
+            )
+        binding.container.servant._hung_for_test = True
+        self.tracer.emit("fault", "replica_hang", node=node_id,
+                         group=group_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stack(self, node_id: str) -> NodeStack:
+        try:
+            return self.stacks[node_id]
+        except KeyError:
+            raise UnknownNode(node_id) from None
+
+    def mechanisms(self, node_id: str) -> ReplicationMechanisms:
+        return self.stack(node_id).mechanisms
+
+    def ring_formed(self) -> bool:
+        """True when every live node's ring member is operational in the
+        same view."""
+        live = [s for s in self.stacks.values() if s.process.alive]
+        if not live:
+            return False
+        views = {s.totem.ring_id for s in live}
+        return (len(views) == 1
+                and all(s.totem.operational for s in live)
+                and all(set(s.totem.members) ==
+                        {t.node_id for t in live} for s in live))

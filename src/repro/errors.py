@@ -1,0 +1,143 @@
+"""Exception hierarchy for the Eternal reproduction.
+
+Every exception raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.  The
+FT-CORBA standard exceptions (``NoStateAvailable``, ``InvalidState``) live in
+:mod:`repro.ftcorba.checkpointable` because they are part of the standardized
+``Checkpointable`` interface; everything else is here.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation substrate
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """Base class for discrete-event-simulation failures."""
+
+
+class ClockError(SimulationError):
+    """Raised when simulated time would move backwards."""
+
+
+class ProcessCrashed(SimulationError):
+    """Raised when an operation is attempted on a crashed process."""
+
+
+class NetworkError(SimulationError):
+    """Base class for network-model failures."""
+
+
+class UnknownNode(NetworkError):
+    """Raised when a message is addressed to a node the network does not know."""
+
+
+# ---------------------------------------------------------------------------
+# Totem group communication
+# ---------------------------------------------------------------------------
+
+class TotemError(ReproError):
+    """Base class for group-communication failures."""
+
+
+class NotInRing(TotemError):
+    """Raised when a node outside the ring tries to multicast."""
+
+
+class FragmentationError(TotemError):
+    """Raised on inconsistent fragment reassembly."""
+
+
+# ---------------------------------------------------------------------------
+# GIOP / CDR marshalling
+# ---------------------------------------------------------------------------
+
+class GiopError(ReproError):
+    """Base class for GIOP protocol failures."""
+
+
+class MarshalError(GiopError):
+    """Raised when a value cannot be encoded as CDR."""
+
+
+class UnmarshalError(GiopError):
+    """Raised when a CDR byte stream cannot be decoded."""
+
+
+class ProtocolError(GiopError):
+    """Raised on malformed GIOP messages or framing violations."""
+
+
+# ---------------------------------------------------------------------------
+# ORB / POA
+# ---------------------------------------------------------------------------
+
+class OrbError(ReproError):
+    """Base class for ORB failures."""
+
+
+class ObjectNotFound(OrbError):
+    """Raised when an object key does not resolve to a servant."""
+
+
+class BadServiceContext(OrbError):
+    """Raised when a request carries a ServiceContext the ORB cannot interpret.
+
+    This models the §4.2.2 failure mode: a new server replica's ORB that
+    missed the client-server handshake discards requests that rely on the
+    negotiated state (for example vendor short object keys).
+    """
+
+
+class ConnectionClosed(OrbError):
+    """Raised when using a connection after CloseConnection."""
+
+
+class ReplyMismatch(OrbError):
+    """Raised internally when a reply's request_id matches no outstanding request.
+
+    The ORB handles this by *discarding* the reply (Figure 4 of the paper);
+    the exception type exists so tests can assert on the discard path.
+    """
+
+
+# ---------------------------------------------------------------------------
+# FT-CORBA / Eternal core
+# ---------------------------------------------------------------------------
+
+class FtCorbaError(ReproError):
+    """Base class for FT-CORBA level failures."""
+
+
+class PropertyError(FtCorbaError):
+    """Raised for invalid fault-tolerance property values."""
+
+
+class ObjectGroupError(FtCorbaError):
+    """Raised for invalid object-group operations."""
+
+
+class ReplicationError(ReproError):
+    """Base class for replication-mechanism failures."""
+
+
+class DuplicateOperation(ReplicationError):
+    """Raised internally when an operation identifier was already delivered."""
+
+
+class RecoveryError(ReproError):
+    """Base class for recovery-mechanism failures."""
+
+
+class StateTransferError(RecoveryError):
+    """Raised when the three-state transfer protocol cannot complete."""
+
+
+class QuiescenceTimeout(RecoveryError):
+    """Raised when an object never becomes quiescent within its deadline."""

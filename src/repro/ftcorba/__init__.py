@@ -1,0 +1,43 @@
+"""FT-CORBA standard interfaces (OMG orbos/2000-04-04, which Eternal
+implements).
+
+This package holds the application-visible surface of fault tolerance:
+
+* :class:`~repro.ftcorba.checkpointable.Checkpointable` — the IDL interface
+  every replicated object inherits, with ``get_state()`` / ``set_state()``
+  over the CORBA ``any`` State type (paper Figure 3).
+* :class:`~repro.ftcorba.properties.FTProperties` — user-specified fault
+  tolerance properties: replication style, checkpointing interval, fault
+  monitoring interval, initial/minimum numbers of replicas.
+* :class:`~repro.ftcorba.object_group.ObjectGroup` — the object-group
+  abstraction and its interoperable object group reference (IOGR).
+* :class:`~repro.ftcorba.generic_factory.GenericFactory` — per-node replica
+  factories used by the Replication Manager.
+* :class:`~repro.ftcorba.fault_notifier.FaultNotifier` — fault reporting
+  fan-out from detectors to consumers (the Replication Manager).
+"""
+
+from repro.ftcorba.checkpointable import (
+    Checkpointable,
+    InvalidState,
+    NoStateAvailable,
+)
+from repro.ftcorba.fault_notifier import FaultNotifier, FaultReport
+from repro.ftcorba.generic_factory import FactoryRegistry, GenericFactory
+from repro.ftcorba.object_group import MemberInfo, ObjectGroup, ReplicaRole
+from repro.ftcorba.properties import FTProperties, ReplicationStyle
+
+__all__ = [
+    "Checkpointable",
+    "NoStateAvailable",
+    "InvalidState",
+    "FTProperties",
+    "ReplicationStyle",
+    "ObjectGroup",
+    "MemberInfo",
+    "ReplicaRole",
+    "GenericFactory",
+    "FactoryRegistry",
+    "FaultNotifier",
+    "FaultReport",
+]

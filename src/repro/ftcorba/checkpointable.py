@@ -1,0 +1,66 @@
+"""The ``Checkpointable`` IDL interface (paper Figure 3).
+
+::
+
+    typedef any State;
+    exception NoStateAvailable {};
+    exception InvalidState {};
+
+    interface Checkpointable {
+        State get_state() raises(NoStateAvailable);
+        void set_state(in State s) raises(InvalidState);
+    };
+
+Every replicated CORBA object inherits this interface; both methods are
+implemented by the application programmer.  The state is of type ``any`` so
+it can hold any primitive, structured, or user-defined type (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.orb.servant import CorbaUserException, Servant, operation
+
+GET_STATE = "get_state"
+SET_STATE = "set_state"
+
+STATE_OP_BASE_DURATION = 100e-6
+"""Simulated fixed cost of a get_state/set_state call (marshalling entry)."""
+
+
+class NoStateAvailable(CorbaUserException):
+    """Raised by ``get_state()`` when the object cannot produce its state."""
+
+    exception_id = "IDL:omg.org/CORBA/FT/NoStateAvailable:1.0"
+
+
+class InvalidState(CorbaUserException):
+    """Raised by ``set_state()`` when the supplied state is unusable."""
+
+    exception_id = "IDL:omg.org/CORBA/FT/InvalidState:1.0"
+
+
+class Checkpointable(Servant):
+    """Base class for replicated application objects.
+
+    Subclasses implement :meth:`get_state` and :meth:`set_state`.  The
+    default implementations raise the standard exceptions, so an object
+    that forgets to implement them fails loudly at the first checkpoint.
+    """
+
+    type_id = "IDL:omg.org/CORBA/FT/Checkpointable:1.0"
+
+    @operation(duration=STATE_OP_BASE_DURATION)
+    def get_state(self) -> Any:
+        """Return the current application-level state of the object."""
+        raise NoStateAvailable(
+            f"{type(self).__name__} does not implement get_state()"
+        )
+
+    @operation(duration=STATE_OP_BASE_DURATION)
+    def set_state(self, state: Any) -> None:
+        """Overwrite the object's application-level state with ``state``."""
+        raise InvalidState(
+            f"{type(self).__name__} does not implement set_state()"
+        )

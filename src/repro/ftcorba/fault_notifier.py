@@ -1,0 +1,49 @@
+"""Fault Notifier: fan-out of fault reports to interested consumers.
+
+In FT-CORBA, Fault Detectors push structured fault reports to the Fault
+Notifier, which forwards them to consumers — chiefly the Replication
+Manager, which reacts by re-establishing the initial number of replicas.
+Our detectors derive faults from Totem membership changes (a crashed node
+leaves the ring) plus per-replica heartbeats at the fault monitoring
+interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """One detected fault."""
+
+    time: float
+    node_id: str
+    group_id: Optional[str] = None   # None: the whole host failed
+    reason: str = "crash"
+
+
+FaultConsumer = Callable[[FaultReport], None]
+
+
+class FaultNotifier:
+    """Collects fault reports and pushes them to registered consumers."""
+
+    def __init__(self) -> None:
+        self._consumers: List[FaultConsumer] = []
+        self.history: List[FaultReport] = []
+
+    def connect_consumer(self, consumer: FaultConsumer) -> None:
+        self._consumers.append(consumer)
+
+    def disconnect_consumer(self, consumer: FaultConsumer) -> None:
+        if consumer in self._consumers:
+            self._consumers.remove(consumer)
+
+    def push_fault(self, report: FaultReport) -> None:
+        """Record and fan out one fault report (idempotent per consumer
+        behaviour is the consumer's responsibility)."""
+        self.history.append(report)
+        for consumer in list(self._consumers):
+            consumer(report)

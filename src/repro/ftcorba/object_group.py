@@ -1,0 +1,131 @@
+"""Object groups: the unit of replication.
+
+An :class:`ObjectGroup` collects the replicas of one CORBA object under a
+single group identity.  Clients address the *group* — the published IOGR's
+host field carries the group id, so the Eternal Interceptor can map the
+"TCP connection" the client ORB believes it opened onto the group's
+multicast traffic — and never observe individual replicas (replication
+transparency).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ObjectGroupError
+from repro.ftcorba.properties import FTProperties, ReplicationStyle
+from repro.giop.ior import IOR
+from repro.orb.objectkey import make_key
+
+GROUP_PORT = 2809
+
+
+class ReplicaRole(enum.Enum):
+    """The role of one member within its group."""
+
+    ACTIVE = "active"
+    PRIMARY = "primary"
+    BACKUP = "backup"
+
+
+@dataclass
+class MemberInfo:
+    """One replica's membership record."""
+
+    node_id: str
+    role: ReplicaRole
+    operational: bool = False     # becomes True once recovered/synchronized
+
+
+class ObjectGroup:
+    """The replicas of one replicated object, plus its addressing."""
+
+    def __init__(self, group_id: str, type_id: str,
+                 properties: FTProperties) -> None:
+        self.group_id = group_id
+        self.type_id = type_id
+        self.properties = properties
+        self.version = 0          # bumped on every membership change
+        self._members: Dict[str, MemberInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    @property
+    def object_key(self) -> bytes:
+        """The group's canonical object key (same at every replica, so the
+        totally-ordered request stream means the same object everywhere)."""
+        return make_key("RootPOA", self.group_id.encode("ascii"))
+
+    def iogr(self) -> IOR:
+        """The interoperable object group reference published to clients."""
+        return IOR(type_id=self.type_id, host=self.group_id, port=GROUP_PORT,
+                   object_key=self.object_key)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def members(self) -> Dict[str, MemberInfo]:
+        return dict(self._members)
+
+    @property
+    def member_nodes(self) -> List[str]:
+        return sorted(self._members)
+
+    @property
+    def operational_nodes(self) -> List[str]:
+        return sorted(n for n, m in self._members.items() if m.operational)
+
+    @property
+    def primary_node(self) -> Optional[str]:
+        for node_id, member in self._members.items():
+            if member.role is ReplicaRole.PRIMARY:
+                return node_id
+        return None
+
+    def add_member(self, node_id: str, role: ReplicaRole) -> MemberInfo:
+        if node_id in self._members:
+            raise ObjectGroupError(
+                f"{node_id} is already a member of group {self.group_id}"
+            )
+        info = MemberInfo(node_id=node_id, role=role)
+        self._members[node_id] = info
+        self.version += 1
+        return info
+
+    def remove_member(self, node_id: str) -> None:
+        if node_id not in self._members:
+            raise ObjectGroupError(
+                f"{node_id} is not a member of group {self.group_id}"
+            )
+        del self._members[node_id]
+        self.version += 1
+
+    def member(self, node_id: str) -> MemberInfo:
+        try:
+            return self._members[node_id]
+        except KeyError:
+            raise ObjectGroupError(
+                f"{node_id} is not a member of group {self.group_id}"
+            ) from None
+
+    def default_role(self) -> ReplicaRole:
+        """Role for a newly added member under this group's style."""
+        if self.properties.replication_style is ReplicationStyle.ACTIVE:
+            return ReplicaRole.ACTIVE
+        return (ReplicaRole.BACKUP if self.primary_node is not None
+                else ReplicaRole.PRIMARY)
+
+    def promote(self, node_id: str) -> None:
+        """Make ``node_id`` the primary (passive-style failover)."""
+        member = self.member(node_id)
+        current = self.primary_node
+        if current is not None and current != node_id:
+            self._members[current].role = ReplicaRole.BACKUP
+        member.role = ReplicaRole.PRIMARY
+        self.version += 1

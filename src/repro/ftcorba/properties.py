@@ -1,0 +1,68 @@
+"""User-specified fault tolerance properties.
+
+"The Eternal Replication Manager replicates each application object,
+according to user-specified fault tolerance properties (such as the
+replication style, the checkpointing interval, the fault monitoring
+interval, the initial number of replicas, the minimum number of replicas,
+etc.)" — paper §2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PropertyError
+
+
+class ReplicationStyle(enum.Enum):
+    """The three replication styles the paper supports (§3)."""
+
+    ACTIVE = "active"
+    WARM_PASSIVE = "warm_passive"
+    COLD_PASSIVE = "cold_passive"
+
+    @property
+    def is_passive(self) -> bool:
+        return self is not ReplicationStyle.ACTIVE
+
+
+@dataclass(frozen=True)
+class FTProperties:
+    """Fault tolerance properties for one replicated object.
+
+    ``checkpoint_interval`` drives periodic state retrieval for passive
+    replication (and is unused under active replication until a recovery is
+    in progress, per §3.3).  ``fault_monitoring_interval`` bounds detection
+    latency of the membership-based fault detector.
+    """
+
+    replication_style: ReplicationStyle = ReplicationStyle.ACTIVE
+    initial_replicas: int = 2
+    min_replicas: int = 1
+    checkpoint_interval: float = 0.5
+    fault_monitoring_interval: float = 0.05
+    recovery_timeout: float = 30.0
+    max_log_messages: int = 0
+    """Passive styles: force an early checkpoint once the message log holds
+    this many entries (bounds failover replay time and log memory).
+    0 disables the bound — checkpoints happen only on the interval."""
+
+    def __post_init__(self) -> None:
+        if self.initial_replicas < 1:
+            raise PropertyError(
+                f"initial_replicas must be >= 1, got {self.initial_replicas}"
+            )
+        if not 1 <= self.min_replicas <= self.initial_replicas:
+            raise PropertyError(
+                f"min_replicas must be in [1, initial_replicas], got "
+                f"{self.min_replicas} (initial={self.initial_replicas})"
+            )
+        if self.checkpoint_interval <= 0:
+            raise PropertyError("checkpoint_interval must be positive")
+        if self.fault_monitoring_interval <= 0:
+            raise PropertyError("fault_monitoring_interval must be positive")
+        if self.recovery_timeout <= 0:
+            raise PropertyError("recovery_timeout must be positive")
+        if self.max_log_messages < 0:
+            raise PropertyError("max_log_messages must be >= 0")

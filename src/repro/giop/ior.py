@@ -1,0 +1,62 @@
+"""Interoperable Object References.
+
+"A server's Interoperable Object Reference (IOR) is a stringified
+representation of the server's host name, port number, object key, etc."
+(paper §4.2.2, footnote 3).  The IOR also publishes the server's supported
+code sets, which the client-side ORB reads to drive code-set negotiation.
+"""
+
+from __future__ import annotations
+
+import binascii
+from dataclasses import dataclass
+
+from repro.errors import UnmarshalError
+from repro.giop.cdr import CdrInputStream, CdrOutputStream
+from repro.giop.service_context import CODESET_UTF8, CODESET_UTF16
+
+
+@dataclass(frozen=True)
+class IOR:
+    """A (simplified, single-profile) object reference."""
+
+    type_id: str
+    host: str
+    port: int
+    object_key: bytes
+    char_codeset: int = CODESET_UTF8
+    wchar_codeset: int = CODESET_UTF16
+
+    def stringify(self) -> str:
+        """Encode to the classic ``IOR:<hex>`` form."""
+        out = CdrOutputStream()
+        out.write_boolean(out.little_endian)
+        out.write_string(self.type_id)
+        out.write_string(self.host)
+        out.write_ushort(self.port)
+        out.write_octets(self.object_key)
+        out.write_ulong(self.char_codeset)
+        out.write_ulong(self.wchar_codeset)
+        return "IOR:" + binascii.hexlify(out.getvalue()).decode("ascii")
+
+    @classmethod
+    def from_string(cls, text: str) -> "IOR":
+        """Parse the ``IOR:<hex>`` form back into an :class:`IOR`."""
+        if not text.startswith("IOR:"):
+            raise UnmarshalError(f"not a stringified IOR: {text[:16]!r}")
+        try:
+            raw = binascii.unhexlify(text[4:])
+        except (binascii.Error, ValueError) as exc:
+            raise UnmarshalError(f"bad IOR hex: {exc}") from exc
+        probe = CdrInputStream(raw)
+        little = probe.read_boolean()
+        inp = CdrInputStream(raw, little_endian=little)
+        inp.read_boolean()
+        return cls(
+            type_id=inp.read_string(),
+            host=inp.read_string(),
+            port=inp.read_ushort(),
+            object_key=inp.read_octets(),
+            char_codeset=inp.read_ulong(),
+            wchar_codeset=inp.read_ulong(),
+        )

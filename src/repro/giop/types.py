@@ -1,0 +1,284 @@
+"""TypeCode-lite and the CORBA ``any`` type.
+
+The FT-CORBA ``Checkpointable`` interface defines application-level state as
+``typedef any State`` — "a variable of type any can hold any primitive,
+structured and user-defined CORBA type" (paper §4.1).  This module provides
+a self-describing ``Any`` with enough of the CORBA TypeCode system to carry
+realistic application state: primitives, strings, octet sequences, sequences,
+maps, and named structs, all CDR-encodable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any as PyAny
+from typing import Dict, Optional, Tuple
+
+from repro.errors import MarshalError, UnmarshalError
+from repro.giop.cdr import CdrInputStream, CdrOutputStream
+
+
+class TCKind(enum.IntEnum):
+    """Kinds of TypeCode we support (a subset of CORBA's tk_* constants,
+    with MAP added for convenience)."""
+
+    NULL = 0
+    BOOLEAN = 1
+    OCTET = 2
+    LONG = 3          # 32-bit signed
+    LONGLONG = 4      # 64-bit signed
+    DOUBLE = 5
+    STRING = 6
+    OCTETS = 7        # sequence<octet>, the workhorse for bulk state
+    SEQUENCE = 8      # sequence<element_type>
+    MAP = 9           # sequence<pair<key, value>> with any-typed entries
+    STRUCT = 10       # named fields
+    ANY = 11          # nested any
+
+
+@dataclass(frozen=True)
+class TypeCode:
+    """A (possibly recursive) type description."""
+
+    kind: TCKind
+    element: Optional["TypeCode"] = None                 # SEQUENCE
+    name: str = ""                                       # STRUCT
+    fields: Tuple[Tuple[str, "TypeCode"], ...] = ()      # STRUCT
+
+    def __post_init__(self) -> None:
+        if self.kind is TCKind.SEQUENCE and self.element is None:
+            raise MarshalError("SEQUENCE TypeCode requires an element type")
+
+
+# Singleton simple TypeCodes
+TC_NULL = TypeCode(TCKind.NULL)
+TC_BOOLEAN = TypeCode(TCKind.BOOLEAN)
+TC_OCTET = TypeCode(TCKind.OCTET)
+TC_LONG = TypeCode(TCKind.LONG)
+TC_LONGLONG = TypeCode(TCKind.LONGLONG)
+TC_DOUBLE = TypeCode(TCKind.DOUBLE)
+TC_STRING = TypeCode(TCKind.STRING)
+TC_OCTETS = TypeCode(TCKind.OCTETS)
+TC_MAP = TypeCode(TCKind.MAP)
+TC_ANY = TypeCode(TCKind.ANY)
+
+
+@dataclass(frozen=True)
+class Any:
+    """A self-describing value: (TypeCode, value).
+
+    For STRUCT the value is a dict of field name → Python value; for
+    SEQUENCE a list; for MAP a dict with Any-encodable keys and values.
+    """
+
+    typecode: TypeCode
+    value: PyAny
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Any({self.typecode.kind.name}, {self.value!r})"
+
+
+def to_any(value: PyAny) -> Any:
+    """Wrap a plain Python value in an :class:`Any`, inferring its TypeCode.
+
+    Mapping: None→NULL, bool→BOOLEAN, int→LONGLONG, float→DOUBLE,
+    str→STRING, bytes→OCTETS, list/tuple→SEQUENCE<any>, dict→MAP,
+    Any→itself.
+    """
+    if isinstance(value, Any):
+        return value
+    if value is None:
+        return Any(TC_NULL, None)
+    if isinstance(value, bool):
+        return Any(TC_BOOLEAN, value)
+    if isinstance(value, int):
+        return Any(TC_LONGLONG, value)
+    if isinstance(value, float):
+        return Any(TC_DOUBLE, value)
+    if isinstance(value, str):
+        return Any(TC_STRING, value)
+    if isinstance(value, (bytes, bytearray)):
+        return Any(TC_OCTETS, bytes(value))
+    if isinstance(value, (list, tuple)):
+        return Any(TypeCode(TCKind.SEQUENCE, element=TC_ANY), list(value))
+    if isinstance(value, dict):
+        return Any(TC_MAP, dict(value))
+    raise MarshalError(f"cannot infer a TypeCode for {type(value).__name__}")
+
+
+def from_any(any_value: Any) -> PyAny:
+    """Unwrap an :class:`Any` back to a plain Python value (deeply)."""
+    kind = any_value.typecode.kind
+    value = any_value.value
+    if kind is TCKind.SEQUENCE:
+        return [from_any(v) if isinstance(v, Any) else v for v in value]
+    if kind is TCKind.MAP:
+        return {k: (from_any(v) if isinstance(v, Any) else v)
+                for k, v in value.items()}
+    if kind is TCKind.STRUCT:
+        return {k: (from_any(v) if isinstance(v, Any) else v)
+                for k, v in value.items()}
+    return value
+
+
+def struct_any(name: str, **fields: PyAny) -> Any:
+    """Build a STRUCT-typed :class:`Any` from keyword fields."""
+    tc_fields = tuple((k, to_any(v).typecode) for k, v in fields.items())
+    return Any(TypeCode(TCKind.STRUCT, name=name, fields=tc_fields),
+               dict(fields))
+
+
+# ---------------------------------------------------------------------------
+# CDR encoding of TypeCodes and Anys
+# ---------------------------------------------------------------------------
+
+def write_typecode(out: CdrOutputStream, tc: TypeCode) -> None:
+    """Encode a (possibly recursive) TypeCode onto the stream."""
+    out.write_ulong(int(tc.kind))
+    if tc.kind is TCKind.SEQUENCE:
+        write_typecode(out, tc.element)
+    elif tc.kind is TCKind.STRUCT:
+        out.write_string(tc.name)
+        out.write_ulong(len(tc.fields))
+        for field_name, field_tc in tc.fields:
+            out.write_string(field_name)
+            write_typecode(out, field_tc)
+
+
+def read_typecode(inp: CdrInputStream) -> TypeCode:
+    """Decode a TypeCode; raises UnmarshalError on unknown kinds."""
+    raw_kind = inp.read_ulong()
+    try:
+        kind = TCKind(raw_kind)
+    except ValueError as exc:
+        raise UnmarshalError(f"unknown TCKind {raw_kind}") from exc
+    if kind is TCKind.SEQUENCE:
+        return TypeCode(kind, element=read_typecode(inp))
+    if kind is TCKind.STRUCT:
+        name = inp.read_string()
+        count = inp.read_ulong()
+        fields = tuple(
+            (inp.read_string(), read_typecode(inp)) for _ in range(count)
+        )
+        return TypeCode(kind, name=name, fields=fields)
+    return TypeCode(kind)
+
+
+def _write_value(out: CdrOutputStream, tc: TypeCode, value: PyAny) -> None:
+    kind = tc.kind
+    if kind is TCKind.NULL:
+        return
+    if kind is TCKind.BOOLEAN:
+        out.write_boolean(bool(value))
+    elif kind is TCKind.OCTET:
+        out.write_octet(int(value))
+    elif kind is TCKind.LONG:
+        out.write_long(int(value))
+    elif kind is TCKind.LONGLONG:
+        out.write_longlong(int(value))
+    elif kind is TCKind.DOUBLE:
+        out.write_double(float(value))
+    elif kind is TCKind.STRING:
+        out.write_string(value)
+    elif kind is TCKind.OCTETS:
+        out.write_octets(value)
+    elif kind is TCKind.SEQUENCE:
+        out.write_ulong(len(value))
+        for item in value:
+            if tc.element.kind is TCKind.ANY:
+                write_any(out, to_any(item))
+            else:
+                _write_value(out, tc.element, item)
+    elif kind is TCKind.MAP:
+        out.write_ulong(len(value))
+        for key, item in value.items():
+            write_any(out, to_any(key))
+            write_any(out, to_any(item))
+    elif kind is TCKind.STRUCT:
+        for field_name, field_tc in tc.fields:
+            try:
+                field_value = value[field_name]
+            except KeyError as exc:
+                raise MarshalError(
+                    f"struct {tc.name!r} missing field {field_name!r}"
+                ) from exc
+            _write_value_or_any(out, field_tc, field_value)
+    elif kind is TCKind.ANY:
+        write_any(out, to_any(value))
+    else:  # pragma: no cover - all kinds handled
+        raise MarshalError(f"cannot encode TCKind {kind!r}")
+
+
+def _write_value_or_any(out: CdrOutputStream, tc: TypeCode, value: PyAny) -> None:
+    if isinstance(value, Any):
+        _write_value(out, value.typecode, value.value)
+    else:
+        _write_value(out, tc, value)
+
+
+def _read_value(inp: CdrInputStream, tc: TypeCode) -> PyAny:
+    kind = tc.kind
+    if kind is TCKind.NULL:
+        return None
+    if kind is TCKind.BOOLEAN:
+        return inp.read_boolean()
+    if kind is TCKind.OCTET:
+        return inp.read_octet()
+    if kind is TCKind.LONG:
+        return inp.read_long()
+    if kind is TCKind.LONGLONG:
+        return inp.read_longlong()
+    if kind is TCKind.DOUBLE:
+        return inp.read_double()
+    if kind is TCKind.STRING:
+        return inp.read_string()
+    if kind is TCKind.OCTETS:
+        return inp.read_octets()
+    if kind is TCKind.SEQUENCE:
+        count = inp.read_ulong()
+        if tc.element.kind is TCKind.ANY:
+            return [from_any(read_any(inp)) for _ in range(count)]
+        return [_read_value(inp, tc.element) for _ in range(count)]
+    if kind is TCKind.MAP:
+        count = inp.read_ulong()
+        result: Dict = {}
+        for _ in range(count):
+            key = from_any(read_any(inp))
+            result[key] = from_any(read_any(inp))
+        return result
+    if kind is TCKind.STRUCT:
+        return {field_name: _read_value(inp, field_tc)
+                for field_name, field_tc in tc.fields}
+    if kind is TCKind.ANY:
+        return from_any(read_any(inp))
+    raise UnmarshalError(f"cannot decode TCKind {kind!r}")  # pragma: no cover
+
+
+def write_any(out: CdrOutputStream, any_value: Any) -> None:
+    """Encode (TypeCode, value) onto the stream."""
+    write_typecode(out, any_value.typecode)
+    _write_value(out, any_value.typecode, any_value.value)
+
+
+def read_any(inp: CdrInputStream) -> Any:
+    """Decode an :class:`Any` from the stream."""
+    tc = read_typecode(inp)
+    return Any(tc, _read_value(inp, tc))
+
+
+def encode_any(any_value: Any, little_endian: bool = False) -> bytes:
+    """Standalone encoding of an Any (used for checkpoints in logs)."""
+    out = CdrOutputStream(little_endian)
+    out.write_boolean(little_endian)
+    write_any(out, any_value)
+    return out.getvalue()
+
+
+def decode_any(data: bytes) -> Any:
+    """Inverse of :func:`encode_any`."""
+    probe = CdrInputStream(data)
+    little = probe.read_boolean()
+    inp = CdrInputStream(data, little_endian=little)
+    inp.read_boolean()
+    return read_any(inp)

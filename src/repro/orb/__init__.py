@@ -1,0 +1,36 @@
+"""A miniature, deterministic ORB and POA.
+
+The paper's recovery problems live in state the ORB keeps *per connection*
+on behalf of objects: the GIOP ``request_id`` counter on the client side
+(§4.2.1) and the results of the initial client-server handshake on the
+server side (§4.2.2).  This ORB maintains exactly that state, speaks the
+real GIOP bytes of :mod:`repro.giop`, and exhibits the paper's failure
+modes faithfully:
+
+* a client connection **discards** replies whose ``request_id`` matches no
+  outstanding request (Figure 4's "will now wait forever");
+* a server connection **discards** requests that rely on negotiated state
+  (vendor short object keys) it never learned (§4.2.2's lost handshake).
+
+The ORB is transport-agnostic: it emits and accepts raw GIOP byte strings
+through a pluggable transport hook, which is where Eternal's Interceptor
+attaches (below the ORB, at its "socket-level interface").
+"""
+
+from repro.orb.connection import ClientConnection, ServerConnectionState
+from repro.orb.orb import Orb
+from repro.orb.poa import POA, ThreadingPolicy
+from repro.orb.proxy import ObjectProxy
+from repro.orb.servant import CorbaUserException, Servant, operation
+
+__all__ = [
+    "Orb",
+    "POA",
+    "ThreadingPolicy",
+    "Servant",
+    "operation",
+    "CorbaUserException",
+    "ClientConnection",
+    "ServerConnectionState",
+    "ObjectProxy",
+]

@@ -1,0 +1,222 @@
+"""Per-connection ORB state — the crux of the paper's §4.2.
+
+**Client side** (:class:`ClientConnection`): the ORB assigns each outgoing
+request a per-connection ``request_id`` (0, 1, 2, …) and matches replies
+against outstanding requests; "replies whose request_ids do not match are
+discarded by the client-side ORB" (§4.2.1).  The counter is buried inside
+the ORB — there is deliberately **no API to set it** — so a recovered
+replica's ORB restarts it at 0, recreating Figure 4's inconsistency unless
+Eternal's interceptor rewrites ids from outside (see
+:mod:`repro.core.orb_state`).
+
+**Server side** (:class:`ServerConnectionState`): the results of the initial
+client-server handshake — negotiated code sets and the vendor short-key
+table — are stored per connection.  A request bearing a short key the
+connection never negotiated is **discarded** (§4.2.2's failure mode for a
+new server replica that missed the handshake).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConnectionClosed
+from repro.giop.messages import ReplyMessage, RequestMessage, encode_message
+from repro.giop.service_context import (
+    CODE_SETS_ID,
+    VENDOR_HANDSHAKE_ID,
+    CodeSetContext,
+    ServiceContext,
+    VendorHandshakeContext,
+    find_context,
+)
+from repro.orb.objectkey import is_short_key, make_short_key, parse_short_key
+
+ReplyCallback = Callable[[ReplyMessage], None]
+
+
+def negotiate_token(object_key: bytes) -> int:
+    """The server's deterministic short-key token for ``object_key``.
+
+    Determinism matters: every replica of a server must negotiate the same
+    token so that replicas stay consistent, and so that a client replica
+    re-proposing after recovery converges on the value its siblings use.
+    """
+    return zlib.crc32(b"short-key:" + object_key) & 0xFFFFFFFF
+
+
+class ClientConnection:
+    """The client-side ORB's state for one connection to one server."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._next_request_id = 0
+        self._outstanding: Dict[int, Tuple[str, Optional[ReplyCallback]]] = {}
+        self._handshake_done = False
+        self._short_keys: Dict[bytes, int] = {}   # full key -> token
+        self._codeset: Optional[CodeSetContext] = None
+        self._closed = False
+        self.replies_discarded = 0
+
+    # -- introspection (tests and benches only; Eternal never calls these)
+
+    @property
+    def next_request_id(self) -> int:
+        return self._next_request_id
+
+    @property
+    def handshake_done(self) -> bool:
+        return self._handshake_done
+
+    @property
+    def outstanding_request_ids(self) -> List[int]:
+        return sorted(self._outstanding)
+
+    def outstanding_operation(self, request_id: int) -> Optional[str]:
+        entry = self._outstanding.get(request_id)
+        return entry[0] if entry else None
+
+    # -- request path ----------------------------------------------------
+
+    def build_request(
+        self,
+        object_key: bytes,
+        operation: str,
+        args: tuple,
+        *,
+        response_expected: bool = True,
+        callback: Optional[ReplyCallback] = None,
+    ) -> bytes:
+        """Construct the next GIOP Request on this connection.
+
+        The first request carries the handshake ServiceContexts (code sets
+        plus a vendor short-key proposal); once the handshake reply arrives,
+        subsequent requests use the negotiated short key.
+        """
+        if self._closed:
+            raise ConnectionClosed(f"connection to {self.host}:{self.port}")
+        request_id = self._next_request_id
+        self._next_request_id += 1
+
+        contexts: List[ServiceContext] = []
+        wire_key = object_key
+        if not self._handshake_done:
+            contexts.append(CodeSetContext().to_service_context())
+            contexts.append(
+                VendorHandshakeContext(
+                    propose=True, object_key=object_key
+                ).to_service_context()
+            )
+        else:
+            token = self._short_keys.get(object_key)
+            if token is not None:
+                wire_key = make_short_key(token)
+
+        if response_expected:
+            self._outstanding[request_id] = (operation, callback)
+        request = RequestMessage(
+            request_id=request_id,
+            object_key=wire_key,
+            operation=operation,
+            args=args,
+            response_expected=response_expected,
+            service_contexts=tuple(contexts),
+        )
+        return encode_message(request)
+
+    def expect_reply(self, request_id: int, operation: str,
+                     callback: Optional[ReplyCallback] = None) -> None:
+        """Re-register interest in a reply (used by a recovered replica's
+        application when it re-issues suppressed invocations)."""
+        self._outstanding[request_id] = (operation, callback)
+
+    # -- reply path --------------------------------------------------------
+
+    def match_reply(
+        self, reply: ReplyMessage
+    ) -> Optional[Tuple[str, Optional[ReplyCallback]]]:
+        """Match an incoming reply to an outstanding request.
+
+        Returns ``(operation, callback)`` on a match; on a request_id
+        mismatch the reply is discarded and ``None`` returned — the Figure 4
+        behaviour this reproduction must preserve.
+        """
+        entry = self._outstanding.pop(reply.request_id, None)
+        if entry is None:
+            self.replies_discarded += 1
+            return None
+        handshake = find_context(list(reply.service_contexts),
+                                 VENDOR_HANDSHAKE_ID)
+        if handshake is not None:
+            negotiated = VendorHandshakeContext.from_service_context(handshake)
+            if negotiated.object_key:
+                self._short_keys[negotiated.object_key] = \
+                    negotiated.short_key_token
+            self._handshake_done = True
+        return entry
+
+    def close(self) -> None:
+        self._closed = True
+        self._outstanding.clear()
+
+
+class ServerConnectionState:
+    """The server-side ORB's per-connection state.
+
+    Populated by the handshake request; consulted for every later request.
+    A new server replica's ORB starts with an **empty** instance of this —
+    which is exactly why Eternal must replay the stored handshake message
+    into it (paper §4.2.2).
+    """
+
+    def __init__(self, connection_id: str) -> None:
+        self.connection_id = connection_id
+        self.codeset: Optional[CodeSetContext] = None
+        self.short_keys: Dict[int, bytes] = {}     # token -> full key
+        self.handshake_seen = False
+        self.last_seen_request_id: Optional[int] = None
+        self.requests_discarded = 0
+
+    def process_request_contexts(
+        self, request: RequestMessage
+    ) -> List[ServiceContext]:
+        """Absorb the request's ServiceContexts; returns the contexts the
+        reply should carry (the handshake acknowledgement)."""
+        reply_contexts: List[ServiceContext] = []
+        contexts = list(request.service_contexts)
+        codeset_ctx = find_context(contexts, CODE_SETS_ID)
+        if codeset_ctx is not None:
+            self.codeset = CodeSetContext.from_service_context(codeset_ctx)
+        handshake_ctx = find_context(contexts, VENDOR_HANDSHAKE_ID)
+        if handshake_ctx is not None:
+            proposal = VendorHandshakeContext.from_service_context(handshake_ctx)
+            if proposal.propose and proposal.object_key:
+                token = negotiate_token(proposal.object_key)
+                self.short_keys[token] = proposal.object_key
+                self.handshake_seen = True
+                reply_contexts.append(
+                    VendorHandshakeContext(
+                        propose=False,
+                        object_key=proposal.object_key,
+                        short_key_token=token,
+                    ).to_service_context()
+                )
+        return reply_contexts
+
+    def resolve_key(self, wire_key: bytes) -> Optional[bytes]:
+        """Map the wire object key to a full key.
+
+        Short keys resolve through the negotiated table; an unknown token
+        means this ORB missed the handshake, and the request is
+        uninterpretable — the caller must discard it.
+        """
+        if not is_short_key(wire_key):
+            return wire_key
+        token = parse_short_key(wire_key)
+        full_key = self.short_keys.get(token)
+        if full_key is None:
+            self.requests_discarded += 1
+            return None
+        return full_key

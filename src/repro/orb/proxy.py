@@ -1,0 +1,59 @@
+"""Client-side object proxies.
+
+An :class:`ObjectProxy` is what ``orb.connect(ior)`` returns: a handle that
+marshals invocations into GIOP requests on the underlying connection and
+hands the bytes to the ORB's transport.  Replies are delivered through the
+per-call callback or the ORB's default reply handler.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.giop.ior import IOR
+from repro.giop.messages import ReplyMessage, ReplyStatus
+from repro.orb.connection import ClientConnection, ReplyCallback
+from repro.orb.servant import CorbaUserException
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orb.orb import Orb
+
+
+class ObjectProxy:
+    """An invocable reference to a (possibly replicated) remote object."""
+
+    def __init__(self, orb: "Orb", conn: ClientConnection, ior: IOR) -> None:
+        self._orb = orb
+        self._conn = conn
+        self.ior = ior
+
+    @property
+    def connection(self) -> ClientConnection:
+        return self._conn
+
+    def invoke(self, operation: str, *args,
+               on_reply: Optional[ReplyCallback] = None,
+               response_expected: bool = True) -> int:
+        """Issue ``operation(*args)``; returns the assigned request_id.
+
+        ``on_reply`` (if given) receives the :class:`ReplyMessage`; without
+        it, replies route to the ORB's default reply handler.
+        """
+        data = self._conn.build_request(
+            self.ior.object_key, operation, args,
+            response_expected=response_expected, callback=on_reply,
+        )
+        request_id = self._conn.next_request_id - 1
+        self._orb.send_request_bytes(self._conn, data)
+        return request_id
+
+    def oneway(self, operation: str, *args) -> None:
+        """Issue a oneway (no-response) invocation."""
+        self.invoke(operation, *args, response_expected=False)
+
+
+def unwrap_reply(reply: ReplyMessage):
+    """Convert a reply into a return value, re-raising user exceptions."""
+    if reply.reply_status is ReplyStatus.NO_EXCEPTION:
+        return reply.result
+    raise CorbaUserException(reply.result, exception_id=reply.exception_id)

@@ -1,0 +1,107 @@
+"""Servant base class and operation dispatch.
+
+A :class:`Servant` is the implementation object a POA dispatches requests
+to.  Operations are ordinary methods marked with the :func:`operation`
+decorator; the decorator can also declare a simulated execution duration so
+that quiescence (an object busy mid-operation) is observable in simulated
+time, as the paper's state-transfer synchronization requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import OrbError
+
+DEFAULT_OP_DURATION = 50e-6
+"""Default simulated execution time of one operation (50 µs)."""
+
+
+class CorbaUserException(Exception):
+    """A user exception raised by a servant operation; its ``exception_id``
+    travels in the GIOP reply and is re-raised client-side."""
+
+    exception_id = "IDL:repro/UserException:1.0"
+
+    def __init__(self, *args: Any, exception_id: Optional[str] = None) -> None:
+        super().__init__(*args)
+        if exception_id is not None:
+            self.exception_id = exception_id
+
+
+def operation(fn: Callable = None, *, duration: float = DEFAULT_OP_DURATION,
+              oneway: bool = False):
+    """Mark a servant method as a CORBA operation.
+
+    ``duration`` is the simulated execution time; ``oneway`` marks
+    operations that return no response.
+    """
+    def mark(func: Callable) -> Callable:
+        func._corba_operation = True
+        func._corba_duration = duration
+        func._corba_oneway = oneway
+        return func
+    if fn is not None:
+        return mark(fn)
+    return mark
+
+
+class Servant:
+    """Base class for CORBA object implementations.
+
+    Subclasses define operations with the :func:`operation` decorator::
+
+        class Counter(Servant):
+            @operation
+            def increment(self, amount):
+                self.value += amount
+                return self.value
+    """
+
+    type_id = "IDL:repro/Object:1.0"
+
+    def _find_operation(self, name: str) -> Callable:
+        fn = getattr(self, name, None)
+        if fn is None or not callable(fn):
+            raise OrbError(
+                f"{type(self).__name__} has no operation {name!r}"
+            )
+        if not getattr(fn, "_corba_operation", False) \
+                and self._marked_in_mro(name) is None:
+            raise OrbError(
+                f"{type(self).__name__}.{name} is not a CORBA operation"
+            )
+        return fn
+
+    def _marked_in_mro(self, name: str) -> Optional[Callable]:
+        """An override inherits the @operation marking of the method it
+        overrides (e.g. get_state/set_state implementations need not
+        re-decorate)."""
+        for klass in type(self).__mro__:
+            candidate = klass.__dict__.get(name)
+            if candidate is not None and getattr(candidate,
+                                                 "_corba_operation", False):
+                return candidate
+        return None
+
+    def _operation_duration(self, name: str) -> float:
+        fn = self._find_operation(name)
+        if getattr(fn, "_corba_operation", False):
+            return getattr(fn, "_corba_duration", DEFAULT_OP_DURATION)
+        marked = self._marked_in_mro(name)
+        return getattr(marked, "_corba_duration", DEFAULT_OP_DURATION)
+
+    def _dispatch(self, name: str, args: tuple) -> Any:
+        """Execute operation ``name``; exceptions propagate to the POA."""
+        return self._find_operation(name)(*args)
+
+    def operations(self) -> Dict[str, Callable]:
+        """All operations this servant exposes (for introspection)."""
+        result: Dict[str, Callable] = {}
+        for attr in dir(self):
+            if attr.startswith("_"):
+                continue
+            fn = getattr(self, attr)
+            if callable(fn) and getattr(fn, "_corba_operation", False):
+                result[attr] = fn
+        return result

@@ -1,0 +1,61 @@
+"""Per-node network endpoint with payload-type dispatch.
+
+A node hosts several protocol layers at once (the Totem ring member, and —
+for the unreplicated baseline used in the overhead benchmark — a raw
+point-to-point channel).  :class:`Endpoint` owns the node's single network
+attachment and routes incoming frames to the handler registered for the
+frame's payload type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Type
+
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+
+Handler = Callable[[str, Any], None]
+
+
+class Endpoint:
+    """Routes a node's incoming frames by payload class.
+
+    Handlers survive nothing: a process restart rebuilds the protocol stack,
+    and each new layer re-registers its types, displacing the dead one.
+    """
+
+    def __init__(self, process: Process, network: Network) -> None:
+        self.process = process
+        self.network = network
+        self._handlers: Dict[Type, Handler] = {}
+        network.attach(process, self._dispatch)
+
+    @property
+    def node_id(self) -> str:
+        return self.process.node_id
+
+    def register(self, payload_type: Type, handler: Handler) -> None:
+        """Route frames whose payload is an instance of ``payload_type``
+        (exact class match first, then MRO walk) to ``handler``."""
+        self._handlers[payload_type] = handler
+
+    def unregister(self, payload_type: Type) -> None:
+        self._handlers.pop(payload_type, None)
+
+    def _dispatch(self, src: str, payload: Any) -> None:
+        handler = self._handlers.get(type(payload))
+        if handler is None:
+            for base in type(payload).__mro__[1:]:
+                handler = self._handlers.get(base)
+                if handler is not None:
+                    break
+        if handler is not None:
+            handler(src, payload)
+
+    # Convenience passthroughs -----------------------------------------
+
+    def unicast(self, dst: str, payload: Any, size_bytes: int) -> None:
+        self.network.unicast(self.node_id, dst, payload, size_bytes)
+
+    def broadcast(self, payload: Any, size_bytes: int) -> None:
+        self.network.broadcast(self.node_id, payload, size_bytes)

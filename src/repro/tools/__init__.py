@@ -1,0 +1,5 @@
+"""Operator tooling built on the trace stream."""
+
+from repro.tools.timeline import render_timeline, recovery_summary
+
+__all__ = ["render_timeline", "recovery_summary"]

@@ -1,0 +1,156 @@
+"""Render human-readable timelines from trace records.
+
+The mechanisms emit structured events (see :mod:`repro.simnet.trace`);
+this module turns them into the kind of annotated timeline the paper's
+protocol figures show — useful when debugging a recovery that misbehaves,
+and used by the examples to narrate what happened.
+
+::
+
+    from repro.tools import render_timeline
+    print(render_timeline(system.tracer,
+                          categories={"recovery", "fault", "process"}))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.simnet.trace import TraceRecord, Tracer
+
+_EVENT_LABELS = {
+    ("process", "crash"): "process crashed",
+    ("process", "restart"): "process re-launched",
+    ("fault", "crash"): "fault injected: crash",
+    ("fault", "restart"): "fault injected: restart",
+    ("fault", "partition"): "fault injected: partition",
+    ("fault", "heal"): "partition healed",
+    ("fault", "replica_hang"): "fault injected: replica hang",
+    ("totem", "gather"): "ring gather",
+    ("totem", "install"): "ring installed",
+    ("totem", "token_timeout"): "token lost",
+    ("recovery", "join_announced"): "replica join announced",
+    ("recovery", "sync_point"): "get_state() sync point (§5.1 i)",
+    ("recovery", "set_state_multicast"): "set_state() fabricated (§5.1 iv)",
+    ("recovery", "recovery_set_received"): "state assignment begins (§5.1 v)",
+    ("recovery", "handshake_replayed"): "handshake replayed (§4.2.2)",
+    ("recovery", "recovered"): "replica reinstated (§5.1 vi)",
+    ("recovery", "checkpoint_initiated"): "checkpoint get_state()",
+    ("recovery", "checkpoint_logged"): "checkpoint logged",
+    ("recovery", "failover_begin"): "failover: backup promoted",
+    ("recovery", "failover_replay"): "failover: log replay",
+    ("fault_detector", "suspect"): "replica suspected",
+    ("fault_detector", "report"): "replica fault reported",
+}
+
+
+def _label(record: TraceRecord) -> str:
+    base = _EVENT_LABELS.get((record.category, record.event),
+                             f"{record.category}.{record.event}")
+    details = []
+    for key in ("node", "group", "new_primary", "transfer", "app_bytes",
+                "messages", "restarted", "faulty"):
+        if key in record.fields:
+            details.append(f"{key}={record.fields[key]}")
+    if details:
+        return f"{base}  ({', '.join(details)})"
+    return base
+
+
+PER_MESSAGE_EVENTS = frozenset({
+    ("totem", "token"), ("totem", "frame"), ("totem", "deliver"),
+    ("totem", "retransmit"), ("net", "unicast"), ("net", "broadcast"),
+    ("replica", "executed"), ("interceptor", "request"),
+    ("interceptor", "reply"), ("replication", "duplicate"),
+})
+"""High-frequency events usually excluded from narrative timelines."""
+
+
+def render_timeline(
+    tracer: Tracer,
+    *,
+    categories: Optional[set] = None,
+    since: float = 0.0,
+    until: Optional[float] = None,
+    group: Optional[str] = None,
+    exclude=PER_MESSAGE_EVENTS,
+) -> str:
+    """Render retained trace records as an indented timeline string.
+
+    Per-message chatter (tokens, frames, individual deliveries) is excluded
+    by default; pass ``exclude=frozenset()`` for the full firehose.
+    """
+    lines: List[str] = []
+    for record in tracer.records:
+        if record.time < since:
+            continue
+        if until is not None and record.time > until:
+            continue
+        if categories is not None and record.category not in categories:
+            continue
+        if (record.category, record.event) in exclude:
+            continue
+        if group is not None and record.fields.get("group") not in (None,
+                                                                    group):
+            continue
+        lines.append(f"  {record.time * 1000:10.3f} ms  {_label(record)}")
+    if not lines:
+        return "  (no matching trace records — was the tracer keeping " \
+               "records?)"
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RecoverySummary:
+    """Key instants of one recovery, extracted from the trace."""
+
+    group: str
+    node: str
+    announced_at: float
+    sync_point_at: Optional[float]
+    state_bytes: Optional[int]
+    recovered_at: Optional[float]
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.announced_at
+
+
+def recovery_summary(tracer: Tracer) -> List[RecoverySummary]:
+    """Extract one summary per observed recovery (join → recovered)."""
+    summaries: List[RecoverySummary] = []
+    open_by_key: Dict[tuple, dict] = {}
+    for record in tracer.records:
+        if record.category != "recovery":
+            continue
+        key = (record.fields.get("group"), record.fields.get("node"))
+        if record.event == "join_announced":
+            open_by_key[key] = {"announced_at": record.time,
+                                "sync_point_at": None, "state_bytes": None}
+        elif record.event == "sync_point" and key in open_by_key:
+            open_by_key[key]["sync_point_at"] = record.time
+        elif record.event == "recovery_set_received" and key in open_by_key:
+            open_by_key[key]["state_bytes"] = record.fields.get("app_bytes")
+        elif record.event == "recovered" and key in open_by_key:
+            info = open_by_key.pop(key)
+            summaries.append(RecoverySummary(
+                group=key[0], node=key[1],
+                announced_at=info["announced_at"],
+                sync_point_at=info["sync_point_at"],
+                state_bytes=info["state_bytes"],
+                recovered_at=record.time,
+            ))
+    # recoveries still in flight
+    for key, info in open_by_key.items():
+        summaries.append(RecoverySummary(
+            group=key[0], node=key[1],
+            announced_at=info["announced_at"],
+            sync_point_at=info["sync_point_at"],
+            state_bytes=info["state_bytes"],
+            recovered_at=None,
+        ))
+    summaries.sort(key=lambda s: s.announced_at)
+    return summaries

@@ -1,0 +1,43 @@
+"""A Totem-like reliable totally-ordered multicast group-communication system.
+
+Eternal conveys all IIOP traffic over the Totem single-ring protocol
+(Moser et al., CACM 1996).  This package reproduces the properties Eternal
+depends on, on top of :mod:`repro.simnet`:
+
+* **Total order** — a token circulates the ring; only the token holder
+  assigns sequence numbers, so all members deliver the same message sequence.
+* **Reliability** — members retain broadcast messages until they are *safe*
+  (seen by all members); gaps are repaired via retransmission requests
+  carried on the token.
+* **Membership / virtual synchrony** — token loss or a JOIN from a new
+  member triggers a gather phase; a new ring forms, messages known to any
+  survivor are flushed to all members before the new view is installed, and
+  the upper layer receives a view-change notification.
+* **MTU fragmentation** — application messages larger than the Ethernet
+  payload are fragmented into multiple sequenced multicast frames and
+  reassembled in order at each member (the effect that shapes the paper's
+  Figure 6).
+
+A restarted member joins *fresh*: it does not receive pre-crash traffic.
+Bringing its replica back to a consistent state is exactly the job of
+Eternal's recovery mechanisms (:mod:`repro.core.recovery`), not of the group
+communication layer — mirroring the division of labour in the paper.
+"""
+
+from repro.totem.config import TotemConfig
+from repro.totem.fragmentation import Fragmenter, Reassembler
+from repro.totem.member import MemberState, TotemMember, View
+from repro.totem.messages import DataMsg, FormMsg, JoinMsg, Token
+
+__all__ = [
+    "TotemConfig",
+    "TotemMember",
+    "MemberState",
+    "View",
+    "DataMsg",
+    "JoinMsg",
+    "FormMsg",
+    "Token",
+    "Fragmenter",
+    "Reassembler",
+]

@@ -1,0 +1,573 @@
+"""The Totem single-ring member state machine.
+
+Each node runs one :class:`TotemMember`.  A token circulates the ring; only
+the holder broadcasts, assigning consecutive sequence numbers, so every
+member delivers the identical message sequence (total order).  Members
+retain delivered messages until they are *safe* (received by all members,
+as witnessed by the token's ``aru``), which lets them service retransmission
+requests and flush messages to survivors during membership changes.
+
+State machine::
+
+    OPERATIONAL --token timeout / JOIN seen--> GATHER
+    GATHER      --gather deadline, leader FORM--> RECOVERY
+    RECOVERY    --flushed to flush_seq--> OPERATIONAL (new view installed)
+
+A brand-new or re-launched member starts in GATHER with ``fresh=True``; on
+installation it skips all pre-join traffic (its ``delivered_aru`` jumps to
+the flush sequence).  Restoring the application replica hosted above such a
+member is the job of Eternal's recovery mechanisms — Totem only guarantees
+that whatever *is* delivered is delivered to all members in the same order.
+
+Sender reliability: a member keeps its own broadcast fragments "in flight"
+until it observes their self-delivery; fragments orphaned by a ring
+reformation (sent but never sequenced into the surviving history) are
+re-queued at the front of the send queue and rebroadcast in the new ring.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import NotInRing, TotemError
+from repro.simnet.endpoint import Endpoint
+from repro.simnet.scheduler import Event
+from repro.simnet.trace import NULL_TRACER, Tracer
+from repro.totem.config import TotemConfig
+from repro.totem.fragmentation import Fragmenter, Reassembler
+from repro.totem.messages import DataMsg, FormMsg, JoinMsg, ProbeMsg, Token
+
+DeliverFn = Callable[[str, bytes], None]
+ViewFn = Callable[["View"], None]
+
+_DATA_HEADER = 32  # keep in sync with messages._DATA_HEADER
+
+
+class MemberState(enum.Enum):
+    """Ring-member protocol phase (see the module docstring)."""
+
+    GATHER = "gather"
+    RECOVERY = "recovery"
+    OPERATIONAL = "operational"
+
+
+@dataclass(frozen=True)
+class View:
+    """A membership view: the ring identifier and its sorted member list."""
+
+    ring_id: int
+    members: Tuple[str, ...]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.members
+
+
+class TotemMember:
+    """One ring member; see the module docstring for the protocol."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        config: TotemConfig,
+        *,
+        on_deliver: DeliverFn,
+        on_view_change: Optional[ViewFn] = None,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.endpoint = endpoint
+        self.config = config
+        self.tracer = tracer
+        self.on_deliver = on_deliver
+        self.on_view_change = on_view_change
+        self.node_id = endpoint.node_id
+        self._scheduler = endpoint.process.scheduler
+
+        # Ring state
+        self.state = MemberState.GATHER
+        self.ring_id = 0
+        self.members: Tuple[str, ...] = ()
+        self.fresh = True
+        self.delivered_aru = 0          # highest contiguously delivered seq
+        self._held: Dict[int, DataMsg] = {}
+
+        # Sending
+        max_chunk = endpoint.network.config.mtu_payload - _DATA_HEADER
+        self._fragmenter = Fragmenter(self.node_id, max_chunk)
+        self._reassembler = Reassembler()
+        self._send_queue: List[tuple] = []
+        self._inflight: Dict[Tuple[Tuple[str, int], int], tuple] = {}
+        # Sequence numbers we broadcast whose loopback copy has not arrived
+        # yet; they must not be mistaken for gaps in the rtr scan.
+        self._own_pending: set = set()
+
+        # Membership bookkeeping
+        self.last_install_was_fresh = False
+        self._joins: Dict[str, JoinMsg] = {}
+        self._pending_form: Optional[FormMsg] = None
+        self._gather_deadline: Optional[Event] = None
+        self._join_timer: Optional[Event] = None
+        self._token_timer: Optional[Event] = None
+        self._recovery_deadline: Optional[Event] = None
+        self._active = True
+
+        self._last_probe = 0.0
+        endpoint.register(DataMsg, self._on_data)
+        endpoint.register(Token, self._on_token_frame)
+        endpoint.register(JoinMsg, self._on_join)
+        endpoint.register(FormMsg, self._on_form)
+        endpoint.register(ProbeMsg, self._on_probe)
+        endpoint.process.on_crash(self.shutdown)
+
+        self._enter_gather()
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def view(self) -> View:
+        return View(self.ring_id, self.members)
+
+    @property
+    def operational(self) -> bool:
+        return self.state is MemberState.OPERATIONAL
+
+    def multicast(self, payload: bytes) -> None:
+        """Queue ``payload`` for reliable totally-ordered delivery to all
+        ring members (including this one).  Larger-than-MTU payloads are
+        fragmented into multiple sequenced frames."""
+        if not self._active:
+            raise NotInRing(f"{self.node_id}: member is shut down")
+        if len(self._send_queue) >= self.config.max_queue:
+            raise TotemError(f"{self.node_id}: send queue overflow")
+        self._send_queue.extend(self._fragmenter.fragment(payload))
+
+    def shutdown(self) -> None:
+        """Deactivate (process crash or stack teardown): cancel all timers
+        and stop reacting to frames.  Volatile ring state is abandoned."""
+        if not self._active:
+            return
+        self._active = False
+        for event in (self._gather_deadline, self._join_timer,
+                      self._token_timer, self._recovery_deadline):
+            if event is not None:
+                event.cancel()
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def _on_data(self, src: str, msg: DataMsg) -> None:
+        if not self._active:
+            return
+        if msg.sender == self.node_id:
+            self._own_pending.discard(msg.seq)
+        if self.state is MemberState.OPERATIONAL \
+                and msg.sender not in self.members:
+            # Foreign traffic: another ring exists (a healed partition).
+            # Disturb both rings into a merging gather.
+            self.tracer.emit("totem", "foreign", node=self.node_id,
+                             sender=msg.sender)
+            self._enter_gather()
+            return
+        if msg.seq <= self.delivered_aru or msg.seq in self._held:
+            return
+        if self.state is MemberState.RECOVERY:
+            form = self._pending_form
+            if form is None or msg.seq > form.flush_seq:
+                return
+        elif msg.ring_id != self.ring_id:
+            return  # stale traffic from a superseded ring
+        self._held[msg.seq] = msg
+        self._try_deliver()
+        if self.state is MemberState.RECOVERY:
+            self._maybe_install()
+
+    def _try_deliver(self) -> None:
+        while (self.delivered_aru + 1) in self._held:
+            self.delivered_aru += 1
+            msg = self._held[self.delivered_aru]
+            if msg.sender == self.node_id:
+                self._inflight.pop((msg.msg_id, msg.frag_index), None)
+            payload = self._reassembler.add(
+                msg.msg_id, msg.frag_index, msg.frag_count, msg.chunk
+            )
+            if payload is not None:
+                self.tracer.emit("totem", "deliver", node=self.node_id,
+                                 origin=msg.msg_id[0], seq=msg.seq,
+                                 size=len(payload))
+                self.on_deliver(msg.msg_id[0], payload)
+
+    # ------------------------------------------------------------------
+    # Token path
+    # ------------------------------------------------------------------
+
+    def _on_token_frame(self, src: str, token: Token) -> None:
+        if not self._active or self.state is not MemberState.OPERATIONAL:
+            return
+        if token.ring_id != self.ring_id:
+            return  # stale token from a superseded ring
+        self._reset_token_timer()
+        self.tracer.emit("totem", "token", node=self.node_id, seq=token.seq,
+                         aru=token.aru)
+
+        # 1. Service retransmission requests we can satisfy.
+        unresolved: List[int] = []
+        for seq in token.rtr:
+            held = self._held.get(seq)
+            if held is not None:
+                self._broadcast_frame(replace(held, retransmit=True))
+                self.tracer.emit("totem", "retransmit", node=self.node_id,
+                                 seq=seq)
+            else:
+                unresolved.append(seq)
+        token.rtr = unresolved
+
+        # 2. Broadcast queued fragments, up to the burst window.
+        burst = min(self.config.max_burst, len(self._send_queue))
+        for _ in range(burst):
+            msg_id, index, count, chunk = self._send_queue.pop(0)
+            token.seq += 1
+            msg = DataMsg(self.ring_id, token.seq, self.node_id,
+                          msg_id, index, count, chunk)
+            self._inflight[(msg_id, index)] = (msg_id, index, count, chunk)
+            self._own_pending.add(token.seq)
+            self._broadcast_frame(msg)
+
+        # 3. Request retransmission of our genuine gaps (messages we just
+        # broadcast are still looping back — not gaps).
+        budget = 64
+        for seq in range(self.delivered_aru + 1, token.seq + 1):
+            if budget == 0:
+                break
+            if (seq not in self._held and seq not in token.rtr
+                    and seq not in self._own_pending):
+                token.rtr.append(seq)
+                budget -= 1
+
+        # 4. Update the all-received-up-to watermark (Totem aru rule): any
+        # member lagging lowers it and stamps its id; the stamping member
+        # (or an unclaimed token) raises it to the member's own aru, and a
+        # full quiet rotation converges it to the ring-wide minimum.
+        if self.delivered_aru < token.aru:
+            token.aru = self.delivered_aru
+            token.aru_id = self.node_id
+        elif token.aru_id in ("", self.node_id):
+            token.aru = self.delivered_aru
+            token.aru_id = self.node_id if token.aru < token.seq else ""
+
+        # 5. Garbage-collect messages that are safe at all members.
+        threshold = token.aru - self.config.retain_safe_slack
+        if threshold > 0:
+            for seq in [s for s in self._held if s <= threshold]:
+                del self._held[seq]
+
+        if self.members and self.node_id == self.members[0]:
+            token.rotations += 1
+            now = self._scheduler.now
+            if now - self._last_probe >= self.config.probe_interval:
+                self._last_probe = now
+                probe = ProbeMsg(self.ring_id, self.node_id, self.members)
+                self.endpoint.broadcast(probe, probe.size_bytes)
+
+        # 6. Forward to the ring successor after the hold time.
+        successor = self._successor()
+        forwarded = Token(token.ring_id, token.seq, token.aru, token.aru_id,
+                          list(token.rtr), token.rotations)
+        self.endpoint.process.call_after(
+            self.config.token_hold,
+            self._forward_token, forwarded, successor,
+        )
+
+    def _forward_token(self, token: Token, successor: str) -> None:
+        if not self._active or self.state is not MemberState.OPERATIONAL:
+            return
+        if token.ring_id != self.ring_id:
+            return
+        self.endpoint.unicast(successor, token, token.size_bytes)
+
+    def _successor(self) -> str:
+        index = self.members.index(self.node_id)
+        return self.members[(index + 1) % len(self.members)]
+
+    def _broadcast_frame(self, msg: DataMsg) -> None:
+        self.tracer.emit("totem", "frame", node=self.node_id, seq=msg.seq,
+                         size=msg.size_bytes, retransmit=msg.retransmit)
+        self.endpoint.broadcast(msg, msg.size_bytes)
+
+    def _reset_token_timer(self) -> None:
+        if self._token_timer is not None:
+            self._token_timer.cancel()
+        self._token_timer = self.endpoint.process.call_after(
+            self.config.token_timeout, self._on_token_timeout
+        )
+
+    def _on_token_timeout(self) -> None:
+        if not self._active or self.state is not MemberState.OPERATIONAL:
+            return
+        self.tracer.emit("totem", "token_timeout", node=self.node_id)
+        self._enter_gather()
+
+    def _on_probe(self, src: str, probe: ProbeMsg) -> None:
+        """A probe from a ring we are not part of means a healed partition:
+        disturb both rings into a merging gather."""
+        if not self._active or self.state is not MemberState.OPERATIONAL:
+            return
+        if probe.sender in self.members:
+            return
+        self.tracer.emit("totem", "foreign", node=self.node_id,
+                         sender=probe.sender)
+        self._enter_gather()
+
+    # ------------------------------------------------------------------
+    # Membership: gather
+    # ------------------------------------------------------------------
+
+    def _enter_gather(self) -> None:
+        self.state = MemberState.GATHER
+        self._pending_form = None
+        self._joins = {}
+        for event in (self._token_timer, self._recovery_deadline):
+            if event is not None:
+                event.cancel()
+        self.tracer.emit("totem", "gather", node=self.node_id)
+        self._record_own_join()
+        self._broadcast_join()
+        self._arm_join_timer()
+        self._extend_gather_deadline()
+
+    def _record_own_join(self) -> None:
+        self._joins[self.node_id] = self._make_join()
+
+    def _make_join(self) -> JoinMsg:
+        return JoinMsg(
+            sender=self.node_id,
+            ring_id_seen=self.ring_id,
+            delivered_aru=self.delivered_aru,
+            held=frozenset(self._held),
+            fresh=self.fresh,
+            view_members=self.members,
+        )
+
+    def _broadcast_join(self) -> None:
+        join = self._make_join()
+        self._joins[self.node_id] = join
+        self.endpoint.broadcast(join, join.size_bytes)
+
+    def _arm_join_timer(self) -> None:
+        if self._join_timer is not None:
+            self._join_timer.cancel()
+        self._join_timer = self.endpoint.process.call_after(
+            self.config.join_interval, self._join_tick
+        )
+
+    def _join_tick(self) -> None:
+        if not self._active or self.state is not MemberState.GATHER:
+            return
+        self._broadcast_join()
+        self._arm_join_timer()
+
+    def _extend_gather_deadline(self) -> None:
+        if self._gather_deadline is not None:
+            self._gather_deadline.cancel()
+        self._gather_deadline = self.endpoint.process.call_after(
+            self.config.gather_timeout, self._on_gather_deadline
+        )
+
+    def _on_join(self, src: str, join: JoinMsg) -> None:
+        if not self._active:
+            return
+        if self.state is MemberState.OPERATIONAL:
+            # A member (re)joining disturbs the ring: reform it.
+            self._enter_gather()
+        elif self.state is MemberState.RECOVERY:
+            # Recovery interrupted by a new gather round.
+            self._enter_gather()
+        is_new = src not in self._joins
+        self._joins[src] = join
+        if is_new:
+            self._extend_gather_deadline()
+
+    def _on_gather_deadline(self) -> None:
+        if not self._active or self.state is not MemberState.GATHER:
+            return
+        candidates = sorted(self._joins)
+        leader = candidates[0]
+        if leader != self.node_id:
+            # Await the leader's FORM; restart gather if it never comes.
+            self._arm_recovery_deadline()
+            return
+        form = self._compute_form(candidates)
+        self.tracer.emit("totem", "form", node=self.node_id,
+                         ring_id=form.ring_id, members=form.members,
+                         flush_seq=form.flush_seq)
+        self.endpoint.broadcast(form, form.size_bytes)
+
+    def _compute_form(self, candidates: List[str]) -> FormMsg:
+        joins = [self._joins[c] for c in candidates]
+        ring_id = max(j.ring_id_seen for j in joins) + 1
+        # Healed-partition merge: group the non-fresh joins into connected
+        # components by *view overlap*.  Members that merely lag a ring
+        # generation still share view members with the rest (same history,
+        # just a shorter prefix); members out of a healed partition arrive
+        # with disjoint views (their rings reformed without each other) and
+        # carry histories that cannot both be kept.  The canonical side is
+        # the largest component (ties break on the smallest node id);
+        # everyone else rejoins fresh (primary-component semantics).
+        fresh_members: List[str] = [j.sender for j in joins if j.fresh]
+        components = self._view_components(
+            [j for j in joins if not j.fresh]
+        )
+        if len(components) > 1:
+            components.sort(key=lambda c: (-len(c),
+                                           min(j.sender for j in c)))
+            for component in components[1:]:
+                fresh_members.extend(j.sender for j in component)
+        surviving = [j for j in joins
+                     if not j.fresh and j.sender not in fresh_members]
+        if surviving:
+            lo = min(j.delivered_aru for j in surviving)
+            hi = max(max(j.held, default=j.delivered_aru) for j in surviving)
+        else:
+            lo = hi = 0
+        holders: Dict[int, str] = {}
+        flush_seq = lo
+        for seq in range(lo + 1, hi + 1):
+            holder = next(
+                (j.sender for j in surviving if seq in j.held), None
+            )
+            if holder is None:
+                # No survivor retains seq ⇒ no survivor delivered it or
+                # anything after it; truncate the flush consistently.
+                break
+            holders[seq] = holder
+            flush_seq = seq
+        return FormMsg(
+            ring_id=ring_id,
+            leader=self.node_id,
+            members=tuple(candidates),
+            flush_seq=flush_seq,
+            base_seq=flush_seq,
+            holders=holders,
+            fresh_members=tuple(sorted(set(fresh_members))),
+        )
+
+    @staticmethod
+    def _view_components(joins: List[JoinMsg]) -> List[List[JoinMsg]]:
+        """Connected components of joins under view-membership overlap.
+
+        A join with no recorded view (never installed a ring) connects to
+        everything — it cannot have diverged.
+        """
+        components: List[List[JoinMsg]] = []
+        component_nodes: List[set] = []
+        for join in joins:
+            nodes = set(join.view_members) | {join.sender}
+            matches = [i for i, existing in enumerate(component_nodes)
+                       if existing & nodes or not join.view_members]
+            if not matches:
+                components.append([join])
+                component_nodes.append(nodes)
+                continue
+            # merge all matching components with this join
+            target = matches[0]
+            components[target].append(join)
+            component_nodes[target] |= nodes
+            for index in reversed(matches[1:]):
+                components[target].extend(components.pop(index))
+                component_nodes[target] |= component_nodes.pop(index)
+        return components
+
+    # ------------------------------------------------------------------
+    # Membership: recovery (flush) and installation
+    # ------------------------------------------------------------------
+
+    def _on_form(self, src: str, form: FormMsg) -> None:
+        if not self._active or self.state is not MemberState.GATHER:
+            return
+        if self.node_id not in form.members:
+            # Too late for this round; keep gathering, which will disturb
+            # the new ring into admitting us.
+            return
+        if self._join_timer is not None:
+            self._join_timer.cancel()
+        if self._gather_deadline is not None:
+            self._gather_deadline.cancel()
+        if self.node_id in form.fresh_members:
+            # Our pre-merge history lost the primary-component vote: rejoin
+            # as a history-less member (the Eternal layer re-synchronizes
+            # replica state above us).
+            self.fresh = True
+            self.delivered_aru = 0
+            self._held.clear()
+            self._reassembler = Reassembler()
+        self.state = MemberState.RECOVERY
+        self._pending_form = form
+        self._arm_recovery_deadline()
+        # Rebroadcast the flush messages assigned to us.
+        for seq, holder in sorted(form.holders.items()):
+            if holder == self.node_id:
+                held = self._held.get(seq)
+                if held is not None:
+                    self._broadcast_frame(replace(held, retransmit=True))
+        self._maybe_install()
+
+    def _arm_recovery_deadline(self) -> None:
+        if self._recovery_deadline is not None:
+            self._recovery_deadline.cancel()
+        self._recovery_deadline = self.endpoint.process.call_after(
+            self.config.gather_timeout * 5, self._on_recovery_timeout
+        )
+
+    def _on_recovery_timeout(self) -> None:
+        if not self._active:
+            return
+        if self.state in (MemberState.RECOVERY, MemberState.GATHER):
+            self.tracer.emit("totem", "recovery_timeout", node=self.node_id)
+            self._enter_gather()
+
+    def _maybe_install(self) -> None:
+        form = self._pending_form
+        if form is None:
+            return
+        if self.fresh:
+            # Skip pre-join traffic; Eternal recovers replica state above us.
+            self.delivered_aru = max(self.delivered_aru, form.base_seq)
+            self._held = {s: m for s, m in self._held.items()
+                          if s > self.delivered_aru}
+        if self.delivered_aru < form.flush_seq:
+            return
+        self._install(form)
+
+    def _install(self, form: FormMsg) -> None:
+        self._pending_form = None
+        if self._recovery_deadline is not None:
+            self._recovery_deadline.cancel()
+        self.ring_id = form.ring_id
+        self.members = form.members
+        self.state = MemberState.OPERATIONAL
+        # Record whether this install discarded our history (brand-new
+        # member, or we lost the primary-component vote in a merge): the
+        # layer above reads this to re-synchronize replica state.
+        self.last_install_was_fresh = self.fresh
+        self.fresh = False
+        # Re-queue our orphaned fragments: broadcast but never sequenced
+        # into the surviving history, so no member delivered them.
+        if self._inflight:
+            orphans = [self._inflight[k] for k in sorted(self._inflight)]
+            self._inflight.clear()
+            self._send_queue = orphans + self._send_queue
+        self._own_pending.clear()
+        self.tracer.emit("totem", "install", node=self.node_id,
+                         ring_id=self.ring_id, members=self.members)
+        if self.on_view_change is not None:
+            self.on_view_change(self.view)
+        self._reset_token_timer()
+        if form.leader == self.node_id:
+            token = Token(form.ring_id, form.flush_seq, form.flush_seq)
+            self.endpoint.process.call_after(
+                self.config.token_hold, self._on_token_frame,
+                self.node_id, token,
+            )

@@ -1,0 +1,147 @@
+"""Wire messages of the Totem single-ring protocol.
+
+Each message declares an honest ``size_bytes`` so the network model charges
+realistic transmission time.  The sizes follow the layout a real
+implementation would use (fixed header plus per-entry costs); the payload of
+a :class:`DataMsg` is actual bytes, so its dominant term is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+_DATA_HEADER = 32       # ring_id, seq, sender, fragment info, checksum
+_TOKEN_BASE = 48        # ring_id, seq, aru, aru_id, rotation counter
+_JOIN_BASE = 64         # sender, ring_id seen, aru, fresh flag, digest
+_FORM_BASE = 64         # ring_id, flush_seq, leader
+
+
+@dataclass(frozen=True)
+class DataMsg:
+    """One sequenced multicast frame carrying a fragment of an application
+    message.  ``seq`` is globally unique and monotonically increasing across
+    ring reformations (the new ring continues from the flush sequence)."""
+
+    ring_id: int
+    seq: int
+    sender: str
+    msg_id: Tuple[str, int]     # (originating node, per-origin counter)
+    frag_index: int
+    frag_count: int
+    chunk: bytes
+    retransmit: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        return _DATA_HEADER + len(self.chunk)
+
+
+@dataclass
+class Token:
+    """The circulating token.  Possession authorizes broadcasting.
+
+    ``seq`` is the highest sequence number assigned so far; ``aru``
+    (all-received-up-to) is the lowest contiguous sequence number received by
+    every member, tracked with the standard Totem ``aru_id`` rule; ``rtr``
+    lists sequence numbers some member is missing (retransmission requests).
+    """
+
+    ring_id: int
+    seq: int
+    aru: int
+    aru_id: str = ""
+    rtr: List[int] = field(default_factory=list)
+    rotations: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return _TOKEN_BASE + 8 * len(self.rtr)
+
+
+@dataclass(frozen=True)
+class ProbeMsg:
+    """Periodic leader broadcast announcing the ring's existence.
+
+    Rings in a healed partition exchange no data until an application
+    message happens to cross; the probe guarantees that concurrent rings
+    discover each other (and merge) within a bounded time even when idle.
+    """
+
+    ring_id: int
+    sender: str
+    members: Tuple[str, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return 40 + 16 * len(self.members)
+
+
+@dataclass(frozen=True)
+class JoinMsg:
+    """Broadcast during the gather phase (and by joining members).
+
+    ``delivered_aru`` / ``held`` describe what the sender can contribute to
+    the flush; ``fresh`` marks a member with no history (a re-launched
+    process), which will skip pre-join traffic — replica state is then
+    restored by Eternal's recovery mechanisms, not by Totem.
+
+    ``view_members`` is the sender's last installed ring membership; the
+    gather leader uses view *connectivity* to distinguish members that
+    merely lag a ring generation (overlapping views — same history) from
+    members arriving out of a healed partition (disjoint views — divergent
+    histories that cannot both be kept).
+    """
+
+    sender: str
+    ring_id_seen: int
+    delivered_aru: int
+    held: FrozenSet[int]
+    fresh: bool
+    view_members: Tuple[str, ...] = ()
+
+    @property
+    def size_bytes(self) -> int:
+        # The held set is contiguous except for loss-induced holes, so the
+        # wire form is a run-length range list: 8 bytes per maximal range.
+        return (_JOIN_BASE + 8 * self._range_count()
+                + 16 * len(self.view_members))
+
+    def _range_count(self) -> int:
+        if not self.held:
+            return 0
+        ranges = 1
+        previous = None
+        for seq in sorted(self.held):
+            if previous is not None and seq != previous + 1:
+                ranges += 1
+            previous = seq
+        return ranges
+
+
+@dataclass(frozen=True)
+class FormMsg:
+    """Sent by the gather leader to install the new ring.
+
+    ``holders`` maps each sequence number in the flush window to one member
+    that retains it; those members rebroadcast so every new member reaches
+    ``flush_seq`` before the view is installed.
+
+    ``fresh_members`` lists members whose pre-merge history is *not* the
+    canonical one (a healed partition merges divergent rings; the larger
+    side's history wins and the other side rejoins as history-less —
+    primary-component semantics).
+    """
+
+    ring_id: int
+    leader: str
+    members: Tuple[str, ...]
+    flush_seq: int
+    base_seq: int               # deliveries start after this for fresh members
+    holders: Dict[int, str]
+    fresh_members: Tuple[str, ...] = ()
+
+    @property
+    def size_bytes(self) -> int:
+        return (_FORM_BASE + 16 * len(self.members)
+                + 12 * len(self.holders) + 16 * len(self.fresh_members))

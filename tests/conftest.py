@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+from repro.simnet.scheduler import Scheduler
+from repro.simnet.trace import Tracer
+
+
+@pytest.fixture
+def scheduler():
+    return Scheduler()
+
+
+@pytest.fixture
+def tracer(scheduler):
+    t = Tracer(keep_records=True)
+    t.bind_clock(lambda: scheduler.now)
+    return t
+
+
+@pytest.fixture
+def network(scheduler, tracer):
+    return Network(scheduler, tracer=tracer)
+
+
+@pytest.fixture
+def make_process(scheduler, tracer):
+    def factory(node_id="node"):
+        return Process(scheduler, node_id, tracer=tracer)
+    return factory

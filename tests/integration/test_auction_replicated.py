@@ -1,0 +1,138 @@
+"""Integration: the auction app under replication and faults.
+
+Interesting because normal operation *includes user exceptions* (rejected
+bids): the exception replies must be deduplicated and delivered exactly
+like results, and replicas must agree on which bids were rejected.
+"""
+
+import pytest
+
+from repro import EternalSystem, FTProperties, ReplicationStyle
+from repro.apps.auction import AuctionServant
+from repro.ftcorba.checkpointable import Checkpointable
+from repro.giop.ior import IOR
+from repro.giop.messages import ReplyStatus
+from repro.orb.servant import operation
+
+AUCTION = "IDL:repro/Auction:1.0"
+BIDDER = "IDL:repro/BidderBot:1.0"
+
+
+class BidderBot(Checkpointable):
+    """Streams bids; roughly half get rejected (too low) by design."""
+
+    type_id = BIDDER
+
+    def __init__(self, auction_ior, name):
+        self._ior = auction_ior
+        self.name = name
+        self.attempts = 0
+        self.accepted = 0
+        self.rejected = 0
+        self._proxy = None
+
+    def _ensure(self):
+        if self._proxy is None:
+            self._proxy = self._eternal_container.connect(
+                IOR.from_string(self._ior)
+            )
+        return self._proxy
+
+    def _amount(self) -> int:
+        # alternately too-low and high enough: deterministic rejections
+        base = 100 + self.attempts * 10
+        if self.attempts % 2:
+            return base - 95          # below reserve: rejected
+        return base
+
+    def start(self):
+        self._ensure().invoke("create_auction", "lot", 100,
+                              on_reply=self._on_created)
+
+    def _on_created(self, reply):
+        self._next_bid()
+
+    def _next_bid(self):
+        self._ensure().invoke("bid", "lot", self.name, self._amount(),
+                              on_reply=self._on_bid)
+        self.attempts += 1
+
+    def _on_bid(self, reply):
+        if reply.reply_status is ReplyStatus.NO_EXCEPTION:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+        self._next_bid()
+
+    def resume(self):
+        if self.attempts > self.accepted + self.rejected:
+            # re-issue the in-flight bid (argument derived from state)
+            self.attempts -= 1
+            self._next_bid()
+
+    def get_state(self):
+        return {"attempts": self.attempts, "accepted": self.accepted,
+                "rejected": self.rejected, "name": self.name}
+
+    def set_state(self, state):
+        self.attempts = state["attempts"]
+        self.accepted = state["accepted"]
+        self.rejected = state["rejected"]
+        self.name = state["name"]
+
+
+def deploy():
+    system = EternalSystem(["m", "c1", "s1", "s2"])
+    system.register_factory(AUCTION, AuctionServant, nodes=["s1", "s2"])
+    house = system.create_group("house", AUCTION,
+                                FTProperties(initial_replicas=2,
+                                             min_replicas=1),
+                                nodes=["s1", "s2"])
+    system.run_for(0.05)
+    iogr = house.iogr().stringify()
+    system.register_factory(BIDDER, lambda: BidderBot(iogr, "bot"),
+                            nodes=["c1"])
+    system.create_group("bidder", BIDDER, FTProperties(initial_replicas=1),
+                        nodes=["c1"])
+    system.run_for(0.4)
+    return system, house
+
+
+def test_replicas_agree_on_accepted_and_rejected_bids():
+    system, house = deploy()
+    s1 = house.servant_on("s1")
+    s2 = house.servant_on("s2")
+    assert s1.get_state() == s2.get_state()
+    assert s1.bid_counter > 20
+    s1.check_invariants()
+    s2.check_invariants()
+
+
+def test_rejections_survive_recovery():
+    system, house = deploy()
+    system.kill_node("s2")
+    system.run_for(0.2)
+    system.restart_node("s2")
+    assert system.wait_for(lambda: house.is_operational_on("s2"),
+                           timeout=5.0)
+    system.run_for(0.4)
+    s1 = house.servant_on("s1")
+    s2 = house.servant_on("s2")
+    assert s1.get_state() == s2.get_state()
+    s2.check_invariants()
+    # the bidder observed exactly the rejections the replicas recorded
+    from repro.core.system import GroupHandle
+    bidder = GroupHandle(system, "bidder").servant_on("c1")
+    accepted_bids = sum(len(a["history"]) for a in s1.auctions.values())
+    assert abs(bidder.accepted - accepted_bids) <= 1
+
+
+def test_exception_replies_are_deduplicated():
+    """With two active server replicas, each rejection produces two
+    exception replies on the wire; the client must see each rejection
+    exactly once (attempts == accepted + rejected, modulo in-flight)."""
+    system, house = deploy()
+    from repro.core.system import GroupHandle
+    bidder = GroupHandle(system, "bidder").servant_on("c1")
+    assert bidder.rejected > 5
+    assert 0 <= bidder.attempts - (bidder.accepted + bidder.rejected) <= 1

@@ -1,0 +1,140 @@
+"""Integration: system assembly, group deployment, invocation round trips."""
+
+import pytest
+
+from repro import EternalSystem, FTProperties, ReplicationStyle
+from repro.apps import CounterServant
+from repro.apps.packet_driver import PacketDriverServant
+
+COUNTER = "IDL:repro/Counter:1.0"
+DRIVER = "IDL:repro/PacketDriver:1.0"
+
+
+def test_ring_forms_over_all_nodes():
+    system = EternalSystem(["a", "b", "c", "d"])
+    assert system.wait_for(system.ring_formed, timeout=1.0)
+
+
+def test_group_deploys_on_chosen_nodes():
+    system = EternalSystem(["m", "n1", "n2"])
+    system.register_factory(COUNTER, CounterServant)
+    group = system.create_group("ctr", COUNTER,
+                                FTProperties(initial_replicas=2),
+                                nodes=["n1", "n2"])
+    system.run_for(0.1)
+    assert group.operational_nodes() == ["n1", "n2"]
+    assert group.member_nodes() == ["n1", "n2"]
+    assert group.servant_on("n1") is not None
+    assert group.servant_on("m") is None
+
+
+def test_auto_placement_uses_capable_nodes():
+    system = EternalSystem(["m", "n1", "n2", "n3"])
+    system.register_factory(COUNTER, CounterServant, nodes=["n1", "n3"])
+    group = system.create_group("ctr", COUNTER,
+                                FTProperties(initial_replicas=2))
+    system.run_for(0.1)
+    assert group.operational_nodes() == ["n1", "n3"]
+
+
+def test_iogr_resolvable_and_stable():
+    system = EternalSystem(["m", "n1"])
+    system.register_factory(COUNTER, CounterServant)
+    group = system.create_group("ctr", COUNTER,
+                                FTProperties(initial_replicas=1),
+                                nodes=["n1"])
+    system.run_for(0.1)
+    iogr = group.iogr()
+    assert iogr.host == "ctr"
+    from repro.giop.ior import IOR
+    assert IOR.from_string(iogr.stringify()) == iogr
+
+
+def test_client_invocations_reach_all_active_replicas():
+    system = EternalSystem(["m", "c", "s1", "s2"])
+    from repro.apps.kvstore import make_kvstore_factory
+    system.register_factory("IDL:repro/KvStore:1.0",
+                            make_kvstore_factory(10), nodes=["s1", "s2"])
+    store = system.create_group("store", "IDL:repro/KvStore:1.0",
+                                FTProperties(initial_replicas=2),
+                                nodes=["s1", "s2"])
+    system.run_for(0.1)
+    iogr = store.iogr().stringify()
+    system.register_factory(
+        DRIVER, lambda: PacketDriverServant(iogr, max_invocations=20),
+        nodes=["c"],
+    )
+    driver = system.create_group("drv", DRIVER,
+                                 FTProperties(initial_replicas=1),
+                                 nodes=["c"])
+    assert system.wait_for(
+        lambda: (driver.servant_on("c") is not None
+                 and driver.servant_on("c").acked == 20),
+        timeout=5.0,
+    )
+    assert store.servant_on("s1").echo_count == 20
+    assert store.servant_on("s2").echo_count == 20
+
+
+def test_duplicate_requests_from_replicated_client_suppressed():
+    """Paper §2.1: three-way replicated client ⇒ the server sees each
+    invocation once, not three times."""
+    system = EternalSystem(["m", "c1", "c2", "c3", "s1"])
+    from repro.apps.kvstore import make_kvstore_factory
+    system.register_factory("IDL:repro/KvStore:1.0",
+                            make_kvstore_factory(10), nodes=["s1"])
+    store = system.create_group("store", "IDL:repro/KvStore:1.0",
+                                FTProperties(initial_replicas=1),
+                                nodes=["s1"])
+    system.run_for(0.1)
+    iogr = store.iogr().stringify()
+    clients = ["c1", "c2", "c3"]
+    system.register_factory(
+        DRIVER, lambda: PacketDriverServant(iogr, max_invocations=10),
+        nodes=clients,
+    )
+    driver = system.create_group("drv", DRIVER,
+                                 FTProperties(initial_replicas=3,
+                                              min_replicas=1),
+                                 nodes=clients)
+    assert system.wait_for(
+        lambda: all(
+            driver.servant_on(c) is not None
+            and driver.servant_on(c).acked == 10 for c in clients
+        ),
+        timeout=5.0,
+    )
+    assert store.servant_on("s1").echo_count == 10
+    # every client replica converged to identical state
+    states = {repr(sorted(driver.servant_on(c).get_state().items()))
+              for c in clients}
+    assert len(states) == 1
+
+
+def test_multiple_groups_coexist():
+    system = EternalSystem(["m", "n1", "n2"])
+    system.register_factory(COUNTER, CounterServant)
+    g1 = system.create_group("one", COUNTER,
+                             FTProperties(initial_replicas=2),
+                             nodes=["n1", "n2"])
+    g2 = system.create_group("two", COUNTER,
+                             FTProperties(initial_replicas=1), nodes=["n1"])
+    system.run_for(0.1)
+    assert g1.operational_nodes() == ["n1", "n2"]
+    assert g2.operational_nodes() == ["n1"]
+
+
+def test_empty_node_list_rejected():
+    with pytest.raises(Exception):
+        EternalSystem([])
+
+
+def test_duplicate_group_rejected():
+    system = EternalSystem(["m", "n1"])
+    system.register_factory(COUNTER, CounterServant)
+    system.create_group("g", COUNTER, FTProperties(initial_replicas=1),
+                        nodes=["n1"])
+    from repro.errors import ObjectGroupError
+    with pytest.raises(ObjectGroupError):
+        system.create_group("g", COUNTER, FTProperties(initial_replicas=1),
+                            nodes=["n1"])

@@ -1,0 +1,53 @@
+"""Integration: every example script runs to completion successfully.
+
+The examples are the library's front door; each asserts its own outcome
+internally, so importing and running ``main()`` both smoke-tests the
+public API and keeps the examples from rotting.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+def test_example_inventory_complete():
+    assert set(EXAMPLES) >= {
+        "quickstart.py",
+        "bank_failover.py",
+        "packet_driver_demo.py",
+        "evolution_upgrade.py",
+        "partition_demo.py",
+        "recovery_timeline.py",
+        "auction_bidding_war.py",
+    }
+
+
+@pytest.mark.parametrize("name", [n for n in EXAMPLES
+                                  if n != "packet_driver_demo.py"])
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert "OK" in out or "consistent" in out or "recovered" in out
+
+
+def test_packet_driver_demo_runs(capsys):
+    # the Figure-6 sweep is the slowest example; keep it last and separate
+    run_example("packet_driver_demo.py")
+    out = capsys.readouterr().out
+    assert "350,000" in out
+    assert "Figure 6" in out

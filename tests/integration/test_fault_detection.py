@@ -1,0 +1,103 @@
+"""Integration: pull-based replica fault detection (FT-CORBA monitoring).
+
+A replica that hangs while its process stays alive is invisible to the
+ring membership; the per-node fault detector polls each hosted replica at
+the group's fault monitoring interval and reports via the total order, and
+the Replication Manager replaces the faulty member.
+"""
+
+import pytest
+
+from repro.bench.deployments import build_client_server
+from repro.ftcorba.properties import ReplicationStyle
+
+
+def test_hung_active_replica_detected_and_replaced():
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=2, state_size=200,
+                                     warmup=0.2)
+    system = deployment.system
+    group = deployment.server_group
+    driver = deployment.driver
+    system.hang_replica("store", "s2")
+    # the ring never changes: the process is alive
+    assert system.stacks["s2"].process.alive
+    # the detector reports, the RM drops the member and re-places it on
+    # the same (healthy) node; recovery re-synchronizes the new replica
+    assert system.wait_for(
+        lambda: system.tracer.count("fault_detector.report") > 0,
+        timeout=5.0,
+    )
+    assert system.wait_for(lambda: group.is_operational_on("s2"),
+                           timeout=5.0)
+    system.run_for(0.3)
+    s1 = group.servant_on("s1")
+    s2 = group.servant_on("s2")
+    assert not getattr(s2, "_hung_for_test", False)   # fresh servant
+    assert s1.echo_count == s2.echo_count
+    assert driver.acked > 0
+
+
+def test_service_continues_while_hung_replica_detected():
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=2, state_size=200,
+                                     warmup=0.2)
+    system = deployment.system
+    driver = deployment.driver
+    before = driver.acked
+    system.hang_replica("store", "s2")
+    system.run_for(0.5)
+    # the healthy replica kept answering throughout detection+replacement
+    assert driver.acked > before + 100
+
+
+def test_hung_passive_primary_fails_over():
+    deployment = build_client_server(style=ReplicationStyle.WARM_PASSIVE,
+                                     server_replicas=2, state_size=200,
+                                     checkpoint_interval=0.1, warmup=0.3)
+    system = deployment.system
+    group = deployment.server_group
+    driver = deployment.driver
+    primary = group.primary_node()
+    backup = [n for n in deployment.server_nodes if n != primary][0]
+    acked = driver.acked
+    system.hang_replica("store", primary)
+    assert system.wait_for(lambda: driver.acked > acked + 50, timeout=5.0)
+    assert group.primary_node() == backup
+    system.run_for(0.3)
+    servant = group.servant_on(backup)
+    assert 0 <= servant.echo_count - driver.acked <= 1
+
+
+def test_fault_report_reaches_notifier_with_group():
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=2, state_size=200,
+                                     warmup=0.2)
+    system = deployment.system
+    system.hang_replica("store", "s1")
+    assert system.wait_for(
+        lambda: any(r.group_id == "store" and r.node_id == "s1"
+                    for r in system.fault_notifier.history),
+        timeout=5.0,
+    )
+    report = next(r for r in system.fault_notifier.history
+                  if r.group_id == "store")
+    assert report.reason == "unresponsive"
+
+
+def test_healthy_replicas_never_reported():
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=2, state_size=200,
+                                     warmup=0.2)
+    system = deployment.system
+    system.run_for(1.0)
+    assert system.tracer.count("fault_detector.report") == 0
+
+
+def test_hang_unknown_replica_rejected():
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=1, state_size=100,
+                                     warmup=0.1)
+    from repro.errors import SimulationError
+    with pytest.raises(SimulationError):
+        deployment.system.hang_replica("store", "c1")

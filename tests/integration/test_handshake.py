@@ -1,0 +1,88 @@
+"""Integration: the client-server handshake across recovery (paper §4.2.2)."""
+
+import pytest
+
+from repro.bench.deployments import build_client_server
+from repro.core.config import EternalConfig
+from repro.core.identifiers import ConnectionKey
+from repro.ftcorba.properties import ReplicationStyle
+
+
+def deploy(**config_kwargs):
+    return build_client_server(
+        style=ReplicationStyle.ACTIVE,
+        server_replicas=2,
+        state_size=200,
+        eternal_config=EternalConfig(**config_kwargs),
+        warmup=0.3,
+    )
+
+
+def recover_s2(deployment):
+    system = deployment.system
+    system.kill_node("s2")
+    system.run_for(0.2)
+    system.restart_node("s2")
+    assert system.wait_for(
+        lambda: deployment.server_group.is_operational_on("s2"), timeout=5.0
+    )
+
+
+def test_handshake_observed_and_stored_at_server_nodes():
+    deployment = deploy()
+    conn = ConnectionKey("driver", "store")
+    for node in deployment.server_nodes:
+        binding = deployment.server_group.binding_on(node)
+        assert conn in binding.orb_state.handshakes
+
+
+def test_steady_state_uses_short_keys():
+    deployment = deploy()
+    binding = deployment.server_group.binding_on("s1")
+    server_conn = binding.container.orb.server_connection("driver->store")
+    assert server_conn.handshake_seen
+    assert server_conn.short_keys
+
+
+def test_replayed_handshake_restores_server_connection_state():
+    deployment = deploy()
+    recover_s2(deployment)
+    binding = deployment.server_group.binding_on("s2")
+    server_conn = binding.container.orb.server_connection("driver->store")
+    assert server_conn.handshake_seen
+    assert server_conn.short_keys
+    assert server_conn.codeset is not None
+
+
+def test_without_replay_recovered_server_discards_everything():
+    deployment = deploy(sync_handshake=False)
+    recover_s2(deployment)
+    system = deployment.system
+    system.run_for(0.5)
+    binding = deployment.server_group.binding_on("s2")
+    assert binding.container.orb.requests_discarded > 50
+    s2 = deployment.server_group.servant_on("s2")
+    frozen = s2.echo_count
+    system.run_for(0.3)
+    assert s2.echo_count == frozen             # diverged permanently
+
+
+def test_handshake_state_chains_through_generations():
+    """The handshake must survive *transitive* recovery: s2 recovers from
+    s1, then s1 recovers from the recovered s2."""
+    deployment = deploy()
+    recover_s2(deployment)
+    system = deployment.system
+    system.run_for(0.2)
+    system.kill_node("s1")
+    system.run_for(0.2)
+    system.restart_node("s1")
+    assert system.wait_for(
+        lambda: deployment.server_group.is_operational_on("s1"), timeout=5.0
+    )
+    system.run_for(0.3)
+    s1 = deployment.server_group.servant_on("s1")
+    s2 = deployment.server_group.servant_on("s2")
+    assert s1.echo_count == s2.echo_count
+    binding = deployment.server_group.binding_on("s1")
+    assert binding.container.orb.requests_discarded == 0

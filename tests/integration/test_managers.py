@@ -1,0 +1,123 @@
+"""Integration: Replication / Resource / Evolution Managers (paper §2)."""
+
+import pytest
+
+from repro import EternalSystem, FTProperties, ReplicationStyle
+from repro.apps.counter import CounterServant
+from repro.apps.kvstore import make_kvstore_factory
+from repro.apps.packet_driver import PacketDriverServant
+
+KVSTORE = "IDL:repro/KvStore:1.0"
+DRIVER = "IDL:repro/PacketDriver:1.0"
+COUNTER = "IDL:repro/Counter:1.0"
+
+
+def deploy_with_spare():
+    system = EternalSystem(["m", "c", "s1", "s2", "s3"])
+    system.register_factory(KVSTORE, make_kvstore_factory(100),
+                            nodes=["s1", "s2", "s3"])
+    store = system.create_group("store", KVSTORE,
+                                FTProperties(initial_replicas=2,
+                                             min_replicas=1),
+                                nodes=["s1", "s2"])
+    system.run_for(0.05)
+    iogr = store.iogr().stringify()
+    system.register_factory(DRIVER, lambda: PacketDriverServant(iogr),
+                            nodes=["c"])
+    system.create_group("drv", DRIVER, FTProperties(initial_replicas=1),
+                        nodes=["c"])
+    system.run_for(0.2)
+    return system, store
+
+
+def test_replacement_placed_on_spare_node():
+    system, store = deploy_with_spare()
+    system.kill_node("s2")
+    assert system.wait_for(lambda: store.is_operational_on("s3"),
+                           timeout=5.0)
+    assert store.member_nodes() == ["s1", "s3"]
+    system.run_for(0.3)
+    assert (store.servant_on("s1").echo_count
+            == store.servant_on("s3").echo_count)
+
+
+def test_replacement_waits_for_node_when_no_spare():
+    system = EternalSystem(["m", "c", "s1", "s2"])
+    system.register_factory(KVSTORE, make_kvstore_factory(100),
+                            nodes=["s1", "s2"])
+    store = system.create_group("store", KVSTORE,
+                                FTProperties(initial_replicas=2,
+                                             min_replicas=1),
+                                nodes=["s1", "s2"])
+    system.run_for(0.1)
+    system.kill_node("s2")
+    system.run_for(0.3)
+    assert store.member_nodes() == ["s1"]
+    system.restart_node("s2")
+    assert system.wait_for(lambda: store.is_operational_on("s2"),
+                           timeout=5.0)
+    assert store.member_nodes() == ["s1", "s2"]
+
+
+def test_fault_reports_pushed_to_notifier():
+    system, store = deploy_with_spare()
+    system.kill_node("s1")
+    system.run_for(0.3)
+    assert any(r.node_id == "s1"
+               for r in system.fault_notifier.history)
+
+
+def test_resource_manager_prefers_least_loaded():
+    system = EternalSystem(["m", "n1", "n2"])
+    system.register_factory(COUNTER, CounterServant, nodes=["n1", "n2"])
+    system.create_group("g1", COUNTER, FTProperties(initial_replicas=1))
+    system.create_group("g2", COUNTER, FTProperties(initial_replicas=1))
+    system.run_for(0.1)
+    rm = system.replication_manager
+    placements = sorted(
+        node for managed in rm.groups.values()
+        for node in managed.assignments
+    )
+    assert placements == ["n1", "n2"]      # spread, not stacked
+
+
+def test_admin_remove_member():
+    system, store = deploy_with_spare()
+    system.replication_manager.remove_member("store", "s2")
+    system.run_for(0.2)
+    assert store.member_nodes() == ["s1"]
+    assert store.binding_on("s2") is None
+
+
+def test_evolution_rolling_upgrade():
+    system, store = deploy_with_spare()
+
+    class KvStoreV2(make_kvstore_factory(100)().__class__):
+        VERSION_TAG = 2
+
+    system.register_factory(KVSTORE, lambda: KvStoreV2(100),
+                            nodes=["s1", "s2", "s3"], version=1)
+    done = []
+    system.evolution_manager.upgrade("store", 1,
+                                     on_complete=lambda: done.append(1))
+    assert system.wait_for(lambda: bool(done), timeout=10.0)
+    system.run_for(0.3)
+    for node in store.member_nodes():
+        servant = store.servant_on(node)
+        assert getattr(servant, "VERSION_TAG", None) == 2
+    # state survived the upgrade and the service kept running
+    echo_counts = {store.servant_on(n).echo_count
+                   for n in store.member_nodes()}
+    assert len(echo_counts) == 1
+    assert echo_counts.pop() > 0
+
+
+def test_evolution_requires_two_replicas():
+    system = EternalSystem(["m", "n1"])
+    system.register_factory(COUNTER, CounterServant, nodes=["n1"])
+    system.create_group("g", COUNTER, FTProperties(initial_replicas=1),
+                        nodes=["n1"])
+    system.run_for(0.1)
+    from repro.errors import ObjectGroupError
+    with pytest.raises(ObjectGroupError):
+        system.evolution_manager.upgrade("g", 1)

@@ -1,0 +1,103 @@
+"""Integration: passive groups with several backups — failover chains.
+
+With three members (one primary, two backups), failovers must promote
+deterministically in node-id order, and a *chain* of failovers must
+preserve exactly-once execution end to end.
+"""
+
+import pytest
+
+from repro import EternalSystem, FTProperties, ReplicationStyle
+from repro.apps.kvstore import make_kvstore_factory
+from repro.apps.packet_driver import PacketDriverServant
+
+KVSTORE = "IDL:repro/KvStore:1.0"
+DRIVER = "IDL:repro/PacketDriver:1.0"
+
+
+def deploy(style):
+    system = EternalSystem(["m", "c1", "s1", "s2", "s3"])
+    nodes = ["s1", "s2", "s3"]
+    system.register_factory(KVSTORE, make_kvstore_factory(2_000),
+                            nodes=nodes)
+    store = system.create_group(
+        "store", KVSTORE,
+        FTProperties(replication_style=style, initial_replicas=3,
+                     min_replicas=1, checkpoint_interval=0.1),
+        nodes=nodes,
+    )
+    system.run_for(0.05)
+    iogr = store.iogr().stringify()
+    system.register_factory(DRIVER, lambda: PacketDriverServant(iogr),
+                            nodes=["c1"])
+    system.create_group("drv", DRIVER, FTProperties(initial_replicas=1),
+                        nodes=["c1"])
+    system.run_for(0.3)
+    return system, store
+
+
+@pytest.mark.parametrize("style", [ReplicationStyle.WARM_PASSIVE,
+                                   ReplicationStyle.COLD_PASSIVE])
+def test_two_failovers_in_a_row(style):
+    system, store = deploy(style)
+    from repro.core.system import GroupHandle
+    driver = GroupHandle(system, "drv").servant_on("c1")
+
+    first_primary = store.primary_node()
+    assert first_primary == "s1"          # deterministic initial roles
+    acked = driver.acked
+    system.kill_node("s1")
+    assert system.wait_for(lambda: driver.acked > acked + 50, timeout=5.0)
+    assert store.primary_node() == "s2"   # first surviving backup in order
+
+    acked = driver.acked
+    system.kill_node("s2")
+    assert system.wait_for(lambda: driver.acked > acked + 50, timeout=5.0)
+    assert store.primary_node() == "s3"
+
+    system.run_for(0.3)
+    servant = store.servant_on("s3")
+    assert 0 <= servant.echo_count - driver.acked <= 1
+
+
+def test_backup_loss_does_not_promote():
+    system, store = deploy(ReplicationStyle.WARM_PASSIVE)
+    primary = store.primary_node()
+    system.kill_node("s3")                # a backup, not the primary
+    system.run_for(0.3)
+    assert store.primary_node() == primary
+
+
+def test_all_backups_receive_checkpoints():
+    system, store = deploy(ReplicationStyle.WARM_PASSIVE)
+    system.run_for(0.4)
+    primary = store.primary_node()
+    for node in ("s2", "s3"):
+        if node == primary:
+            continue
+        binding = store.binding_on(node)
+        assert binding.log.checkpoints_taken >= 2
+        assert binding.container.servant.echo_count > 0   # warm: applied
+
+
+def test_recovered_backup_rejoins_the_chain():
+    system, store = deploy(ReplicationStyle.WARM_PASSIVE)
+    from repro.core.system import GroupHandle
+    driver = GroupHandle(system, "drv").servant_on("c1")
+    # kill the primary; s2 takes over; then bring s1 back as a backup
+    system.kill_node("s1")
+    acked = driver.acked
+    assert system.wait_for(lambda: driver.acked > acked + 50, timeout=5.0)
+    system.restart_node("s1")
+    assert system.wait_for(lambda: store.is_operational_on("s1"),
+                           timeout=5.0)
+    info = system.mechanisms("m").groups["store"]
+    assert info.roles["s1"] == "backup"
+    # now kill the current primary; the chain continues through s1 or s3
+    acked = driver.acked
+    system.kill_node(store.primary_node())
+    assert system.wait_for(lambda: driver.acked > acked + 50, timeout=5.0)
+    system.run_for(0.3)
+    new_primary = store.primary_node()
+    servant = store.servant_on(new_primary)
+    assert 0 <= servant.echo_count - driver.acked <= 1

@@ -1,0 +1,140 @@
+"""Integration: a replicated middle tier acting as client *and* server.
+
+"For multi-tiered CORBA applications, the middle-tier plays the roles of
+both client and server; replication of the middle-tier objects involves
+replicating both the client-side and the server-side code" (paper §4.2.1,
+footnote 2).  The relay group below receives invocations from the front
+driver and issues its own invocations to the backend — so recovering one
+of its replicas must synchronize server-side state (handshake) *and*
+client-side state (request_id counters) at once.
+"""
+
+import pytest
+
+from repro import EternalSystem, FTProperties
+from repro.apps.kvstore import make_kvstore_factory
+from repro.apps.packet_driver import PacketDriverServant
+from repro.ftcorba.checkpointable import Checkpointable
+from repro.giop.ior import IOR
+from repro.giop.messages import ReplyStatus
+from repro.orb.servant import operation
+
+BACKEND = "IDL:repro/KvStore:1.0"
+RELAY = "IDL:repro/Relay:1.0"
+DRIVER = "IDL:repro/PacketDriver:1.0"
+
+
+class RelayServant(Checkpointable):
+    """Echoes to the caller and forwards every token to the backend."""
+
+    type_id = RELAY
+
+    def __init__(self, backend_ior):
+        self._backend_ior = backend_ior
+        self.relayed = 0
+        self.backend_acks = 0
+        self._proxy = None
+
+    def _ensure(self):
+        if self._proxy is None:
+            self._proxy = self._eternal_container.connect(
+                IOR.from_string(self._backend_ior)
+            )
+        return self._proxy
+
+    @operation
+    def echo(self, token):
+        self.relayed += 1
+        self._ensure().invoke("echo", token, on_reply=self._on_backend_reply)
+        return token
+
+    def _on_backend_reply(self, reply):
+        if reply.reply_status is ReplyStatus.NO_EXCEPTION:
+            self.backend_acks += 1
+
+    def resume(self):
+        # re-issue the forwards the state says are outstanding, oldest
+        # first; the interceptor suppresses them on the wire
+        for token in range(self.backend_acks, self.relayed):
+            self._ensure().invoke("echo", token,
+                                  on_reply=self._on_backend_reply)
+
+    def get_state(self):
+        return {"relayed": self.relayed, "backend_acks": self.backend_acks}
+
+    def set_state(self, state):
+        self.relayed = state["relayed"]
+        self.backend_acks = state["backend_acks"]
+
+
+@pytest.fixture
+def tiers():
+    system = EternalSystem(["m", "front", "r1", "r2", "b1"])
+    system.register_factory(BACKEND, make_kvstore_factory(100), nodes=["b1"])
+    backend = system.create_group("backend", BACKEND,
+                                  FTProperties(initial_replicas=1),
+                                  nodes=["b1"])
+    system.run_for(0.05)
+    backend_ior = backend.iogr().stringify()
+    system.register_factory(RELAY, lambda: RelayServant(backend_ior),
+                            nodes=["r1", "r2"])
+    relay = system.create_group("relay", RELAY,
+                                FTProperties(initial_replicas=2,
+                                             min_replicas=1),
+                                nodes=["r1", "r2"])
+    system.run_for(0.05)
+    relay_ior = relay.iogr().stringify()
+    system.register_factory(DRIVER, lambda: PacketDriverServant(relay_ior),
+                            nodes=["front"])
+    driver = system.create_group("drv", DRIVER,
+                                 FTProperties(initial_replicas=1),
+                                 nodes=["front"])
+    system.run_for(0.3)
+    return system, backend, relay, driver
+
+
+def test_middle_tier_forwards_exactly_once(tiers):
+    system, backend, relay, driver = tiers
+    front = driver.servant_on("front")
+    backend_servant = backend.servant_on("b1")
+    r1 = relay.servant_on("r1")
+    r2 = relay.servant_on("r2")
+    assert front.acked > 100
+    # both relay replicas executed every invocation...
+    assert r1.relayed == r2.relayed
+    # ...but the backend saw each forward exactly once (duplicates from the
+    # two relay replicas suppressed)
+    assert abs(backend_servant.echo_count - r1.relayed) <= 2
+
+
+def test_middle_tier_replica_recovery_synchronizes_both_sides(tiers):
+    system, backend, relay, driver = tiers
+    system.kill_node("r2")
+    system.run_for(0.2)
+    system.restart_node("r2")
+    assert system.wait_for(lambda: relay.is_operational_on("r2"),
+                           timeout=5.0)
+    system.run_for(0.5)
+    r1 = relay.servant_on("r1")
+    r2 = relay.servant_on("r2")
+    assert r1.relayed == r2.relayed
+    assert r1.get_state() == r2.get_state()
+    # server side restored: no discarded requests at the recovered ORB
+    binding = relay.binding_on("r2")
+    assert binding.container.orb.requests_discarded == 0
+    # client side restored: the backend never executed duplicates
+    backend_servant = backend.servant_on("b1")
+    assert abs(backend_servant.echo_count - r1.relayed) <= 2
+    front = driver.servant_on("front")
+    assert front.acked > 200
+
+
+def test_backend_sees_consistent_stream_through_relay_failover(tiers):
+    system, backend, relay, driver = tiers
+    backend_servant = backend.servant_on("b1")
+    count_before = backend_servant.echo_count
+    system.kill_node("r1")       # permanent loss of one relay replica
+    system.run_for(0.5)
+    assert backend_servant.echo_count > count_before + 100
+    r2 = relay.servant_on("r2")
+    assert abs(backend_servant.echo_count - r2.relayed) <= 2

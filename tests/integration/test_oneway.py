@@ -1,0 +1,96 @@
+"""Integration: oneway invocations through the replicated stack.
+
+"The use of oneways, CORBA-supported invocations that do not return
+responses, introduces additional complications" (paper §5).  Oneways still
+need total ordering and duplicate suppression; they produce no replies, so
+reply-side machinery must stay quiet.
+"""
+
+import pytest
+
+from repro import EternalSystem, FTProperties, ReplicationStyle
+from repro.apps.kvstore import make_kvstore_factory
+from repro.ftcorba.checkpointable import Checkpointable
+from repro.giop.ior import IOR
+from repro.orb.servant import operation
+
+KVSTORE = "IDL:repro/KvStore:1.0"
+NOTIFIER = "IDL:repro/Notifier:1.0"
+
+
+class OnewayNotifier(Checkpointable):
+    """Fires a burst of oneway notifications at the store."""
+
+    type_id = NOTIFIER
+
+    def __init__(self, target_ior, burst=50):
+        self._target_ior = target_ior
+        self._burst = burst
+        self.fired = 0
+
+    def start(self):
+        proxy = self._eternal_container.connect(
+            IOR.from_string(self._target_ior)
+        )
+        for index in range(self._burst):
+            proxy.oneway("put", f"key-{index}", index)
+            self.fired += 1
+
+    def get_state(self):
+        return {"fired": self.fired}
+
+    def set_state(self, state):
+        self.fired = state["fired"]
+
+
+def deploy(client_replicas=1):
+    system = EternalSystem(
+        ["m"] + [f"c{i+1}" for i in range(client_replicas)] + ["s1", "s2"]
+    )
+    system.register_factory(KVSTORE, make_kvstore_factory(10),
+                            nodes=["s1", "s2"])
+    store = system.create_group("store", KVSTORE,
+                                FTProperties(initial_replicas=2),
+                                nodes=["s1", "s2"])
+    system.run_for(0.05)
+    iogr = store.iogr().stringify()
+    clients = [f"c{i+1}" for i in range(client_replicas)]
+    system.register_factory(NOTIFIER, lambda: OnewayNotifier(iogr),
+                            nodes=clients)
+    notifier = system.create_group("notifier", NOTIFIER,
+                                   FTProperties(
+                                       initial_replicas=client_replicas,
+                                       min_replicas=1),
+                                   nodes=clients)
+    system.run_for(0.3)
+    return system, store, notifier
+
+
+def test_oneways_executed_on_all_active_replicas_in_order():
+    system, store, notifier = deploy()
+    for node in ("s1", "s2"):
+        servant = store.servant_on(node)
+        assert servant.size() == 50
+        assert servant.get("key-49") == 49
+
+
+def test_oneways_produce_no_replies():
+    system, store, notifier = deploy()
+    assert system.tracer.counters.get("interceptor.reply", 0) == 0
+
+
+def test_oneways_from_replicated_client_deduplicated():
+    system, store, notifier = deploy(client_replicas=2)
+    for node in ("s1", "s2"):
+        servant = store.servant_on(node)
+        # 50 keys, not 100: the two client replicas' copies collapsed
+        assert servant.size() == 50
+
+
+def test_oneway_sender_stays_quiescent():
+    system, store, notifier = deploy()
+    binding = notifier.binding_on("c1")
+    system.run_for(0.1)
+    # no outstanding replies expected: the client is quiescent after firing
+    assert binding.container.quiescence.is_quiescent()
+    assert binding.infra.awaiting == {}

@@ -1,0 +1,77 @@
+"""Integration: partitioned operation and remerge (paper §2: "sustain
+operation in all components of a partitioned system").
+
+Our remerge follows primary-component semantics: the side with more ring
+members keeps the canonical history; when the partition heals, nodes from
+the other side rejoin and the Replication Manager re-adds their replicas,
+which re-synchronize through the normal recovery protocol.
+"""
+
+import pytest
+
+from repro.bench.deployments import build_client_server
+from repro.ftcorba.properties import ReplicationStyle
+
+
+def test_majority_side_keeps_serving_through_partition():
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=2, state_size=100,
+                                     warmup=0.2)
+    system = deployment.system
+    driver = deployment.driver
+    # isolate s2; the manager, client, and s1 stay connected
+    system.faults.partition([{"m", "c1", "s1"}, {"s2"}])
+    before = driver.acked
+    system.run_for(0.5)
+    assert driver.acked > before + 100
+
+
+def test_isolated_replica_dropped_from_group():
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=2, state_size=100,
+                                     warmup=0.2)
+    system = deployment.system
+    system.faults.partition([{"m", "c1", "s1"}, {"s2"}])
+    system.run_for(0.5)
+    info = system.mechanisms("m").groups["store"]
+    assert "s2" not in info.roles
+
+
+def test_heal_remerges_and_resynchronizes():
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=2, state_size=100,
+                                     warmup=0.2)
+    system = deployment.system
+    group = deployment.server_group
+    driver = deployment.driver
+    system.faults.partition([{"m", "c1", "s1"}, {"s2"}])
+    system.run_for(0.5)
+    system.faults.heal()
+    # the rings merge and the manager re-places the replica on s2, which
+    # recovers via the standard state transfer
+    assert system.wait_for(lambda: group.is_operational_on("s2"),
+                           timeout=10.0)
+    system.run_for(0.3)
+    s1 = group.servant_on("s1")
+    s2 = group.servant_on("s2")
+    assert s1.echo_count == s2.echo_count
+    assert abs(s1.echo_count - driver.acked) <= 1
+
+
+def test_partitioned_primary_failover_in_majority():
+    """Partition away the warm-passive primary: the majority side promotes
+    its backup and continues."""
+    deployment = build_client_server(style=ReplicationStyle.WARM_PASSIVE,
+                                     server_replicas=2, state_size=100,
+                                     checkpoint_interval=0.1, warmup=0.3)
+    system = deployment.system
+    group = deployment.server_group
+    driver = deployment.driver
+    primary = group.primary_node()
+    backup = [n for n in deployment.server_nodes if n != primary][0]
+    others = {"m", "c1", backup}
+    system.faults.partition([others, {primary}])
+    before = driver.acked
+    assert system.wait_for(lambda: driver.acked > before + 50, timeout=5.0)
+    info = system.mechanisms("m").groups["store"]
+    assert info.primary_node == backup

@@ -1,0 +1,152 @@
+"""Integration: warm and cold passive replication (paper §3.2, §3.3).
+
+Checkpoints are taken on the primary at the configured interval; the log
+records the ordered messages since the last checkpoint; primary failure
+promotes a backup, which is reinstated from the checkpoint plus log replay
+before going operational.
+"""
+
+import pytest
+
+from repro.bench.deployments import build_client_server
+from repro.ftcorba.properties import ReplicationStyle
+
+
+def deploy(style, checkpoint_interval=0.1, state_size=500):
+    return build_client_server(
+        style=style,
+        server_replicas=2,
+        state_size=state_size,
+        checkpoint_interval=checkpoint_interval,
+        warmup=0.2,
+        keep_trace_records=True,
+    )
+
+
+@pytest.mark.parametrize("style", [ReplicationStyle.WARM_PASSIVE,
+                                   ReplicationStyle.COLD_PASSIVE])
+def test_only_primary_executes(style):
+    deployment = deploy(style)
+    deployment.system.run_for(0.3)
+    group = deployment.server_group
+    primary = group.primary_node()
+    backup = [n for n in deployment.server_nodes if n != primary][0]
+    primary_ops = group.binding_on(primary).container.operations_executed
+    backup_ops = group.binding_on(backup).container.operations_executed
+    assert primary_ops > 100
+    assert backup_ops == 0
+
+
+@pytest.mark.parametrize("style", [ReplicationStyle.WARM_PASSIVE,
+                                   ReplicationStyle.COLD_PASSIVE])
+def test_checkpoints_taken_periodically(style):
+    deployment = deploy(style, checkpoint_interval=0.05)
+    deployment.system.run_for(0.5)
+    count = deployment.system.tracer.count("recovery.checkpoint_initiated")
+    assert 6 <= count <= 14     # ~10 expected in 0.5 s
+
+
+def test_cold_backup_not_instantiated_until_failover():
+    deployment = deploy(ReplicationStyle.COLD_PASSIVE)
+    group = deployment.server_group
+    backup = [n for n in deployment.server_nodes
+              if n != group.primary_node()][0]
+    assert group.servant_on(backup) is None
+    assert group.binding_on(backup).log is not None
+
+
+def test_warm_backup_synchronized_by_checkpoints():
+    deployment = deploy(ReplicationStyle.WARM_PASSIVE)
+    system = deployment.system
+    group = deployment.server_group
+    system.run_for(0.5)
+    primary = group.primary_node()
+    backup = [n for n in deployment.server_nodes if n != primary][0]
+    backup_servant = group.servant_on(backup)
+    primary_servant = group.servant_on(primary)
+    # backup lags by less than one checkpoint interval of traffic
+    assert backup_servant.echo_count > 0
+    assert backup_servant.echo_count <= primary_servant.echo_count
+    assert backup_servant.payload == primary_servant.payload
+
+
+@pytest.mark.parametrize("style", [ReplicationStyle.WARM_PASSIVE,
+                                   ReplicationStyle.COLD_PASSIVE])
+def test_failover_promotes_backup_and_loses_nothing(style):
+    deployment = deploy(style)
+    system = deployment.system
+    group = deployment.server_group
+    driver = deployment.driver
+    system.run_for(0.3)
+    old_primary = group.primary_node()
+    backup = [n for n in deployment.server_nodes if n != old_primary][0]
+    acked_at_kill = driver.acked
+    system.kill_node(old_primary)
+    assert system.wait_for(lambda: driver.acked > acked_at_kill + 50,
+                           timeout=5.0)
+    assert group.primary_node() == backup
+    system.run_for(0.3)
+    new_primary_servant = group.servant_on(backup)
+    # exactly-once: every acked invocation executed exactly once
+    assert 0 <= new_primary_servant.echo_count - driver.acked <= 1
+
+
+def test_failover_replays_logged_messages():
+    deployment = deploy(ReplicationStyle.WARM_PASSIVE,
+                        checkpoint_interval=0.5)   # long: force a real log
+    system = deployment.system
+    group = deployment.server_group
+    system.run_for(0.3)
+    old_primary = group.primary_node()
+    system.kill_node(old_primary)
+    assert system.wait_for(
+        lambda: system.tracer.count("recovery.failover_replay") > 0,
+        timeout=5.0,
+    )
+    replay = next(system.tracer.find("recovery", "failover_replay"))
+    assert replay.fields["messages"] > 0
+
+
+def test_failover_before_first_checkpoint_replays_whole_history():
+    deployment = deploy(ReplicationStyle.WARM_PASSIVE,
+                        checkpoint_interval=60.0)  # never checkpoints
+    system = deployment.system
+    group = deployment.server_group
+    driver = deployment.driver
+    system.run_for(0.2)
+    old_primary = group.primary_node()
+    acked_at_kill = driver.acked
+    system.kill_node(old_primary)
+    assert system.wait_for(lambda: driver.acked > acked_at_kill + 20,
+                           timeout=5.0)
+    backup = group.primary_node()
+    system.run_for(0.3)
+    assert 0 <= group.servant_on(backup).echo_count - driver.acked <= 1
+
+
+def test_checkpoint_includes_piggybacked_state():
+    deployment = deploy(ReplicationStyle.WARM_PASSIVE)
+    system = deployment.system
+    group = deployment.server_group
+    system.run_for(0.4)
+    backup = [n for n in deployment.server_nodes
+              if n != group.primary_node()][0]
+    checkpoint = group.binding_on(backup).log.checkpoint
+    assert checkpoint is not None
+    assert len(checkpoint.app_state) > 0
+    assert len(checkpoint.orb_state) > 0
+    assert len(checkpoint.infra_state) > 0
+
+
+def test_backup_failure_is_harmless():
+    deployment = deploy(ReplicationStyle.WARM_PASSIVE)
+    system = deployment.system
+    group = deployment.server_group
+    driver = deployment.driver
+    backup = [n for n in deployment.server_nodes
+              if n != group.primary_node()][0]
+    before = driver.acked
+    system.kill_node(backup)
+    system.run_for(0.3)
+    assert driver.acked > before + 100
+    assert group.primary_node() != backup

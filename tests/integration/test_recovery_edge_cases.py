@@ -1,0 +1,153 @@
+"""Integration: recovery-protocol edge cases.
+
+The happy path is covered elsewhere; these tests aim at the awkward
+interleavings — the responder dying mid-transfer, back-to-back recoveries,
+recovery under a lossy network, and recovery racing with checkpoints.
+"""
+
+import pytest
+
+from repro.bench.deployments import build_client_server, measure_recovery
+from repro.ftcorba.properties import ReplicationStyle
+
+
+def test_responder_crash_mid_transfer_retries():
+    """s1 (the only operational responder) dies right after the join is
+    announced; the recovering replica re-announces after its retry timeout
+    and synchronizes from s3 once the Replication Manager places it."""
+    deployment = build_client_server(
+        style=ReplicationStyle.ACTIVE,
+        server_replicas=3,
+        state_size=200_000,       # long transfer: a wide crash window
+        warmup=0.2,
+        keep_trace_records=True,
+    )
+    system = deployment.system
+    group = deployment.server_group
+    system.kill_node("s2")
+    system.run_for(0.1)
+    system.restart_node("s2")
+    # wait for the join, then kill a responder while the transfer runs
+    assert system.wait_for(
+        lambda: system.tracer.count("recovery.join_announced") >= 1,
+        timeout=2.0,
+    )
+    system.kill_node("s1")
+    assert system.wait_for(lambda: group.is_operational_on("s2"),
+                           timeout=10.0)
+    system.run_for(0.3)
+    s2 = group.servant_on("s2")
+    s3 = group.servant_on("s3")
+    assert s2.echo_count == s3.echo_count
+    assert s2.payload == s3.payload
+
+
+def test_recovery_under_message_loss():
+    deployment = build_client_server(
+        style=ReplicationStyle.ACTIVE,
+        server_replicas=2,
+        state_size=50_000,
+        warmup=0.2,
+        seed=5,
+    )
+    system = deployment.system
+    group = deployment.server_group
+    system.faults.set_loss_rate(0.03)
+    system.kill_node("s2")
+    system.run_for(0.2)
+    system.restart_node("s2")
+    assert system.wait_for(lambda: group.is_operational_on("s2"),
+                           timeout=15.0)
+    system.faults.set_loss_rate(0.0)
+    system.run_for(0.5)
+    s1 = deployment.server_servant("s1")
+    s2 = deployment.server_servant("s2")
+    assert s1.echo_count == s2.echo_count
+    assert s1.payload == s2.payload
+
+
+def test_back_to_back_recoveries_of_same_replica():
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=2, state_size=5_000,
+                                     warmup=0.2)
+    system = deployment.system
+    for _ in range(3):
+        measure_recovery(deployment, "s2", downtime=0.05)
+        system.run_for(0.1)
+    system.run_for(0.3)
+    s1 = deployment.server_servant("s1")
+    s2 = deployment.server_servant("s2")
+    assert s1.echo_count == s2.echo_count
+
+
+def test_recovery_concurrent_with_checkpoints():
+    """A warm-passive group checkpointing every 50 ms while a new backup
+    recovers: the flows interleave without corrupting either."""
+    deployment = build_client_server(
+        style=ReplicationStyle.WARM_PASSIVE,
+        server_replicas=2,
+        state_size=20_000,
+        checkpoint_interval=0.05,
+        warmup=0.3,
+    )
+    system = deployment.system
+    group = deployment.server_group
+    backup = [n for n in deployment.server_nodes
+              if n != group.primary_node()][0]
+    system.kill_node(backup)
+    system.run_for(0.2)
+    system.restart_node(backup)
+    assert system.wait_for(lambda: group.is_operational_on(backup),
+                           timeout=10.0)
+    system.run_for(0.4)
+    # failover onto the recovered backup must now work from its state
+    primary = group.primary_node()
+    driver = deployment.driver
+    acked = driver.acked
+    system.kill_node(primary)
+    assert system.wait_for(lambda: driver.acked > acked + 50, timeout=5.0)
+    system.run_for(0.3)
+    servant = group.servant_on(backup)
+    assert 0 <= servant.echo_count - driver.acked <= 1
+
+
+def test_simultaneous_recovery_of_two_replicas():
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=3, state_size=5_000,
+                                     warmup=0.2)
+    system = deployment.system
+    group = deployment.server_group
+    system.kill_node("s2")
+    system.kill_node("s3")
+    system.run_for(0.2)
+    system.restart_node("s2")
+    system.restart_node("s3")
+    assert system.wait_for(
+        lambda: (group.is_operational_on("s2")
+                 and group.is_operational_on("s3")),
+        timeout=10.0,
+    )
+    system.run_for(0.3)
+    counts = {deployment.server_servant(n).echo_count
+              for n in deployment.server_nodes}
+    assert len(counts) == 1
+
+
+def test_total_group_failure_is_not_silently_recovered():
+    """If every replica dies, there is no state holder: re-launched nodes
+    must NOT come back operational pretending to have state."""
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=2, state_size=1_000,
+                                     warmup=0.2)
+    system = deployment.system
+    group = deployment.server_group
+    system.kill_node("s1")
+    system.kill_node("s2")
+    system.run_for(0.2)
+    system.restart_node("s1")
+    system.restart_node("s2")
+    recovered = system.wait_for(
+        lambda: group.is_operational_on("s1") or group.is_operational_on("s2"),
+        timeout=2.0,
+    )
+    assert not recovered

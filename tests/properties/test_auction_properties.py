@@ -1,0 +1,85 @@
+"""Property-based tests: auction invariants over arbitrary bid scripts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.auction import (
+    AuctionClosed,
+    AuctionServant,
+    BidRejected,
+    NoSuchAuction,
+)
+from repro.orb.servant import CorbaUserException
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("bid"),
+                  st.sampled_from(["alice", "bob", "carol"]),
+                  st.integers(0, 500)),
+        st.tuples(st.just("watch"),
+                  st.sampled_from(["alice", "bob", "carol"])),
+        st.tuples(st.just("close")),
+    ),
+    max_size=60,
+)
+
+
+@given(actions, st.integers(0, 300))
+@settings(max_examples=200, deadline=None)
+def test_invariants_hold_under_any_script(script, reserve):
+    servant = AuctionServant()
+    servant.create_auction("lot", reserve)
+    accepted = 0
+    for action in script:
+        try:
+            if action[0] == "bid":
+                servant.bid("lot", action[1], action[2])
+                accepted += 1
+            elif action[0] == "watch":
+                servant.watch("lot", action[1])
+            else:
+                servant.close_auction("lot")
+        except CorbaUserException:
+            pass
+    servant.check_invariants()
+    status = servant.status("lot")
+    assert status["bids"] == accepted
+    if accepted:
+        assert status["high_bid"] >= reserve
+
+
+@given(actions)
+@settings(max_examples=100, deadline=None)
+def test_state_roundtrip_preserves_everything(script):
+    servant = AuctionServant()
+    servant.create_auction("lot", 10)
+    for action in script:
+        try:
+            if action[0] == "bid":
+                servant.bid("lot", action[1], action[2])
+            elif action[0] == "watch":
+                servant.watch("lot", action[1])
+            else:
+                servant.close_auction("lot")
+        except CorbaUserException:
+            pass
+    clone = AuctionServant()
+    clone.set_state(servant.get_state())
+    assert clone.get_state() == servant.get_state()
+    clone.check_invariants()
+
+
+@given(st.lists(st.integers(1, 1000), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_high_bid_is_monotone(amounts):
+    servant = AuctionServant()
+    servant.create_auction("lot", 1)
+    highs = []
+    for amount in amounts:
+        try:
+            servant.bid("lot", "x", amount)
+        except BidRejected:
+            pass
+        highs.append(servant.status("lot")["high_bid"])
+    assert highs == sorted(highs)
+    assert highs[-1] == max(amounts)

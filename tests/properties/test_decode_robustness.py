@@ -1,0 +1,109 @@
+"""Property-based robustness: decoders never crash on hostile bytes.
+
+Every wire decoder must either return a valid object or raise an exception
+from this library's hierarchy (:class:`repro.errors.ReproError`) — never
+an uncontrolled ``struct.error`` / ``IndexError`` / ``MemoryError`` from
+attacker-controlled lengths.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.envelope import decode_envelope, encode_envelope, IiopEnvelope
+from repro.core.identifiers import ConnectionKey, OpKind
+from repro.errors import ReproError
+from repro.giop.ior import IOR
+from repro.giop.messages import (
+    RequestMessage,
+    decode_message,
+    encode_message,
+    peek_request_id,
+)
+from repro.giop.types import decode_any
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=300, deadline=None)
+def test_decode_message_contained(data):
+    try:
+        decode_message(data)
+    except ReproError:
+        pass
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=300, deadline=None)
+def test_peek_request_id_contained(data):
+    try:
+        peek_request_id(data)
+    except ReproError:
+        pass
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=300, deadline=None)
+def test_decode_envelope_contained(data):
+    try:
+        decode_envelope(data)
+    except ReproError:
+        pass
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_decode_any_contained(data):
+    try:
+        decode_any(data)
+    except ReproError:
+        pass
+
+
+@given(st.text(max_size=120))
+@settings(max_examples=200, deadline=None)
+def test_ior_from_string_contained(text):
+    try:
+        IOR.from_string(text)
+    except ReproError:
+        pass
+
+
+_VALID_WIRE = encode_message(RequestMessage(
+    request_id=7, object_key=b"\x00\x00\x01Pk", operation="op",
+    args=(1, "two", b"3"),
+))
+_VALID_ENVELOPE = encode_envelope(IiopEnvelope(
+    ConnectionKey("c", "s"), OpKind.REQUEST, 7, "n", _VALID_WIRE,
+))
+
+
+@given(st.integers(0, len(_VALID_WIRE) - 1), st.integers(0, 255))
+@settings(max_examples=300, deadline=None)
+def test_mutated_giop_contained(position, value):
+    """Single-byte corruption of a valid message: decode either still
+    succeeds (the byte was slack) or raises a library error."""
+    mutated = bytearray(_VALID_WIRE)
+    mutated[position] = value
+    try:
+        decode_message(bytes(mutated))
+    except ReproError:
+        pass
+
+
+@given(st.integers(0, len(_VALID_ENVELOPE) - 1), st.integers(0, 255))
+@settings(max_examples=300, deadline=None)
+def test_mutated_envelope_contained(position, value):
+    mutated = bytearray(_VALID_ENVELOPE)
+    mutated[position] = value
+    try:
+        decode_envelope(bytes(mutated))
+    except ReproError:
+        pass
+
+
+@given(st.integers(1, 64))
+@settings(max_examples=50, deadline=None)
+def test_truncated_giop_contained(cut):
+    data = _VALID_WIRE[:max(0, len(_VALID_WIRE) - cut)]
+    with pytest.raises(ReproError):
+        decode_message(data)

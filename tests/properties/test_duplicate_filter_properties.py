@@ -1,0 +1,69 @@
+"""Property-based tests: duplicate-suppression invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.identifiers import (
+    ConnectionKey,
+    DuplicateFilter,
+    OperationId,
+    OpKind,
+)
+
+CONN = ConnectionKey("c", "s")
+
+
+def ops_from(ids):
+    return [OperationId(CONN, i, OpKind.REQUEST) for i in ids]
+
+
+@given(st.lists(st.integers(0, 50), max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_at_most_once(ids):
+    """Whatever the arrival order/duplication, each id passes exactly once."""
+    f = DuplicateFilter()
+    passed = [op.request_id for op in ops_from(ids)
+              if not f.seen_before(op)]
+    assert sorted(passed) == sorted(set(ids))
+
+
+@given(st.lists(st.integers(0, 50), max_size=60),
+       st.lists(st.integers(0, 50), max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_capture_restore_equivalence(before, after):
+    """A restored filter behaves identically to the original."""
+    f = DuplicateFilter()
+    for op in ops_from(before):
+        f.seen_before(op)
+    restored = DuplicateFilter.restore(f.capture())
+    for op in ops_from(after):
+        assert f.seen_before(op) == restored.seen_before(op)
+
+
+@given(st.lists(st.integers(0, 40), max_size=50),
+       st.lists(st.integers(0, 40), max_size=50),
+       st.lists(st.integers(0, 60), max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_merge_is_union(a_ids, b_ids, probe_ids):
+    """After merging B into A, exactly ids seen by either are duplicates."""
+    a, b = DuplicateFilter(), DuplicateFilter()
+    for op in ops_from(a_ids):
+        a.seen_before(op)
+    for op in ops_from(b_ids):
+        b.seen_before(op)
+    a.merge(b)
+    union = set(a_ids) | set(b_ids)
+    for op in ops_from(sorted(set(probe_ids))):
+        assert a.seen_before(op) == (op.request_id in union)
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_sparse_set_stays_bounded_for_contiguous_traffic(ids):
+    """Contiguous prefixes compact into the watermark."""
+    f = DuplicateFilter()
+    for op in ops_from(range(max(ids) + 1)):
+        f.seen_before(op)
+    key = (CONN, OpKind.REQUEST)
+    assert f._sparse[key] == set()
+    assert f._watermark[key] == max(ids)

@@ -1,0 +1,85 @@
+"""Property-based tests: group-view transition invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.groupinfo import (
+    GroupInfo,
+    ROLE_BACKUP,
+    ROLE_PRIMARY,
+)
+from repro.core.infra_state import InfraState
+from repro.ftcorba.properties import ReplicationStyle
+
+node_names = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+    min_size=1, max_size=8, unique=True,
+)
+
+
+def passive_info(nodes):
+    info = GroupInfo("g", "T", ReplicationStyle.WARM_PASSIVE, 0.1)
+    for index, node in enumerate(nodes):
+        info.add_member(node, ROLE_PRIMARY if index == 0 else ROLE_BACKUP,
+                        operational=True)
+    return info
+
+
+@given(node_names, st.data())
+@settings(max_examples=200, deadline=None)
+def test_at_most_one_primary_through_arbitrary_losses(nodes, data):
+    info = passive_info(nodes)
+    remaining = list(nodes)
+    while remaining:
+        victim = data.draw(st.sampled_from(remaining))
+        remaining.remove(victim)
+        info.handle_node_loss({victim})
+        primaries = [n for n, r in info.roles.items() if r == ROLE_PRIMARY]
+        assert len(primaries) <= 1
+        if remaining:
+            # as long as any member survives, someone must lead eventually:
+            # a backup-only residue happens only if the primary survived
+            if info.roles:
+                assert primaries or info.primary_node is None
+    assert info.roles == {}
+
+
+@given(node_names)
+@settings(max_examples=100, deadline=None)
+def test_promotion_is_deterministic_across_observers(nodes):
+    if len(nodes) < 2:
+        return
+    views = [passive_info(nodes) for _ in range(3)]
+    primary = nodes[0]
+    outcomes = {view.handle_node_loss({primary}) for view in views}
+    assert len(outcomes) == 1
+    promoted = outcomes.pop()
+    assert promoted == sorted(nodes[1:])[0]
+
+
+@given(node_names, node_names)
+@settings(max_examples=100, deadline=None)
+def test_loss_is_idempotent(nodes, extra):
+    info = passive_info(nodes)
+    lost = set(nodes[: len(nodes) // 2])
+    info.handle_node_loss(lost)
+    snapshot = (dict(info.roles), set(info.operational))
+    info.handle_node_loss(lost)          # same loss again: no change
+    assert (dict(info.roles), set(info.operational)) == snapshot
+
+
+@given(st.lists(st.integers(0, 20), max_size=40),
+       st.lists(st.integers(0, 20), max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_infra_adopt_is_idempotent(a_ids, b_ids):
+    from repro.core.identifiers import ConnectionKey, OperationId, OpKind
+    conn = ConnectionKey("c", "s")
+    local, other = InfraState(), InfraState()
+    for i in a_ids:
+        local.duplicates.seen_before(OperationId(conn, i, OpKind.REQUEST))
+    for i in b_ids:
+        other.duplicates.seen_before(OperationId(conn, i, OpKind.REQUEST))
+    local.adopt(other)
+    first = local.capture()
+    local.adopt(other)
+    assert local.capture() == first

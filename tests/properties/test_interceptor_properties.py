@@ -1,0 +1,78 @@
+"""Property-based tests: interceptor request_id rewriting (§4.2.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.identifiers import ConnectionKey
+from repro.core.infra_state import InfraState
+from repro.core.interceptor import Interceptor
+from repro.core.orb_state import OrbStateTracker
+from repro.giop.messages import (
+    ReplyMessage,
+    RequestMessage,
+    decode_message,
+    encode_message,
+)
+from repro.orb.objectkey import make_key
+
+KEY = make_key("RootPOA", b"obj")
+CONN = ConnectionKey("cg", "sg")
+
+
+def build(offset=0):
+    sent = []
+    interceptor = Interceptor("n", "cg", sent.append, InfraState(),
+                              OrbStateTracker())
+    if offset:
+        interceptor.set_request_id_offset(CONN, offset)
+    return interceptor, sent
+
+
+@given(st.integers(0, 1000), st.integers(0, 2**20))
+@settings(max_examples=200, deadline=None)
+def test_rewrite_roundtrip(local_id, offset):
+    """outgoing rewrite then incoming rewrite is the identity on ids."""
+    interceptor, sent = build(offset)
+    wire = encode_message(RequestMessage(request_id=local_id,
+                                         object_key=KEY, operation="op"))
+    interceptor.capture_client_request("sg", 2809, wire)
+    assert len(sent) == 1
+    wire_id = sent[0].request_id
+    assert wire_id == local_id + offset
+    reply = encode_message(ReplyMessage(request_id=wire_id, result=None))
+    back = interceptor.rewrite_incoming_reply(CONN, reply)
+    assert decode_message(back).request_id == local_id
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=50),
+       st.integers(0, 100))
+@settings(max_examples=150, deadline=None)
+def test_wire_ids_at_most_once(local_ids, offset):
+    """Whatever local ids the ORB produces (including re-issues), each
+    wire id is multicast at most once."""
+    interceptor, sent = build(offset)
+    for local_id in local_ids:
+        wire = encode_message(RequestMessage(request_id=local_id,
+                                             object_key=KEY,
+                                             operation="op"))
+        interceptor.capture_client_request("sg", 2809, wire)
+    wire_ids = [e.request_id for e in sent]
+    assert len(wire_ids) == len(set(wire_ids))
+    assert set(wire_ids) <= {i + offset for i in local_ids}
+    # suppressions + sends account for every capture
+    assert len(sent) + interceptor.suppressed_reissues == len(local_ids)
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=100, deadline=None)
+def test_observation_tracks_maximum_wire_id(count):
+    interceptor, sent = build()
+    tracker = interceptor._orb_state
+    for i in range(count):
+        wire = encode_message(RequestMessage(request_id=i, object_key=KEY,
+                                             operation="op"))
+        interceptor.capture_client_request("sg", 2809, wire)
+    if count:
+        assert tracker.client_request_ids[CONN] == count - 1
+    else:
+        assert CONN not in tracker.client_request_ids

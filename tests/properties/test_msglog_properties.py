@@ -1,0 +1,84 @@
+"""Property-based tests: message-log / checkpoint GC invariants (§3.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.envelope import IiopEnvelope
+from repro.core.identifiers import ConnectionKey, OpKind
+from repro.core.msglog import MessageLog
+
+CONN = ConnectionKey("c", "s")
+
+
+def env(request_id):
+    return IiopEnvelope(CONN, OpKind.REQUEST, request_id, "n", b"")
+
+
+# A log script: "append" or "checkpoint at the current position"
+script_steps = st.lists(st.sampled_from(["append", "checkpoint"]),
+                        min_size=1, max_size=80)
+
+
+@given(script_steps)
+@settings(max_examples=200, deadline=None)
+def test_replay_always_equals_suffix_after_last_checkpoint(steps):
+    log = MessageLog("g")
+    position = 0
+    appended = []            # (position, request_id)
+    last_checkpoint_position = -1
+    checkpoint_count = 0
+    for step in steps:
+        if step == "append":
+            position += 1
+            log.append(position, env(position))
+            appended.append(position)
+        else:
+            checkpoint_count += 1
+            tid = f"t{checkpoint_count}"
+            log.mark_get_position(tid, position)
+            log.commit_checkpoint(tid, b"s", b"", b"")
+            last_checkpoint_position = position
+    expected = [p for p in appended if p > last_checkpoint_position]
+    assert [e.request_id for e in log.messages_since_checkpoint()] \
+        == expected
+    # the log never retains anything the checkpoint covers
+    assert log.log_length == len(expected)
+
+
+@given(st.integers(0, 50), st.integers(0, 50))
+@settings(max_examples=100, deadline=None)
+def test_checkpoint_position_boundary_inclusive(before, after):
+    """Messages at positions ≤ the GET position are covered; those after
+    are replayed — exactly, for any split."""
+    log = MessageLog("g")
+    position = 0
+    for _ in range(before):
+        position += 1
+        log.append(position, env(position))
+    log.mark_get_position("t", position)
+    log.commit_checkpoint("t", b"s", b"", b"")
+    tail = []
+    for _ in range(after):
+        position += 1
+        log.append(position, env(position))
+        tail.append(position)
+    assert [e.request_id for e in log.messages_since_checkpoint()] == tail
+
+
+@given(st.lists(st.integers(1, 5), min_size=2, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_later_checkpoint_always_wins(batch_sizes):
+    """Interleaved checkpoints: only the last one's state remains and its
+    position governs replay (the overwrite rule)."""
+    log = MessageLog("g")
+    position = 0
+    for index, batch in enumerate(batch_sizes):
+        for _ in range(batch):
+            position += 1
+            log.append(position, env(position))
+        tid = f"t{index}"
+        log.mark_get_position(tid, position)
+        log.commit_checkpoint(tid, str(index).encode(), b"", b"")
+    assert log.checkpoint.app_state == str(len(batch_sizes) - 1).encode()
+    assert log.messages_since_checkpoint() == []
+    assert log.checkpoints_taken == len(batch_sizes)

@@ -1,0 +1,106 @@
+"""Unit tests for the auction application object."""
+
+import pytest
+
+from repro.apps.auction import (
+    AuctionClosed,
+    AuctionServant,
+    BidRejected,
+    NoSuchAuction,
+)
+from repro.ftcorba.checkpointable import InvalidState
+
+
+def make_auction():
+    servant = AuctionServant()
+    servant.create_auction("vase", reserve=100)
+    return servant
+
+
+def test_create_is_idempotent():
+    servant = make_auction()
+    servant.bid("vase", "alice", 150)
+    servant.create_auction("vase", reserve=999)
+    assert servant.status("vase")["high_bid"] == 150
+
+
+def test_bid_below_reserve_rejected():
+    with pytest.raises(BidRejected):
+        make_auction().bid("vase", "alice", 99)
+
+
+def test_bid_must_beat_current_high():
+    servant = make_auction()
+    servant.bid("vase", "alice", 150)
+    with pytest.raises(BidRejected):
+        servant.bid("vase", "bob", 150)
+    with pytest.raises(BidRejected):
+        servant.bid("vase", "bob", 120)
+
+
+def test_bid_ids_increase():
+    servant = make_auction()
+    first = servant.bid("vase", "alice", 150)
+    second = servant.bid("vase", "bob", 200)
+    assert second > first
+
+
+def test_unknown_auction_rejected():
+    with pytest.raises(NoSuchAuction):
+        make_auction().bid("ghost", "alice", 100)
+    with pytest.raises(NoSuchAuction):
+        make_auction().status("ghost")
+
+
+def test_close_picks_high_bidder():
+    servant = make_auction()
+    servant.bid("vase", "alice", 150)
+    servant.bid("vase", "bob", 200)
+    assert servant.close_auction("vase") == "bob"
+    status = servant.status("vase")
+    assert status["closed"] and status["winner"] == "bob"
+
+
+def test_close_without_bids_has_no_winner():
+    assert make_auction().close_auction("vase") is None
+
+
+def test_bid_on_closed_auction_rejected():
+    servant = make_auction()
+    servant.close_auction("vase")
+    with pytest.raises(AuctionClosed):
+        servant.bid("vase", "alice", 150)
+
+
+def test_watch_is_silent_and_idempotent():
+    servant = make_auction()
+    servant.watch("vase", "carol")
+    servant.watch("vase", "carol")
+    servant.watch("ghost", "carol")        # silently ignored (oneway)
+    assert servant.status("vase")["watchers"] == 1
+
+
+def test_invariants_hold_on_normal_flow():
+    servant = make_auction()
+    servant.bid("vase", "alice", 150)
+    servant.bid("vase", "bob", 200)
+    servant.close_auction("vase")
+    servant.check_invariants()
+
+
+def test_state_roundtrip():
+    original = make_auction()
+    original.bid("vase", "alice", 150)
+    original.watch("vase", "carol")
+    clone = AuctionServant()
+    clone.set_state(original.get_state())
+    assert clone.get_state() == original.get_state()
+    clone.check_invariants()
+    # deep copy: mutating the clone must not touch the original
+    clone.bid("vase", "bob", 300)
+    assert original.status("vase")["high_bid"] == 150
+
+
+def test_set_state_validates():
+    with pytest.raises(InvalidState):
+        AuctionServant().set_state({"auctions": "nope"})

@@ -1,0 +1,72 @@
+"""Unit tests for the bank application object."""
+
+import pytest
+
+from repro.apps.bank import BankServant, InsufficientFunds, NoSuchAccount
+from repro.ftcorba.checkpointable import InvalidState
+
+
+def make_bank():
+    bank = BankServant()
+    bank.open_account("alice", 100)
+    bank.open_account("bob", 50)
+    return bank
+
+
+def test_open_is_idempotent():
+    bank = make_bank()
+    assert bank.open_account("alice", 999) == 100
+
+
+def test_deposit_withdraw():
+    bank = make_bank()
+    assert bank.deposit("alice", 25) == 125
+    assert bank.withdraw("alice", 100) == 25
+
+
+def test_withdraw_insufficient_raises():
+    with pytest.raises(InsufficientFunds):
+        make_bank().withdraw("bob", 51)
+
+
+def test_unknown_account_raises():
+    with pytest.raises(NoSuchAccount):
+        make_bank().balance("carol")
+
+
+def test_transfer_conserves_total():
+    bank = make_bank()
+    before = bank.audit()["total"]
+    bank.transfer("alice", "bob", 30)
+    assert bank.audit()["total"] == before
+    assert bank.balance("alice") == 70
+    assert bank.balance("bob") == 80
+
+
+def test_transfer_insufficient_changes_nothing():
+    bank = make_bank()
+    with pytest.raises(InsufficientFunds):
+        bank.transfer("bob", "alice", 500)
+    assert bank.balance("bob") == 50
+
+
+def test_history_recorded_and_bounded():
+    bank = BankServant()
+    bank.open_account("a", 0)
+    for _ in range(BankServant.MAX_HISTORY + 50):
+        bank.deposit("a", 1)
+    assert len(bank.history) == BankServant.MAX_HISTORY
+
+
+def test_state_roundtrip():
+    a = make_bank()
+    a.deposit("alice", 7)
+    b = BankServant()
+    b.set_state(a.get_state())
+    assert b.balance("alice") == 107
+    assert b.history == a.history
+
+
+def test_set_state_validates():
+    with pytest.raises(InvalidState):
+        BankServant().set_state({"nope": 1})

@@ -1,0 +1,34 @@
+"""Unit tests for the counter application object."""
+
+import pytest
+
+from repro.apps.counter import CounterServant
+from repro.ftcorba.checkpointable import InvalidState
+
+
+def test_increment_and_read():
+    counter = CounterServant()
+    assert counter.increment(5) == 5
+    assert counter.increment() == 6
+    assert counter.read() == 6
+
+
+def test_reset_returns_previous():
+    counter = CounterServant()
+    counter.increment(3)
+    assert counter.reset() == 3
+    assert counter.read() == 0
+
+
+def test_state_roundtrip():
+    a, b = CounterServant(), CounterServant()
+    a.increment(42)
+    b.set_state(a.get_state())
+    assert b.read() == 42
+
+
+def test_set_state_validates():
+    with pytest.raises(InvalidState):
+        CounterServant().set_state("garbage")
+    with pytest.raises(InvalidState):
+        CounterServant().set_state({"wrong": 1})

@@ -1,0 +1,55 @@
+"""Unit tests for the kv-store application object."""
+
+import pytest
+
+from repro.apps.kvstore import KvStoreServant, make_kvstore_factory
+from repro.ftcorba.checkpointable import InvalidState
+
+
+def test_put_get_delete():
+    store = KvStoreServant()
+    assert store.put("k", [1, 2]) is True
+    assert store.get("k") == [1, 2]
+    assert store.size() == 1
+    assert store.delete("k") is True
+    assert store.delete("k") is False
+    assert store.get("k") is None
+
+
+def test_payload_exact_size():
+    assert len(KvStoreServant(12345).payload) == 12345
+    assert KvStoreServant(0).payload == b""
+
+
+def test_preload_resizes():
+    store = KvStoreServant()
+    assert store.preload(100) == 100
+    assert len(store.payload) == 100
+
+
+def test_echo_counts_and_returns_token():
+    store = KvStoreServant()
+    assert store.echo(7) == 7
+    assert store.echo(8) == 8
+    assert store.echo_count == 2
+
+
+def test_state_roundtrip_includes_everything():
+    a = KvStoreServant(64)
+    a.put("k", "v")
+    a.echo(0)
+    b = KvStoreServant()
+    b.set_state(a.get_state())
+    assert b.get("k") == "v"
+    assert b.payload == a.payload
+    assert b.echo_count == 1
+
+
+def test_set_state_validates():
+    with pytest.raises(InvalidState):
+        KvStoreServant().set_state({"data": {}})
+
+
+def test_factory_preloads():
+    servant = make_kvstore_factory(2048)()
+    assert len(servant.payload) == 2048

@@ -1,0 +1,65 @@
+"""Unit tests for the bounded handled-ids set."""
+
+import pytest
+
+from repro.core.recovery import BoundedIdSet
+
+
+def test_add_and_membership():
+    ids = BoundedIdSet(capacity=10)
+    assert ids.add("a") is True
+    assert ids.add("a") is False
+    assert "a" in ids
+    assert "b" not in ids
+    assert len(ids) == 1
+
+
+def test_fifo_eviction_at_capacity():
+    ids = BoundedIdSet(capacity=3)
+    for item in ("a", "b", "c", "d"):
+        ids.add(item)
+    assert "a" not in ids           # oldest evicted
+    assert all(x in ids for x in ("b", "c", "d"))
+    assert len(ids) == 3
+
+
+def test_duplicate_add_does_not_evict():
+    ids = BoundedIdSet(capacity=2)
+    ids.add("a")
+    ids.add("b")
+    ids.add("a")        # duplicate: no growth, no eviction
+    assert "a" in ids and "b" in ids
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        BoundedIdSet(capacity=0)
+
+
+def test_transfer_ids_embed_epoch():
+    """Regression: ids from a rebuilt stack must not collide with the
+    previous incarnation's (the chaos-test bug)."""
+    from repro import EternalSystem, FTProperties
+    from repro.apps.counter import CounterServant
+    system = EternalSystem(["m", "n1", "n2"])
+    system.register_factory("IDL:repro/Counter:1.0", CounterServant,
+                            nodes=["n1", "n2"])
+    group = system.create_group("g", "IDL:repro/Counter:1.0",
+                                FTProperties(initial_replicas=2),
+                                nodes=["n1", "n2"])
+    system.run_for(0.05)
+    recovery = system.mechanisms("n2").recovery
+    binding = system.mechanisms("n2").bindings["g"]
+    recovery.announce_join(binding)
+    first_id = binding.pending_transfer
+    # simulate a rebuild: kill + restart resets the counter but bumps epoch
+    system.kill_node("n2")
+    system.run_for(0.1)
+    system.restart_node("n2")
+    assert system.wait_for(lambda: group.is_operational_on("n2"),
+                           timeout=5.0)
+    rebuilt = system.mechanisms("n2")
+    assert rebuilt.announce_epoch > 0
+    rebuilt_binding = rebuilt.bindings["g"]
+    rebuilt.recovery.announce_join(rebuilt_binding)
+    assert rebuilt_binding.pending_transfer != first_id

@@ -1,0 +1,173 @@
+"""Unit tests for the replica container (work queue + state ops)."""
+
+import pytest
+
+from repro.core.config import EternalConfig
+from repro.core.container import ReplicaContainer
+from repro.core.identifiers import ConnectionKey
+from repro.errors import StateTransferError
+from repro.ftcorba.checkpointable import Checkpointable
+from repro.giop.messages import RequestMessage, decode_message, encode_message
+from repro.giop.types import decode_any, encode_any, to_any
+from repro.orb.objectkey import make_key
+from repro.orb.servant import operation
+from repro.simnet.process import Process
+from repro.simnet.scheduler import Scheduler
+
+CONN = ConnectionKey("c", "g")
+GROUP_KEY = make_key("RootPOA", b"g")
+
+
+class Item(Checkpointable):
+    def __init__(self):
+        self.value = 0
+        self.calls = []
+
+    @operation(duration=0.01)
+    def bump(self, n):
+        self.value += n
+        self.calls.append(n)
+        return self.value
+
+    def get_state(self):
+        return {"value": self.value}
+
+    def set_state(self, state):
+        self.value = state["value"]
+
+
+def build(servant=None):
+    scheduler = Scheduler()
+    process = Process(scheduler, "n1")
+    replies = []
+    container = ReplicaContainer(
+        process, "g", servant if servant is not None else Item(),
+        EternalConfig(),
+        on_reply_produced=lambda conn, data: replies.append((conn, data)),
+    )
+    return scheduler, container, replies
+
+
+def request_bytes(request_id, op="bump", args=(1,)):
+    return encode_message(RequestMessage(request_id=request_id,
+                                         object_key=GROUP_KEY,
+                                         operation=op, args=args))
+
+
+def test_request_executes_after_duration_and_replies():
+    scheduler, container, replies = build()
+    container.submit_request(CONN, request_bytes(0))
+    assert container.servant.value == 0      # not yet: takes 10 ms
+    scheduler.run_until(0.02)
+    assert container.servant.value == 1
+    assert len(replies) == 1
+    assert decode_message(replies[0][1]).result == 1
+
+
+def test_queue_is_fifo():
+    scheduler, container, replies = build()
+    for i in range(3):
+        container.submit_request(CONN, request_bytes(i, args=(i,)))
+    scheduler.run_until(0.1)
+    assert container.servant.calls == [0, 1, 2]
+    assert container.operations_executed == 3
+
+
+def test_quiescence_during_execution():
+    scheduler, container, replies = build()
+    container.submit_request(CONN, request_bytes(0))
+    scheduler.run_until(0.005)
+    assert not container.quiescence.is_quiescent()
+    scheduler.run_until(0.05)
+    assert container.quiescence.is_quiescent()
+
+
+def test_get_state_waits_behind_queued_requests():
+    scheduler, container, replies = build()
+    states = []
+    container.submit_request(CONN, request_bytes(0, args=(5,)))
+    container.submit_get_state(
+        "t1", lambda tid, blob: states.append(decode_any(blob).value)
+    )
+    scheduler.run_until(0.1)
+    assert states == [{"value": 5}]      # request executed first
+
+
+def test_set_state_applies_value():
+    scheduler, container, replies = build()
+    done = []
+    blob = encode_any(to_any({"value": 99}))
+    container.submit_set_state(blob, lambda: done.append(1))
+    scheduler.run_until(0.1)
+    assert done == [1]
+    assert container.servant.value == 99
+
+
+def test_requests_after_set_state_run_on_new_state():
+    scheduler, container, replies = build()
+    blob = encode_any(to_any({"value": 10}))
+    container.submit_set_state(blob, lambda: None)
+    container.submit_request(CONN, request_bytes(0, args=(1,)))
+    scheduler.run_until(0.1)
+    assert container.servant.value == 11
+
+
+def test_get_state_on_uninstantiated_replica_raises():
+    scheduler = Scheduler()
+    process = Process(scheduler, "n1")
+    container = ReplicaContainer(process, "g", None, EternalConfig(),
+                                 on_reply_produced=lambda c, d: None)
+    assert not container.instantiated
+    with pytest.raises(StateTransferError):
+        container.submit_get_state("t", lambda tid, blob: None)
+
+
+def test_install_servant_enables_execution():
+    scheduler = Scheduler()
+    process = Process(scheduler, "n1")
+    replies = []
+    container = ReplicaContainer(process, "g", None, EternalConfig(),
+                                 on_reply_produced=lambda c, d:
+                                 replies.append(d))
+    container.install_servant(Item())
+    container.submit_request(CONN, request_bytes(0))
+    scheduler.run_until(0.1)
+    assert container.servant.value == 1
+
+
+def test_crashed_process_stops_queue():
+    scheduler, container, replies = build()
+    container.submit_request(CONN, request_bytes(0))
+    container.process.crash()
+    scheduler.run()
+    assert container.servant.value == 0
+
+
+def test_state_duration_scales_with_size():
+    scheduler, container, replies = build()
+    small = container._state_duration(10)
+    large = container._state_duration(1_000_000)
+    assert large > small
+
+
+def test_submit_reply_routes_to_orb_and_callback():
+    scheduler, container, replies = build()
+    from repro.giop.ior import IOR
+    ior = IOR("IDL:T:1.0", "g2", 2809, GROUP_KEY)
+    executed = []
+    proxy = container.connect(ior)
+    container.orb.set_client_transport(lambda h, p, d: None)
+    results = []
+    proxy.invoke("x", on_reply=lambda r: results.append(r.result))
+    from repro.giop.messages import ReplyMessage
+    reply = encode_message(ReplyMessage(request_id=0, result="ok"))
+    container.submit_reply("g2", 2809, reply,
+                           on_executed=lambda: executed.append(1))
+    scheduler.run_until(0.01)
+    assert executed == [1]
+    assert results == ["ok"]
+
+
+def test_servant_gets_container_handle():
+    scheduler, container, replies = build()
+    assert container.servant._eternal_container is container

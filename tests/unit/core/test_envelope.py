@@ -1,0 +1,92 @@
+"""Unit tests for multicast envelope encoding."""
+
+import pytest
+
+from repro.core.envelope import (
+    GroupUpdate,
+    IiopEnvelope,
+    ReplicaJoin,
+    StateGet,
+    StateSet,
+    TransferPurpose,
+    decode_envelope,
+    encode_envelope,
+)
+from repro.core.identifiers import ConnectionKey, OpKind
+from repro.errors import ProtocolError
+
+CONN = ConnectionKey("c", "s")
+
+
+def roundtrip(envelope):
+    return decode_envelope(encode_envelope(envelope))
+
+
+def test_iiop_envelope_roundtrip():
+    original = IiopEnvelope(CONN, OpKind.REQUEST, 42, "n1", b"\x01\x02")
+    decoded = roundtrip(original)
+    assert decoded == original
+
+
+def test_iiop_target_group_by_kind():
+    request = IiopEnvelope(CONN, OpKind.REQUEST, 0, "n", b"")
+    reply = IiopEnvelope(CONN, OpKind.REPLY, 0, "n", b"")
+    assert request.target_group == "s"
+    assert reply.target_group == "c"
+
+
+def test_iiop_operation_id():
+    envelope = IiopEnvelope(CONN, OpKind.REPLY, 9, "n", b"")
+    assert envelope.operation_id.request_id == 9
+    assert envelope.operation_id.kind is OpKind.REPLY
+
+
+def test_group_update_roundtrip():
+    original = GroupUpdate(
+        group_id="g", type_id="IDL:T:1.0", style="warm_passive",
+        checkpoint_interval=0.25, app_version=3,
+        members=(("n1", "primary", True), ("n2", "backup", False)),
+        action="add", subject_node="n2",
+    )
+    assert roundtrip(original) == original
+
+
+def test_replica_join_roundtrip():
+    assert roundtrip(ReplicaJoin("g", "n3", "rec:g:n3:1")) == \
+        ReplicaJoin("g", "n3", "rec:g:n3:1")
+
+
+def test_state_get_roundtrip():
+    original = StateGet("g", "t1", TransferPurpose.RECOVERY, "n1", "n3")
+    assert roundtrip(original) == original
+
+
+def test_state_get_checkpoint_purpose():
+    original = StateGet("g", "t1", TransferPurpose.CHECKPOINT, "n1")
+    decoded = roundtrip(original)
+    assert decoded.purpose is TransferPurpose.CHECKPOINT
+    assert decoded.target_node == ""
+
+
+def test_state_set_roundtrip():
+    original = StateSet("g", "t1", TransferPurpose.RECOVERY, "n1", "n3",
+                        b"app" * 100, b"orb", b"infra")
+    assert roundtrip(original) == original
+
+
+def test_state_set_size_dominated_by_app_state():
+    small = encode_envelope(StateSet("g", "t", TransferPurpose.RECOVERY,
+                                     "a", "b", b"", b"", b""))
+    big = encode_envelope(StateSet("g", "t", TransferPurpose.RECOVERY,
+                                   "a", "b", b"x" * 10_000, b"", b""))
+    assert len(big) - len(small) >= 10_000
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(ProtocolError):
+        decode_envelope(b"\x99rest")
+
+
+def test_encode_rejects_unknown_type():
+    with pytest.raises(ProtocolError):
+        encode_envelope(object())

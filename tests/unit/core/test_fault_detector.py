@@ -1,0 +1,65 @@
+"""Unit tests for the pull-based replica fault detector."""
+
+from repro.bench.deployments import build_client_server
+from repro.core.fault_detector import SUSPECT_AFTER
+from repro.ftcorba.properties import ReplicationStyle
+
+
+def deploy():
+    return build_client_server(style=ReplicationStyle.ACTIVE,
+                               server_replicas=2, state_size=100,
+                               warmup=0.2, keep_trace_records=True)
+
+
+def test_detector_created_on_hosting_nodes():
+    deployment = deploy()
+    for node in deployment.server_nodes:
+        assert deployment.system.mechanisms(node).fault_detector is not None
+
+
+def test_busy_but_progressing_replica_not_suspected():
+    deployment = deploy()
+    deployment.system.run_for(1.0)
+    assert deployment.system.tracer.count("fault_detector.report") == 0
+
+
+def test_hung_replica_suspected_then_reported_once():
+    deployment = deploy()
+    system = deployment.system
+    system.hang_replica("store", "s1")
+    assert system.wait_for(
+        lambda: system.tracer.count("fault_detector.report") >= 1,
+        timeout=3.0,
+    )
+    suspects = system.tracer.count("fault_detector.suspect")
+    assert suspects >= SUSPECT_AFTER
+    system.run_for(0.2)
+    # a single report per fault (no flapping)
+    reports = [r for r in system.tracer.find("fault_detector", "report")
+               if r.fields.get("node") == "s1"]
+    assert len(reports) == 1
+
+
+def test_detection_latency_bounded_by_monitoring_interval():
+    deployment = deploy()
+    system = deployment.system
+    info = system.mechanisms("s1").groups["store"]
+    hang_at = system.now
+    system.hang_replica("store", "s1")
+    assert system.wait_for(
+        lambda: system.tracer.count("fault_detector.report") >= 1,
+        timeout=3.0,
+    )
+    latency = system.now - hang_at
+    # SUSPECT_AFTER polls plus one interval of slack
+    assert latency <= (SUSPECT_AFTER + 2) * info.fault_monitoring_interval
+
+
+def test_cold_backups_never_suspected():
+    deployment = build_client_server(
+        style=ReplicationStyle.COLD_PASSIVE, server_replicas=2,
+        state_size=100, checkpoint_interval=0.1, warmup=0.2,
+        keep_trace_records=True,
+    )
+    deployment.system.run_for(1.0)
+    assert deployment.system.tracer.count("fault_detector.report") == 0

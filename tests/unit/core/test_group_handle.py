@@ -1,0 +1,56 @@
+"""Unit tests for GroupHandle conveniences."""
+
+import pytest
+
+from repro import EternalSystem, FTProperties
+from repro.apps.counter import CounterServant
+from repro.errors import SimulationError
+
+COUNTER = "IDL:repro/Counter:1.0"
+
+
+def deploy():
+    system = EternalSystem(["m", "c1", "n1", "n2"])
+    system.register_factory(COUNTER, CounterServant,
+                            nodes=["c1", "n1", "n2"])
+    group = system.create_group("ctr", COUNTER,
+                                FTProperties(initial_replicas=2),
+                                nodes=["n1", "n2"])
+    helper = system.create_group("helper", COUNTER,
+                                 FTProperties(initial_replicas=1),
+                                 nodes=["c1"])
+    system.run_for(0.05)
+    return system, group, helper
+
+
+def test_connect_from_invokes_through_the_ordered_path():
+    system, group, helper = deploy()
+    proxy = group.connect_from("c1")
+    results = []
+    proxy.invoke("increment", 5, on_reply=lambda r: results.append(r.result))
+    system.run_for(0.05)
+    assert results == [5]
+    # both active replicas executed it
+    assert group.servant_on("n1").value == 5
+    assert group.servant_on("n2").value == 5
+
+
+def test_connect_from_node_without_containers_rejected():
+    system, group, helper = deploy()
+    with pytest.raises(SimulationError):
+        group.connect_from("m")      # the manager hosts no replicas
+
+
+def test_member_and_operational_listings():
+    system, group, helper = deploy()
+    assert group.member_nodes() == ["n1", "n2"]
+    assert group.operational_nodes() == ["n1", "n2"]
+    assert group.primary_node() is None       # active style
+    assert group.is_operational_on("n1")
+    assert not group.is_operational_on("c1")
+
+
+def test_servant_on_non_member_is_none():
+    system, group, helper = deploy()
+    assert group.servant_on("c1") is None
+    assert group.binding_on("c1") is None

@@ -1,0 +1,107 @@
+"""Unit tests for per-node group views and failover determinism."""
+
+from repro.core.groupinfo import (
+    GroupInfo,
+    ROLE_ACTIVE,
+    ROLE_BACKUP,
+    ROLE_PRIMARY,
+)
+from repro.ftcorba.properties import ReplicationStyle
+
+
+def make_info(style=ReplicationStyle.WARM_PASSIVE):
+    return GroupInfo("g", "IDL:T:1.0", style, 0.5)
+
+
+def test_add_member_and_roles():
+    info = make_info()
+    info.add_member("n1", ROLE_PRIMARY, operational=True)
+    info.add_member("n2", ROLE_BACKUP)
+    assert info.member_nodes == ["n1", "n2"]
+    assert info.primary_node == "n1"
+    assert info.role_of("n2") == ROLE_BACKUP
+    assert info.operational_nodes() == ["n1"]
+
+
+def test_executes_predicate():
+    info = make_info()
+    info.add_member("n1", ROLE_PRIMARY)
+    info.add_member("n2", ROLE_BACKUP)
+    assert info.executes("n1")
+    assert not info.executes("n2")
+    assert not info.executes("ghost")
+
+
+def test_responds_to_recovery_requires_operational_executor():
+    info = make_info(ReplicationStyle.ACTIVE)
+    info.add_member("n1", ROLE_ACTIVE, operational=True)
+    info.add_member("n2", ROLE_ACTIVE, operational=False)
+    assert info.responds_to_recovery("n1")
+    assert not info.responds_to_recovery("n2")
+
+
+def test_backup_never_responds_to_recovery():
+    info = make_info()
+    info.add_member("n1", ROLE_BACKUP, operational=True)
+    assert not info.responds_to_recovery("n1")
+
+
+def test_mark_operational_only_for_members():
+    info = make_info()
+    info.mark_operational("ghost")
+    assert info.operational == set()
+
+
+def test_promote_swaps_roles():
+    info = make_info()
+    info.add_member("n1", ROLE_PRIMARY)
+    info.add_member("n2", ROLE_BACKUP)
+    info.promote("n2")
+    assert info.primary_node == "n2"
+    assert info.role_of("n1") == ROLE_BACKUP
+
+
+def test_node_loss_without_primary_loss():
+    info = make_info()
+    info.add_member("n1", ROLE_PRIMARY)
+    info.add_member("n2", ROLE_BACKUP)
+    assert info.handle_node_loss({"n2"}) is None
+    assert info.member_nodes == ["n1"]
+
+
+def test_node_loss_promotes_first_surviving_backup():
+    info = make_info()
+    info.add_member("n1", ROLE_PRIMARY)
+    info.add_member("n3", ROLE_BACKUP)
+    info.add_member("n2", ROLE_BACKUP)
+    promoted = info.handle_node_loss({"n1"})
+    assert promoted == "n2"        # deterministic: sorted order
+    assert info.primary_node == "n2"
+
+
+def test_node_loss_of_everything():
+    info = make_info()
+    info.add_member("n1", ROLE_PRIMARY)
+    assert info.handle_node_loss({"n1"}) is None
+    assert info.member_nodes == []
+
+
+def test_node_loss_same_decision_on_every_node():
+    """Two replicas of the view applying the same loss reach the same
+    promotion — the determinism failover depends on."""
+    views = [make_info(), make_info()]
+    for info in views:
+        info.add_member("a", ROLE_BACKUP)
+        info.add_member("b", ROLE_PRIMARY)
+        info.add_member("c", ROLE_BACKUP)
+    decisions = {info.handle_node_loss({"b"}) for info in views}
+    assert decisions == {"a"}
+
+
+def test_surviving_backups_sorted():
+    info = make_info()
+    info.add_member("z", ROLE_BACKUP)
+    info.add_member("a", ROLE_BACKUP)
+    info.add_member("p", ROLE_PRIMARY)
+    assert info.surviving_backups(set()) == ["a", "z"]
+    assert info.surviving_backups({"a"}) == ["z"]

@@ -1,0 +1,121 @@
+"""Unit tests for operation identifiers and duplicate suppression."""
+
+from repro.core.identifiers import (
+    ConnectionKey,
+    DuplicateFilter,
+    OperationId,
+    OpKind,
+)
+
+CONN = ConnectionKey("client", "server")
+
+
+def op(request_id, kind=OpKind.REQUEST, conn=CONN):
+    return OperationId(conn, request_id, kind)
+
+
+def test_connection_key_string_roundtrip():
+    assert ConnectionKey.from_str(CONN.as_str()) == CONN
+
+
+def test_matching_reply_id():
+    reply = op(5).matching_reply()
+    assert reply.kind is OpKind.REPLY
+    assert reply.request_id == 5
+    assert reply.connection == CONN
+
+
+def test_first_delivery_not_duplicate():
+    assert DuplicateFilter().seen_before(op(0)) is False
+
+
+def test_second_delivery_is_duplicate():
+    f = DuplicateFilter()
+    f.seen_before(op(0))
+    assert f.seen_before(op(0)) is True
+
+
+def test_requests_and_replies_tracked_separately():
+    f = DuplicateFilter()
+    assert f.seen_before(op(0, OpKind.REQUEST)) is False
+    assert f.seen_before(op(0, OpKind.REPLY)) is False
+    assert f.seen_before(op(0, OpKind.REPLY)) is True
+
+
+def test_connections_tracked_separately():
+    f = DuplicateFilter()
+    other = ConnectionKey("client2", "server")
+    assert f.seen_before(op(0)) is False
+    assert f.seen_before(op(0, conn=other)) is False
+
+
+def test_watermark_compaction():
+    f = DuplicateFilter()
+    for i in range(100):
+        assert f.seen_before(op(i)) is False
+    key = (CONN, OpKind.REQUEST)
+    assert f._watermark[key] == 99
+    assert f._sparse[key] == set()
+
+
+def test_out_of_order_ids_eventually_compact():
+    f = DuplicateFilter()
+    for i in (2, 0, 1):
+        f.seen_before(op(i))
+    key = (CONN, OpKind.REQUEST)
+    assert f._watermark[key] == 2
+
+
+def test_capture_restore_roundtrip():
+    f = DuplicateFilter()
+    for i in (0, 1, 5):
+        f.seen_before(op(i))
+    restored = DuplicateFilter.restore(f.capture())
+    assert restored.seen_before(op(0)) is True
+    assert restored.seen_before(op(5)) is True
+    assert restored.seen_before(op(2)) is False
+
+
+def test_merge_unions_histories():
+    a, b = DuplicateFilter(), DuplicateFilter()
+    for i in range(5):
+        a.seen_before(op(i))
+    b.seen_before(op(7))
+    a.merge(b)
+    assert a.seen_before(op(3)) is True
+    assert a.seen_before(op(7)) is True
+    assert a.seen_before(op(5)) is False
+
+
+def test_merge_with_higher_watermark():
+    a, b = DuplicateFilter(), DuplicateFilter()
+    a.seen_before(op(0))
+    for i in range(10):
+        b.seen_before(op(i))
+    a.merge(b)
+    for i in range(10):
+        assert a.seen_before(op(i)) is True
+
+
+def test_merge_compacts_across_sources():
+    a, b = DuplicateFilter(), DuplicateFilter()
+    a.seen_before(op(0))
+    a.seen_before(op(2))
+    b.seen_before(op(0))
+    b.seen_before(op(1))
+    a.merge(b)
+    key = (CONN, OpKind.REQUEST)
+    assert a._watermark[key] == 2
+
+
+def test_empty_merge_is_noop():
+    a = DuplicateFilter()
+    a.seen_before(op(0))
+    a.merge(DuplicateFilter())
+    assert a.seen_before(op(0)) is True
+    assert a.seen_before(op(1)) is False
+
+
+def test_operation_ids_are_ordered_and_hashable():
+    assert op(1) < op(2)
+    assert len({op(1), op(1), op(2)}) == 2

@@ -1,0 +1,97 @@
+"""Unit tests for infrastructure-level state (paper §4.3)."""
+
+from repro.core.identifiers import ConnectionKey, OperationId, OpKind
+from repro.core.infra_state import InfraState
+
+CONN = ConnectionKey("c", "s")
+
+
+def test_record_issued_new_then_reissue():
+    state = InfraState()
+    assert state.record_issued(CONN, 0, "op", True) is True
+    assert state.record_issued(CONN, 1, "op", True) is True
+    # a deterministic re-issue of an already-sent id is not new
+    assert state.record_issued(CONN, 1, "op", True) is False
+
+
+def test_awaiting_tracks_unanswered_invocations():
+    state = InfraState()
+    state.record_issued(CONN, 0, "credit", True)
+    assert state.awaiting_reply(CONN, 0) == "credit"
+    state.record_reply_delivered(CONN, 0)
+    assert state.awaiting_reply(CONN, 0) is None
+
+
+def test_oneways_not_awaited():
+    state = InfraState()
+    state.record_issued(CONN, 0, "notify", False)
+    assert state.awaiting_reply(CONN, 0) is None
+
+
+def test_reply_for_unknown_request_ignored():
+    InfraState().record_reply_delivered(CONN, 99)   # must not raise
+
+
+def test_capture_decode_roundtrip():
+    state = InfraState(style="warm_passive", role="primary")
+    state.record_issued(CONN, 0, "a", True)
+    state.record_issued(CONN, 1, "b", True)
+    state.record_reply_delivered(CONN, 0)
+    state.duplicates.seen_before(OperationId(CONN, 7, OpKind.REPLY))
+    decoded = InfraState.decode(state.capture())
+    assert decoded.style == "warm_passive"
+    assert decoded.role == "primary"
+    assert decoded.issued == {CONN: 1}
+    assert decoded.awaiting == {CONN: {1: "b"}}
+    assert decoded.duplicates.seen_before(
+        OperationId(CONN, 7, OpKind.REPLY)
+    ) is True
+
+
+def test_decode_empty_blob():
+    state = InfraState.decode(b"")
+    assert state.issued == {} and state.awaiting == {}
+
+
+def test_capture_with_duplicates_override():
+    state = InfraState()
+    snapshot = state.duplicates.capture()
+    state.duplicates.seen_before(OperationId(CONN, 0, OpKind.REQUEST))
+    decoded = InfraState.decode(state.capture(duplicates_override=snapshot))
+    # the override predates the seen_before, so 0 must look fresh
+    assert decoded.duplicates.seen_before(
+        OperationId(CONN, 0, OpKind.REQUEST)
+    ) is False
+
+
+def test_adopt_merges_duplicates_and_issued():
+    local = InfraState(role="backup")
+    other = InfraState(role="primary")
+    other.duplicates.seen_before(OperationId(CONN, 0, OpKind.REQUEST))
+    other.record_issued(CONN, 5, "x", True)
+    local.duplicates.seen_before(OperationId(CONN, 1, OpKind.REQUEST))
+    local.adopt(other)
+    assert local.role == "backup"      # role preserved by default
+    assert local.duplicates.seen_before(
+        OperationId(CONN, 0, OpKind.REQUEST)
+    ) is True
+    assert local.duplicates.seen_before(
+        OperationId(CONN, 1, OpKind.REQUEST)
+    ) is True
+    assert local.issued[CONN] == 5
+    assert local.awaiting == {CONN: {5: "x"}}
+
+
+def test_adopt_keeps_higher_local_issued():
+    local, other = InfraState(), InfraState()
+    local.record_issued(CONN, 10, "x", False)
+    other.record_issued(CONN, 5, "y", False)
+    local.adopt(other)
+    assert local.issued[CONN] == 10
+
+
+def test_adopt_can_take_role():
+    local = InfraState(role="backup")
+    other = InfraState(role="primary")
+    local.adopt(other, keep_role=False)
+    assert local.role == "primary"

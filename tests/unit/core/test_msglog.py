@@ -1,0 +1,84 @@
+"""Unit tests for the checkpoint + message log (paper §3.3)."""
+
+from repro.core.envelope import IiopEnvelope
+from repro.core.identifiers import ConnectionKey, OpKind
+from repro.core.msglog import MessageLog
+
+CONN = ConnectionKey("c", "s")
+
+
+def env(request_id):
+    return IiopEnvelope(CONN, OpKind.REQUEST, request_id, "n", b"")
+
+
+def test_empty_log():
+    log = MessageLog("g")
+    assert log.checkpoint is None
+    assert log.log_length == 0
+    assert log.messages_since_checkpoint() == []
+
+
+def test_append_and_replay_in_order():
+    log = MessageLog("g")
+    for i in range(5):
+        log.append(i, env(i))
+    assert [e.request_id for e in log.messages_since_checkpoint()] == \
+        [0, 1, 2, 3, 4]
+
+
+def test_checkpoint_prunes_covered_messages():
+    log = MessageLog("g")
+    for i in range(10):
+        log.append(i, env(i))
+    log.mark_get_position("t1", 6)
+    record = log.commit_checkpoint("t1", b"state", b"orb", b"infra")
+    assert record.position == 6
+    assert [e.request_id for e in log.messages_since_checkpoint()] == \
+        [7, 8, 9]
+    assert log.log_length == 3
+
+
+def test_new_checkpoint_overwrites_previous():
+    """'the next checkpoint ... overwrites the previous checkpoint'."""
+    log = MessageLog("g")
+    log.append(0, env(0))
+    log.mark_get_position("t1", 0)
+    log.commit_checkpoint("t1", b"one", b"", b"")
+    log.append(1, env(1))
+    log.mark_get_position("t2", 1)
+    log.commit_checkpoint("t2", b"two", b"", b"")
+    assert log.checkpoint.app_state == b"two"
+    assert log.checkpoints_taken == 2
+    assert log.messages_since_checkpoint() == []
+
+
+def test_checkpoint_without_marked_position_keeps_all_messages():
+    log = MessageLog("g")
+    log.append(0, env(0))
+    log.commit_checkpoint("ghost", b"s", b"", b"")
+    assert log.log_length == 1
+
+
+def test_messages_at_get_position_are_covered():
+    log = MessageLog("g")
+    log.append(5, env(5))
+    log.mark_get_position("t", 5)
+    log.commit_checkpoint("t", b"s", b"", b"")
+    assert log.messages_since_checkpoint() == []
+
+
+def test_replay_respects_checkpoint_boundary():
+    log = MessageLog("g")
+    log.mark_get_position("t", 3)
+    log.commit_checkpoint("t", b"s", b"", b"")
+    log.append(4, env(4))
+    assert [e.request_id for e in log.messages_since_checkpoint()] == [4]
+
+
+def test_clear_resets_everything():
+    log = MessageLog("g")
+    log.append(0, env(0))
+    log.mark_get_position("t", 0)
+    log.commit_checkpoint("t", b"s", b"", b"")
+    log.clear()
+    assert log.checkpoint is None and log.log_length == 0

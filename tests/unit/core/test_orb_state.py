@@ -1,0 +1,73 @@
+"""Unit tests for ORB/POA-level state tracking (paper §4.2)."""
+
+from repro.core.identifiers import ConnectionKey
+from repro.core.orb_state import OrbStateTracker
+from repro.giop.messages import ReplyMessage, RequestMessage, encode_message
+from repro.giop.service_context import CodeSetContext
+from repro.orb.objectkey import make_key
+
+CONN = ConnectionKey("c", "s")
+KEY = make_key("RootPOA", b"obj")
+
+
+def plain_request(request_id=0, contexts=()):
+    return encode_message(RequestMessage(
+        request_id=request_id, object_key=KEY, operation="op",
+        service_contexts=tuple(contexts),
+    ))
+
+
+def test_outgoing_request_ids_tracked_monotonically():
+    tracker = OrbStateTracker()
+    tracker.observe_outgoing_request(CONN, 3)
+    tracker.observe_outgoing_request(CONN, 7)
+    tracker.observe_outgoing_request(CONN, 5)   # retransmit never regresses
+    assert tracker.client_request_ids[CONN] == 7
+
+
+def test_handshake_request_stored_once():
+    tracker = OrbStateTracker()
+    handshake = plain_request(0, [CodeSetContext().to_service_context()])
+    later = plain_request(1, [CodeSetContext().to_service_context()])
+    tracker.observe_delivered_request(CONN, handshake)
+    tracker.observe_delivered_request(CONN, later)
+    assert tracker.handshakes[CONN] == handshake
+
+
+def test_plain_request_not_stored_as_handshake():
+    tracker = OrbStateTracker()
+    tracker.observe_delivered_request(CONN, plain_request())
+    assert CONN not in tracker.handshakes
+
+
+def test_non_request_ignored():
+    tracker = OrbStateTracker()
+    tracker.observe_delivered_request(
+        CONN, encode_message(ReplyMessage(request_id=0, result=None))
+    )
+    assert CONN not in tracker.handshakes
+
+
+def test_capture_decode_roundtrip():
+    tracker = OrbStateTracker()
+    handshake = plain_request(0, [CodeSetContext().to_service_context()])
+    tracker.observe_outgoing_request(CONN, 350)
+    tracker.observe_delivered_request(CONN, handshake)
+    decoded = OrbStateTracker.decode(tracker.capture())
+    assert decoded.client_request_ids == {CONN: 350}
+    assert decoded.handshakes == {CONN: handshake}
+
+
+def test_decode_empty_blob():
+    tracker = OrbStateTracker.decode(b"")
+    assert tracker.client_request_ids == {}
+    assert tracker.handshakes == {}
+
+
+def test_multiple_connections_independent():
+    tracker = OrbStateTracker()
+    other = ConnectionKey("c2", "s")
+    tracker.observe_outgoing_request(CONN, 1)
+    tracker.observe_outgoing_request(other, 9)
+    decoded = OrbStateTracker.decode(tracker.capture())
+    assert decoded.client_request_ids == {CONN: 1, other: 9}

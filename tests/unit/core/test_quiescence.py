@@ -1,0 +1,80 @@
+"""Unit tests for quiescence tracking (paper §5)."""
+
+from repro.core.quiescence import QuiescenceMonitor
+
+
+def test_initially_quiescent():
+    assert QuiescenceMonitor().is_quiescent()
+
+
+def test_busy_during_operation():
+    monitor = QuiescenceMonitor()
+    monitor.begin_operation(until=1.0)
+    assert monitor.busy
+    assert not monitor.is_quiescent()
+    monitor.end_operation()
+    assert monitor.is_quiescent()
+
+
+def test_nested_invocations_block_quiescence():
+    monitor = QuiescenceMonitor()
+    monitor.nested_issued()
+    assert not monitor.is_quiescent()
+    monitor.nested_completed()
+    assert monitor.is_quiescent()
+
+
+def test_nested_counter_never_negative():
+    monitor = QuiescenceMonitor()
+    monitor.nested_completed()
+    assert monitor.is_quiescent()
+
+
+def test_callback_fires_immediately_when_quiescent():
+    monitor = QuiescenceMonitor()
+    fired = []
+    monitor.when_quiescent(lambda: fired.append(1))
+    assert fired == [1]
+
+
+def test_callback_deferred_until_quiescent():
+    monitor = QuiescenceMonitor()
+    monitor.begin_operation(until=1.0)
+    fired = []
+    monitor.when_quiescent(lambda: fired.append(1))
+    assert fired == []
+    monitor.end_operation()
+    assert fired == [1]
+
+
+def test_callback_waits_for_all_conditions():
+    monitor = QuiescenceMonitor()
+    monitor.begin_operation(until=1.0)
+    monitor.nested_issued()
+    fired = []
+    monitor.when_quiescent(lambda: fired.append(1))
+    monitor.end_operation()
+    assert fired == []
+    monitor.nested_completed()
+    assert fired == [1]
+
+
+def test_multiple_waiters_fire_in_order():
+    monitor = QuiescenceMonitor()
+    monitor.begin_operation(until=1.0)
+    order = []
+    monitor.when_quiescent(lambda: order.append("a"))
+    monitor.when_quiescent(lambda: order.append("b"))
+    monitor.end_operation()
+    assert order == ["a", "b"]
+
+
+def test_waiters_fire_once():
+    monitor = QuiescenceMonitor()
+    monitor.begin_operation(until=1.0)
+    fired = []
+    monitor.when_quiescent(lambda: fired.append(1))
+    monitor.end_operation()
+    monitor.begin_operation(until=2.0)
+    monitor.end_operation()
+    assert fired == [1]

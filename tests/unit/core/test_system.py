@@ -1,0 +1,99 @@
+"""Unit tests for the EternalSystem facade."""
+
+import pytest
+
+from repro import EternalSystem, FTProperties
+from repro.apps.counter import CounterServant
+from repro.errors import SimulationError, UnknownNode
+
+COUNTER = "IDL:repro/Counter:1.0"
+
+
+def test_requires_nodes():
+    with pytest.raises(SimulationError):
+        EternalSystem([])
+
+
+def test_manager_node_defaults_to_first():
+    system = EternalSystem(["x", "y"])
+    assert system.manager_node == "x"
+    assert system.replication_manager is not None
+
+
+def test_manager_node_override():
+    system = EternalSystem(["x", "y"], manager_node="y")
+    assert system.manager_node == "y"
+    assert system.replication_manager.mechanisms.node_id == "y"
+
+
+def test_run_for_advances_simulated_time():
+    system = EternalSystem(["x"])
+    system.run_for(1.5)
+    assert system.now == pytest.approx(1.5)
+
+
+def test_wait_for_success_and_timeout():
+    system = EternalSystem(["x"])
+    deadline = {}
+    system.scheduler.call_after(0.2, lambda: deadline.update(done=True))
+    assert system.wait_for(lambda: deadline.get("done"), timeout=1.0)
+    assert not system.wait_for(lambda: False, timeout=0.1)
+
+
+def test_kill_and_restart_unknown_node_rejected():
+    system = EternalSystem(["x"])
+    with pytest.raises(UnknownNode):
+        system.kill_node("nope")
+    with pytest.raises(UnknownNode):
+        system.restart_node("nope")
+
+
+def test_stack_lookup():
+    system = EternalSystem(["x", "y"])
+    assert system.stack("y").node_id == "y"
+    with pytest.raises(UnknownNode):
+        system.stack("z")
+
+
+def test_restart_rebuilds_stack_objects():
+    system = EternalSystem(["x", "y"])
+    system.run_for(0.05)
+    old_totem = system.stack("y").totem
+    system.kill_node("y")
+    system.restart_node("y")
+    assert system.stack("y").totem is not old_totem
+    assert system.wait_for(system.ring_formed, timeout=2.0)
+
+
+def test_ring_formed_false_while_node_down():
+    system = EternalSystem(["x", "y", "z"])
+    system.run_for(0.05)
+    assert system.ring_formed()
+    system.kill_node("z")
+    # immediately after the crash the survivors still list z
+    assert not system.ring_formed()
+    system.run_for(0.2)
+    assert system.ring_formed()     # survivors reformed without z
+
+
+def test_group_handle_errors_when_unknown():
+    system = EternalSystem(["x"])
+    from repro.core.system import GroupHandle
+    handle = GroupHandle(system, "ghost")
+    with pytest.raises(SimulationError):
+        handle.iogr()
+
+
+def test_deterministic_rerun_same_seed():
+    def run():
+        system = EternalSystem(["m", "n1", "n2"], seed=42)
+        system.register_factory(COUNTER, CounterServant,
+                                nodes=["n1", "n2"])
+        system.create_group("g", COUNTER,
+                            FTProperties(initial_replicas=2),
+                            nodes=["n1", "n2"])
+        system.run_for(0.3)
+        return (system.scheduler.events_executed,
+                system.tracer.counters.get("net.bytes", 0))
+
+    assert run() == run()

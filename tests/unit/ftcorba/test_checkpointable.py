@@ -1,0 +1,56 @@
+"""Unit tests for the Checkpointable interface (paper Figure 3)."""
+
+import pytest
+
+from repro.ftcorba.checkpointable import (
+    Checkpointable,
+    InvalidState,
+    NoStateAvailable,
+)
+
+
+class WithState(Checkpointable):
+    def __init__(self):
+        self.data = {"x": 1}
+
+    def get_state(self):
+        return dict(self.data)
+
+    def set_state(self, state):
+        self.data = dict(state)
+
+
+def test_default_get_state_raises_no_state_available():
+    with pytest.raises(NoStateAvailable):
+        Checkpointable().get_state()
+
+
+def test_default_set_state_raises_invalid_state():
+    with pytest.raises(InvalidState):
+        Checkpointable().set_state({"x": 1})
+
+
+def test_exception_ids_follow_ft_corba():
+    assert "NoStateAvailable" in NoStateAvailable.exception_id
+    assert "InvalidState" in InvalidState.exception_id
+    assert NoStateAvailable.exception_id.startswith("IDL:omg.org/CORBA/FT/")
+
+
+def test_get_set_roundtrip():
+    a, b = WithState(), WithState()
+    a.data = {"x": 42, "y": [1, 2]}
+    b.set_state(a.get_state())
+    assert b.data == {"x": 42, "y": [1, 2]}
+
+
+def test_state_methods_are_dispatchable_operations():
+    servant = WithState()
+    assert servant._dispatch("get_state", ()) == {"x": 1}
+    servant._dispatch("set_state", ({"x": 9},))
+    assert servant.data == {"x": 9}
+
+
+def test_state_methods_have_durations():
+    servant = WithState()
+    assert servant._operation_duration("get_state") > 0
+    assert servant._operation_duration("set_state") > 0

@@ -1,0 +1,39 @@
+"""Unit tests for the fault notifier."""
+
+from repro.ftcorba.fault_notifier import FaultNotifier, FaultReport
+
+
+def test_push_fans_out_to_consumers():
+    notifier = FaultNotifier()
+    seen_a, seen_b = [], []
+    notifier.connect_consumer(seen_a.append)
+    notifier.connect_consumer(seen_b.append)
+    report = FaultReport(1.0, "n1")
+    notifier.push_fault(report)
+    assert seen_a == [report] and seen_b == [report]
+
+
+def test_history_retained():
+    notifier = FaultNotifier()
+    notifier.push_fault(FaultReport(1.0, "n1"))
+    notifier.push_fault(FaultReport(2.0, "n2", group_id="g"))
+    assert [r.node_id for r in notifier.history] == ["n1", "n2"]
+
+
+def test_disconnect_stops_delivery():
+    notifier = FaultNotifier()
+    seen = []
+    notifier.connect_consumer(seen.append)
+    notifier.disconnect_consumer(seen.append)
+    notifier.push_fault(FaultReport(1.0, "n1"))
+    assert seen == []
+
+
+def test_disconnect_unknown_consumer_is_noop():
+    FaultNotifier().disconnect_consumer(lambda r: None)
+
+
+def test_report_defaults():
+    report = FaultReport(0.5, "n1")
+    assert report.group_id is None
+    assert report.reason == "crash"

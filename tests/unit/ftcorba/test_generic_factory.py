@@ -1,0 +1,53 @@
+"""Unit tests for the GenericFactory registry."""
+
+import pytest
+
+from repro.apps.counter import CounterServant
+from repro.errors import ObjectGroupError
+from repro.ftcorba.generic_factory import FactoryRegistry, GenericFactory
+
+
+def test_create_object_instantiates():
+    factory = GenericFactory("n1")
+    factory.register("IDL:repro/Counter:1.0", CounterServant)
+    servant = factory.create_object("IDL:repro/Counter:1.0")
+    assert isinstance(servant, CounterServant)
+
+
+def test_each_create_returns_fresh_instance():
+    factory = GenericFactory("n1")
+    factory.register("T", CounterServant)
+    assert factory.create_object("T") is not factory.create_object("T")
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ObjectGroupError):
+        GenericFactory("n1").create_object("T")
+
+
+def test_versions_are_distinct():
+    factory = GenericFactory("n1")
+    factory.register("T", CounterServant, version=0)
+    assert factory.supports("T", 0)
+    assert not factory.supports("T", 1)
+    with pytest.raises(ObjectGroupError):
+        factory.create_object("T", 1)
+
+
+def test_registry_creates_factories_on_demand():
+    registry = FactoryRegistry()
+    factory = registry.factory_for("n1")
+    assert registry.factory_for("n1") is factory
+
+
+def test_register_everywhere():
+    registry = FactoryRegistry()
+    registry.register_everywhere(["a", "b"], "T", CounterServant)
+    assert registry.nodes_supporting("T") == ["a", "b"]
+    assert registry.nodes_supporting("T", 1) == []
+
+
+def test_nodes_supporting_sorted():
+    registry = FactoryRegistry()
+    registry.register_everywhere(["z", "a", "m"], "T", CounterServant)
+    assert registry.nodes_supporting("T") == ["a", "m", "z"]

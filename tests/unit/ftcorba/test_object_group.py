@@ -1,0 +1,94 @@
+"""Unit tests for object groups and IOGRs."""
+
+import pytest
+
+from repro.errors import ObjectGroupError
+from repro.ftcorba.object_group import (
+    GROUP_PORT,
+    MemberInfo,
+    ObjectGroup,
+    ReplicaRole,
+)
+from repro.ftcorba.properties import FTProperties, ReplicationStyle
+from repro.giop.ior import IOR
+
+
+def make_group(style=ReplicationStyle.ACTIVE):
+    return ObjectGroup("grp", "IDL:T:1.0",
+                       FTProperties(replication_style=style))
+
+
+def test_iogr_addresses_the_group():
+    group = make_group()
+    iogr = group.iogr()
+    assert iogr.host == "grp"
+    assert iogr.port == GROUP_PORT
+    assert IOR.from_string(iogr.stringify()) == iogr
+
+
+def test_object_key_is_stable():
+    group = make_group()
+    assert group.object_key == group.iogr().object_key
+
+
+def test_add_and_remove_members_bump_version():
+    group = make_group()
+    v0 = group.version
+    group.add_member("n1", ReplicaRole.ACTIVE)
+    assert group.version == v0 + 1
+    group.remove_member("n1")
+    assert group.version == v0 + 2
+
+
+def test_duplicate_member_rejected():
+    group = make_group()
+    group.add_member("n1", ReplicaRole.ACTIVE)
+    with pytest.raises(ObjectGroupError):
+        group.add_member("n1", ReplicaRole.ACTIVE)
+
+
+def test_remove_unknown_member_rejected():
+    with pytest.raises(ObjectGroupError):
+        make_group().remove_member("ghost")
+
+
+def test_member_lookup():
+    group = make_group()
+    group.add_member("n1", ReplicaRole.ACTIVE)
+    assert group.member("n1").role is ReplicaRole.ACTIVE
+    with pytest.raises(ObjectGroupError):
+        group.member("n2")
+
+
+def test_operational_tracking():
+    group = make_group()
+    info = group.add_member("n1", ReplicaRole.ACTIVE)
+    assert group.operational_nodes == []
+    info.operational = True
+    assert group.operational_nodes == ["n1"]
+
+
+def test_default_role_active_style():
+    assert make_group().default_role() is ReplicaRole.ACTIVE
+
+
+def test_default_role_passive_first_is_primary():
+    group = make_group(ReplicationStyle.WARM_PASSIVE)
+    assert group.default_role() is ReplicaRole.PRIMARY
+    group.add_member("n1", ReplicaRole.PRIMARY)
+    assert group.default_role() is ReplicaRole.BACKUP
+
+
+def test_promote_swaps_primary():
+    group = make_group(ReplicationStyle.WARM_PASSIVE)
+    group.add_member("n1", ReplicaRole.PRIMARY)
+    group.add_member("n2", ReplicaRole.BACKUP)
+    group.promote("n2")
+    assert group.primary_node == "n2"
+    assert group.member("n1").role is ReplicaRole.BACKUP
+
+
+def test_primary_node_none_for_active():
+    group = make_group()
+    group.add_member("n1", ReplicaRole.ACTIVE)
+    assert group.primary_node is None

@@ -1,0 +1,43 @@
+"""Unit tests for fault tolerance properties."""
+
+import pytest
+
+from repro.errors import PropertyError
+from repro.ftcorba.properties import FTProperties, ReplicationStyle
+
+
+def test_defaults_are_valid():
+    properties = FTProperties()
+    assert properties.replication_style is ReplicationStyle.ACTIVE
+    assert properties.initial_replicas >= properties.min_replicas
+
+
+def test_is_passive_predicate():
+    assert not ReplicationStyle.ACTIVE.is_passive
+    assert ReplicationStyle.WARM_PASSIVE.is_passive
+    assert ReplicationStyle.COLD_PASSIVE.is_passive
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"initial_replicas": 0},
+    {"min_replicas": 0},
+    {"initial_replicas": 2, "min_replicas": 3},
+    {"checkpoint_interval": 0},
+    {"checkpoint_interval": -1},
+    {"fault_monitoring_interval": 0},
+    {"recovery_timeout": 0},
+])
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(PropertyError):
+        FTProperties(**kwargs)
+
+
+def test_styles_roundtrip_through_value():
+    for style in ReplicationStyle:
+        assert ReplicationStyle(style.value) is style
+
+
+def test_properties_are_immutable():
+    properties = FTProperties()
+    with pytest.raises(Exception):
+        properties.initial_replicas = 5

@@ -1,0 +1,52 @@
+"""Unit tests for IOR stringification."""
+
+import pytest
+
+from repro.errors import UnmarshalError
+from repro.giop.ior import IOR
+
+
+def test_roundtrip():
+    ior = IOR("IDL:Bank:1.0", "server-group", 2809, b"\x00\x00\x07RootPOAk")
+    assert IOR.from_string(ior.stringify()) == ior
+
+
+def test_stringified_form_has_prefix():
+    ior = IOR("IDL:X:1.0", "h", 1, b"k")
+    text = ior.stringify()
+    assert text.startswith("IOR:")
+    assert all(c in "0123456789abcdef" for c in text[4:])
+
+
+def test_codesets_carried():
+    ior = IOR("IDL:X:1.0", "h", 1, b"k", char_codeset=0x11,
+              wchar_codeset=0x22)
+    decoded = IOR.from_string(ior.stringify())
+    assert decoded.char_codeset == 0x11
+    assert decoded.wchar_codeset == 0x22
+
+
+def test_missing_prefix_rejected():
+    with pytest.raises(UnmarshalError):
+        IOR.from_string("NOTANIOR:00")
+
+
+def test_bad_hex_rejected():
+    with pytest.raises(UnmarshalError):
+        IOR.from_string("IOR:zzzz")
+
+
+def test_truncated_hex_rejected():
+    ior = IOR("IDL:X:1.0", "h", 1, b"k")
+    with pytest.raises(UnmarshalError):
+        IOR.from_string(ior.stringify()[:20])
+
+
+def test_empty_object_key_allowed():
+    ior = IOR("IDL:X:1.0", "h", 1, b"")
+    assert IOR.from_string(ior.stringify()).object_key == b""
+
+
+def test_unicode_hostname():
+    ior = IOR("IDL:X:1.0", "groupe-déployé", 1, b"k")
+    assert IOR.from_string(ior.stringify()).host == "groupe-déployé"

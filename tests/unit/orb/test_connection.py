@@ -1,0 +1,147 @@
+"""Unit tests for per-connection ORB state — the §4.2 crux."""
+
+import pytest
+
+from repro.errors import ConnectionClosed
+from repro.giop.messages import ReplyMessage, decode_message
+from repro.giop.service_context import (
+    VENDOR_HANDSHAKE_ID,
+    VendorHandshakeContext,
+    find_context,
+)
+from repro.orb.connection import (
+    ClientConnection,
+    ServerConnectionState,
+    negotiate_token,
+)
+from repro.orb.objectkey import make_key, make_short_key
+
+KEY = make_key("RootPOA", b"obj")
+
+
+def handshake_reply(request_id, key=KEY):
+    token = negotiate_token(key)
+    ctx = VendorHandshakeContext(propose=False, object_key=key,
+                                 short_key_token=token).to_service_context()
+    return ReplyMessage(request_id=request_id, result=None,
+                        service_contexts=(ctx,))
+
+
+def test_request_ids_count_from_zero():
+    conn = ClientConnection("h", 1)
+    conn.build_request(KEY, "op", ())
+    conn.build_request(KEY, "op", ())
+    assert conn.next_request_id == 2
+    assert conn.outstanding_request_ids == [0, 1]
+
+
+def test_first_request_carries_handshake():
+    conn = ClientConnection("h", 1)
+    wire = conn.build_request(KEY, "op", ())
+    decoded = decode_message(wire)
+    contexts = list(decoded.service_contexts)
+    assert find_context(contexts, VENDOR_HANDSHAKE_ID) is not None
+    assert decoded.object_key == KEY
+
+
+def test_post_handshake_requests_use_short_key():
+    conn = ClientConnection("h", 1)
+    conn.build_request(KEY, "op", ())
+    assert conn.match_reply(handshake_reply(0)) is not None
+    assert conn.handshake_done
+    wire = conn.build_request(KEY, "op", ())
+    decoded = decode_message(wire)
+    assert decoded.object_key == make_short_key(negotiate_token(KEY))
+    assert decoded.service_contexts == ()
+
+
+def test_reply_mismatch_discarded():
+    """Figure 4: replies whose request_ids do not match are discarded."""
+    conn = ClientConnection("h", 1)
+    conn.build_request(KEY, "op", ())
+    assert conn.match_reply(ReplyMessage(request_id=350, result=None)) is None
+    assert conn.replies_discarded == 1
+    # the real reply still matches afterwards
+    assert conn.match_reply(ReplyMessage(request_id=0, result=None))
+
+
+def test_reply_matches_only_once():
+    conn = ClientConnection("h", 1)
+    conn.build_request(KEY, "op", ())
+    assert conn.match_reply(ReplyMessage(request_id=0, result=None))
+    assert conn.match_reply(ReplyMessage(request_id=0, result=None)) is None
+
+
+def test_match_returns_operation_and_callback():
+    conn = ClientConnection("h", 1)
+    marker = lambda reply: None
+    conn.build_request(KEY, "credit", (), callback=marker)
+    operation, callback = conn.match_reply(ReplyMessage(request_id=0,
+                                                        result=None))
+    assert operation == "credit"
+    assert callback is marker
+
+
+def test_oneway_requests_not_outstanding():
+    conn = ClientConnection("h", 1)
+    conn.build_request(KEY, "op", (), response_expected=False)
+    assert conn.outstanding_request_ids == []
+
+
+def test_expect_reply_reregisters_interest():
+    conn = ClientConnection("h", 1)
+    conn.expect_reply(42, "op")
+    assert conn.outstanding_operation(42) == "op"
+    assert conn.match_reply(ReplyMessage(request_id=42, result=None))
+
+
+def test_closed_connection_rejects_requests():
+    conn = ClientConnection("h", 1)
+    conn.close()
+    with pytest.raises(ConnectionClosed):
+        conn.build_request(KEY, "op", ())
+
+
+def test_negotiate_token_deterministic():
+    assert negotiate_token(KEY) == negotiate_token(KEY)
+    assert negotiate_token(KEY) != negotiate_token(make_key("RootPOA", b"o2"))
+
+
+def test_server_learns_handshake():
+    conn = ClientConnection("h", 1)
+    request = decode_message(conn.build_request(KEY, "op", ()))
+    server = ServerConnectionState("c")
+    reply_contexts = server.process_request_contexts(request)
+    assert server.handshake_seen
+    assert server.codeset is not None
+    assert len(reply_contexts) == 1
+    token = negotiate_token(KEY)
+    assert server.short_keys[token] == KEY
+
+
+def test_server_resolves_short_key_after_handshake():
+    server = ServerConnectionState("c")
+    conn = ClientConnection("h", 1)
+    server.process_request_contexts(
+        decode_message(conn.build_request(KEY, "op", ()))
+    )
+    short = make_short_key(negotiate_token(KEY))
+    assert server.resolve_key(short) == KEY
+
+
+def test_server_discards_unknown_short_key():
+    """§4.2.2: a server ORB that missed the handshake cannot interpret the
+    negotiated short key and discards the request."""
+    server = ServerConnectionState("c")
+    assert server.resolve_key(make_short_key(12345)) is None
+    assert server.requests_discarded == 1
+
+
+def test_server_passes_full_keys_through():
+    server = ServerConnectionState("c")
+    assert server.resolve_key(KEY) == KEY
+
+
+def test_server_tracks_last_seen_request_id():
+    server = ServerConnectionState("c")
+    assert server.last_seen_request_id is None

@@ -1,0 +1,63 @@
+"""Unit tests for object keys."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.orb.objectkey import (
+    is_full_key,
+    is_short_key,
+    make_key,
+    make_short_key,
+    parse_key,
+    parse_short_key,
+)
+
+
+def test_full_key_roundtrip():
+    key = make_key("RootPOA", b"oid-1")
+    assert parse_key(key) == ("RootPOA", b"oid-1")
+
+
+def test_full_key_with_empty_object_id():
+    assert parse_key(make_key("P", b"")) == ("P", b"")
+
+
+def test_full_key_unicode_poa_name():
+    assert parse_key(make_key("pöa", b"x"))[0] == "pöa"
+
+
+def test_short_key_roundtrip():
+    assert parse_short_key(make_short_key(0xDEADBEEF)) == 0xDEADBEEF
+
+
+def test_key_kind_predicates():
+    full = make_key("P", b"x")
+    short = make_short_key(1)
+    assert is_full_key(full) and not is_short_key(full)
+    assert is_short_key(short) and not is_full_key(short)
+    assert not is_full_key(b"") and not is_short_key(b"")
+
+
+def test_parse_key_rejects_short_key():
+    with pytest.raises(ProtocolError):
+        parse_key(make_short_key(1))
+
+
+def test_parse_key_rejects_truncation():
+    key = make_key("RootPOA", b"oid")
+    with pytest.raises(ProtocolError):
+        parse_key(key[:2])
+    with pytest.raises(ProtocolError):
+        parse_key(key[:5])
+
+
+def test_parse_short_key_rejects_wrong_length():
+    with pytest.raises(ProtocolError):
+        parse_short_key(b"\x01\x00\x00")
+    with pytest.raises(ProtocolError):
+        parse_short_key(make_key("P", b"x"))
+
+
+def test_distinct_objects_get_distinct_keys():
+    assert make_key("P", b"a") != make_key("P", b"b")
+    assert make_key("P", b"a") != make_key("Q", b"a")

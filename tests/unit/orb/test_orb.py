@@ -1,0 +1,189 @@
+"""Unit tests for the ORB core."""
+
+import pytest
+
+from repro.errors import ObjectNotFound, OrbError, ProtocolError
+from repro.giop.messages import (
+    CloseConnectionMessage,
+    ReplyStatus,
+    encode_message,
+)
+from repro.orb.orb import Orb
+from repro.orb.proxy import unwrap_reply
+from repro.orb.servant import CorbaUserException, Servant, operation
+
+
+class Counter(Servant):
+    type_id = "IDL:Counter:1.0"
+
+    def __init__(self):
+        self.value = 0
+
+    @operation
+    def increment(self, n=1):
+        self.value += n
+        return self.value
+
+
+class Pump:
+    """Client+server ORB pair with a synchronous byte pump."""
+
+    def __init__(self):
+        self.server = Orb("server", host="grp")
+        self.servant = Counter()
+        self.ior = self.server.activate(self.servant)
+        self.client = Orb("client")
+        self.client.set_client_transport(self._transport)
+        self.proxy = self.client.connect(self.ior)
+        self.conn_id = "client->grp"
+
+    def _transport(self, host, port, data):
+        decoded = self.server.decode_request(self.conn_id, data)
+        if decoded is None:
+            return
+        reply = self.server.execute_request(decoded)
+        if reply is not None:
+            self.client.handle_reply(host, port, reply)
+
+
+def test_invoke_roundtrip():
+    pump = Pump()
+    results = []
+    pump.proxy.invoke("increment", 5,
+                      on_reply=lambda r: results.append(unwrap_reply(r)))
+    assert results == [5]
+    assert pump.servant.value == 5
+
+
+def test_default_reply_handler_used_without_callback():
+    pump = Pump()
+    seen = []
+    pump.client.set_default_reply_handler(
+        lambda conn, op, reply: seen.append((conn, op, reply.result))
+    )
+    pump.proxy.invoke("increment", 2)
+    assert seen == [("grp:2809", "increment", 2)]
+
+
+def test_connect_reuses_connection_per_endpoint():
+    pump = Pump()
+    proxy2 = pump.client.connect(pump.ior)
+    assert proxy2.connection is pump.proxy.connection
+
+
+def test_missing_transport_raises():
+    orb = Orb("lonely")
+    proxy = orb.connect(Pump().ior)
+    with pytest.raises(OrbError):
+        proxy.invoke("increment", 1)
+
+
+def test_unknown_object_key_raises():
+    pump = Pump()
+    from repro.orb.objectkey import make_key
+    from repro.giop.messages import RequestMessage
+    request = RequestMessage(request_id=0,
+                             object_key=make_key("RootPOA", b"ghost"),
+                             operation="increment", args=(1,))
+    with pytest.raises(ObjectNotFound):
+        pump.server.decode_request("c", encode_message(request))
+
+
+def test_unknown_poa_raises():
+    pump = Pump()
+    from repro.orb.objectkey import make_key
+    from repro.giop.messages import RequestMessage
+    request = RequestMessage(request_id=0,
+                             object_key=make_key("NoSuchPOA", b"x"),
+                             operation="increment", args=(1,))
+    with pytest.raises(ObjectNotFound):
+        pump.server.decode_request("c", encode_message(request))
+
+
+def test_decode_request_rejects_non_request():
+    pump = Pump()
+    with pytest.raises(ProtocolError):
+        pump.server.decode_request("c",
+                                   encode_message(CloseConnectionMessage()))
+
+
+def test_handle_reply_rejects_non_reply():
+    pump = Pump()
+    from repro.giop.messages import RequestMessage
+    wire = encode_message(RequestMessage(request_id=0, object_key=b"k",
+                                         operation="x"))
+    with pytest.raises(ProtocolError):
+        pump.client.handle_reply("grp", 2809, wire)
+
+
+def test_reply_for_unknown_connection_discarded():
+    pump = Pump()
+    from repro.giop.messages import ReplyMessage
+    wire = encode_message(ReplyMessage(request_id=0, result=None))
+    assert pump.client.handle_reply("other-host", 1, wire) is False
+
+
+def test_duplicate_poa_name_rejected():
+    orb = Orb("x")
+    orb.create_poa("P")
+    with pytest.raises(OrbError):
+        orb.create_poa("P")
+
+
+def test_poa_lookup():
+    orb = Orb("x")
+    poa = orb.create_poa("P")
+    assert orb.poa("P") is poa
+    with pytest.raises(OrbError):
+        orb.poa("Q")
+
+
+def test_user_exception_raised_via_unwrap():
+    class Bad(Servant):
+        @operation
+        def fail(self):
+            raise CorbaUserException("no", exception_id="IDL:No:1.0")
+
+    server = Orb("s", host="g")
+    ior = server.activate(Bad())
+    client = Orb("c")
+
+    def transport(host, port, data):
+        reply = server.execute_request(server.decode_request("c->g", data))
+        client.handle_reply(host, port, reply)
+
+    client.set_client_transport(transport)
+    caught = []
+
+    def on_reply(reply):
+        with pytest.raises(CorbaUserException):
+            unwrap_reply(reply)
+        caught.append(reply.exception_id)
+
+    client.connect(ior).invoke("fail", on_reply=on_reply)
+    assert caught == ["IDL:No:1.0"]
+
+
+def test_oneway_produces_no_reply():
+    pump = Pump()
+    replies = []
+    pump.client.set_default_reply_handler(
+        lambda conn, op, reply: replies.append(reply)
+    )
+    pump.proxy.oneway("increment", 3)
+    assert pump.servant.value == 3
+    assert replies == []
+
+
+def test_server_discard_counts():
+    """A short-key request on a fresh server connection is discarded and
+    counted (the §4.2.2 failure surface)."""
+    pump = Pump()
+    # complete the handshake on conn A
+    pump.proxy.invoke("increment", 1)
+    short_wire = pump.proxy.connection.build_request(
+        pump.ior.object_key, "increment", (1,)
+    )
+    # replay the short-key request on a *different* server connection
+    assert pump.server.decode_request("other-conn", short_wire) is None
+    assert pump.server.requests_discarded == 1

@@ -1,0 +1,130 @@
+"""Unit tests for the POA."""
+
+import pytest
+
+from repro.errors import ObjectNotFound, OrbError
+from repro.giop.messages import ReplyStatus, RequestMessage
+from repro.orb.objectkey import make_key
+from repro.orb.poa import POA
+from repro.orb.servant import CorbaUserException, Servant, operation
+
+
+class Echo(Servant):
+    @operation
+    def echo(self, x):
+        return x
+
+    @operation
+    def boom(self):
+        raise CorbaUserException("nope", exception_id="IDL:Nope:1.0")
+
+    @operation
+    def crash(self):
+        raise RuntimeError("servant bug")
+
+    @operation(oneway=True)
+    def note(self, x):
+        self.last = x
+
+
+def make_request(key, op, args=(), response_expected=True):
+    return RequestMessage(request_id=1, object_key=key, operation=op,
+                          args=args, response_expected=response_expected)
+
+
+def test_activate_returns_full_key():
+    poa = POA("P")
+    key = poa.activate_object(Echo())
+    assert key[:1] == b"\x00"
+    assert poa.servant_for_key(key) is not None
+
+
+def test_activate_with_explicit_object_id():
+    poa = POA("P")
+    key = poa.activate_object(Echo(), object_id=b"myid")
+    assert poa.servant_for_id(b"myid") is poa.servant_for_key(key)
+
+
+def test_double_activation_of_same_id_rejected():
+    poa = POA("P")
+    poa.activate_object(Echo(), object_id=b"x")
+    with pytest.raises(OrbError):
+        poa.activate_object(Echo(), object_id=b"x")
+
+
+def test_generated_ids_are_unique():
+    poa = POA("P")
+    assert poa.activate_object(Echo()) != poa.activate_object(Echo())
+
+
+def test_deactivate_removes_servant():
+    poa = POA("P")
+    poa.activate_object(Echo(), object_id=b"x")
+    poa.deactivate_object(b"x")
+    with pytest.raises(ObjectNotFound):
+        poa.servant_for_id(b"x")
+
+
+def test_deactivate_unknown_raises():
+    with pytest.raises(ObjectNotFound):
+        POA("P").deactivate_object(b"x")
+
+
+def test_servant_for_key_checks_poa_name():
+    poa = POA("P")
+    poa.activate_object(Echo(), object_id=b"x")
+    wrong = make_key("OTHER", b"x")
+    with pytest.raises(ObjectNotFound):
+        poa.servant_for_key(wrong)
+
+
+def test_dispatch_normal_reply():
+    poa = POA("P")
+    servant = Echo()
+    key = poa.activate_object(servant)
+    reply = poa.dispatch(make_request(key, "echo", (41,)), servant)
+    assert reply.reply_status is ReplyStatus.NO_EXCEPTION
+    assert reply.result == 41
+    assert reply.request_id == 1
+
+
+def test_dispatch_user_exception():
+    poa = POA("P")
+    servant = Echo()
+    key = poa.activate_object(servant)
+    reply = poa.dispatch(make_request(key, "boom"), servant)
+    assert reply.reply_status is ReplyStatus.USER_EXCEPTION
+    assert reply.exception_id == "IDL:Nope:1.0"
+
+
+def test_dispatch_system_exception_for_servant_bug():
+    poa = POA("P")
+    servant = Echo()
+    key = poa.activate_object(servant)
+    reply = poa.dispatch(make_request(key, "crash"), servant)
+    assert reply.reply_status is ReplyStatus.SYSTEM_EXCEPTION
+    assert "RuntimeError" in reply.result
+
+
+def test_dispatch_oneway_returns_none():
+    poa = POA("P")
+    servant = Echo()
+    key = poa.activate_object(servant)
+    request = make_request(key, "note", ("x",), response_expected=False)
+    assert poa.dispatch(request, servant) is None
+    assert servant.last == "x"
+
+
+def test_oneway_swallows_exceptions():
+    poa = POA("P")
+    servant = Echo()
+    key = poa.activate_object(servant)
+    request = make_request(key, "crash", (), response_expected=False)
+    assert poa.dispatch(request, servant) is None
+
+
+def test_active_count():
+    poa = POA("P")
+    assert poa.active_count == 0
+    poa.activate_object(Echo())
+    assert poa.active_count == 1

@@ -1,0 +1,71 @@
+"""Unit tests for the client-side proxy helpers."""
+
+import pytest
+
+from repro.giop.messages import ReplyMessage, ReplyStatus
+from repro.orb.orb import Orb
+from repro.orb.proxy import unwrap_reply
+from repro.orb.servant import CorbaUserException, Servant, operation
+
+
+class Thing(Servant):
+    type_id = "IDL:Thing:1.0"
+
+    @operation
+    def get(self):
+        return {"x": 1}
+
+
+def test_unwrap_returns_result():
+    reply = ReplyMessage(request_id=0, result=[1, 2])
+    assert unwrap_reply(reply) == [1, 2]
+
+
+def test_unwrap_raises_user_exception():
+    reply = ReplyMessage(request_id=0,
+                         reply_status=ReplyStatus.USER_EXCEPTION,
+                         exception_id="IDL:Oops:1.0", result="detail")
+    with pytest.raises(CorbaUserException) as info:
+        unwrap_reply(reply)
+    assert info.value.exception_id == "IDL:Oops:1.0"
+    assert "detail" in str(info.value)
+
+
+def test_unwrap_raises_system_exception():
+    reply = ReplyMessage(request_id=0,
+                         reply_status=ReplyStatus.SYSTEM_EXCEPTION,
+                         exception_id="IDL:omg.org/CORBA/UNKNOWN:1.0",
+                         result="bug")
+    with pytest.raises(CorbaUserException):
+        unwrap_reply(reply)
+
+
+def test_invoke_returns_assigned_request_id():
+    server = Orb("s", host="grp")
+    ior = server.activate(Thing())
+    client = Orb("c")
+    sent = []
+    client.set_client_transport(lambda h, p, d: sent.append(d))
+    proxy = client.connect(ior)
+    assert proxy.invoke("get") == 0
+    assert proxy.invoke("get") == 1
+    assert len(sent) == 2
+
+
+def test_oneway_assigns_no_outstanding():
+    server = Orb("s", host="grp")
+    ior = server.activate(Thing())
+    client = Orb("c")
+    client.set_client_transport(lambda h, p, d: None)
+    proxy = client.connect(ior)
+    proxy.oneway("get")
+    assert proxy.connection.outstanding_request_ids == []
+
+
+def test_proxy_exposes_ior_and_connection():
+    server = Orb("s", host="grp")
+    ior = server.activate(Thing())
+    client = Orb("c")
+    proxy = client.connect(ior)
+    assert proxy.ior == ior
+    assert proxy.connection is client.client_connection(ior.host, ior.port)

@@ -1,0 +1,86 @@
+"""Unit tests for servant dispatch and the @operation decorator."""
+
+import pytest
+
+from repro.errors import OrbError
+from repro.orb.servant import (
+    DEFAULT_OP_DURATION,
+    CorbaUserException,
+    Servant,
+    operation,
+)
+
+
+class Sample(Servant):
+    @operation
+    def plain(self, x):
+        return x + 1
+
+    @operation(duration=0.5)
+    def slow(self):
+        return "slow"
+
+    @operation(oneway=True)
+    def fire(self):
+        return None
+
+    def not_an_operation(self):
+        return "hidden"
+
+    @operation
+    def failing(self):
+        raise CorbaUserException("bad", exception_id="IDL:Bad:1.0")
+
+
+class Derived(Sample):
+    def plain(self, x):       # override without re-decorating
+        return x + 100
+
+
+def test_dispatch_calls_method():
+    assert Sample()._dispatch("plain", (1,)) == 2
+
+
+def test_dispatch_unknown_operation_raises():
+    with pytest.raises(OrbError):
+        Sample()._dispatch("missing", ())
+
+
+def test_undecorated_method_not_dispatchable():
+    with pytest.raises(OrbError):
+        Sample()._dispatch("not_an_operation", ())
+
+
+def test_default_duration():
+    assert Sample()._operation_duration("plain") == DEFAULT_OP_DURATION
+
+
+def test_custom_duration():
+    assert Sample()._operation_duration("slow") == 0.5
+
+
+def test_oneway_marker():
+    assert Sample().fire._corba_oneway is True
+    assert Sample().plain._corba_oneway is False
+
+
+def test_override_inherits_operation_marking():
+    assert Derived()._dispatch("plain", (1,)) == 101
+
+
+def test_override_inherits_duration():
+    class SlowDerived(Sample):
+        def slow(self):
+            return "derived"
+    assert SlowDerived()._operation_duration("slow") == 0.5
+
+
+def test_user_exception_propagates():
+    with pytest.raises(CorbaUserException) as info:
+        Sample()._dispatch("failing", ())
+    assert info.value.exception_id == "IDL:Bad:1.0"
+
+
+def test_operations_introspection():
+    ops = Sample().operations()
+    assert set(ops) == {"plain", "slow", "fire", "failing"}

@@ -1,0 +1,92 @@
+"""Unit tests for the per-node endpoint dispatcher."""
+
+from dataclasses import dataclass
+
+from repro.simnet.endpoint import Endpoint
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+
+
+@dataclass(frozen=True)
+class PayloadA:
+    value: str
+
+
+@dataclass(frozen=True)
+class PayloadB:
+    value: str
+
+
+class PayloadASub(PayloadA):
+    pass
+
+
+def build(scheduler):
+    network = Network(scheduler)
+    endpoints = {}
+    for node_id in ("x", "y"):
+        endpoints[node_id] = Endpoint(Process(scheduler, node_id), network)
+    return endpoints
+
+
+def test_routes_by_payload_type(scheduler):
+    eps = build(scheduler)
+    got_a, got_b = [], []
+    eps["y"].register(PayloadA, lambda src, p: got_a.append(p))
+    eps["y"].register(PayloadB, lambda src, p: got_b.append(p))
+    eps["x"].unicast("y", PayloadA("a"), 10)
+    eps["x"].unicast("y", PayloadB("b"), 10)
+    scheduler.run()
+    assert [p.value for p in got_a] == ["a"]
+    assert [p.value for p in got_b] == ["b"]
+
+
+def test_unregistered_type_is_dropped(scheduler):
+    eps = build(scheduler)
+    eps["x"].unicast("y", PayloadA("a"), 10)
+    scheduler.run()  # no handler — must not raise
+
+
+def test_mro_fallback_matches_base_class(scheduler):
+    eps = build(scheduler)
+    got = []
+    eps["y"].register(PayloadA, lambda src, p: got.append(p))
+    eps["x"].unicast("y", PayloadASub("sub"), 10)
+    scheduler.run()
+    assert [p.value for p in got] == ["sub"]
+
+
+def test_exact_match_beats_base_class(scheduler):
+    eps = build(scheduler)
+    got = []
+    eps["y"].register(PayloadA, lambda src, p: got.append(("base", p)))
+    eps["y"].register(PayloadASub, lambda src, p: got.append(("sub", p)))
+    eps["x"].unicast("y", PayloadASub("s"), 10)
+    scheduler.run()
+    assert got[0][0] == "sub"
+
+
+def test_unregister_removes_handler(scheduler):
+    eps = build(scheduler)
+    got = []
+    eps["y"].register(PayloadA, lambda src, p: got.append(p))
+    eps["y"].unregister(PayloadA)
+    eps["x"].unicast("y", PayloadA("a"), 10)
+    scheduler.run()
+    assert got == []
+
+
+def test_broadcast_reaches_all_endpoints(scheduler):
+    eps = build(scheduler)
+    got = {"x": [], "y": []}
+    for node_id in ("x", "y"):
+        eps[node_id].register(PayloadA,
+                              lambda src, p, n=node_id: got[n].append(src))
+    eps["x"].broadcast(PayloadA("m"), 10)
+    scheduler.run()
+    assert got["x"] == ["x"] and got["y"] == ["x"]
+
+
+def test_node_id_property(scheduler):
+    eps = build(scheduler)
+    assert eps["x"].node_id == "x"

@@ -1,0 +1,121 @@
+"""Unit tests for fault injection."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.faults import FaultInjector
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+from repro.simnet.scheduler import Scheduler
+
+
+def build(scheduler, node_ids=("a", "b", "c", "d")):
+    network = Network(scheduler)
+    inboxes = {}
+    for node_id in node_ids:
+        process = Process(scheduler, node_id)
+        inboxes[node_id] = []
+        network.attach(process,
+                       lambda src, payload, n=node_id:
+                       inboxes[n].append(payload))
+    return network, inboxes, FaultInjector(network, seed=7)
+
+
+def test_crash_kills_process(scheduler):
+    network, _, faults = build(scheduler)
+    faults.crash("a")
+    assert not network.process("a").alive
+
+
+def test_restart_revives_process(scheduler):
+    network, _, faults = build(scheduler)
+    faults.crash("a")
+    faults.restart("a")
+    assert network.process("a").alive
+
+
+def test_crash_after_schedules(scheduler):
+    network, _, faults = build(scheduler)
+    faults.crash_after(1.0, "a")
+    scheduler.run_until(0.5)
+    assert network.process("a").alive
+    scheduler.run_until(1.5)
+    assert not network.process("a").alive
+
+
+def test_restart_after_schedules(scheduler):
+    network, _, faults = build(scheduler)
+    faults.crash("a")
+    faults.restart_after(1.0, "a")
+    scheduler.run_until(1.5)
+    assert network.process("a").alive
+
+
+def test_partition_blocks_cross_group_frames(scheduler):
+    network, inboxes, faults = build(scheduler)
+    faults.partition([{"a", "b"}, {"c", "d"}])
+    network.broadcast("a", "m", 100)
+    scheduler.run()
+    assert inboxes["b"] == ["m"]
+    assert inboxes["c"] == [] and inboxes["d"] == []
+
+
+def test_partition_allows_intra_group(scheduler):
+    network, inboxes, faults = build(scheduler)
+    faults.partition([{"a", "b"}, {"c", "d"}])
+    network.unicast("c", "d", "m", 100)
+    scheduler.run()
+    assert inboxes["d"] == ["m"]
+
+
+def test_unlisted_node_is_isolated(scheduler):
+    network, inboxes, faults = build(scheduler)
+    faults.partition([{"a", "b"}])
+    network.broadcast("c", "m", 100)
+    scheduler.run()
+    assert inboxes["a"] == [] and inboxes["b"] == []
+    # c is isolated from everyone else but still hears its own loopback
+    assert inboxes["c"] == ["m"]
+
+
+def test_overlapping_partition_groups_rejected(scheduler):
+    _, _, faults = build(scheduler)
+    with pytest.raises(SimulationError):
+        faults.partition([{"a", "b"}, {"b", "c"}])
+
+
+def test_heal_restores_connectivity(scheduler):
+    network, inboxes, faults = build(scheduler)
+    faults.partition([{"a"}, {"b", "c", "d"}])
+    faults.heal()
+    network.unicast("a", "b", "m", 100)
+    scheduler.run()
+    assert inboxes["b"] == ["m"]
+
+
+def test_loss_rate_drops_some_frames(scheduler):
+    network, inboxes, faults = build(scheduler)
+    faults.set_loss_rate(0.5)
+    for _ in range(60):
+        network.unicast("a", "b", "m", 100)
+    scheduler.run()
+    received = len(inboxes["b"])
+    assert 5 < received < 55    # statistically certain with seed control
+
+
+def test_loss_never_affects_loopback(scheduler):
+    network, inboxes, faults = build(scheduler)
+    faults.set_loss_rate(1.0)
+    for _ in range(10):
+        network.broadcast("a", "m", 100)
+    scheduler.run()
+    assert len(inboxes["a"]) == 10
+    assert inboxes["b"] == []
+
+
+def test_invalid_loss_rate_rejected(scheduler):
+    _, _, faults = build(scheduler)
+    with pytest.raises(SimulationError):
+        faults.set_loss_rate(1.5)
+    with pytest.raises(SimulationError):
+        faults.set_loss_rate(-0.1)

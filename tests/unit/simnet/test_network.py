@@ -1,0 +1,145 @@
+"""Unit tests for the shared-medium network model."""
+
+import pytest
+
+from repro.errors import NetworkError, UnknownNode
+from repro.simnet.network import ETHERNET_100MBPS, Network, NetworkConfig
+from repro.simnet.process import Process
+from repro.simnet.scheduler import Scheduler
+
+
+def build(scheduler, node_ids=("a", "b", "c"), config=ETHERNET_100MBPS):
+    network = Network(scheduler, config)
+    inboxes = {}
+    for node_id in node_ids:
+        process = Process(scheduler, node_id)
+        inboxes[node_id] = []
+        network.attach(process,
+                       lambda src, payload, n=node_id:
+                       inboxes[n].append((src, payload)))
+    return network, inboxes
+
+
+def test_unicast_delivers_to_destination_only(scheduler):
+    network, inboxes = build(scheduler)
+    network.unicast("a", "b", "hello", 100)
+    scheduler.run()
+    assert inboxes["b"] == [("a", "hello")]
+    assert inboxes["a"] == [] and inboxes["c"] == []
+
+
+def test_broadcast_delivers_to_all_including_sender(scheduler):
+    network, inboxes = build(scheduler)
+    network.broadcast("a", "m", 100)
+    scheduler.run()
+    for node_id in ("a", "b", "c"):
+        assert inboxes[node_id] == [("a", "m")]
+
+
+def test_unicast_to_unknown_node_raises(scheduler):
+    network, _ = build(scheduler)
+    with pytest.raises(UnknownNode):
+        network.unicast("a", "zz", "m", 10)
+
+
+def test_oversized_frame_rejected(scheduler):
+    network, _ = build(scheduler)
+    with pytest.raises(NetworkError):
+        network.unicast("a", "b", "m", network.config.mtu_payload + 1)
+
+
+def test_mtu_payload_boundary_accepted(scheduler):
+    network, inboxes = build(scheduler)
+    network.unicast("a", "b", "m", network.config.mtu_payload)
+    scheduler.run()
+    assert inboxes["b"]
+
+
+def test_negative_size_rejected(scheduler):
+    network, _ = build(scheduler)
+    with pytest.raises(NetworkError):
+        network.unicast("a", "b", "m", -1)
+
+
+def test_larger_frames_take_longer(scheduler):
+    network, inboxes = build(scheduler)
+    arrivals = {}
+    network.unicast("a", "b", "small", 10)
+    scheduler.run()
+    small_time = scheduler.now
+
+    scheduler2 = Scheduler()
+    network2, inboxes2 = build(scheduler2)
+    network2.unicast("a", "b", "big", 1400)
+    scheduler2.run()
+    assert scheduler2.now > small_time
+
+
+def test_medium_serializes_concurrent_frames(scheduler):
+    """Two frames sent at the same instant occupy the medium in turn."""
+    network, inboxes = build(scheduler)
+    times = []
+    network.set_handler("b", lambda src, payload: times.append(scheduler.now))
+    network.unicast("a", "b", "one", 1000)
+    network.unicast("c", "b", "two", 1000)
+    scheduler.run()
+    assert len(times) == 2
+    gap = times[1] - times[0]
+    assert gap >= network.config.frame_time(1000) * 0.99
+
+
+def test_delivery_to_crashed_process_dropped(scheduler):
+    network, inboxes = build(scheduler)
+    network.unicast("a", "b", "m", 100)
+    network.process("b").crash()
+    scheduler.run()
+    assert inboxes["b"] == []
+
+
+def test_drop_filter_blocks_matching_frames(scheduler):
+    network, inboxes = build(scheduler)
+    network.add_filter(lambda src, dst, payload, size: dst == "b")
+    network.broadcast("a", "m", 100)
+    scheduler.run()
+    assert inboxes["b"] == []
+    assert inboxes["c"] == [("a", "m")]
+
+
+def test_remove_filter_restores_delivery(scheduler):
+    network, inboxes = build(scheduler)
+    drop_all = lambda src, dst, payload, size: True
+    network.add_filter(drop_all)
+    network.remove_filter(drop_all)
+    network.unicast("a", "b", "m", 100)
+    scheduler.run()
+    assert inboxes["b"] == [("a", "m")]
+
+
+def test_set_handler_replaces_delivery_callback(scheduler):
+    network, inboxes = build(scheduler)
+    new_inbox = []
+    network.set_handler("b", lambda src, payload: new_inbox.append(payload))
+    network.unicast("a", "b", "m", 10)
+    scheduler.run()
+    assert new_inbox == ["m"] and inboxes["b"] == []
+
+
+def test_set_handler_unknown_node_raises(scheduler):
+    network, _ = build(scheduler)
+    with pytest.raises(UnknownNode):
+        network.set_handler("zz", lambda src, payload: None)
+
+
+def test_frame_time_includes_overheads():
+    config = NetworkConfig()
+    # 1500 payload + 18 header + 20 silence = 1538 bytes at 100 Mbps
+    assert config.frame_time(1500) == pytest.approx(1538 * 8 / 100e6)
+
+
+def test_mtu_payload_value():
+    assert ETHERNET_100MBPS.mtu_payload == 1500
+
+
+def test_node_ids_lists_attached(scheduler):
+    network, _ = build(scheduler)
+    assert sorted(network.node_ids()) == ["a", "b", "c"]

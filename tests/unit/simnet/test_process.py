@@ -1,0 +1,101 @@
+"""Unit tests for the crashable process abstraction."""
+
+import pytest
+
+from repro.errors import ProcessCrashed
+from repro.simnet.process import Process
+from repro.simnet.scheduler import Scheduler
+
+
+def test_starts_alive(make_process):
+    assert make_process().alive
+
+
+def test_crash_and_restart_toggle_alive(make_process):
+    process = make_process()
+    process.crash()
+    assert not process.alive
+    process.restart()
+    assert process.alive
+
+
+def test_check_alive_raises_when_crashed(make_process):
+    process = make_process()
+    process.crash()
+    with pytest.raises(ProcessCrashed):
+        process.check_alive()
+
+
+def test_crash_is_idempotent(make_process):
+    process = make_process()
+    crashes = []
+    process.on_crash(lambda: crashes.append(1))
+    process.crash()
+    process.crash()
+    assert crashes == [1]
+
+
+def test_restart_without_crash_is_noop(make_process):
+    process = make_process()
+    restarts = []
+    process.on_restart(lambda: restarts.append(1))
+    process.restart()
+    assert restarts == []
+
+
+def test_incarnation_counts_restarts(make_process):
+    process = make_process()
+    assert process.incarnation == 0
+    process.crash()
+    process.restart()
+    assert process.incarnation == 1
+    process.crash()
+    process.restart()
+    assert process.incarnation == 2
+
+
+def test_listeners_fire_in_registration_order(make_process):
+    process = make_process()
+    order = []
+    process.on_crash(lambda: order.append("a"))
+    process.on_crash(lambda: order.append("b"))
+    process.crash()
+    assert order == ["a", "b"]
+
+
+def test_call_after_skipped_when_crashed(scheduler, make_process):
+    process = make_process()
+    seen = []
+    process.call_after(1.0, seen.append, "x")
+    process.crash()
+    scheduler.run()
+    assert seen == []
+
+
+def test_call_after_skipped_across_incarnations(scheduler, make_process):
+    """A callback scheduled in a previous incarnation must not fire after a
+    crash+restart — the component that scheduled it is gone."""
+    process = make_process()
+    seen = []
+    process.call_after(1.0, seen.append, "stale")
+    process.crash()
+    process.restart()
+    scheduler.run()
+    assert seen == []
+
+
+def test_call_after_fires_when_alive(scheduler, make_process):
+    process = make_process()
+    seen = []
+    process.call_after(1.0, seen.append, "x")
+    scheduler.run()
+    assert seen == ["x"]
+
+
+def test_announce_epochs_monotone_across_restarts(make_process):
+    process = make_process()
+    first = process.next_announce_epoch()
+    process.crash()
+    process.restart()
+    second = process.next_announce_epoch()
+    assert second > first > 0

@@ -1,0 +1,161 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import ClockError, SimulationError
+from repro.simnet.scheduler import Scheduler
+
+
+def test_starts_at_time_zero():
+    assert Scheduler().now == 0.0
+
+
+def test_call_at_executes_in_time_order():
+    sched = Scheduler()
+    order = []
+    sched.call_at(2.0, order.append, "b")
+    sched.call_at(1.0, order.append, "a")
+    sched.call_at(3.0, order.append, "c")
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sched = Scheduler()
+    order = []
+    for tag in ("first", "second", "third"):
+        sched.call_at(1.0, order.append, tag)
+    sched.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_now_advances_to_event_time():
+    sched = Scheduler()
+    seen = []
+    sched.call_at(5.5, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [5.5]
+    assert sched.now == 5.5
+
+
+def test_call_after_is_relative():
+    sched = Scheduler()
+    seen = []
+    sched.call_at(1.0, lambda: sched.call_after(2.0,
+                                                lambda: seen.append(sched.now)))
+    sched.run()
+    assert seen == [3.0]
+
+
+def test_call_at_in_past_raises():
+    sched = Scheduler()
+    sched.call_at(1.0, lambda: None)
+    sched.run()
+    with pytest.raises(ClockError):
+        sched.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(ClockError):
+        Scheduler().call_after(-0.1, lambda: None)
+
+
+def test_cancel_skips_event():
+    sched = Scheduler()
+    seen = []
+    event = sched.call_at(1.0, seen.append, "x")
+    sched.cancel(event)
+    sched.run()
+    assert seen == []
+
+
+def test_cancel_none_is_noop():
+    Scheduler().cancel(None)
+
+
+def test_step_returns_false_when_empty():
+    assert Scheduler().step() is False
+
+
+def test_step_executes_one_event():
+    sched = Scheduler()
+    seen = []
+    sched.call_at(1.0, seen.append, 1)
+    sched.call_at(2.0, seen.append, 2)
+    assert sched.step() is True
+    assert seen == [1]
+
+
+def test_run_until_stops_at_boundary():
+    sched = Scheduler()
+    seen = []
+    sched.call_at(1.0, seen.append, 1)
+    sched.call_at(2.0, seen.append, 2)
+    sched.run_until(1.5)
+    assert seen == [1]
+    assert sched.now == 1.5
+
+
+def test_run_until_includes_boundary_events():
+    sched = Scheduler()
+    seen = []
+    sched.call_at(1.0, seen.append, 1)
+    sched.run_until(1.0)
+    assert seen == [1]
+
+
+def test_run_until_past_raises():
+    sched = Scheduler()
+    sched.call_at(2.0, lambda: None)
+    sched.run()
+    with pytest.raises(ClockError):
+        sched.run_until(1.0)
+
+
+def test_run_while_returns_true_when_condition_clears():
+    sched = Scheduler()
+    state = {"done": False}
+    sched.call_at(1.0, lambda: state.update(done=True))
+    assert sched.run_while(lambda: not state["done"], timeout=5.0) is True
+    assert sched.now <= 5.0
+
+
+def test_run_while_returns_false_on_timeout():
+    sched = Scheduler()
+    assert sched.run_while(lambda: True, timeout=1.0) is False
+    assert sched.now == 1.0
+
+
+def test_runaway_guard():
+    sched = Scheduler()
+
+    def reschedule():
+        sched.call_after(0.001, reschedule)
+
+    sched.call_after(0.001, reschedule)
+    with pytest.raises(SimulationError):
+        sched.run(max_events=100)
+
+
+def test_events_executed_counter():
+    sched = Scheduler()
+    for i in range(5):
+        sched.call_at(float(i + 1), lambda: None)
+    sched.run()
+    assert sched.events_executed == 5
+
+
+def test_pending_counts_uncancelled():
+    sched = Scheduler()
+    sched.call_at(1.0, lambda: None)
+    event = sched.call_at(2.0, lambda: None)
+    event.cancel()
+    assert sched.pending() == 1
+
+
+def test_events_scheduled_during_run_execute():
+    sched = Scheduler()
+    seen = []
+    sched.call_at(1.0, lambda: sched.call_at(1.5, seen.append, "nested"))
+    sched.run()
+    assert seen == ["nested"]

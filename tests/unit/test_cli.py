@@ -1,0 +1,35 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_version_command(capsys):
+    assert main(["version"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out and "DSN 2001" in out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "demo" in capsys.readouterr().out
+
+
+def test_demo_runs_and_reports_consistency(capsys):
+    assert main(["demo", "--state-size", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "replica reinstated" in out
+    assert "equal=True" in out
+
+
+def test_fig6_quick(capsys):
+    assert main(["fig6", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "recovery_ms" in out
+    assert "350000" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

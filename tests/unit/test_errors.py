@@ -1,0 +1,49 @@
+"""Unit tests for the exception hierarchy contract."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    GiopError,
+    MarshalError,
+    NetworkError,
+    OrbError,
+    ProtocolError,
+    RecoveryError,
+    ReplicationError,
+    ReproError,
+    SimulationError,
+    TotemError,
+    UnmarshalError,
+)
+
+
+def test_every_library_error_derives_from_repro_error():
+    for name, obj in vars(errors_module).items():
+        if inspect.isclass(obj) and issubclass(obj, Exception):
+            assert issubclass(obj, ReproError), name
+
+
+def test_family_groupings():
+    assert issubclass(MarshalError, GiopError)
+    assert issubclass(UnmarshalError, GiopError)
+    assert issubclass(ProtocolError, GiopError)
+    assert issubclass(NetworkError, SimulationError)
+    assert not issubclass(TotemError, SimulationError)
+    assert not issubclass(OrbError, GiopError)
+
+
+def test_ft_corba_user_exceptions_are_corba_exceptions():
+    from repro.ftcorba.checkpointable import InvalidState, NoStateAvailable
+    from repro.orb.servant import CorbaUserException
+    assert issubclass(NoStateAvailable, CorbaUserException)
+    assert issubclass(InvalidState, CorbaUserException)
+
+
+def test_catching_base_covers_subsystem_failures():
+    with pytest.raises(ReproError):
+        raise ReplicationError("x")
+    with pytest.raises(ReproError):
+        raise RecoveryError("x")

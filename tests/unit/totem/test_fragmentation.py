@@ -1,0 +1,116 @@
+"""Unit tests for message fragmentation and reassembly."""
+
+import pytest
+
+from repro.errors import FragmentationError
+from repro.totem.fragmentation import Fragmenter, Reassembler
+
+
+def test_small_payload_single_fragment():
+    frags = Fragmenter("n", 100).fragment(b"hello")
+    assert len(frags) == 1
+    msg_id, index, count, chunk = frags[0]
+    assert (index, count, chunk) == (0, 1, b"hello")
+
+
+def test_empty_payload_still_one_fragment():
+    frags = Fragmenter("n", 100).fragment(b"")
+    assert len(frags) == 1
+    assert frags[0][3] == b""
+
+
+def test_large_payload_splits_at_max_chunk():
+    frags = Fragmenter("n", 10).fragment(b"x" * 25)
+    assert [len(f[3]) for f in frags] == [10, 10, 5]
+    assert [f[1] for f in frags] == [0, 1, 2]
+    assert all(f[2] == 3 for f in frags)
+
+
+def test_exact_multiple_has_no_empty_tail():
+    frags = Fragmenter("n", 10).fragment(b"x" * 20)
+    assert [len(f[3]) for f in frags] == [10, 10]
+
+
+def test_msg_ids_are_unique_and_ordered():
+    fragmenter = Fragmenter("n", 10)
+    first = fragmenter.fragment(b"a")[0][0]
+    second = fragmenter.fragment(b"b")[0][0]
+    assert first != second
+    assert first[0] == second[0] == "n"
+    assert second[1] > first[1]
+
+
+def test_fragment_count_helper():
+    assert Fragmenter.fragment_count(0, 10) == 1
+    assert Fragmenter.fragment_count(10, 10) == 1
+    assert Fragmenter.fragment_count(11, 10) == 2
+    assert Fragmenter.fragment_count(350_000, 1468) == 239
+
+
+def test_invalid_max_chunk_rejected():
+    with pytest.raises(FragmentationError):
+        Fragmenter("n", 0)
+
+
+def test_reassembly_roundtrip():
+    fragmenter = Fragmenter("n", 7)
+    reassembler = Reassembler()
+    payload = bytes(range(100))
+    result = None
+    for msg_id, index, count, chunk in fragmenter.fragment(payload):
+        result = reassembler.add(msg_id, index, count, chunk)
+    assert result == payload
+    assert reassembler.pending == 0
+
+
+def test_single_fragment_returns_immediately():
+    assert Reassembler().add(("n", 1), 0, 1, b"x") == b"x"
+
+
+def test_incomplete_message_returns_none():
+    reassembler = Reassembler()
+    assert reassembler.add(("n", 1), 0, 3, b"a") is None
+    assert reassembler.pending == 1
+
+
+def test_interleaved_messages_reassemble_independently():
+    reassembler = Reassembler()
+    assert reassembler.add(("n", 1), 0, 2, b"a") is None
+    assert reassembler.add(("m", 9), 0, 2, b"x") is None
+    assert reassembler.add(("n", 1), 1, 2, b"b") == b"ab"
+    assert reassembler.add(("m", 9), 1, 2, b"y") == b"xy"
+
+
+def test_mid_message_joiner_skips_message():
+    """A fresh member whose first fragment of a message has index > 0 must
+    skip that message entirely (Eternal restores its state instead)."""
+    reassembler = Reassembler()
+    assert reassembler.add(("n", 1), 2, 4, b"c") is None
+    assert reassembler.add(("n", 1), 3, 4, b"d") is None
+    assert reassembler.pending == 0
+    # the next message from the same origin works normally
+    assert reassembler.add(("n", 2), 0, 1, b"ok") == b"ok"
+
+
+def test_mid_message_joiner_last_fragment_only():
+    reassembler = Reassembler()
+    assert reassembler.add(("n", 1), 3, 4, b"d") is None
+    assert reassembler.add(("n", 2), 0, 1, b"ok") == b"ok"
+
+
+def test_bad_indices_rejected():
+    reassembler = Reassembler()
+    with pytest.raises(FragmentationError):
+        reassembler.add(("n", 1), 0, 0, b"")
+    with pytest.raises(FragmentationError):
+        reassembler.add(("n", 1), 5, 3, b"")
+    with pytest.raises(FragmentationError):
+        reassembler.add(("n", 1), 1, 1, b"")
+
+
+def test_regressed_index_rejected():
+    reassembler = Reassembler()
+    reassembler.add(("n", 1), 0, 3, b"a")
+    reassembler.add(("n", 1), 1, 3, b"b")
+    with pytest.raises(FragmentationError):
+        reassembler.add(("n", 1), 3, 3, b"d")

@@ -1,0 +1,260 @@
+"""Unit/behaviour tests for the Totem ring member state machine."""
+
+import pytest
+
+from repro.errors import NotInRing, TotemError
+from repro.simnet.endpoint import Endpoint
+from repro.simnet.faults import FaultInjector
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+from repro.simnet.scheduler import Scheduler
+from repro.totem.config import TotemConfig
+from repro.totem.member import MemberState, TotemMember
+
+
+class Ring:
+    """A small harness around N ring members."""
+
+    def __init__(self, node_ids=("A", "B", "C"), config=None, seed=0):
+        self.scheduler = Scheduler()
+        self.network = Network(self.scheduler)
+        self.faults = FaultInjector(self.network, seed=seed)
+        self.config = config or TotemConfig()
+        self.delivered = {n: [] for n in node_ids}
+        self.views = {n: [] for n in node_ids}
+        self.members = {}
+        for node_id in node_ids:
+            self._spawn(node_id)
+
+    def _spawn(self, node_id):
+        process = Process(self.scheduler, node_id)
+        endpoint = Endpoint(process, self.network)
+        self.members[node_id] = TotemMember(
+            endpoint, self.config,
+            on_deliver=lambda origin, payload, n=node_id:
+                self.delivered[n].append((origin, payload)),
+            on_view_change=lambda view, n=node_id:
+                self.views[n].append(view),
+        )
+        return self.members[node_id]
+
+    def respawn(self, node_id):
+        """Re-launch a crashed node with a fresh (history-less) member."""
+        process = self.network.process(node_id)
+        process.restart()
+        endpoint = Endpoint(process, self.network)
+        return self._spawn(node_id)
+
+    def run(self, duration):
+        self.scheduler.run_until(self.scheduler.now + duration)
+
+    def all_operational(self, node_ids=None):
+        nodes = node_ids or list(self.members)
+        return all(self.members[n].operational for n in nodes)
+
+
+def test_ring_forms_from_cold_start():
+    ring = Ring()
+    ring.run(0.1)
+    assert ring.all_operational()
+    views = {ring.members[n].view for n in ring.members}
+    assert len(views) == 1
+    assert set(next(iter(views)).members) == {"A", "B", "C"}
+
+
+def test_single_node_ring():
+    ring = Ring(node_ids=("solo",))
+    ring.run(0.1)
+    member = ring.members["solo"]
+    assert member.operational
+    member.multicast(b"note")
+    ring.run(0.1)
+    assert ring.delivered["solo"] == [("solo", b"note")]
+
+
+def test_multicast_delivered_to_all_in_same_order():
+    ring = Ring()
+    ring.run(0.1)
+    ring.members["A"].multicast(b"1")
+    ring.members["B"].multicast(b"2")
+    ring.members["C"].multicast(b"3")
+    ring.members["A"].multicast(b"4")
+    ring.run(0.2)
+    sequences = [ring.delivered[n] for n in "ABC"]
+    assert sequences[0] == sequences[1] == sequences[2]
+    assert len(sequences[0]) == 4
+
+
+def test_sender_receives_own_message():
+    ring = Ring()
+    ring.run(0.1)
+    ring.members["A"].multicast(b"self")
+    ring.run(0.1)
+    assert ("A", b"self") in ring.delivered["A"]
+
+
+def test_large_message_fragments_and_reassembles():
+    ring = Ring()
+    ring.run(0.1)
+    payload = bytes(range(256)) * 40   # > 6 fragments
+    ring.members["A"].multicast(payload)
+    ring.run(0.2)
+    for node_id in "ABC":
+        assert ring.delivered[node_id] == [("A", payload)]
+
+
+def test_multicast_before_ring_forms_is_queued():
+    ring = Ring()
+    ring.members["A"].multicast(b"early")
+    ring.run(0.2)
+    for node_id in "ABC":
+        assert ring.delivered[node_id] == [("A", b"early")]
+
+
+def test_crash_triggers_reformation_without_victim():
+    ring = Ring()
+    ring.run(0.1)
+    ring.faults.crash("C")
+    ring.run(0.2)
+    assert ring.all_operational(["A", "B"])
+    assert set(ring.members["A"].view.members) == {"A", "B"}
+    assert ring.members["A"].view == ring.members["B"].view
+
+
+def test_delivery_continues_after_crash():
+    ring = Ring()
+    ring.run(0.1)
+    ring.faults.crash("C")
+    ring.run(0.2)
+    ring.members["A"].multicast(b"post")
+    ring.run(0.1)
+    assert ("A", b"post") in ring.delivered["A"]
+    assert ("A", b"post") in ring.delivered["B"]
+
+
+def test_fresh_rejoin_skips_old_traffic():
+    ring = Ring()
+    ring.run(0.1)
+    ring.members["A"].multicast(b"before")
+    ring.run(0.1)
+    ring.faults.crash("C")
+    ring.run(0.2)
+    pre_crash = list(ring.delivered["C"])
+    ring.respawn("C")
+    ring.run(0.3)
+    assert ring.members["C"].operational
+    assert ring.delivered["C"] == pre_crash   # no replay of old traffic
+    ring.members["B"].multicast(b"after")
+    ring.run(0.1)
+    assert ("B", b"after") in ring.delivered["C"]
+
+
+def test_message_loss_is_repaired_by_retransmission():
+    ring = Ring(seed=3)
+    ring.run(0.1)
+    ring.faults.set_loss_rate(0.15)
+    for i in range(30):
+        ring.members["A"].multicast(bytes([i]))
+    ring.run(1.0)
+    ring.faults.set_loss_rate(0.0)
+    ring.run(0.5)
+    for node_id in "ABC":
+        assert [p for _, p in ring.delivered[node_id]] == \
+            [bytes([i]) for i in range(30)]
+
+
+def test_total_order_under_loss():
+    ring = Ring(seed=11)
+    ring.run(0.1)
+    ring.faults.set_loss_rate(0.1)
+    for i in range(10):
+        ring.members["A"].multicast(b"A%d" % i)
+        ring.members["B"].multicast(b"B%d" % i)
+    ring.run(1.0)
+    ring.faults.set_loss_rate(0.0)
+    ring.run(0.5)
+    assert ring.delivered["A"] == ring.delivered["B"] == ring.delivered["C"]
+    assert len(ring.delivered["A"]) == 20
+
+
+def test_view_change_notified_on_membership_change():
+    ring = Ring()
+    ring.run(0.1)
+    initial_views = {n: len(ring.views[n]) for n in "AB"}
+    ring.faults.crash("C")
+    ring.run(0.3)
+    for node_id in "AB":
+        assert len(ring.views[node_id]) == initial_views[node_id] + 1
+        assert set(ring.views[node_id][-1].members) == {"A", "B"}
+
+
+def test_ring_ids_increase_across_reformations():
+    ring = Ring()
+    ring.run(0.1)
+    first = ring.members["A"].ring_id
+    ring.faults.crash("C")
+    ring.run(0.3)
+    assert ring.members["A"].ring_id > first
+
+
+def test_shutdown_member_rejects_multicast():
+    ring = Ring()
+    ring.run(0.1)
+    ring.members["A"].shutdown()
+    with pytest.raises(NotInRing):
+        ring.members["A"].multicast(b"x")
+
+
+def test_send_queue_overflow_guarded():
+    config = TotemConfig(max_queue=5)
+    ring = Ring(config=config)
+    ring.run(0.1)
+    ring.faults.partition([{"A"}, {"B", "C"}])   # A can't drain its queue
+    # A's token is lost; it gathers forever and queues pile up
+    with pytest.raises(TotemError):
+        for i in range(10):
+            ring.members["A"].multicast(b"x" * 10)
+
+
+def test_partition_forms_two_rings():
+    ring = Ring(node_ids=("A", "B", "C", "D"))
+    ring.run(0.1)
+    ring.faults.partition([{"A", "B"}, {"C", "D"}])
+    ring.run(0.5)
+    assert set(ring.members["A"].view.members) == {"A", "B"}
+    assert set(ring.members["C"].view.members) == {"C", "D"}
+    ring.members["A"].multicast(b"west")
+    ring.members["C"].multicast(b"east")
+    ring.run(0.2)
+    assert ("A", b"west") in ring.delivered["B"]
+    assert ("A", b"west") not in ring.delivered["C"]
+    assert ("C", b"east") in ring.delivered["D"]
+
+
+def test_partition_heal_remerges_ring():
+    ring = Ring(node_ids=("A", "B", "C", "D"))
+    ring.run(0.1)
+    ring.faults.partition([{"A", "B"}, {"C", "D"}])
+    ring.run(0.5)
+    ring.faults.heal()
+    ring.run(0.5)
+    assert set(ring.members["A"].view.members) == {"A", "B", "C", "D"}
+    ring.members["A"].multicast(b"joined")
+    ring.run(0.2)
+    assert ("A", b"joined") in ring.delivered["D"]
+
+
+def test_no_spurious_retransmissions_in_steady_state():
+    """The sender's own just-broadcast messages must not be treated as gaps
+    (regression test for the retransmission-storm bug)."""
+    from repro.simnet.trace import Tracer
+    ring = Ring()
+    tracer = Tracer(keep_records=False)
+    tracer.bind_clock(lambda: ring.scheduler.now)
+    for member in ring.members.values():
+        member.tracer = tracer
+    ring.run(0.1)
+    for i in range(50):
+        ring.members["A"].multicast(bytes([i]))
+    ring.run(0.5)
+    assert tracer.count("totem.retransmit") == 0

@@ -1,0 +1,72 @@
+"""Unit tests for the healed-partition merge component analysis."""
+
+from repro.totem.member import TotemMember
+from repro.totem.messages import JoinMsg
+
+
+def join(sender, view, fresh=False, ring=1, aru=0):
+    return JoinMsg(sender=sender, ring_id_seen=ring, delivered_aru=aru,
+                   held=frozenset(), fresh=fresh,
+                   view_members=tuple(view))
+
+
+def components(joins):
+    return TotemMember._view_components(joins)
+
+
+def test_single_ring_is_one_component():
+    comps = components([join("a", ["a", "b"]), join("b", ["a", "b"])])
+    assert len(comps) == 1
+
+
+def test_disjoint_views_split():
+    comps = components([
+        join("a", ["a", "b"]), join("b", ["a", "b"]),
+        join("c", ["c", "d"]), join("d", ["c", "d"]),
+    ])
+    assert len(comps) == 2
+    sides = sorted(sorted(j.sender for j in comp) for comp in comps)
+    assert sides == [["a", "b"], ["c", "d"]]
+
+
+def test_lagging_member_connects_via_stale_view():
+    """A member one ring generation behind still lists current members in
+    its (stale) view — same history, one component."""
+    comps = components([
+        join("a", ["a", "b"], ring=6),
+        join("b", ["a", "b"], ring=6),
+        join("c", ["a", "b", "c"], ring=5),     # lagging, overlapping view
+    ])
+    assert len(comps) == 1
+
+
+def test_viewless_join_connects_to_anything():
+    comps = components([
+        join("a", ["a", "b"]),
+        join("x", []),           # never installed a ring: cannot diverge
+    ])
+    assert len(comps) == 1
+
+
+def test_singleton_partition_detected():
+    comps = components([
+        join("a", ["a", "b", "c"]),
+        join("b", ["a", "b", "c"]),
+        join("z", ["z"]),        # reformed alone: disjoint history
+    ])
+    assert len(comps) == 2
+
+
+def test_bridge_join_merges_components():
+    """A view spanning both sides (observed mid-reformation) unifies them —
+    conservative: they share a lineage."""
+    comps = components([
+        join("a", ["a", "b"]),
+        join("c", ["c", "d"]),
+        join("e", ["a", "e", "c"]),   # bridges both
+    ])
+    assert len(comps) == 1
+
+
+def test_empty_input():
+    assert components([]) == []

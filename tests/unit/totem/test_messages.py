@@ -1,0 +1,43 @@
+"""Unit tests for Totem wire messages (size accounting)."""
+
+from repro.totem.messages import DataMsg, FormMsg, JoinMsg, Token
+
+
+def test_data_msg_size_tracks_chunk():
+    small = DataMsg(1, 1, "n", ("n", 1), 0, 1, b"x")
+    large = DataMsg(1, 1, "n", ("n", 1), 0, 1, b"x" * 1000)
+    assert large.size_bytes - small.size_bytes == 999
+
+
+def test_token_size_grows_with_rtr():
+    empty = Token(1, 10, 5)
+    loaded = Token(1, 10, 5, rtr=[6, 7, 8])
+    assert loaded.size_bytes == empty.size_bytes + 24
+
+
+def test_join_size_uses_run_length_ranges():
+    contiguous = JoinMsg("n", 1, 10, frozenset(range(11, 111)), False)
+    holey = JoinMsg("n", 1, 10, frozenset(range(11, 111, 2)), False)
+    assert contiguous._range_count() == 1
+    assert holey._range_count() == 50
+    assert contiguous.size_bytes < holey.size_bytes
+
+
+def test_join_empty_held():
+    join = JoinMsg("n", 1, 10, frozenset(), True)
+    assert join._range_count() == 0
+
+
+def test_join_stays_under_ethernet_mtu_for_contiguous_history():
+    join = JoinMsg("n", 1, 10_000, frozenset(range(5000, 10_001)), False)
+    assert join.size_bytes < 1500
+
+
+def test_form_size_scales_with_members_and_holders():
+    small = FormMsg(2, "a", ("a", "b"), 10, 10, {})
+    big = FormMsg(2, "a", ("a", "b", "c"), 10, 10, {5: "a", 6: "b"})
+    assert big.size_bytes > small.size_bytes
+
+
+def test_data_msg_retransmit_flag_default_false():
+    assert DataMsg(1, 1, "n", ("n", 1), 0, 1, b"").retransmit is False
