@@ -11,7 +11,9 @@ multicast messages; below one frame the curve is flat.
 
 We assert the reproduced *shape*: (a) flat within measurement noise below
 one Ethernet frame, (b) monotone growth beyond it, (c) a strong linear fit
-of time vs fragment count in the tail.
+of time vs fragment count in the tail.  The per-phase breakdown (§5.1
+steps i–vi) comes from the metrics registry: every sweep deployment's
+registry is merged and each phase's p50/p95/p99 reported.
 """
 
 import numpy as np
@@ -21,6 +23,8 @@ from repro.bench.plot import ascii_plot
 from repro.bench.reporting import print_table
 from repro.bench.stats import summarize
 from repro.ftcorba.properties import ReplicationStyle
+from repro.obs.metrics import StreamingHistogram, merge_registries
+from repro.obs.report import RECOVERY_PHASES
 
 STATE_SIZES = [10, 1_000, 10_000, 50_000, 100_000, 200_000, 350_000]
 SEEDS = (0, 1, 2)
@@ -50,12 +54,14 @@ def _recover_once(state_size: int, seed: int = 0):
         deployment.server_servant("s1").echo_count
         == deployment.server_servant("s2").echo_count
     )
-    return recovery_time, frames, consistent, driver.acked
+    return (recovery_time, frames, consistent, driver.acked,
+            deployment.system.metrics)
 
 
 def test_fig6_recovery_time_vs_state_size(benchmark):
     results = {}
     spreads = {}
+    registries = []
 
     def run_sweep():
         for size in STATE_SIZES:
@@ -63,6 +69,7 @@ def test_fig6_recovery_time_vs_state_size(benchmark):
             for seed in SEEDS:
                 sample = _recover_once(size, seed)
                 samples.append(sample)
+                registries.append(sample[4])
             results[size] = samples[0]
             spreads[size] = summarize([s[0] for s in samples])
         return results
@@ -71,7 +78,7 @@ def test_fig6_recovery_time_vs_state_size(benchmark):
 
     rows = []
     for size in STATE_SIZES:
-        recovery_time, frames, consistent, acked = results[size]
+        recovery_time, frames, consistent, acked, _ = results[size]
         fragments = max(1, -(-size // MTU_PAYLOAD))
         rows.append([size, fragments,
                      spreads[size].format(scale=1000, digits=3),
@@ -94,6 +101,41 @@ def test_fig6_recovery_time_vs_state_size(benchmark):
         x_label="application-level state (bytes)",
         y_label="recovery ms", logx=True,
     ))
+
+    # Per-phase latency percentiles (§5.1 steps i–vi) from the merged
+    # metrics registries of every deployment in the sweep.
+    merged = merge_registries(registries)
+    phase_rows = []
+    phase_stats = {}
+    for phase in RECOVERY_PHASES + ("total",):
+        series = [m for _, _, m in merged.find(f"span.recovery.{phase}")]
+        if not series:
+            continue
+        combined = StreamingHistogram()
+        for extra in series:
+            combined.merge(extra)
+        phase_stats[phase] = combined
+        phase_rows.append([phase, combined.count,
+                           round(combined.p50 * 1000, 3),
+                           round(combined.p95 * 1000, 3),
+                           round(combined.p99 * 1000, 3)])
+    print()
+    print_table(
+        "Recovery phase latencies across the sweep "
+        f"({len(STATE_SIZES) * len(SEEDS)} recoveries)",
+        ["phase", "count", "p50_ms", "p95_ms", "p99_ms"], phase_rows,
+        paper_note="xfer dominates at large state sizes (fragmented "
+                   "set_state multicast); the other phases are "
+                   "size-independent",
+    )
+    expected_recoveries = len(STATE_SIZES) * len(SEEDS)
+    for phase in RECOVERY_PHASES:
+        hist = phase_stats.get(phase)
+        assert hist is not None and hist.count > 0, \
+            f"no samples for recovery phase {phase!r}"
+        assert hist.p50 <= hist.p95 <= hist.p99, \
+            f"phase {phase!r} percentiles not ordered"
+    assert phase_stats["total"].count == expected_recoveries
 
     times = {s: spreads[s].mean for s in STATE_SIZES}
     # (a) flat region below one Ethernet frame: 10 B vs 1 kB within 25 %.

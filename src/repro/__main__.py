@@ -3,9 +3,14 @@
 Commands:
 
 * ``demo``      — deploy a replicated counter, kill/recover a replica, and
-                  narrate the §5.1 protocol from the trace.
-* ``fig6``      — quick reproduction of the paper's Figure 6 sweep.
+                  narrate the §5.1 protocol from the trace (``--trace-out``
+                  additionally exports the run as a Chrome trace).
+* ``fig6``      — quick reproduction of the paper's Figure 6 sweep, with
+                  per-phase latency percentiles from the metrics registry.
 * ``styles``    — compare active / warm passive / cold passive at a fault.
+* ``trace``     — run the kill/recover scenario and export the trace (Chrome
+                  ``trace_event`` JSON and/or JSONL) for Perfetto.
+* ``metrics``   — run a short workload and print the metrics registry.
 * ``version``   — print the library version.
 """
 
@@ -22,23 +27,21 @@ def _cmd_version(_args) -> int:
     return 0
 
 
-def _cmd_demo(args) -> int:
+def _run_kill_recover(state_size: int):
+    """Deploy the kv-store, kill and recover replica s2, return the
+    deployment with a fully retained trace (shared by demo/trace/metrics)."""
     from repro.bench.deployments import build_client_server
     from repro.ftcorba.properties import ReplicationStyle
-    from repro.tools import recovery_summary, render_timeline
 
-    print(f"deploying: 2-way active kv-store ({args.state_size} B state) "
-          f"+ packet driver …")
     deployment = build_client_server(
         style=ReplicationStyle.ACTIVE,
         server_replicas=2,
-        state_size=args.state_size,
+        state_size=state_size,
         warmup=0.2,
         keep_trace_records=True,
     )
     system = deployment.system
-    kill_time = system.now
-    print("killing replica s2, re-launching after 100 ms (simulated) …")
+    deployment.kill_time = system.now
     system.kill_node("s2")
     system.run_for(0.1)
     system.restart_node("s2")
@@ -46,14 +49,32 @@ def _cmd_demo(args) -> int:
         lambda: deployment.server_group.is_operational_on("s2"), timeout=5.0
     )
     system.run_for(0.2)
+    return deployment
+
+
+def _cmd_demo(args) -> int:
+    from repro.tools import recovery_summary, render_phase_table, \
+        render_timeline
+
+    print(f"deploying: 2-way active kv-store ({args.state_size} B state) "
+          f"+ packet driver …")
+    print("killing replica s2, re-launching after 100 ms (simulated) …")
+    deployment = _run_kill_recover(args.state_size)
+    system = deployment.system
     print("\ntimeline:")
     print(render_timeline(system.tracer,
                           categories={"fault", "process", "recovery"},
-                          since=kill_time, group="store"))
+                          since=deployment.kill_time, group="store"))
     for summary in recovery_summary(system.tracer):
         print(f"\nrecovered {summary.group}@{summary.node} in "
               f"{(summary.duration or 0) * 1000:.2f} ms "
               f"({summary.state_bytes} B of state)")
+    print("\nper-phase breakdown (§5.1 steps i–vi):")
+    print(render_phase_table(system.tracer))
+    if args.trace_out:
+        written = system.export_trace(args.trace_out, fmt=args.trace_format)
+        print(f"\nwrote {written} trace events to {args.trace_out} "
+              f"({args.trace_format})")
     s1 = deployment.server_servant("s1")
     s2 = deployment.server_servant("s2")
     print(f"consistency: s1={s1.echo_count} s2={s2.echo_count} "
@@ -61,25 +82,67 @@ def _cmd_demo(args) -> int:
     return 0 if s1.echo_count == s2.echo_count else 1
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.spans import SpanTracker
+
+    print(f"running kill/recover scenario ({args.state_size} B state) …")
+    deployment = _run_kill_recover(args.state_size)
+    system = deployment.system
+    tracker = SpanTracker.from_tracer(system.tracer)
+    complete = sum(1 for s in tracker.spans if s.complete)
+    print(f"captured {len(system.tracer.records)} trace records, "
+          f"{complete} complete spans "
+          f"({len(tracker.unfinished)} unfinished)")
+    if not args.out and not args.jsonl_out:
+        print("nothing to write — pass --out and/or --jsonl-out")
+        return 2
+    if args.out:
+        written = system.export_trace(args.out, fmt="chrome")
+        print(f"wrote {written} Chrome trace events to {args.out} "
+              f"(open in Perfetto or chrome://tracing)")
+    if args.jsonl_out:
+        written = system.export_trace(args.jsonl_out, fmt="jsonl")
+        print(f"wrote {written} JSONL records to {args.jsonl_out}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    print(f"running kill/recover scenario ({args.state_size} B state) …")
+    deployment = _run_kill_recover(args.state_size)
+    system = deployment.system
+    print("\nmetrics registry (durations in ms):")
+    print(system.metrics.format_table(prefix=args.prefix, scale=1000.0,
+                                      unit="ms"))
+    return 0
+
+
 def _cmd_fig6(args) -> int:
     from repro.bench.deployments import build_client_server, measure_recovery
     from repro.bench.reporting import print_table
     from repro.ftcorba.properties import ReplicationStyle
 
+    from repro.obs.metrics import merge_registries
+
     sizes = [10, 1_000, 10_000, 50_000, 100_000, 200_000, 350_000]
     if args.quick:
         sizes = [10, 10_000, 100_000, 350_000]
     rows = []
+    registries = []
     for size in sizes:
         deployment = build_client_server(style=ReplicationStyle.ACTIVE,
                                          server_replicas=2,
                                          state_size=size, warmup=0.2)
         recovery_time = measure_recovery(deployment, "s2")
         rows.append([size, round(recovery_time * 1000, 3)])
+        registries.append(deployment.system.metrics)
     print_table("Figure 6 — recovery time vs application-level state size",
                 ["state_bytes", "recovery_ms"], rows,
                 paper_note="flat below one Ethernet frame, then linear in "
                            "the fragment count")
+    merged = merge_registries(registries)
+    print("\nper-phase latency across the sweep (ms):")
+    print(merged.format_table(prefix="span.recovery", scale=1000.0,
+                              unit="ms"))
     return 0
 
 
@@ -124,16 +187,38 @@ def main(argv=None) -> int:
     demo = sub.add_parser("demo", help="kill/recover demo with timeline")
     demo.add_argument("--state-size", type=int, default=50_000,
                       help="application-level state size in bytes")
+    demo.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="also export the run's trace to PATH")
+    demo.add_argument("--trace-format", choices=("chrome", "jsonl"),
+                      default="chrome",
+                      help="export format for --trace-out")
     fig6 = sub.add_parser("fig6", help="Figure 6 sweep")
     fig6.add_argument("--quick", action="store_true",
                       help="fewer sweep points")
     sub.add_parser("styles", help="replication-style disruption comparison")
+    trace = sub.add_parser(
+        "trace", help="run kill/recover and export the trace")
+    trace.add_argument("--state-size", type=int, default=50_000,
+                       help="application-level state size in bytes")
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="Chrome trace_event JSON output path")
+    trace.add_argument("--jsonl-out", default=None, metavar="PATH",
+                       help="JSONL (one record per line) output path")
+    metrics = sub.add_parser(
+        "metrics", help="run kill/recover and print the metrics registry")
+    metrics.add_argument("--state-size", type=int, default=50_000,
+                         help="application-level state size in bytes")
+    metrics.add_argument("--prefix", default="",
+                         help="only print metrics whose name starts with "
+                              "this prefix")
     args = parser.parse_args(argv)
     handlers = {
         "version": _cmd_version,
         "demo": _cmd_demo,
         "fig6": _cmd_fig6,
         "styles": _cmd_styles,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
     }
     if args.command is None:
         parser.print_help()

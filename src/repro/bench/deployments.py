@@ -70,6 +70,8 @@ class ClientServerDeployment:
     client_group: GroupHandle
     server_nodes: List[str]
     client_nodes: List[str]
+    #: Simulated instant of the last injected kill (set by fault drivers).
+    kill_time: float = 0.0
 
     @property
     def driver(self) -> PacketDriverServant:

@@ -35,6 +35,7 @@ from repro.giop.messages import (
     encode_message,
 )
 from repro.giop.types import decode_any, encode_any, to_any
+from repro.obs.spans import SpanEmitter
 from repro.orb.orb import Orb
 from repro.orb.proxy import ObjectProxy
 from repro.simnet.process import Process
@@ -63,6 +64,7 @@ class ReplicaContainer:
         self.group_id = group_id
         self.config = config
         self.tracer = tracer
+        self._spans = SpanEmitter(tracer, node_id=process.node_id)
         self.on_reply_produced = on_reply_produced
         self.quiescence = QuiescenceMonitor()
         self.orb = Orb(f"{process.node_id}:{group_id}", host=group_id)
@@ -148,7 +150,19 @@ class ReplicaContainer:
     def submit_get_state(self, transfer_id: str,
                          done: Callable[[str, bytes], None]) -> None:
         """Queue the fabricated get_state(); ``done(transfer_id,
-        app_state_bytes)`` fires when the operation completes."""
+        app_state_bytes)`` fires when the operation completes.
+
+        The wait from here until the marker reaches the head of the FIFO
+        queue *is* the time-to-quiescence; it is traced as a
+        ``recovery.quiesce`` span nested in the capture span.
+        """
+        node = self.process.node_id
+        self._spans.start(
+            "recovery.quiesce",
+            span_id=f"{transfer_id}/quiesce@{node}",
+            parent=f"{transfer_id}/capture@{node}",
+            node=node, group=self.group_id, queue_depth=len(self._queue),
+        )
         self._queue.append(("get_state", transfer_id, done))
         self._pump()
 
@@ -241,6 +255,10 @@ class ReplicaContainer:
 
     def _run_get_state(self, transfer_id: str,
                        done: Callable[[str, bytes], None]) -> None:
+        # The marker reached the queue head: the replica is quiescent.
+        self._spans.end(
+            f"{transfer_id}/quiesce@{self.process.node_id}"
+        )
         if self.servant is None:
             raise StateTransferError(
                 f"get_state on uninstantiated replica of {self.group_id}"

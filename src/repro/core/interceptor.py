@@ -29,6 +29,7 @@ from repro.giop.messages import (
     decode_message,
     encode_message,
 )
+from repro.obs.spans import SpanEmitter
 from repro.simnet.trace import NULL_TRACER, Tracer
 
 SendFn = Callable[[IiopEnvelope], None]
@@ -53,8 +54,13 @@ class Interceptor:
         self._infra = infra
         self._orb_state = orb_state
         self.tracer = tracer
+        self._spans = SpanEmitter(tracer, node_id=node_id)
         self._offsets: Dict[ConnectionKey, int] = {}
         self.suppressed_reissues = 0
+
+    def _rpc_span_id(self, connection: ConnectionKey,
+                     request_id: int) -> str:
+        return f"rpc:{self.node_id}:{connection.as_str()}:{request_id}"
 
     # ------------------------------------------------------------------
     # request_id rewrite offsets (installed during recovery, §4.2.1)
@@ -98,6 +104,17 @@ class Interceptor:
             return
         self.tracer.emit("interceptor", "request", node=self.node_id,
                          conn=connection.as_str(), request_id=wire_id)
+        if message.response_expected:
+            # One round-trip span per two-way invocation: capture here,
+            # closed when the matching reply is delivered back to this
+            # replica (note_reply_delivered).
+            self._spans.start(
+                "rpc.roundtrip",
+                span_id=self._rpc_span_id(connection, wire_id),
+                node=self.node_id, group=self.group_id,
+                conn=connection.as_str(), request_id=wire_id,
+                operation=message.operation,
+            )
         self._send(IiopEnvelope(connection, OpKind.REQUEST, wire_id,
                                 self.node_id, data))
 
@@ -115,6 +132,12 @@ class Interceptor:
     # ------------------------------------------------------------------
     # Incoming rewrite (before the ORB sees a reply)
     # ------------------------------------------------------------------
+
+    def note_reply_delivered(self, connection: ConnectionKey,
+                             request_id: int) -> None:
+        """Close the round-trip span opened when the request was captured
+        (``request_id`` is the wire id; no-op for unmatched replies)."""
+        self._spans.end(self._rpc_span_id(connection, request_id))
 
     def rewrite_incoming_reply(self, connection: ConnectionKey,
                                data: bytes) -> bytes:

@@ -37,6 +37,7 @@ from repro.core.infra_state import InfraState
 from repro.core.msglog import CheckpointRecord
 from repro.core.orb_state import OrbStateTracker
 from repro.ftcorba.properties import ReplicationStyle
+from repro.obs.spans import SpanEmitter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.replication import ReplicaBinding, ReplicationMechanisms
@@ -87,6 +88,7 @@ class RecoveryMechanisms:
         self.mechanisms = mechanisms
         self.node_id = mechanisms.node_id
         self.tracer = mechanisms.tracer
+        self.spans = SpanEmitter(mechanisms.tracer, node_id=self.node_id)
         self.config = mechanisms.config
         self._handled_gets = BoundedIdSet()
         self._handled_sets = BoundedIdSet()
@@ -119,6 +121,13 @@ class RecoveryMechanisms:
         transfer_id = self._new_transfer_id("rec", binding.group_id)
         binding.pending_transfer = transfer_id
         binding.sync_point_seen = False
+        binding.active_span = transfer_id
+        self.spans.start("recovery.total", span_id=transfer_id,
+                         node=self.node_id, group=binding.group_id)
+        self.spans.start("recovery.announce",
+                         span_id=f"{transfer_id}/announce",
+                         parent=transfer_id, node=self.node_id,
+                         group=binding.group_id)
         self.tracer.emit("recovery", "join_announced", node=self.node_id,
                          group=binding.group_id, transfer=transfer_id)
         self.mechanisms.multicast(
@@ -133,6 +142,9 @@ class RecoveryMechanisms:
                     and self.mechanisms.bindings.get(binding.group_id) is binding):
                 self.tracer.emit("recovery", "retry", node=self.node_id,
                                  group=binding.group_id)
+                # Close the superseded attempt's spans before re-announcing.
+                self.spans.end(f"{transfer_id}/announce", outcome="retry")
+                self.spans.end(transfer_id, outcome="retry")
                 self.announce_join(binding)
         self.mechanisms.process.call_after(
             self.config.recovery_retry_timeout, retry
@@ -178,6 +190,7 @@ class RecoveryMechanisms:
             # synchronization point; normal messages enqueue from here on.
             binding.sync_point_seen = True
             binding.pending_transfer = envelope.transfer_id
+            self.spans.end(f"{envelope.transfer_id}/announce")
             self.tracer.emit("recovery", "sync_point", node=self.node_id,
                              group=envelope.group_id,
                              transfer=envelope.transfer_id)
@@ -191,6 +204,12 @@ class RecoveryMechanisms:
             # appear as already-seen in the transferred state.
             self._filter_snapshots[envelope.transfer_id] = \
                 binding.infra.duplicates.capture()
+            self.spans.start(
+                "recovery.capture",
+                span_id=f"{envelope.transfer_id}/capture@{self.node_id}",
+                parent=envelope.transfer_id, node=self.node_id,
+                group=envelope.group_id,
+            )
             binding.container.submit_get_state(
                 envelope.transfer_id,
                 lambda transfer_id, app_state, e=envelope:
@@ -206,6 +225,15 @@ class RecoveryMechanisms:
             duplicates_override=self._filter_snapshots.pop(
                 envelope.transfer_id, None
             )
+        )
+        self.spans.end(f"{envelope.transfer_id}/capture@{self.node_id}",
+                       app_bytes=len(app_state))
+        self.spans.start(
+            "recovery.xfer",
+            span_id=f"{envelope.transfer_id}/xfer@{self.node_id}",
+            parent=envelope.transfer_id, node=self.node_id,
+            group=envelope.group_id, app_bytes=len(app_state),
+            piggyback_bytes=len(orb_blob) + len(infra_blob),
         )
         self.tracer.emit("recovery", "set_state_multicast",
                          node=self.node_id, group=envelope.group_id,
@@ -232,6 +260,12 @@ class RecoveryMechanisms:
         if envelope.transfer_id in self._handled_sets:
             return  # duplicate fabricated set_state (other responders)
         self._handled_sets.add(envelope.transfer_id)
+        # The winning set_state has arrived: the wire-transfer span ends at
+        # its first delivery (the shared open-span set dedups later nodes).
+        self.spans.end(
+            f"{envelope.transfer_id}/xfer@{envelope.source_node}",
+            app_bytes=len(envelope.app_state),
+        )
         info = self.mechanisms.groups.get(envelope.group_id)
         if info is None:
             return
@@ -276,6 +310,11 @@ class RecoveryMechanisms:
         self.tracer.emit("recovery", "recovery_set_received",
                          node=self.node_id, group=binding.group_id,
                          app_bytes=len(envelope.app_state))
+        apply_span = self.spans.start(
+            "recovery.apply", span_id=f"{envelope.transfer_id}/apply",
+            parent=envelope.transfer_id, node=self.node_id,
+            group=binding.group_id, app_bytes=len(envelope.app_state),
+        )
         if not binding.container.instantiated:
             # A new cold-passive backup: its "state" is the logged
             # checkpoint; it will be launched only at failover.
@@ -284,6 +323,7 @@ class RecoveryMechanisms:
                 envelope.transfer_id, envelope.app_state,
                 envelope.orb_state, envelope.infra_state,
             )
+            self.spans.end(apply_span, checkpoint_only=True)
             self._become_operational(binding, resume=False)
             return
         binding.container.submit_set_state(
@@ -295,10 +335,17 @@ class RecoveryMechanisms:
                          envelope: StateSet) -> None:
         # Assignment order per §4.3: application state is already in (the
         # set_state just completed); now ORB/POA-level, then infrastructure.
+        self.spans.end(f"{envelope.transfer_id}/apply")
+        assign_span = self.spans.start(
+            "recovery.assign", span_id=f"{envelope.transfer_id}/assign",
+            parent=envelope.transfer_id, node=self.node_id,
+            group=binding.group_id,
+        )
         infra = InfraState.decode(envelope.infra_state)
         self._apply_orb_state(binding, envelope.orb_state, infra)
         if self.config.sync_infra_state:
             binding.infra.adopt(infra, keep_role=True)
+        self.spans.end(assign_span)
         self._become_operational(binding, resume=True)
 
     def _apply_piggyback(self, binding: "ReplicaBinding",
@@ -339,9 +386,21 @@ class RecoveryMechanisms:
         binding.status = STATUS_OPERATIONAL
         binding.sync_point_seen = False
         binding.pending_transfer = None
+        root_span = binding.active_span
+        binding.active_span = None
         if resume:
             binding.container.resume_application()
+        drain_span = None
+        if root_span is not None:
+            drain_span = self.spans.start(
+                "recovery.drain", span_id=f"{root_span}/drain",
+                parent=root_span, node=self.node_id,
+                group=binding.group_id, drained=len(binding.enqueued),
+            )
         self._drain(binding)
+        if drain_span is not None:
+            self.spans.end(drain_span)
+            self.spans.end(root_span, outcome="operational")
         self.tracer.emit("recovery", "recovered", node=self.node_id,
                          group=binding.group_id)
         info = self.mechanisms.groups.get(binding.group_id)
@@ -399,6 +458,16 @@ class RecoveryMechanisms:
         binding.infra.role = ROLE_PRIMARY
         binding.status = STATUS_RECOVERING
         binding.sync_point_seen = True      # enqueue everything from now on
+        failover_id = self._new_transfer_id("fo", group_id)
+        binding.active_span = failover_id
+        self.spans.start("failover.total", span_id=failover_id,
+                         node=self.node_id, group=group_id,
+                         style=info.style.value)
+        self.spans.start("failover.restore",
+                         span_id=f"{failover_id}/restore",
+                         parent=failover_id, node=self.node_id,
+                         group=group_id,
+                         has_checkpoint=binding.log.checkpoint is not None)
         self.tracer.emit("recovery", "failover_begin", node=self.node_id,
                          group=group_id,
                          style=info.style.value,
@@ -449,6 +518,15 @@ class RecoveryMechanisms:
         """Deliver the logged messages (since the checkpoint) to the new
         primary before allowing it to become operational (§3.3)."""
         replayed = binding.log.messages_since_checkpoint()
+        root_span = binding.active_span
+        replay_span = None
+        if root_span is not None:
+            self.spans.end(f"{root_span}/restore")
+            replay_span = self.spans.start(
+                "failover.replay", span_id=f"{root_span}/replay",
+                parent=root_span, node=self.node_id,
+                group=binding.group_id, messages=len(replayed),
+            )
         self.tracer.emit("recovery", "failover_replay", node=self.node_id,
                          group=binding.group_id, messages=len(replayed))
         for envelope in replayed:
@@ -457,4 +535,6 @@ class RecoveryMechanisms:
                                                  envelope.iiop_bytes)
             else:
                 self.mechanisms._deliver_reply(binding, envelope)
+        if replay_span is not None:
+            self.spans.end(replay_span)
         self._become_operational(binding, resume=False)

@@ -73,6 +73,7 @@ class ReplicaBinding:
     enqueued: List[IiopEnvelope] = field(default_factory=list)
     sync_point_seen: bool = False      # the recovery get_state() passed by
     pending_transfer: Optional[str] = None
+    active_span: Optional[str] = None  # root span of the in-flight recovery
 
     @property
     def operational(self) -> bool:
@@ -244,6 +245,8 @@ class ReplicationMechanisms:
 
     def _deliver_reply(self, binding: ReplicaBinding,
                        envelope: IiopEnvelope) -> None:
+        binding.interceptor.note_reply_delivered(envelope.connection,
+                                                 envelope.request_id)
         data = binding.interceptor.rewrite_incoming_reply(
             envelope.connection, envelope.iiop_bytes
         )

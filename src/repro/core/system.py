@@ -33,6 +33,8 @@ from repro.ftcorba.fault_notifier import FaultNotifier
 from repro.ftcorba.generic_factory import FactoryRegistry
 from repro.ftcorba.properties import FTProperties
 from repro.giop.ior import IOR
+from repro.obs.exporters import export_chrome_trace, export_jsonl
+from repro.obs.metrics import MetricsRegistry
 from repro.simnet.endpoint import Endpoint
 from repro.simnet.faults import FaultInjector
 from repro.simnet.network import ETHERNET_100MBPS, Network, NetworkConfig
@@ -176,6 +178,10 @@ class EternalSystem:
         self.scheduler = Scheduler()
         self.tracer = Tracer(keep_records=keep_trace_records)
         self.tracer.bind_clock(lambda: self.scheduler.now)
+        # The metrics registry rides the trace stream: every completed span
+        # becomes a latency sample, with or without record retention.
+        self.metrics = MetricsRegistry()
+        self.metrics.bind(self.tracer)
         self.network = Network(self.scheduler, network_config,
                                tracer=self.tracer)
         self.faults = FaultInjector(self.network, seed=seed,
@@ -290,6 +296,21 @@ class EternalSystem:
 
     def mechanisms(self, node_id: str) -> ReplicationMechanisms:
         return self.stack(node_id).mechanisms
+
+    def export_trace(self, path: str, *, fmt: str = "chrome") -> int:
+        """Export the retained trace to ``path``.
+
+        ``fmt="chrome"`` writes Chrome ``trace_event`` JSON (open in
+        ``chrome://tracing`` or Perfetto); ``fmt="jsonl"`` writes one JSON
+        object per record.  Returns the number of events/records written
+        (requires the system to have been built with
+        ``keep_trace_records=True``).
+        """
+        if fmt == "chrome":
+            return export_chrome_trace(self.tracer.records, path)
+        if fmt == "jsonl":
+            return export_jsonl(self.tracer.records, path)
+        raise ValueError(f"unknown trace format {fmt!r}")
 
     def ring_formed(self) -> bool:
         """True when every live node's ring member is operational in the

@@ -1,0 +1,46 @@
+"""Observability: metrics, causal span tracing, and trace export.
+
+The subsystem is layered on :class:`repro.simnet.trace.Tracer` — spans are
+ordinary trace records in the ``span`` category, so one stream feeds every
+consumer:
+
+* :mod:`repro.obs.spans` — emit ``span_start``/``span_end`` pairs with
+  parent ids (:class:`SpanEmitter`) and reconstruct the span tree from a
+  trace (:class:`SpanTracker`), including orphan/unfinished detection;
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and streaming
+  log-bucketed histograms (p50/p95/p99) keyed by name + labels; bound to a
+  tracer it turns every completed span into a latency observation;
+* :mod:`repro.obs.exporters` — JSONL and Chrome ``trace_event`` export, so
+  a recovery can be opened in ``chrome://tracing`` / Perfetto;
+* :mod:`repro.obs.report` — per-phase recovery breakdowns (§5.1 steps
+  i–vi) extracted from the span tree.
+"""
+
+from repro.obs.exporters import export_chrome_trace, export_jsonl
+from repro.obs.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+from repro.obs.report import (
+    RecoveryPhaseBreakdown,
+    recovery_phase_report,
+    render_phase_table,
+)
+from repro.obs.spans import Span, SpanEmitter, SpanTracker
+
+__all__ = [
+    "CounterMetric",
+    "GaugeMetric",
+    "MetricsRegistry",
+    "RecoveryPhaseBreakdown",
+    "Span",
+    "SpanEmitter",
+    "SpanTracker",
+    "StreamingHistogram",
+    "export_chrome_trace",
+    "export_jsonl",
+    "recovery_phase_report",
+    "render_phase_table",
+]

@@ -1,0 +1,137 @@
+"""Trace export: JSONL and Chrome ``trace_event`` format.
+
+``export_chrome_trace`` writes the JSON object format understood by
+``chrome://tracing`` and by Perfetto's legacy-trace importer: completed
+spans become duration (``"ph": "X"``) events, unfinished spans become
+begin-only (``"ph": "B"``) events, and every non-span trace record becomes
+a thread-scoped instant (``"ph": "i"``) event.  Groups map to *processes*
+and nodes to *threads*, so a recovery reads as lanes per replica.
+
+Timestamps are microseconds of simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+
+from repro.obs.spans import SPAN_CATEGORY, SpanTracker
+from repro.simnet.trace import TraceRecord
+
+Destination = Union[str, TextIO]
+
+
+def _open(destination: Destination):
+    if isinstance(destination, str):
+        return open(destination, "w", encoding="utf-8"), True
+    return destination, False
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return f"<{len(value)} bytes>"
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def export_jsonl(records: Iterable[TraceRecord],
+                 destination: Destination) -> int:
+    """Write one JSON object per trace record; returns the line count."""
+    stream, owned = _open(destination)
+    try:
+        count = 0
+        for record in records:
+            stream.write(json.dumps({
+                "ts": record.time,
+                "category": record.category,
+                "event": record.event,
+                "fields": _jsonable(record.fields),
+            }, sort_keys=True) + "\n")
+            count += 1
+        return count
+    finally:
+        if owned:
+            stream.close()
+
+
+def _lane(record_fields: Dict[str, Any]) -> Dict[str, str]:
+    return {
+        "pid": str(record_fields.get("group", "system")),
+        "tid": str(record_fields.get("node", "-")),
+    }
+
+
+def chrome_trace_events(records: Iterable[TraceRecord],
+                        *, include_instants: bool = True
+                        ) -> List[Dict[str, Any]]:
+    """Build the Chrome ``traceEvents`` list from trace records."""
+    records = list(records)
+    tracker = SpanTracker.from_records(records)
+    events: List[Dict[str, Any]] = []
+    lanes: Dict[tuple, None] = {}
+
+    for span in tracker.spans:
+        lane = _lane(span.attrs)
+        lanes.setdefault((lane["pid"], lane["tid"]), None)
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": SPAN_CATEGORY,
+            "ts": span.start * 1e6,
+            "args": _jsonable({**span.attrs, "span_id": span.span_id,
+                               "parent_id": span.parent_id}),
+            **lane,
+        }
+        if span.complete:
+            event["ph"] = "X"
+            event["dur"] = (span.end - span.start) * 1e6
+        else:
+            event["ph"] = "B"       # unfinished: begin with no end
+        events.append(event)
+
+    if include_instants:
+        for record in records:
+            if record.category == SPAN_CATEGORY:
+                continue
+            lane = _lane(record.fields)
+            lanes.setdefault((lane["pid"], lane["tid"]), None)
+            events.append({
+                "name": f"{record.category}.{record.event}",
+                "cat": record.category,
+                "ph": "i",
+                "s": "t",           # thread-scoped instant
+                "ts": record.time * 1e6,
+                "args": _jsonable(record.fields),
+                **lane,
+            })
+
+    # Name the lanes so chrome://tracing shows groups/replicas, not pids.
+    metadata: List[Dict[str, Any]] = []
+    for pid, tid in sorted(lanes):
+        metadata.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "args": {"name": f"group {pid}"}})
+        metadata.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": f"node {tid}"}})
+    return metadata + events
+
+
+def export_chrome_trace(records: Iterable[TraceRecord],
+                        destination: Destination,
+                        *, include_instants: bool = True) -> int:
+    """Write a Chrome/Perfetto trace file; returns the event count
+    (excluding lane-name metadata events)."""
+    events = chrome_trace_events(records,
+                                 include_instants=include_instants)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    stream, owned = _open(destination)
+    try:
+        json.dump(payload, stream)
+        stream.write("\n")
+    finally:
+        if owned:
+            stream.close()
+    return sum(1 for e in events if e["ph"] != "M")

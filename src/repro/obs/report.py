@@ -1,0 +1,146 @@
+"""Per-phase recovery breakdowns from the span tree.
+
+The §5.1 state-transfer protocol is instrumented as one root span per
+transfer (``recovery.total``, span id = the transfer id) with a child span
+per step i–vi:
+
+==================  =====================================================
+``recovery.announce``  (i) ReplicaJoin multicast → logged ``get_state()``
+                       sync point at the new replica
+``recovery.quiesce``   wait for quiescence at a responder (nested inside
+                       ``recovery.capture``)
+``recovery.capture``   (ii–iii) fabricated ``get_state()`` execution and
+                       state capture at a responder
+``recovery.xfer``      (iv) fabricated ``set_state()`` on the wire:
+                       multicast → delivery at the new replica
+``recovery.apply``     (v) ``set_state()`` application at the new replica
+``recovery.assign``    (v) ORB/POA- and infrastructure-level assignment
+``recovery.drain``     (vi) replay of the enqueued messages
+==================  =====================================================
+
+:func:`recovery_phase_report` extracts one
+:class:`RecoveryPhaseBreakdown` per completed root span; when the tracer
+retained ``totem.frame`` records, the transfer's multicast frame count is
+attributed from the wire-span window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.spans import Span, SpanTracker
+from repro.simnet.trace import Tracer
+
+#: Phase (child-span) names in protocol order.
+RECOVERY_PHASES = ("announce", "quiesce", "capture", "xfer", "apply",
+                   "assign", "drain")
+
+
+@dataclass(frozen=True)
+class RecoveryPhaseBreakdown:
+    """One recovery (or failover), decomposed into protocol phases."""
+
+    transfer_id: str
+    group: Optional[str]
+    node: Optional[str]
+    started_at: float
+    recovered_at: Optional[float]
+    #: phase name -> duration in (simulated) seconds
+    phases: Dict[str, float] = field(default_factory=dict)
+    state_bytes: Optional[int] = None
+    transfer_frames: Optional[int] = None
+    drained_messages: Optional[int] = None
+
+    @property
+    def total(self) -> Optional[float]:
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.started_at
+
+    @property
+    def complete(self) -> bool:
+        return self.recovered_at is not None
+
+
+def _phase_name(span: Span) -> str:
+    return span.name.rsplit(".", 1)[-1]
+
+
+def recovery_phase_report(tracer: Tracer) -> List[RecoveryPhaseBreakdown]:
+    """Extract per-phase breakdowns for every recovery/failover root span
+    in the tracer's retained records (in start order)."""
+    tracker = SpanTracker.from_tracer(tracer)
+    frames = [r.time for r in tracer.find("totem", "frame")]
+    frames.sort()
+    reports: List[RecoveryPhaseBreakdown] = []
+    for root in tracker.spans:
+        if root.name not in ("recovery.total", "failover.total"):
+            continue
+        phases: Dict[str, float] = {}
+        state_bytes: Optional[int] = None
+        transfer_frames: Optional[int] = None
+        drained: Optional[int] = None
+        children = tracker.children(root.span_id)
+        for child in children:
+            # quiesce spans nest inside capture spans
+            children_of_child = tracker.children(child.span_id)
+            for nested in children_of_child:
+                if nested.complete:
+                    name = _phase_name(nested)
+                    phases[name] = max(phases.get(name, 0.0),
+                                       nested.duration)
+            if not child.complete:
+                continue
+            name = _phase_name(child)
+            # several responders may capture concurrently; report the one
+            # whose set_state won (max duration is the conservative bound)
+            phases[name] = max(phases.get(name, 0.0), child.duration)
+            if name == "xfer":
+                if "app_bytes" in child.attrs:
+                    state_bytes = child.attrs["app_bytes"]
+                if frames:
+                    transfer_frames = sum(
+                        1 for t in frames if child.start <= t <= child.end
+                    )
+            elif name == "drain" and "drained" in child.attrs:
+                drained = child.attrs["drained"]
+        reports.append(RecoveryPhaseBreakdown(
+            transfer_id=root.span_id,
+            group=root.attrs.get("group"),
+            node=root.attrs.get("node"),
+            started_at=root.start,
+            recovered_at=root.end,
+            phases=phases,
+            state_bytes=state_bytes,
+            transfer_frames=transfer_frames,
+            drained_messages=drained,
+        ))
+    return reports
+
+
+def render_phase_table(tracer: Tracer, *, scale: float = 1000.0,
+                       unit: str = "ms") -> str:
+    """Render the per-phase breakdowns as a fixed-width text table
+    (durations scaled by ``scale``; default milliseconds)."""
+    reports = recovery_phase_report(tracer)
+    if not reports:
+        return "  (no recovery spans in the trace — were records kept?)"
+    header = (f"{'recovery':32s} {'total':>9s} "
+              + " ".join(f"{p:>9s}" for p in RECOVERY_PHASES)
+              + f"  {'bytes':>8s} {'frames':>6s} {'drained':>7s}  [{unit}]")
+    lines = [header, "-" * len(header)]
+    for report in reports:
+        who = f"{report.group}@{report.node}"
+        total = (f"{report.total * scale:9.3f}" if report.complete
+                 else "  (open)")
+        cells = " ".join(
+            f"{report.phases[p] * scale:9.3f}" if p in report.phases
+            else f"{'-':>9s}"
+            for p in RECOVERY_PHASES
+        )
+        extras = (f"  {report.state_bytes or 0:8d} "
+                  f"{report.transfer_frames if report.transfer_frames is not None else 0:6d} "
+                  f"{report.drained_messages if report.drained_messages is not None else 0:7d}")
+        lines.append(f"{who:32s} {total} {cells}{extras}")
+    return "\n".join(lines)

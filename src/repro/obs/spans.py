@@ -1,0 +1,198 @@
+"""Causal span tracing over the trace stream.
+
+A *span* is a named interval with an optional parent, carried as two
+ordinary trace records in the ``span`` category::
+
+    span.span_start   span=<id> name=<name> parent=<id or None> **attrs
+    span.span_end     span=<id> **attrs
+
+Spans may start on one component and end on another (the simulation shares
+one tracer system-wide), which is exactly what the §5.1 state-transfer
+protocol needs: the wire-transfer span starts where the fabricated
+``set_state()`` is multicast and ends where it is delivered.
+
+Naming convention (see README "Observability"): dotted
+``<subsystem>.<phase>`` names — ``recovery.capture``, ``totem.rotation``,
+``rpc.roundtrip`` — with deterministic span ids derived from protocol
+identifiers (e.g. ``<transfer_id>/capture@<node>``) so that independent
+emitters agree on the id without coordination.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.simnet.trace import TraceRecord, Tracer
+
+SPAN_CATEGORY = "span"
+START_EVENT = "span_start"
+END_EVENT = "span_end"
+
+
+class SpanEmitter:
+    """Emits span start/end records through a tracer.
+
+    The tracer's ``open_spans`` set (shared by every emitter on the same
+    tracer) makes the pair idempotent: a second ``start`` of a live id and
+    an ``end`` of an unknown or already-closed id are silently dropped, so
+    protocol duplicates (several responders answering one GET, retried
+    announcements) cannot produce malformed span streams.
+    """
+
+    def __init__(self, tracer: Tracer, *, node_id: str = "") -> None:
+        self._tracer = tracer
+        self._node_id = node_id
+        self._auto_ids = itertools.count(1)
+
+    def start(self, name: str, *, span_id: Optional[str] = None,
+              parent: Optional[str] = None, **attrs: Any) -> str:
+        """Open a span; returns its id (auto-generated unless given)."""
+        sid = span_id or f"{self._node_id}:{name}:{next(self._auto_ids)}"
+        open_spans = self._tracer.open_spans
+        if open_spans is not None:
+            if sid in open_spans:
+                return sid
+            open_spans.add(sid)
+        self._tracer.emit(SPAN_CATEGORY, START_EVENT, span=sid, name=name,
+                          parent=parent, **attrs)
+        return sid
+
+    def end(self, span_id: str, **attrs: Any) -> None:
+        """Close a span (no-op if it is not currently open)."""
+        open_spans = self._tracer.open_spans
+        if open_spans is not None:
+            if span_id not in open_spans:
+                return
+            open_spans.discard(span_id)
+        self._tracer.emit(SPAN_CATEGORY, END_EVENT, span=span_id, **attrs)
+
+
+@dataclass
+class Span:
+    """One reconstructed span (complete once ``end`` is not None)."""
+
+    span_id: str
+    name: str
+    parent_id: Optional[str]
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+
+class SpanTracker:
+    """Rebuilds the span tree from span records (live or retained).
+
+    Feed it records via :meth:`feed` (e.g. ``tracer.subscribe(t.feed)``) or
+    build it after the fact with :meth:`from_tracer`.  Besides the spans
+    themselves it tracks the two failure modes a span stream can have:
+
+    * **unfinished** spans — started but never ended (e.g. a recovery
+      superseded by a retry);
+    * **orphan ends** — ``span_end`` records whose id was never started
+      (a protocol bug, or a trace truncated at the front).
+    """
+
+    def __init__(self) -> None:
+        self._spans: Dict[str, Span] = {}
+        self._order: List[str] = []
+        self.orphan_ends: List[TraceRecord] = []
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "SpanTracker":
+        """Build from a tracer's retained records."""
+        return cls.from_records(tracer.records)
+
+    @classmethod
+    def from_records(cls, records: Iterable[TraceRecord]) -> "SpanTracker":
+        """Build from an iterable of trace records."""
+        tracker = cls()
+        for record in records:
+            tracker.feed(record)
+        return tracker
+
+    def feed(self, record: TraceRecord) -> None:
+        """Consume one trace record (non-span records are ignored)."""
+        if record.category != SPAN_CATEGORY:
+            return
+        fields = dict(record.fields)
+        span_id = fields.pop("span", None)
+        if span_id is None:
+            return
+        if record.event == START_EVENT:
+            if span_id in self._spans:
+                return          # duplicate start: first one wins
+            self._spans[span_id] = Span(
+                span_id=span_id,
+                name=fields.pop("name", span_id),
+                parent_id=fields.pop("parent", None),
+                start=record.time,
+                attrs=fields,
+            )
+            self._order.append(span_id)
+        elif record.event == END_EVENT:
+            span = self._spans.get(span_id)
+            if span is None:
+                self.orphan_ends.append(record)
+                return
+            if span.end is not None:
+                return          # duplicate end: first one wins
+            span.end = record.time
+            span.attrs.update(fields)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """All spans in start order (complete and unfinished)."""
+        return [self._spans[sid] for sid in self._order]
+
+    def get(self, span_id: str) -> Optional[Span]:
+        """Look a span up by id."""
+        return self._spans.get(span_id)
+
+    def named(self, name: str) -> List[Span]:
+        """All spans with the given name, in start order."""
+        return [s for s in self.spans if s.name == name]
+
+    def children(self, span_id: str) -> List[Span]:
+        """Direct children of a span, in start order."""
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    @property
+    def unfinished(self) -> List[Span]:
+        """Spans that were started but never ended."""
+        return [s for s in self.spans if not s.complete]
+
+    def roots(self) -> List[Span]:
+        """Spans without a parent (or whose parent is not in the trace)."""
+        return [s for s in self.spans
+                if s.parent_id is None or s.parent_id not in self._spans]
+
+    def nesting_violations(self) -> List[Span]:
+        """Complete spans that are not contained in their parent's interval.
+
+        A child may legitimately *end* together with (or be closed by) its
+        parent, so containment is checked with closed bounds.
+        """
+        bad: List[Span] = []
+        for span in self.spans:
+            if not span.complete or span.parent_id is None:
+                continue
+            parent = self._spans.get(span.parent_id)
+            if parent is None or not parent.complete:
+                continue
+            if span.start < parent.start or span.end > parent.end:
+                bad.append(span)
+        return bad

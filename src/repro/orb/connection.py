@@ -58,6 +58,8 @@ class ClientConnection:
         self._short_keys: Dict[bytes, int] = {}   # full key -> token
         self._codeset: Optional[CodeSetContext] = None
         self._closed = False
+        self.requests_sent = 0
+        self.replies_matched = 0
         self.replies_discarded = 0
 
     # -- introspection (tests and benches only; Eternal never calls these)
@@ -99,6 +101,7 @@ class ClientConnection:
             raise ConnectionClosed(f"connection to {self.host}:{self.port}")
         request_id = self._next_request_id
         self._next_request_id += 1
+        self.requests_sent += 1
 
         contexts: List[ServiceContext] = []
         wire_key = object_key
@@ -147,6 +150,7 @@ class ClientConnection:
         if entry is None:
             self.replies_discarded += 1
             return None
+        self.replies_matched += 1
         handshake = find_context(list(reply.service_contexts),
                                  VENDOR_HANDSHAKE_ID)
         if handshake is not None:
@@ -156,6 +160,16 @@ class ClientConnection:
                     negotiated.short_key_token
             self._handshake_done = True
         return entry
+
+    def stats(self) -> Dict[str, int]:
+        """Connection-level round-trip accounting for the observability
+        layer (sampled into gauges by ``python -m repro metrics``)."""
+        return {
+            "requests_sent": self.requests_sent,
+            "replies_matched": self.replies_matched,
+            "replies_discarded": self.replies_discarded,
+            "outstanding": len(self._outstanding),
+        }
 
     def close(self) -> None:
         self._closed = True

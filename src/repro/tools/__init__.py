@@ -1,5 +1,17 @@
 """Operator tooling built on the trace stream."""
 
-from repro.tools.timeline import render_timeline, recovery_summary
+from repro.tools.timeline import (
+    RecoverySummary,
+    recovery_phase_report,
+    recovery_summary,
+    render_phase_table,
+    render_timeline,
+)
 
-__all__ = ["render_timeline", "recovery_summary"]
+__all__ = [
+    "RecoverySummary",
+    "recovery_phase_report",
+    "recovery_summary",
+    "render_phase_table",
+    "render_timeline",
+]

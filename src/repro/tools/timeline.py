@@ -10,13 +10,23 @@ and used by the examples to narrate what happened.
     from repro.tools import render_timeline
     print(render_timeline(system.tracer,
                           categories={"recovery", "fault", "process"}))
+
+:func:`recovery_summary` condenses each recovery into its key instants;
+when the trace carries spans (it does whenever the recovery ran through
+the instrumented mechanisms), each summary also exposes the per-phase
+breakdown of §5.1 steps i–vi via its ``phases`` mapping — see
+:mod:`repro.obs.report` for the full per-phase report and table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.report import (
+    recovery_phase_report,
+    render_phase_table,
+)
 from repro.simnet.trace import TraceRecord, Tracer
 
 _EVENT_LABELS = {
@@ -103,7 +113,13 @@ def render_timeline(
 
 @dataclass(frozen=True)
 class RecoverySummary:
-    """Key instants of one recovery, extracted from the trace."""
+    """Key instants of one recovery, extracted from the trace.
+
+    ``phases`` maps §5.1 step names (``announce``, ``quiesce``,
+    ``capture``, ``xfer``, ``apply``, ``assign``, ``drain``) to durations
+    in simulated seconds; it is empty when the trace carries no spans for
+    this recovery.
+    """
 
     group: str
     node: str
@@ -111,6 +127,7 @@ class RecoverySummary:
     sync_point_at: Optional[float]
     state_bytes: Optional[int]
     recovered_at: Optional[float]
+    phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def duration(self) -> Optional[float]:
@@ -119,8 +136,17 @@ class RecoverySummary:
         return self.recovered_at - self.announced_at
 
 
+def _phases_by_recovery(tracer: Tracer) -> Dict[tuple, Dict[str, float]]:
+    """Index the span-derived phase breakdowns by (group, node, start)."""
+    indexed: Dict[tuple, Dict[str, float]] = {}
+    for report in recovery_phase_report(tracer):
+        indexed[(report.group, report.node)] = report.phases
+    return indexed
+
+
 def recovery_summary(tracer: Tracer) -> List[RecoverySummary]:
     """Extract one summary per observed recovery (join → recovered)."""
+    phase_index = _phases_by_recovery(tracer)
     summaries: List[RecoverySummary] = []
     open_by_key: Dict[tuple, dict] = {}
     for record in tracer.records:
@@ -142,6 +168,7 @@ def recovery_summary(tracer: Tracer) -> List[RecoverySummary]:
                 sync_point_at=info["sync_point_at"],
                 state_bytes=info["state_bytes"],
                 recovered_at=record.time,
+                phases=phase_index.get(key, {}),
             ))
     # recoveries still in flight
     for key, info in open_by_key.items():
@@ -151,6 +178,7 @@ def recovery_summary(tracer: Tracer) -> List[RecoverySummary]:
             sync_point_at=info["sync_point_at"],
             state_bytes=info["state_bytes"],
             recovered_at=None,
+            phases=phase_index.get(key, {}),
         ))
     summaries.sort(key=lambda s: s.announced_at)
     return summaries

@@ -9,9 +9,16 @@ application-level state size; this module is where that effect originates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import FragmentationError
+
+#: Reassembly-lifecycle callback: ``observer(event, msg_id, frag_count)``
+#: with event one of ``"begin"`` (first fragment of a multi-fragment
+#: message), ``"complete"`` (payload rebuilt), ``"skip"`` (joined
+#: mid-message, §5.1 fresh member).  Used by the Totem member to trace
+#: reassembly spans.
+ReassemblyObserver = Callable[[str, Tuple[str, int], int], None]
 
 
 class Fragmenter:
@@ -62,9 +69,15 @@ class Reassembler:
     job of Eternal's recovery mechanisms, not of the transport.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observer: Optional[ReassemblyObserver] = None) -> None:
         self._partial: Dict[Tuple[str, int], List[bytes]] = {}
         self._skipped: set = set()
+        self._observer = observer
+
+    def _notify(self, event: str, msg_id: Tuple[str, int],
+                frag_count: int) -> None:
+        if self._observer is not None:
+            self._observer(event, msg_id, frag_count)
 
     def add(
         self,
@@ -93,14 +106,18 @@ class Reassembler:
                 del self._partial[msg_id]
                 if frag_index != frag_count - 1:
                     self._skipped.add(msg_id)
+                self._notify("skip", msg_id, frag_count)
                 return None
             raise FragmentationError(
                 f"out-of-order fragment {frag_index} (expected {len(parts)}) "
                 f"for {msg_id}"
             )
+        if not parts:
+            self._notify("begin", msg_id, frag_count)
         parts.append(chunk)
         if len(parts) == frag_count:
             del self._partial[msg_id]
+            self._notify("complete", msg_id, frag_count)
             return b"".join(parts)
         return None
 

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import NotInRing, TotemError
 from repro.simnet.endpoint import Endpoint
 from repro.simnet.scheduler import Event
+from repro.obs.spans import SpanEmitter
 from repro.simnet.trace import NULL_TRACER, Tracer
 from repro.totem.config import TotemConfig
 from repro.totem.fragmentation import Fragmenter, Reassembler
@@ -79,6 +80,7 @@ class TotemMember:
         self.endpoint = endpoint
         self.config = config
         self.tracer = tracer
+        self._spans = SpanEmitter(tracer, node_id=endpoint.node_id)
         self.on_deliver = on_deliver
         self.on_view_change = on_view_change
         self.node_id = endpoint.node_id
@@ -95,7 +97,7 @@ class TotemMember:
         # Sending
         max_chunk = endpoint.network.config.mtu_payload - _DATA_HEADER
         self._fragmenter = Fragmenter(self.node_id, max_chunk)
-        self._reassembler = Reassembler()
+        self._reassembler = Reassembler(observer=self._on_reassembly)
         self._send_queue: List[tuple] = []
         self._inflight: Dict[Tuple[Tuple[str, int], int], tuple] = {}
         # Sequence numbers we broadcast whose loopback copy has not arrived
@@ -265,7 +267,17 @@ class TotemMember:
                 del self._held[seq]
 
         if self.members and self.node_id == self.members[0]:
+            # One span per full token rotation, bracketed by consecutive
+            # leader visits (the previous rotation ends as the next begins).
+            self._spans.end(self._rotation_span_id(token.rotations),
+                            seq=token.seq, aru=token.aru)
             token.rotations += 1
+            self._spans.start(
+                "totem.rotation",
+                span_id=self._rotation_span_id(token.rotations),
+                node=self.node_id, ring=self.ring_id,
+                rotation=token.rotations,
+            )
             now = self._scheduler.now
             if now - self._last_probe >= self.config.probe_interval:
                 self._last_probe = now
@@ -291,6 +303,23 @@ class TotemMember:
     def _successor(self) -> str:
         index = self.members.index(self.node_id)
         return self.members[(index + 1) % len(self.members)]
+
+    def _rotation_span_id(self, rotation: int) -> str:
+        return f"rot:{self.ring_id}:{rotation}"
+
+    def _on_reassembly(self, event: str, msg_id, frag_count: int) -> None:
+        """Trace multi-fragment reassembly as spans (first fragment
+        delivered -> payload rebuilt); mid-message joins count skips."""
+        span_id = f"frag:{msg_id[0]}:{msg_id[1]}@{self.node_id}"
+        if event == "begin":
+            self._spans.start("totem.reassembly", span_id=span_id,
+                              node=self.node_id, origin=msg_id[0],
+                              fragments=frag_count)
+        elif event == "complete":
+            self._spans.end(span_id)
+        else:
+            self.tracer.emit("totem", "reassembly_skipped",
+                             node=self.node_id, origin=msg_id[0])
 
     def _broadcast_frame(self, msg: DataMsg) -> None:
         self.tracer.emit("totem", "frame", node=self.node_id, seq=msg.seq,
@@ -502,7 +531,7 @@ class TotemMember:
             self.fresh = True
             self.delivered_aru = 0
             self._held.clear()
-            self._reassembler = Reassembler()
+            self._reassembler = Reassembler(observer=self._on_reassembly)
         self.state = MemberState.RECOVERY
         self._pending_form = form
         self._arm_recovery_deadline()

@@ -1,0 +1,123 @@
+"""Integration: the exported trace of a mid-invocation kill/recover run.
+
+Kills a server replica while the packet driver is streaming invocations,
+recovers it, exports the trace in both formats, and asserts the exported
+Chrome trace carries exactly one complete span per §5.1 recovery step
+i–vi — nested under one ``recovery.total`` root — with monotonically
+ordered timestamps.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.deployments import build_client_server
+from repro.ftcorba.properties import ReplicationStyle
+from repro.obs.report import RECOVERY_PHASES
+from repro.obs.spans import SpanTracker
+
+#: §5.1 steps i–vi as span names (quiesce nests inside capture).
+STEP_SPANS = [f"recovery.{phase}" for phase in RECOVERY_PHASES]
+
+
+@pytest.fixture(scope="module")
+def recovered_deployment():
+    deployment = build_client_server(
+        style=ReplicationStyle.ACTIVE,
+        server_replicas=2,
+        state_size=20_000,
+        warmup=0.2,
+        keep_trace_records=True,
+    )
+    system = deployment.system
+    driver = deployment.driver
+    assert driver.acked > 0           # invocations are in flight
+    system.kill_node("s2")
+    system.run_for(0.05)
+    system.restart_node("s2")
+    assert system.wait_for(
+        lambda: deployment.server_group.is_operational_on("s2"), timeout=5.0
+    )
+    system.run_for(0.2)
+    return deployment
+
+
+def test_trace_contains_one_complete_span_per_recovery_step(
+        recovered_deployment):
+    tracker = SpanTracker.from_tracer(recovered_deployment.system.tracer)
+    roots = [s for s in tracker.roots() if s.name == "recovery.total"]
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.complete
+    for name in STEP_SPANS:
+        spans = [s for s in tracker.named(name) if s.complete]
+        assert len(spans) == 1, f"expected one complete {name} span"
+    assert tracker.nesting_violations() == []
+    assert tracker.orphan_ends == []
+
+
+def test_exported_chrome_trace_has_ordered_recovery_spans(
+        recovered_deployment, tmp_path):
+    path = tmp_path / "trace.json"
+    written = recovered_deployment.system.export_trace(str(path),
+                                                       fmt="chrome")
+    assert written > 0
+    data = json.loads(path.read_text())
+    events = data["traceEvents"]
+
+    complete = {}
+    for event in events:
+        if event["ph"] == "X" and event["name"].startswith("recovery."):
+            complete.setdefault(event["name"], []).append(event)
+    for name in STEP_SPANS + ["recovery.total"]:
+        assert len(complete.get(name, [])) == 1, \
+            f"expected exactly one complete {name} event"
+
+    def window(name):
+        event = complete[name][0]
+        return event["ts"], event["ts"] + event["dur"]
+
+    # §5.1 protocol order: each step starts no earlier than the previous
+    # one, and every step fits inside the root span.
+    ordered = ["recovery.announce", "recovery.capture", "recovery.xfer",
+               "recovery.apply", "recovery.assign", "recovery.drain"]
+    starts = [window(name)[0] for name in ordered]
+    assert starts == sorted(starts), starts
+    ends = [window(name)[1] for name in ordered]
+    assert ends == sorted(ends), ends
+    root_start, root_end = window("recovery.total")
+    for name in ordered:
+        start, end = window(name)
+        assert root_start <= start <= end <= root_end, name
+    # quiesce nests inside capture
+    cap_start, cap_end = window("recovery.capture")
+    q_start, q_end = window("recovery.quiesce")
+    assert cap_start <= q_start <= q_end <= cap_end
+
+
+def test_exported_jsonl_round_trips_every_record(recovered_deployment,
+                                                 tmp_path):
+    system = recovered_deployment.system
+    path = tmp_path / "trace.jsonl"
+    written = system.export_trace(str(path), fmt="jsonl")
+    lines = path.read_text().splitlines()
+    assert written == len(lines) == len(system.tracer.records)
+    times = [json.loads(line)["ts"] for line in lines]
+    assert times == sorted(times)
+
+
+def test_metrics_registry_saw_every_phase(recovered_deployment):
+    metrics = recovered_deployment.system.metrics
+    for phase in RECOVERY_PHASES:
+        series = metrics.find(f"span.recovery.{phase}")
+        assert series, f"no metrics series for phase {phase!r}"
+        total = sum(m.count for _, _, m in series)
+        assert total == 1, phase
+        for _, _, hist in series:
+            assert hist.p50 <= hist.p95 <= hist.p99
+
+
+def test_unknown_export_format_rejected(recovered_deployment, tmp_path):
+    with pytest.raises(ValueError):
+        recovered_deployment.system.export_trace(
+            str(tmp_path / "x"), fmt="pcap")

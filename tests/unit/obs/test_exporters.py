@@ -1,0 +1,82 @@
+"""Unit tests for the JSONL and Chrome trace_event exporters."""
+
+import io
+import json
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_jsonl,
+)
+from repro.obs.spans import SpanEmitter
+from repro.simnet.trace import Tracer
+
+
+def traced_run():
+    tracer = Tracer()
+    clock = {"now": 0.0}
+    tracer.bind_clock(lambda: clock["now"])
+    spans = SpanEmitter(tracer, node_id="s2")
+    tracer.emit("fault", "crash", node="s2", group="store")
+    root = spans.start("recovery.total", span_id="t1", node="s2",
+                       group="store")
+    clock["now"] = 0.001
+    child = spans.start("recovery.capture", span_id="t1/cap", parent=root,
+                        node="s1", group="store", payload=b"\x00\x01")
+    clock["now"] = 0.002
+    spans.end(child)
+    clock["now"] = 0.005
+    spans.end(root)
+    spans.start("rpc.roundtrip", span_id="rpc:1", node="c1", group="drv")
+    return tracer
+
+
+def test_export_jsonl_writes_one_line_per_record():
+    tracer = traced_run()
+    buffer = io.StringIO()
+    count = export_jsonl(tracer.records, buffer)
+    lines = buffer.getvalue().splitlines()
+    assert count == len(lines) == len(tracer.records)
+    first = json.loads(lines[0])
+    assert first["category"] == "fault" and first["event"] == "crash"
+    # bytes payloads are summarized, not serialized
+    start = json.loads(lines[2])
+    assert start["fields"]["payload"] == "<2 bytes>"
+
+
+def test_chrome_trace_complete_and_unfinished_spans():
+    events = chrome_trace_events(traced_run().records)
+    complete = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert set(complete) == {"recovery.total", "recovery.capture"}
+    assert complete["recovery.total"]["dur"] == 5000.0       # µs
+    assert complete["recovery.capture"]["ts"] == 1000.0
+    assert complete["recovery.capture"]["args"]["parent_id"] == "t1"
+    begins = [e for e in events if e["ph"] == "B"]
+    assert [e["name"] for e in begins] == ["rpc.roundtrip"]
+
+
+def test_chrome_trace_lanes_and_instants():
+    events = chrome_trace_events(traced_run().records)
+    instants = [e for e in events if e["ph"] == "i"]
+    assert [e["name"] for e in instants] == ["fault.crash"]
+    assert instants[0]["pid"] == "store" and instants[0]["tid"] == "s2"
+    lane_names = {(e["pid"], e.get("tid"), e["args"]["name"])
+                  for e in events if e["ph"] == "M"}
+    assert ("store", None, "group store") in lane_names
+    assert ("store", "s1", "node s1") in lane_names
+
+
+def test_chrome_trace_instants_can_be_excluded():
+    events = chrome_trace_events(traced_run().records,
+                                 include_instants=False)
+    assert not any(e["ph"] == "i" for e in events)
+
+
+def test_export_chrome_trace_writes_valid_json(tmp_path):
+    tracer = traced_run()
+    path = tmp_path / "trace.json"
+    count = export_chrome_trace(tracer.records, str(path))
+    data = json.loads(path.read_text())
+    assert data["displayTimeUnit"] == "ms"
+    non_meta = [e for e in data["traceEvents"] if e["ph"] != "M"]
+    assert count == len(non_meta) == 4       # 2 X + 1 B + 1 instant

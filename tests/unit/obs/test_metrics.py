@@ -1,0 +1,205 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    MetricsRegistry,
+    StreamingHistogram,
+    merge_registries,
+)
+from repro.simnet.trace import Tracer
+
+
+# ---------------------------------------------------------------------------
+# Counters and gauges
+# ---------------------------------------------------------------------------
+
+def test_counter_increments_and_rejects_negatives():
+    counter = CounterMetric()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_counter_merge_sums():
+    a, b = CounterMetric(), CounterMetric()
+    a.inc(3)
+    b.inc(7)
+    a.merge(b)
+    assert a.value == 10
+
+
+def test_gauge_set_inc_and_merge():
+    gauge = GaugeMetric()
+    gauge.set(10)
+    gauge.inc(-3)
+    assert gauge.value == 7
+    other = GaugeMetric()
+    other.set(42)
+    gauge.merge(other)
+    assert gauge.value == 42        # last write wins
+
+
+# ---------------------------------------------------------------------------
+# Histogram quantile math — exact values on known distributions
+# ---------------------------------------------------------------------------
+
+def test_histogram_quantiles_exact_on_bimodal_distribution():
+    # 50 samples of 10 and 50 samples of 20: every bucket holds identical
+    # values, so nearest-rank quantiles are exact.
+    hist = StreamingHistogram()
+    for _ in range(50):
+        hist.record(10.0)
+    for _ in range(50):
+        hist.record(20.0)
+    assert hist.count == 100
+    assert hist.quantile(0.50) == 10.0      # rank 50 falls in the 10-bucket
+    assert hist.quantile(0.51) == 20.0      # rank 51 is the first 20
+    assert hist.p95 == 20.0
+    assert hist.p99 == 20.0
+    assert hist.mean == 15.0
+    assert hist.min == 10.0 and hist.max == 20.0
+
+
+def test_histogram_quantiles_exact_on_single_value():
+    hist = StreamingHistogram()
+    for _ in range(7):
+        hist.record(0.125)
+    for q in (0.01, 0.5, 0.95, 0.99, 1.0):
+        assert hist.quantile(q) == 0.125
+
+
+def test_histogram_quantile_error_bounded_by_growth_factor():
+    hist = StreamingHistogram(growth=1.04)
+    values = [float(v) for v in range(1, 1001)]
+    for v in values:
+        hist.record(v)
+    for q in (0.10, 0.50, 0.90, 0.95, 0.99):
+        true = values[max(0, int(q * len(values)) - 1)]
+        estimate = hist.quantile(q)
+        assert true / 1.04 <= estimate <= true * 1.04, (q, true, estimate)
+
+
+def test_histogram_empty_and_bad_quantiles():
+    hist = StreamingHistogram()
+    assert hist.quantile(0.5) == 0.0
+    assert hist.mean == 0.0
+    with pytest.raises(ValueError):
+        hist.quantile(0.0)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_histogram_underflow_bucket_and_constructor_validation():
+    hist = StreamingHistogram(min_value=1e-3)
+    hist.record(1e-6)
+    hist.record(0.0)
+    assert hist.count == 2
+    assert hist.quantile(1.0) == pytest.approx(5e-7)
+    with pytest.raises(ValueError):
+        StreamingHistogram(min_value=0)
+    with pytest.raises(ValueError):
+        StreamingHistogram(growth=1.0)
+
+
+def test_histogram_merge_combines_and_requires_same_bucketing():
+    a, b = StreamingHistogram(), StreamingHistogram()
+    for _ in range(10):
+        a.record(1.0)
+    for _ in range(10):
+        b.record(100.0)
+    a.merge(b)
+    assert a.count == 20
+    assert a.p50 == 1.0
+    assert a.p95 == 100.0
+    assert a.min == 1.0 and a.max == 100.0
+    with pytest.raises(ValueError):
+        a.merge(StreamingHistogram(growth=2.0))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_series_keyed_by_name_and_labels():
+    registry = MetricsRegistry()
+    registry.counter("reqs", node="a").inc()
+    registry.counter("reqs", node="b").inc(2)
+    assert registry.counter("reqs", node="a").value == 1
+    assert registry.counter("reqs", node="b").value == 2
+    # label order does not matter
+    h1 = registry.histogram("lat", node="a", group="g")
+    h2 = registry.histogram("lat", group="g", node="a")
+    assert h1 is h2
+
+
+def test_registry_rejects_kind_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_registry_find_and_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("a.one").inc()
+    registry.gauge("b.two").set(5)
+    registry.histogram("a.three").record(1.0)
+    assert [name for name, _, _ in registry.find("a.")] == ["a.one", "a.three"]
+    rows = {row["name"]: row for row in registry.snapshot()}
+    assert rows["a.one"]["value"] == 1
+    assert rows["a.three"]["count"] == 1
+    assert rows["a.three"]["kind"] == "histogram"
+
+
+def test_registry_bound_to_tracer_records_span_durations():
+    tracer = Tracer(keep_records=False)
+    clock = {"now": 0.0}
+    tracer.bind_clock(lambda: clock["now"])
+    registry = MetricsRegistry()
+    registry.bind(tracer)
+
+    tracer.emit("span", "span_start", span="s1", name="recovery.capture",
+                node="n1", group="g")
+    assert registry.gauge("spans.open").value == 1
+    clock["now"] = 0.25
+    tracer.emit("span", "span_end", span="s1")
+    assert registry.gauge("spans.open").value == 0
+    hist = registry.histogram("span.recovery.capture", node="n1", group="g")
+    assert hist.count == 1
+    assert hist.quantile(1.0) == pytest.approx(0.25)
+
+
+def test_registry_ignores_unmatched_span_ends_and_non_spans():
+    tracer = Tracer(keep_records=False)
+    registry = MetricsRegistry()
+    registry.bind(tracer)
+    tracer.emit("span", "span_end", span="never-started")
+    tracer.emit("recovery", "recovered", node="n1")
+    assert registry.find("span.") == []
+
+
+def test_merge_registries_folds_series():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("lat", node="n").record(1.0)
+    b.histogram("lat", node="n").record(3.0)
+    b.counter("c").inc(2)
+    merged = merge_registries([a, b])
+    assert merged.histogram("lat", node="n").count == 2
+    assert merged.counter("c").value == 2
+    # sources untouched
+    assert a.histogram("lat", node="n").count == 1
+
+
+def test_format_table_renders_histograms_and_scalars():
+    registry = MetricsRegistry()
+    registry.histogram("span.x", node="n").record(0.002)
+    registry.counter("frames").inc(9)
+    table = registry.format_table(scale=1000.0, unit="ms")
+    assert "span.x" in table and "node=n" in table
+    assert "2.000" in table     # 0.002 s scaled to ms
+    assert "frames" in table and "(counter)" in table

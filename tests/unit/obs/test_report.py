@@ -1,0 +1,115 @@
+"""Unit tests for the per-phase recovery report."""
+
+import pytest
+
+from repro.obs.report import (
+    RECOVERY_PHASES,
+    recovery_phase_report,
+    render_phase_table,
+)
+from repro.obs.spans import SpanEmitter
+from repro.simnet.trace import Tracer
+
+
+def synthetic_recovery():
+    """Emit a hand-built recovery span tree with known durations."""
+    tracer = Tracer()
+    clock = {"now": 0.0}
+    tracer.bind_clock(lambda: clock["now"])
+    spans = SpanEmitter(tracer)
+
+    def at(t):
+        clock["now"] = t
+
+    root = spans.start("recovery.total", span_id="t1", node="s2",
+                       group="store")
+    ann = spans.start("recovery.announce", span_id="t1/ann", parent=root)
+    at(0.001)
+    spans.end(ann)
+    cap = spans.start("recovery.capture", span_id="t1/cap@s1", parent=root)
+    qui = spans.start("recovery.quiesce", span_id="t1/q@s1", parent=cap)
+    at(0.003)
+    spans.end(qui)
+    at(0.004)
+    spans.end(cap, app_bytes=5000)
+    xfer = spans.start("recovery.xfer", span_id="t1/x@s1", parent=root,
+                       app_bytes=5000)
+    tracer.emit("totem", "frame")            # two frames inside the window
+    at(0.006)
+    tracer.emit("totem", "frame")
+    spans.end(xfer)
+    at(0.0065)
+    tracer.emit("totem", "frame")            # outside: not attributed
+    apply_ = spans.start("recovery.apply", span_id="t1/apply", parent=root)
+    at(0.007)
+    spans.end(apply_)
+    drain = spans.start("recovery.drain", span_id="t1/drain", parent=root,
+                        drained=3)
+    at(0.0075)
+    spans.end(drain)
+    spans.end(root)
+    return tracer
+
+
+def test_phase_report_extracts_durations_and_extras():
+    [report] = recovery_phase_report(synthetic_recovery())
+    assert report.transfer_id == "t1"
+    assert report.group == "store" and report.node == "s2"
+    assert report.complete and report.total == 0.0075
+    approx = pytest.approx
+    assert report.phases["announce"] == approx(0.001)
+    assert report.phases["quiesce"] == approx(0.002)   # nested inside capture
+    assert report.phases["capture"] == approx(0.003)
+    assert report.phases["xfer"] == approx(0.002)
+    assert report.phases["apply"] == approx(0.0005)
+    assert report.phases["drain"] == approx(0.0005)
+    assert report.state_bytes == 5000
+    assert report.transfer_frames == 2
+    assert report.drained_messages == 3
+
+
+def test_phase_report_concurrent_responders_take_max():
+    tracer = Tracer()
+    clock = {"now": 0.0}
+    tracer.bind_clock(lambda: clock["now"])
+    spans = SpanEmitter(tracer)
+    root = spans.start("recovery.total", span_id="t1", node="s3", group="g")
+    slow = spans.start("recovery.capture", span_id="t1/cap@s1", parent=root)
+    fast = spans.start("recovery.capture", span_id="t1/cap@s2", parent=root)
+    clock["now"] = 0.001
+    spans.end(fast)
+    clock["now"] = 0.004
+    spans.end(slow)
+    spans.end(root)
+    [report] = recovery_phase_report(tracer)
+    assert report.phases["capture"] == 0.004
+
+
+def test_phase_report_skips_incomplete_children_keeps_open_root():
+    tracer = Tracer()
+    spans = SpanEmitter(tracer)
+    root = spans.start("recovery.total", span_id="t1", node="n", group="g")
+    spans.start("recovery.announce", span_id="t1/ann", parent=root)
+    [report] = recovery_phase_report(tracer)
+    assert not report.complete and report.total is None
+    assert report.phases == {}
+
+
+def test_phase_report_ignores_non_recovery_roots():
+    tracer = Tracer()
+    spans = SpanEmitter(tracer)
+    sid = spans.start("rpc.roundtrip")
+    spans.end(sid)
+    assert recovery_phase_report(tracer) == []
+
+
+def test_render_phase_table_lists_every_phase_column():
+    table = render_phase_table(synthetic_recovery())
+    for phase in RECOVERY_PHASES:
+        assert phase in table
+    assert "store@s2" in table
+    assert "5000" in table
+
+
+def test_render_phase_table_empty_trace():
+    assert "no recovery spans" in render_phase_table(Tracer())

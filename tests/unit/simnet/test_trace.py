@@ -1,6 +1,6 @@
 """Unit tests for the tracer."""
 
-from repro.simnet.trace import Tracer
+from repro.simnet.trace import NULL_TRACER, NullTracer, Tracer
 
 
 def test_emit_records_and_counts():
@@ -68,3 +68,40 @@ def test_clear_resets_everything():
     tracer.emit("cat", "ev")
     tracer.clear()
     assert tracer.records == [] and tracer.count("cat.ev") == 0
+
+
+def test_enabled_categories_filter_subscribers_like_retention():
+    tracer = Tracer(enabled_categories={"keep"})
+    seen = []
+    tracer.subscribe(seen.append)
+    tracer.emit("keep", "a")
+    tracer.emit("drop", "b")
+    assert [r.category for r in tracer.records] == ["keep"]
+    assert [r.category for r in seen] == ["keep"]
+    assert tracer.count("drop.b") == 1      # counters still unconditional
+
+
+def test_null_tracer_is_completely_inert():
+    null = NullTracer()
+    seen = []
+    null.subscribe(seen.append)
+    null.emit("cat", "ev", x=1)
+    null.add("bytes", 100)
+    assert null.records == []
+    assert null.counters == {}
+    assert seen == []
+    assert null.open_spans is None
+
+
+def test_null_tracer_singleton_accumulates_nothing():
+    NULL_TRACER.emit("cat", "ev")
+    NULL_TRACER.add("bytes", 10)
+    assert NULL_TRACER.records == []
+    assert NULL_TRACER.counters == {}
+
+
+def test_clear_resets_open_spans():
+    tracer = Tracer()
+    tracer.open_spans.add("sp-1")
+    tracer.clear()
+    assert tracer.open_spans == set()
