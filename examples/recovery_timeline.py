@@ -5,13 +5,14 @@ Runs the paper's kill-and-relaunch experiment once with tracing enabled and
 prints the annotated timeline — fault injection, ring membership events,
 the get_state() synchronization point, the fabricated set_state() with its
 piggybacked state, the handshake replay, and reinstatement — followed by a
-per-recovery summary.
+per-recovery summary, the online audit verdict, and a health snapshot.
 
 Run:  python examples/recovery_timeline.py
 """
 
 from repro.bench.deployments import build_client_server
 from repro.ftcorba.properties import ReplicationStyle
+from repro.obs.health import render_health
 from repro.tools import recovery_summary, render_timeline
 
 
@@ -24,6 +25,8 @@ def main():
         keep_trace_records=True,
     )
     system = deployment.system
+    # verify the §5.1 invariants live while the fault plays out
+    auditor = system.attach_auditor()
 
     print("killing server replica s2 …")
     kill_time = system.now
@@ -56,6 +59,14 @@ def main():
     print(f"\nconsistency after recovery: s1={s1.echo_count} "
           f"s2={s2.echo_count}  equal={s1.echo_count == s2.echo_count}")
     assert s1.echo_count == s2.echo_count
+
+    print("\n=== online audit ===")
+    auditor.finish()
+    print(auditor.summary())
+
+    print("\n=== health snapshot ===")
+    print(render_health(system), end="")
+    assert auditor.ok
 
 
 if __name__ == "__main__":

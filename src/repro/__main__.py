@@ -11,6 +11,9 @@ Commands:
 * ``trace``     — run the kill/recover scenario and export the trace (Chrome
                   ``trace_event`` JSON and/or JSONL) for Perfetto.
 * ``metrics``   — run a short workload and print the metrics registry.
+* ``health``    — run kill/recover, audit the trace for consistency
+                  violations, and print the Prometheus-style health
+                  exposition (exit 1 on audit findings).
 * ``version``   — print the library version.
 """
 
@@ -52,6 +55,29 @@ def _run_kill_recover(state_size: int):
     return deployment
 
 
+def _audit_retained_trace(system):
+    """Replay the system's retained trace through a fresh auditor."""
+    from repro.obs.audit import ConsistencyAuditor
+
+    auditor = ConsistencyAuditor.from_records(system.tracer.records,
+                                              metrics=system.metrics)
+    auditor.finish()
+    return auditor
+
+
+def _cmd_health(args) -> int:
+    from repro.obs.health import render_health
+
+    print(f"running kill/recover scenario ({args.state_size} B state) …",
+          file=sys.stderr)
+    deployment = _run_kill_recover(args.state_size)
+    system = deployment.system
+    auditor = _audit_retained_trace(system)
+    print(render_health(system, auditor=auditor), end="")
+    print(auditor.summary(), file=sys.stderr)
+    return 0 if auditor.ok else 1
+
+
 def _cmd_demo(args) -> int:
     from repro.tools import recovery_summary, render_phase_table, \
         render_timeline
@@ -79,7 +105,15 @@ def _cmd_demo(args) -> int:
     s2 = deployment.server_servant("s2")
     print(f"consistency: s1={s1.echo_count} s2={s2.echo_count} "
           f"equal={s1.echo_count == s2.echo_count}")
-    return 0 if s1.echo_count == s2.echo_count else 1
+    audit_ok = True
+    if args.health:
+        from repro.obs.health import render_health
+        auditor = _audit_retained_trace(system)
+        audit_ok = auditor.ok
+        print("\nhealth snapshot:")
+        print(render_health(system, auditor=auditor), end="")
+        print(auditor.summary())
+    return 0 if s1.echo_count == s2.echo_count and audit_ok else 1
 
 
 def _cmd_trace(args) -> int:
@@ -128,22 +162,44 @@ def _cmd_fig6(args) -> int:
         sizes = [10, 10_000, 100_000, 350_000]
     rows = []
     registries = []
+    points = {}
     for size in sizes:
         deployment = build_client_server(style=ReplicationStyle.ACTIVE,
                                          server_replicas=2,
                                          state_size=size, warmup=0.2)
         recovery_time = measure_recovery(deployment, "s2")
-        rows.append([size, round(recovery_time * 1000, 3)])
+        recovery_ms = round(recovery_time * 1000, 3)
+        rows.append([size, recovery_ms])
+        points[str(size)] = recovery_ms
         registries.append(deployment.system.metrics)
+
+    footer = None
+    comparison = None
+    record = None
+    if args.record or args.compare:
+        from repro.bench.regression import (BenchRecord,
+                                            compare_bench_records)
+        record = BenchRecord.from_points("fig6", "recovery_ms", "ms",
+                                         points)
+    if args.compare:
+        baseline = BenchRecord.load(args.compare)
+        comparison = compare_bench_records(baseline, record,
+                                           tolerance=args.tolerance)
+        footer = comparison.verdict
+
     print_table("Figure 6 — recovery time vs application-level state size",
                 ["state_bytes", "recovery_ms"], rows,
                 paper_note="flat below one Ethernet frame, then linear in "
-                           "the fragment count")
+                           "the fragment count",
+                footer=footer)
     merged = merge_registries(registries)
     print("\nper-phase latency across the sweep (ms):")
     print(merged.format_table(prefix="span.recovery", scale=1000.0,
                               unit="ms"))
-    return 0
+    if args.record:
+        record.write(args.record)
+        print(f"\nwrote bench record to {args.record}")
+    return 0 if comparison is None or comparison.ok else 1
 
 
 def _cmd_styles(_args) -> int:
@@ -192,9 +248,20 @@ def main(argv=None) -> int:
     demo.add_argument("--trace-format", choices=("chrome", "jsonl"),
                       default="chrome",
                       help="export format for --trace-out")
+    demo.add_argument("--health", action="store_true",
+                      help="also audit the trace and print the health "
+                           "snapshot (exit 1 on audit findings)")
     fig6 = sub.add_parser("fig6", help="Figure 6 sweep")
     fig6.add_argument("--quick", action="store_true",
                       help="fewer sweep points")
+    fig6.add_argument("--record", default=None, metavar="PATH",
+                      help="write the sweep as a BENCH_fig6.json record")
+    fig6.add_argument("--compare", default=None, metavar="PATH",
+                      help="compare against a previous bench record "
+                           "(exit 1 on regression)")
+    fig6.add_argument("--tolerance", type=float, default=0.2,
+                      help="allowed relative slowdown vs the baseline "
+                           "(default 0.2 = 20%%)")
     sub.add_parser("styles", help="replication-style disruption comparison")
     trace = sub.add_parser(
         "trace", help="run kill/recover and export the trace")
@@ -211,6 +278,11 @@ def main(argv=None) -> int:
     metrics.add_argument("--prefix", default="",
                          help="only print metrics whose name starts with "
                               "this prefix")
+    health = sub.add_parser(
+        "health", help="run kill/recover, audit it, and print the "
+                       "Prometheus-style health exposition")
+    health.add_argument("--state-size", type=int, default=50_000,
+                        help="application-level state size in bytes")
     args = parser.parse_args(argv)
     handlers = {
         "version": _cmd_version,
@@ -219,6 +291,7 @@ def main(argv=None) -> int:
         "styles": _cmd_styles,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "health": _cmd_health,
     }
     if args.command is None:
         parser.print_help()

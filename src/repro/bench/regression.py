@@ -1,0 +1,192 @@
+"""Benchmark regression recording and comparison.
+
+A bench run can be summarized into a ``BenchRecord`` — per-sweep-point
+values plus median/p95 of the key metric, the machine it ran on, and the
+git revision — and written to ``BENCH_<name>.json``.  A later run loads
+the previous file and compares with a configurable tolerance:
+
+* the key metric is **lower-is-better** (recovery milliseconds);
+* the comparison fails only if the current summary statistic exceeds
+  ``baseline * (1 + tolerance)`` — improvements always pass;
+* per-point comparisons are reported but only the summary gates.
+
+All times in this repository are *simulated* seconds, so records are
+deterministic for a given seed and comparable across machines; machine
+info and git sha are recorded for provenance, not matched.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+SCHEMA = "repro.bench.regression/1"
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Median and p95 (nearest-rank) plus bounds of ``samples``."""
+    if not samples:
+        raise ValueError("cannot summarize an empty sample set")
+    ordered = sorted(samples)
+
+    def rank(q: float) -> float:
+        return ordered[max(1, math.ceil(q * len(ordered))) - 1]
+
+    return {
+        "count": len(ordered),
+        "median": rank(0.50),
+        "p95": rank(0.95),
+        "min": ordered[0],
+        "max": ordered[-1],
+    }
+
+
+def machine_info() -> Dict[str, str]:
+    """Provenance: where the record was produced."""
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+    }
+
+
+def current_git_sha() -> Optional[str]:
+    """The repository's HEAD sha, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass
+class BenchRecord:
+    """One recorded benchmark: points, summary, and provenance."""
+
+    name: str
+    metric: str
+    unit: str
+    points: Dict[str, float]
+    summary: Dict[str, float] = field(default_factory=dict)
+    machine: Dict[str, str] = field(default_factory=dict)
+    git_sha: Optional[str] = None
+    schema: str = SCHEMA
+
+    @classmethod
+    def from_points(cls, name: str, metric: str, unit: str,
+                    points: Dict[str, float]) -> "BenchRecord":
+        """Build a record (summary and provenance filled in)."""
+        return cls(
+            name=name, metric=metric, unit=unit, points=dict(points),
+            summary=summarize(list(points.values())),
+            machine=machine_info(),
+            git_sha=current_git_sha(),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "schema": self.schema,
+                "name": self.name,
+                "metric": self.metric,
+                "unit": self.unit,
+                "points": self.points,
+                "summary": self.summary,
+                "machine": self.machine,
+                "git_sha": self.git_sha,
+            },
+            indent=2, sort_keys=True,
+        ) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchRecord":
+        data = json.loads(text)
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported bench record schema {data.get('schema')!r}"
+            )
+        return cls(
+            name=data["name"], metric=data["metric"], unit=data["unit"],
+            points={str(k): float(v) for k, v in data["points"].items()},
+            # "count" stays integral so records round-trip byte-identically
+            summary={str(k): (int(v) if k == "count" else float(v))
+                     for k, v in data.get("summary", {}).items()},
+            machine=dict(data.get("machine", {})),
+            git_sha=data.get("git_sha"),
+            schema=data["schema"],
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "BenchRecord":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing a current record against a baseline."""
+
+    ok: bool
+    verdict: str
+    regressions: List[str] = field(default_factory=list)
+
+
+def compare_bench_records(baseline: BenchRecord, current: BenchRecord,
+                          *, tolerance: float = 0.2) -> Comparison:
+    """Compare lower-is-better records; fail on worse-than-tolerance.
+
+    Gates on the summary ``median`` and ``p95``; per-point excursions are
+    listed for context but do not fail on their own (a single sweep point
+    shifting inside an unchanged distribution is noise, not a regression).
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if baseline.metric != current.metric or baseline.name != current.name:
+        raise ValueError(
+            f"records disagree: {baseline.name}/{baseline.metric} vs "
+            f"{current.name}/{current.metric}"
+        )
+    regressions: List[str] = []
+    for stat in ("median", "p95"):
+        base = baseline.summary.get(stat)
+        cur = current.summary.get(stat)
+        if base is None or cur is None:
+            continue
+        limit = base * (1 + tolerance)
+        if cur > limit:
+            regressions.append(
+                f"{stat}: {cur:.3f}{current.unit} exceeds baseline "
+                f"{base:.3f}{current.unit} by more than "
+                f"{tolerance:.0%} (limit {limit:.3f})"
+            )
+    notes: List[str] = []
+    for key in sorted(baseline.points.keys() & current.points.keys()):
+        base, cur = baseline.points[key], current.points[key]
+        if base > 0 and cur > base * (1 + tolerance):
+            notes.append(
+                f"point {key}: {cur:.3f} vs baseline {base:.3f}"
+            )
+    ok = not regressions
+    if ok:
+        verdict = (f"PASS: {current.name} within {tolerance:.0%} of "
+                   f"baseline ({baseline.git_sha or 'unknown sha'})")
+        if notes:
+            verdict += f" — {len(notes)} point(s) drifted: " + "; ".join(notes)
+    else:
+        verdict = (f"FAIL: {current.name} regressed vs baseline "
+                   f"({baseline.git_sha or 'unknown sha'}): "
+                   + "; ".join(regressions))
+    return Comparison(ok=ok, verdict=verdict, regressions=regressions)

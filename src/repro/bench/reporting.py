@@ -26,8 +26,13 @@ def print_table(
     rows: Sequence[Sequence[Any]],
     *,
     paper_note: Optional[str] = None,
+    footer: Optional[str] = None,
 ) -> str:
-    """Render (and print) a fixed-width table; returns the rendered text."""
+    """Render (and print) a fixed-width table; returns the rendered text.
+
+    ``footer`` appends a trailing line after the rows — the regression
+    comparator uses it for its pass/fail verdict.
+    """
     rendered_rows: List[List[str]] = [
         [_format_cell(cell) for cell in row] for row in rows
     ]
@@ -45,6 +50,8 @@ def print_table(
         lines.append(
             "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
         )
+    if footer:
+        lines.append(footer)
     text = "\n".join(lines)
     print(text)
     return text

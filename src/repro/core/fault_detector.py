@@ -62,6 +62,12 @@ class ReplicaFaultDetector:
             if group_id in self._reported:
                 continue
             if self._is_alive(binding):
+                if self._strikes.get(group_id, 0) > 0:
+                    # A suspicion evaporated before reaching the report
+                    # threshold — a false positive of the pull monitor.
+                    self.tracer.emit("fault_detector", "refuted",
+                                     node=self.node_id, group=group_id,
+                                     strikes=self._strikes[group_id])
                 self._strikes[group_id] = 0
                 continue
             strikes = self._strikes.get(group_id, 0) + 1
@@ -97,6 +103,18 @@ class ReplicaFaultDetector:
         self.tracer.emit("fault_detector", "report", node=self.node_id,
                          group=group_id)
         self.mechanisms.multicast(ReplicaFault(group_id, self.node_id))
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-group suspicion state (rendered by the health exposition)."""
+        groups = set(self._strikes) | self._reported
+        groups.update(self.mechanisms.bindings)
+        return {
+            group_id: {
+                "strikes": self._strikes.get(group_id, 0),
+                "reported": int(group_id in self._reported),
+            }
+            for group_id in sorted(groups)
+        }
 
     def forget(self, group_id: str) -> None:
         """Clear history (the replica was replaced)."""

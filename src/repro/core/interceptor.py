@@ -17,7 +17,7 @@ The ORB itself is never modified and never knows.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict
+from typing import Callable, Dict, Set, Tuple
 
 from repro.core.envelope import IiopEnvelope
 from repro.core.identifiers import ConnectionKey, OpKind
@@ -57,6 +57,9 @@ class Interceptor:
         self._spans = SpanEmitter(tracer, node_id=node_id)
         self._offsets: Dict[ConnectionKey, int] = {}
         self.suppressed_reissues = 0
+        # Two-way invocations issued by this replica whose replies have
+        # not come back yet (rendered by the health exposition).
+        self._open_roundtrips: Set[Tuple[ConnectionKey, int]] = set()
 
     def _rpc_span_id(self, connection: ConnectionKey,
                      request_id: int) -> str:
@@ -89,6 +92,10 @@ class Interceptor:
         if offset:
             data = encode_message(replace(message, request_id=wire_id))
         self._orb_state.observe_outgoing_request(connection, wire_id)
+        if message.response_expected:
+            # Track before the reissue check: a suppressed reissue is
+            # still awaiting its reply, so it is still outstanding.
+            self._open_roundtrips.add((connection, wire_id))
         is_new = self._infra.record_issued(
             connection, wire_id, message.operation,
             message.response_expected,
@@ -133,10 +140,16 @@ class Interceptor:
     # Incoming rewrite (before the ORB sees a reply)
     # ------------------------------------------------------------------
 
+    @property
+    def outstanding_invocations(self) -> int:
+        """Two-way invocations issued but not yet answered."""
+        return len(self._open_roundtrips)
+
     def note_reply_delivered(self, connection: ConnectionKey,
                              request_id: int) -> None:
         """Close the round-trip span opened when the request was captured
         (``request_id`` is the wire id; no-op for unmatched replies)."""
+        self._open_roundtrips.discard((connection, request_id))
         self._spans.end(self._rpc_span_id(connection, request_id))
 
     def rewrite_incoming_reply(self, connection: ConnectionKey,

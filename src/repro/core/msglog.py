@@ -31,6 +31,14 @@ class CheckpointRecord:
     orb_state: bytes
     infra_state: bytes
 
+    @property
+    def digest(self) -> str:
+        """Content digest over all three state blobs, for cross-replica
+        comparison by the consistency auditor."""
+        from repro.obs.audit import state_digest
+        return state_digest(self.app_state, self.orb_state,
+                            self.infra_state)
+
 
 class MessageLog:
     """Checkpoint + ordered messages since, for one group at one node."""

@@ -37,6 +37,7 @@ from repro.core.infra_state import InfraState
 from repro.core.msglog import CheckpointRecord
 from repro.core.orb_state import OrbStateTracker
 from repro.ftcorba.properties import ReplicationStyle
+from repro.obs.audit import state_digest
 from repro.obs.spans import SpanEmitter
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -228,6 +229,12 @@ class RecoveryMechanisms:
         )
         self.spans.end(f"{envelope.transfer_id}/capture@{self.node_id}",
                        app_bytes=len(app_state))
+        # Every responder captured its state independently at the same
+        # total-order position; the digests must agree (audited online).
+        self.tracer.emit("audit", "state_digest", node=self.node_id,
+                         group=envelope.group_id,
+                         transfer=envelope.transfer_id, role="responder",
+                         digest=state_digest(app_state))
         self.spans.start(
             "recovery.xfer",
             span_id=f"{envelope.transfer_id}/xfer@{self.node_id}",
@@ -295,6 +302,15 @@ class RecoveryMechanisms:
         self.tracer.emit("recovery", "checkpoint_logged", node=self.node_id,
                          group=envelope.group_id,
                          app_bytes=len(envelope.app_state))
+        # All nodes log the same checkpoint: compare the committed records
+        # (all three state blobs) under their own key, separate from the
+        # responders' app-state-only capture digests.
+        committed = binding.log.checkpoint
+        if committed is not None:
+            self.tracer.emit("audit", "state_digest", node=self.node_id,
+                             group=envelope.group_id,
+                             transfer=f"{envelope.transfer_id}/commit",
+                             role="checkpoint", digest=committed.digest)
         # Warm backups synchronize to every checkpoint (§3).
         if (info.style is ReplicationStyle.WARM_PASSIVE
                 and info.role_of(self.node_id) == ROLE_BACKUP
@@ -310,6 +326,11 @@ class RecoveryMechanisms:
         self.tracer.emit("recovery", "recovery_set_received",
                          node=self.node_id, group=binding.group_id,
                          app_bytes=len(envelope.app_state))
+        # What the target received must match what the responders captured.
+        self.tracer.emit("audit", "state_digest", node=self.node_id,
+                         group=binding.group_id,
+                         transfer=envelope.transfer_id, role="target",
+                         digest=state_digest(envelope.app_state))
         apply_span = self.spans.start(
             "recovery.apply", span_id=f"{envelope.transfer_id}/apply",
             parent=envelope.transfer_id, node=self.node_id,

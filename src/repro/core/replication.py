@@ -233,15 +233,27 @@ class ReplicationMechanisms:
                 envelope.connection, envelope.iiop_bytes
             )
             if executes:
+                self._note_delivered(binding, envelope)
                 binding.container.submit_request(envelope.connection,
                                                  envelope.iiop_bytes)
         else:
             if executes:
+                self._note_delivered(binding, envelope)
                 self._deliver_reply(binding, envelope)
             else:
                 # Non-executing members (backups) only track bookkeeping.
                 binding.infra.record_reply_delivered(envelope.connection,
                                                      envelope.request_id)
+
+    def _note_delivered(self, binding: ReplicaBinding,
+                        envelope: IiopEnvelope) -> None:
+        """An operation survived duplicate suppression and is being handed
+        to the servant — the event the auditor shadows for at-most-once."""
+        self.tracer.emit("replication", "delivered", node=self.node_id,
+                         group=binding.group_id,
+                         conn=envelope.connection.as_str(),
+                         request_id=envelope.request_id,
+                         kind=envelope.kind.name)
 
     def _deliver_reply(self, binding: ReplicaBinding,
                        envelope: IiopEnvelope) -> None:

@@ -194,6 +194,7 @@ class EternalSystem:
         self.replication_manager: Optional[ReplicationManager] = None
         self.evolution_manager: Optional[EvolutionManager] = None
         self.resource_manager = ResourceManager(self.factories)
+        self.auditor = None    # set by attach_auditor()
 
         self.stacks: Dict[str, NodeStack] = {}
         for node_id in node_ids:
@@ -287,6 +288,16 @@ class EternalSystem:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def attach_auditor(self, auditor=None):
+        """Subscribe an online consistency auditor to this system's trace
+        stream (see :mod:`repro.obs.audit`).  Creates one bound to the
+        system's metrics registry unless an instance is supplied."""
+        if auditor is None:
+            from repro.obs.audit import ConsistencyAuditor
+            auditor = ConsistencyAuditor(metrics=self.metrics)
+        self.auditor = auditor.bind(self.tracer)
+        return self.auditor
 
     def stack(self, node_id: str) -> NodeStack:
         try:

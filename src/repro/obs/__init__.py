@@ -13,10 +13,22 @@ consumer:
 * :mod:`repro.obs.exporters` — JSONL and Chrome ``trace_event`` export, so
   a recovery can be opened in ``chrome://tracing`` / Perfetto;
 * :mod:`repro.obs.report` — per-phase recovery breakdowns (§5.1 steps
-  i–vi) extracted from the span tree.
+  i–vi) extracted from the span tree;
+* :mod:`repro.obs.audit` — the online consistency auditor: verifies
+  state-digest agreement, delivery-order agreement, duplicate
+  suppression, and recovery-window discipline while the simulation runs;
+* :mod:`repro.obs.health` — Prometheus-style text exposition of live
+  system health (membership, roles, queues, suspicion, audit status).
 """
 
+from repro.obs.audit import (
+    AuditFinding,
+    AuditViolation,
+    ConsistencyAuditor,
+    state_digest,
+)
 from repro.obs.exporters import export_chrome_trace, export_jsonl
+from repro.obs.health import parse_exposition, render_health
 from repro.obs.metrics import (
     CounterMetric,
     GaugeMetric,
@@ -31,6 +43,9 @@ from repro.obs.report import (
 from repro.obs.spans import Span, SpanEmitter, SpanTracker
 
 __all__ = [
+    "AuditFinding",
+    "AuditViolation",
+    "ConsistencyAuditor",
     "CounterMetric",
     "GaugeMetric",
     "MetricsRegistry",
@@ -41,6 +56,9 @@ __all__ = [
     "StreamingHistogram",
     "export_chrome_trace",
     "export_jsonl",
+    "parse_exposition",
     "recovery_phase_report",
     "render_phase_table",
+    "state_digest",
+    "render_health",
 ]

@@ -51,6 +51,10 @@ class CounterMetric:
         """Fold another counter's total into this one."""
         self.value += other.value
 
+    def spawn_empty(self) -> "CounterMetric":
+        """A fresh, empty counter (merge target for a new series)."""
+        return CounterMetric()
+
 
 class GaugeMetric:
     """A value that can go up and down (queue depth, open spans, …)."""
@@ -71,6 +75,10 @@ class GaugeMetric:
     def merge(self, other: "GaugeMetric") -> None:
         """Adopt the other gauge's latest value (last write wins)."""
         self.value = other.value
+
+    def spawn_empty(self) -> "GaugeMetric":
+        """A fresh gauge (merge target for a new series)."""
+        return GaugeMetric()
 
 
 class StreamingHistogram:
@@ -175,6 +183,13 @@ class StreamingHistogram:
                     (min if bound == "min" else max)(ours, theirs)
                 setattr(self, bound, pick)
 
+    def spawn_empty(self) -> "StreamingHistogram":
+        """A fresh histogram with *this* histogram's bucketing parameters
+        (merge target for a new series — a default-parameter histogram
+        would refuse the merge)."""
+        return StreamingHistogram(min_value=self.min_value,
+                                  growth=self.growth)
+
 
 class MetricsRegistry:
     """Get-or-create registry of metrics keyed by name + labels."""
@@ -218,6 +233,9 @@ class MetricsRegistry:
 
     def observe_record(self, record: TraceRecord) -> None:
         """Live trace subscriber (installed by :meth:`bind`)."""
+        if record.category == "fault_detector":
+            self._observe_fault_detector(record)
+            return
         if record.category != "span":
             return
         span_id = record.fields.get("span")
@@ -236,13 +254,39 @@ class MetricsRegistry:
                 )
         self.gauge("spans.open").set(len(self._open_spans))
 
+    def _observe_fault_detector(self, record: TraceRecord) -> None:
+        """Turn fault-detector trace events into counters: a first strike
+        is one suspicion; a refutation before the report threshold is a
+        false positive; a report is a declared replica fault."""
+        labels = {k: record.fields[k] for k in ("node", "group")
+                  if k in record.fields}
+        if record.event == "suspect":
+            if record.fields.get("strikes") == 1:
+                self.counter("fault_detector.suspicions", **labels).inc()
+        elif record.event == "refuted":
+            self.counter("fault_detector.false_positives", **labels).inc()
+        elif record.event == "report":
+            self.counter("fault_detector.reports", **labels).inc()
+
     # -- aggregation and reporting ----------------------------------------
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry's metrics into this one (matching series
-        merge; new series are adopted by reference-compatible copies)."""
+        """Fold another registry's metrics into this one.
+
+        Matching series merge pairwise.  A series present only in ``other``
+        is adopted into a fresh metric spawned *from the source* —
+        histograms keep their bucketing parameters, so merging a registry
+        with labels (or tunings) the target lacks never drops samples.
+        """
         for (name, labels), metric in other._metrics.items():
-            mine = self._get(type(metric), name, dict(labels))
+            key = (name, _label_key(dict(labels)))
+            mine = self._metrics.get(key)
+            if mine is None:
+                mine = metric.spawn_empty()
+                self._metrics[key] = mine
+            elif not isinstance(mine, type(metric)):
+                raise TypeError(f"metric {name!r}{dict(labels)} already "
+                                f"registered as {mine.kind}")
             mine.merge(metric)
 
     def find(self, prefix: str = "") -> List[Tuple[str, Dict[str, str], Any]]:

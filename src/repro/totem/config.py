@@ -41,6 +41,12 @@ class TotemConfig:
     """Leader broadcasts a ring probe this often so concurrent rings in a
     healed partition discover each other even when idle."""
 
+    order_digest_interval: int = 32
+    """Every this many delivered frames, publish the rolling
+    delivery-order hash as an ``audit.order_digest`` trace record so the
+    consistency auditor can compare members of one configuration
+    (0 disables emission; the hash is maintained regardless)."""
+
     def __post_init__(self) -> None:
         if self.token_timeout <= self.token_hold:
             raise ValueError("token_timeout must exceed token_hold")

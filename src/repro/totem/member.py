@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from zlib import crc32
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import NotInRing, TotemError
@@ -93,6 +94,14 @@ class TotemMember:
         self.fresh = True
         self.delivered_aru = 0          # highest contiguously delivered seq
         self._held: Dict[int, DataMsg] = {}
+        # Rolling hash over the delivered frame sequence: members of one
+        # ring configuration must agree at every publication point (the
+        # total-order guarantee, verified online by the auditor).  Keyed
+        # by ring id *and* member set — partitioned halves can compute
+        # the same successor ring id independently.
+        self._order_hash = 0
+        self._order_base = 0
+        self._order_ring_key = ""
 
         # Sending
         max_chunk = endpoint.network.config.mtu_payload - _DATA_HEADER
@@ -191,6 +200,20 @@ class TotemMember:
         while (self.delivered_aru + 1) in self._held:
             self.delivered_aru += 1
             msg = self._held[self.delivered_aru]
+            self._order_hash = crc32(
+                f"{msg.seq}:{msg.sender}:{msg.msg_id}:"
+                f"{msg.frag_index}".encode(),
+                self._order_hash,
+            )
+            interval = self.config.order_digest_interval
+            if (interval and self._order_ring_key
+                    and (self.delivered_aru - self._order_base)
+                    % interval == 0):
+                self.tracer.emit("audit", "order_digest", node=self.node_id,
+                                 ring=self._order_ring_key,
+                                 base=self._order_base,
+                                 seq=self.delivered_aru,
+                                 digest=f"{self._order_hash:08x}")
             if msg.sender == self.node_id:
                 self._inflight.pop((msg.msg_id, msg.frag_index), None)
             payload = self._reassembler.add(
@@ -577,6 +600,13 @@ class TotemMember:
         self.ring_id = form.ring_id
         self.members = form.members
         self.state = MemberState.OPERATIONAL
+        # New configuration: restart the delivery-order hash from a seed
+        # every member derives identically, based at the flush boundary
+        # (all installing members agree on delivered_aru here).
+        members_key = crc32(",".join(form.members).encode())
+        self._order_ring_key = f"{form.ring_id}:{members_key:08x}"
+        self._order_hash = crc32(self._order_ring_key.encode())
+        self._order_base = self.delivered_aru
         # Record whether this install discarded our history (brand-new
         # member, or we lost the primary-component vote in a merge): the
         # layer above reads this to re-synchronize replica state.

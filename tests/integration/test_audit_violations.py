@@ -1,0 +1,101 @@
+"""Integration: the online consistency auditor detects SEEDED violations.
+
+The fault-free integration suite proves the auditor stays silent when the
+protocol behaves (``strict_audit`` on chaos/partition/overlapping tests);
+this file proves the opposite direction — when replica state is corrupted
+behind the protocol's back, or a ``set_state()`` is injected outside any
+recovery window, the auditor names the offending replica and span.
+"""
+
+import pytest
+
+from repro import EternalSystem, FTProperties
+from repro.apps.kvstore import make_kvstore_factory
+from repro.apps.packet_driver import PacketDriverServant
+from repro.obs.audit import (
+    SET_STATE_WINDOW,
+    STATE_DIGEST,
+    AuditViolation,
+    ConsistencyAuditor,
+)
+
+KVSTORE = "IDL:repro/KvStore:1.0"
+DRIVER = "IDL:repro/PacketDriver:1.0"
+
+
+def deploy():
+    system = EternalSystem(["m", "c1", "s1", "s2", "s3"])
+    nodes = ["s1", "s2", "s3"]
+    system.register_factory(KVSTORE, make_kvstore_factory(5_000),
+                            nodes=nodes)
+    store = system.create_group("store", KVSTORE,
+                                FTProperties(initial_replicas=3,
+                                             min_replicas=1),
+                                nodes=nodes)
+    system.run_for(0.05)
+    iogr = store.iogr().stringify()
+    system.register_factory(DRIVER, lambda: PacketDriverServant(iogr),
+                            nodes=["c1"])
+    system.create_group("drv", DRIVER, FTProperties(initial_replicas=1),
+                        nodes=["c1"])
+    system.run_for(0.2)
+    auditor = system.attach_auditor()
+    return system, store, auditor
+
+
+def test_corrupted_replica_state_yields_digest_finding():
+    """Mutate s1's servant behind the protocol's back, then recover s3:
+    the responders' get_state() digests disagree and the auditor names
+    the divergent replica and the transfer span."""
+    system, store, auditor = deploy()
+    store.servant_on("s1").data["corrupt"] = b"divergence"
+    system.kill_node("s3")
+    system.run_for(0.1)
+    system.restart_node("s3")
+    assert system.wait_for(lambda: store.is_operational_on("s3"),
+                           timeout=10.0)
+    system.run_for(0.2)
+
+    findings = auditor.findings_by_invariant().get(STATE_DIGEST)
+    assert findings, auditor.summary()
+    nodes = {f.node for f in findings}
+    assert "s1" in nodes or "s3" in nodes
+    for finding in findings:
+        assert finding.group == "store"
+        assert finding.span_id and finding.span_id.startswith("rec:store:")
+    # hard-fail mode raises with the findings spelled out
+    with pytest.raises(AuditViolation) as excinfo:
+        auditor.finish(raise_on_findings=True)
+    assert STATE_DIGEST in str(excinfo.value)
+
+
+def test_set_state_outside_recovery_window_is_flagged():
+    """Inject a fabricated set_state() on an operational replica with no
+    sync point or failover in flight — a §5.1 protocol violation."""
+    from repro.giop.types import encode_any, to_any
+
+    system, store, auditor = deploy()
+    binding = store.binding_on("s2")
+    state = encode_any(to_any(store.servant_on("s2").get_state()))
+    binding.container.submit_set_state(state, lambda: None)
+    system.run_for(0.1)
+
+    findings = auditor.findings_by_invariant().get(SET_STATE_WINDOW)
+    assert findings, auditor.summary()
+    assert findings[0].node == "s2"
+    assert findings[0].group == "store"
+
+
+def test_fault_free_run_is_clean():
+    """Without seeded faults the same deployment audits clean, including
+    a legitimate kill/recover cycle."""
+    system, store, auditor = deploy()
+    system.kill_node("s2")
+    system.run_for(0.1)
+    system.restart_node("s2")
+    assert system.wait_for(lambda: store.is_operational_on("s2"),
+                           timeout=10.0)
+    system.run_for(0.2)
+    assert auditor.finish(raise_on_findings=True) == []
+    assert auditor.ok
+    assert auditor.records_scanned > 0

@@ -38,7 +38,7 @@ def deploy():
     return system, store
 
 
-def test_mixed_fault_chaos_converges():
+def test_mixed_fault_chaos_converges(strict_audit):
     system, store = deploy()
     from repro.core.system import GroupHandle
     driver = GroupHandle(system, "drv").servant_on("c1")
@@ -83,8 +83,11 @@ def test_mixed_fault_chaos_converges():
     assert driver.acked > 1000        # the stream ran the whole time
 
 
-def test_chaos_is_deterministic():
-    """The entire chaos schedule replays identically (same seed)."""
+def test_chaos_is_deterministic(strict_audit):
+    """The entire chaos schedule replays identically (same seed).
+
+    The auditor rides along (``strict_audit``) to prove that observing
+    the trace stream never perturbs the schedule."""
     def run():
         system, store = deploy()
         system.kill_node("s2")

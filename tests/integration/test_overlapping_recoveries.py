@@ -44,9 +44,14 @@ def deploy():
     return system, alpha, beta
 
 
-def test_both_groups_recover_concurrently_on_one_node():
+def test_both_groups_recover_concurrently_on_one_node(strict_audit):
     """Killing s2 fails a replica of BOTH groups; both recoveries run on
-    the same rebuilt node, interleaved in one total order."""
+    the same rebuilt node, interleaved in one total order.
+
+    The online consistency auditor runs in hard-fail mode throughout
+    (``strict_audit``): any digest disagreement, duplicate delivery, or
+    recovery-window violation across the interleaved transfers fails the
+    test at teardown."""
     system, alpha, beta = deploy()
     system.kill_node("s2")
     system.run_for(0.2)
@@ -65,9 +70,15 @@ def test_both_groups_recover_concurrently_on_one_node():
     # the two groups saw different traffic (independent drivers)
     assert alpha.servant_on("s1").echo_count > 100
     assert beta.servant_on("s1").echo_count > 100
+    # both overlapping transfers were actually observed by the auditor,
+    # and none of them produced a finding
+    (auditor,) = strict_audit
+    audited_groups = {group for group, _ in auditor._digests}
+    assert {"alpha", "beta"} <= audited_groups
+    assert auditor.finish() == []
 
 
-def test_states_do_not_cross_groups():
+def test_states_do_not_cross_groups(strict_audit):
     system, alpha, beta = deploy()
     # make the two groups' states distinguishable
     alpha.connect_from("c1").invoke("put", "who", "alpha")

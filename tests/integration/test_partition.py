@@ -13,7 +13,7 @@ from repro.bench.deployments import build_client_server
 from repro.ftcorba.properties import ReplicationStyle
 
 
-def test_majority_side_keeps_serving_through_partition():
+def test_majority_side_keeps_serving_through_partition(strict_audit):
     deployment = build_client_server(style=ReplicationStyle.ACTIVE,
                                      server_replicas=2, state_size=100,
                                      warmup=0.2)
@@ -26,7 +26,7 @@ def test_majority_side_keeps_serving_through_partition():
     assert driver.acked > before + 100
 
 
-def test_isolated_replica_dropped_from_group():
+def test_isolated_replica_dropped_from_group(strict_audit):
     deployment = build_client_server(style=ReplicationStyle.ACTIVE,
                                      server_replicas=2, state_size=100,
                                      warmup=0.2)
@@ -37,7 +37,7 @@ def test_isolated_replica_dropped_from_group():
     assert "s2" not in info.roles
 
 
-def test_heal_remerges_and_resynchronizes():
+def test_heal_remerges_and_resynchronizes(strict_audit):
     deployment = build_client_server(style=ReplicationStyle.ACTIVE,
                                      server_replicas=2, state_size=100,
                                      warmup=0.2)
@@ -58,7 +58,7 @@ def test_heal_remerges_and_resynchronizes():
     assert abs(s1.echo_count - driver.acked) <= 1
 
 
-def test_partitioned_primary_failover_in_majority():
+def test_partitioned_primary_failover_in_majority(strict_audit):
     """Partition away the warm-passive primary: the majority side promotes
     its backup and continues."""
     deployment = build_client_server(style=ReplicationStyle.WARM_PASSIVE,

@@ -1,0 +1,108 @@
+"""Unit tests for the bench regression recorder and comparator."""
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    SCHEMA,
+    BenchRecord,
+    compare_bench_records,
+    summarize,
+)
+
+
+def record(points, name="fig6", metric="recovery_ms"):
+    return BenchRecord.from_points(name, metric, "ms", points)
+
+
+# ---------------------------------------------------------------------------
+# Summaries
+# ---------------------------------------------------------------------------
+
+def test_summarize_nearest_rank():
+    stats = summarize([10.0, 20.0, 30.0, 40.0])
+    assert stats["count"] == 4
+    assert stats["median"] == 20.0
+    assert stats["p95"] == 40.0
+    assert stats["min"] == 10.0 and stats["max"] == 40.0
+
+
+def test_summarize_rejects_empty():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+# ---------------------------------------------------------------------------
+# Round-trip
+# ---------------------------------------------------------------------------
+
+def test_record_round_trips_through_json(tmp_path):
+    original = record({"10": 12.0, "10000": 13.5, "350000": 44.0})
+    path = tmp_path / "BENCH_fig6.json"
+    original.write(str(path))
+    loaded = BenchRecord.load(str(path))
+    assert loaded.points == original.points
+    assert loaded.summary == original.summary
+    assert loaded.schema == SCHEMA
+    assert loaded.machine == original.machine
+    # and the comparator accepts its own output unchanged
+    comparison = compare_bench_records(loaded, original)
+    assert comparison.ok
+    assert comparison.verdict.startswith("PASS:")
+
+
+def test_record_json_is_stable_and_schema_tagged(tmp_path):
+    rec = record({"10": 1.0})
+    data = json.loads(rec.to_json())
+    assert data["schema"] == SCHEMA
+    assert data["points"] == {"10": 1.0}
+    assert rec.to_json() == BenchRecord.from_json(rec.to_json()).to_json()
+
+
+def test_unknown_schema_rejected():
+    with pytest.raises(ValueError, match="schema"):
+        BenchRecord.from_json(json.dumps({"schema": "something/else"}))
+
+
+# ---------------------------------------------------------------------------
+# Comparison semantics
+# ---------------------------------------------------------------------------
+
+def test_within_tolerance_passes():
+    baseline = record({"a": 10.0, "b": 20.0})
+    current = record({"a": 11.0, "b": 22.0})     # +10% < 20% tolerance
+    assert compare_bench_records(baseline, current, tolerance=0.2).ok
+
+
+def test_improvement_always_passes():
+    baseline = record({"a": 10.0, "b": 20.0})
+    current = record({"a": 1.0, "b": 2.0})
+    comparison = compare_bench_records(baseline, current, tolerance=0.0)
+    assert comparison.ok
+
+
+def test_summary_regression_fails_with_named_statistic():
+    baseline = record({"a": 10.0, "b": 20.0})
+    current = record({"a": 10.0, "b": 30.0})     # p95 +50%
+    comparison = compare_bench_records(baseline, current, tolerance=0.2)
+    assert not comparison.ok
+    assert comparison.verdict.startswith("FAIL:")
+    assert any("p95" in r for r in comparison.regressions)
+
+
+def test_single_point_drift_noted_but_does_not_gate():
+    baseline = record({"a": 10.0, "b": 20.0, "c": 30.0, "d": 40.0})
+    current = record({"a": 16.0, "b": 20.0, "c": 30.0, "d": 40.0})
+    comparison = compare_bench_records(baseline, current, tolerance=0.2)
+    assert comparison.ok                 # median/p95 unchanged
+    assert "point a" in comparison.verdict
+
+
+def test_mismatched_records_and_bad_tolerance_rejected():
+    with pytest.raises(ValueError):
+        compare_bench_records(record({"a": 1.0}),
+                              record({"a": 1.0}, name="other"))
+    with pytest.raises(ValueError):
+        compare_bench_records(record({"a": 1.0}), record({"a": 1.0}),
+                              tolerance=-0.1)

@@ -63,3 +63,54 @@ def test_cold_backups_never_suspected():
     )
     deployment.system.run_for(1.0)
     assert deployment.system.tracer.count("fault_detector.report") == 0
+
+
+def test_transient_suspicion_refuted_and_counted_as_false_positive():
+    """A replica that stalls briefly but resumes before SUSPECT_AFTER
+    polls emits a ``refuted`` event and counts as one false positive,
+    not a report."""
+    deployment = deploy()
+    system = deployment.system
+    servant = deployment.server_group.servant_on("s1")
+    info = system.mechanisms("s1").groups["store"]
+    servant._hung_for_test = True
+    # a 1.5-interval window sees 1-2 polls: suspected, never reported
+    system.run_for(info.fault_monitoring_interval * 1.5)
+    servant._hung_for_test = False
+    system.run_for(info.fault_monitoring_interval * 3)
+    assert system.tracer.count("fault_detector.refuted") >= 1
+    assert system.tracer.count("fault_detector.report") == 0
+    metrics = system.metrics
+    suspicions = sum(m.value for _, _, m in
+                     metrics.find("fault_detector.suspicions"))
+    false_positives = sum(m.value for _, _, m in
+                          metrics.find("fault_detector.false_positives"))
+    assert suspicions >= 1
+    assert false_positives >= 1
+
+
+def test_reported_fault_feeds_metrics_counters():
+    deployment = deploy()
+    system = deployment.system
+    system.hang_replica("store", "s1")
+    assert system.wait_for(
+        lambda: system.tracer.count("fault_detector.report") >= 1,
+        timeout=3.0,
+    )
+    assert system.metrics.counter("fault_detector.suspicions",
+                                  node="s1", group="store").value == 1
+    assert system.metrics.counter("fault_detector.reports",
+                                  node="s1", group="store").value == 1
+
+
+def test_snapshot_exposes_strikes_and_reported_state():
+    deployment = deploy()
+    system = deployment.system
+    detector = system.mechanisms("s1").fault_detector
+    assert detector.snapshot() == {"store": {"strikes": 0, "reported": 0}}
+    system.hang_replica("store", "s1")
+    assert system.wait_for(
+        lambda: system.tracer.count("fault_detector.report") >= 1,
+        timeout=3.0,
+    )
+    assert detector.snapshot()["store"]["reported"] == 1

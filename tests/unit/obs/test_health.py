@@ -1,0 +1,115 @@
+"""Unit tests for the Prometheus-style health exposition."""
+
+import pytest
+
+from repro.bench.deployments import build_client_server
+from repro.ftcorba.properties import ReplicationStyle
+from repro.obs.health import parse_exposition, render_health
+
+
+def deploy():
+    return build_client_server(style=ReplicationStyle.ACTIVE,
+                               server_replicas=2, state_size=100,
+                               warmup=0.2, keep_trace_records=True)
+
+
+# ---------------------------------------------------------------------------
+# The parser (pins the exposition format)
+# ---------------------------------------------------------------------------
+
+def test_parse_plain_and_labelled_series():
+    text = ('up 1\n'
+            '# a comment\n'
+            '\n'
+            'lat{node="s1",quantile="0.95"} 2.5\n')
+    assert parse_exposition(text) == [
+        ("up", {}, 1.0),
+        ("lat", {"node": "s1", "quantile": "0.95"}, 2.5),
+    ]
+
+
+def test_parse_unescapes_label_values():
+    text = 'm{k="a\\"b\\\\c\\nd"} 0\n'
+    ((_, labels, _),) = parse_exposition(text)
+    assert labels["k"] == 'a"b\\c\nd'
+
+
+def test_parse_rejects_malformed_lines():
+    with pytest.raises(ValueError, match="line 1"):
+        parse_exposition("not a metric line at all !\n")
+
+
+# ---------------------------------------------------------------------------
+# The renderer on a live system
+# ---------------------------------------------------------------------------
+
+def test_every_line_parses_and_core_series_present():
+    deployment = deploy()
+    system = deployment.system
+    text = render_health(system)
+    series = {(name, tuple(sorted(labels.items()))): value
+              for name, labels, value in parse_exposition(text)}
+
+    for node in ("m", "c1", "s1", "s2"):
+        assert series[("eternal_node_alive", (("node", node),))] == 1.0
+    for node in ("s1", "s2"):
+        key = (("group", "store"), ("node", node))
+        assert series[("eternal_replica_operational", key)] == 1.0
+    assert series[("eternal_group_members", (("group", "store"),))] == 2.0
+    assert series[("eternal_group_operational_members",
+                   (("group", "store"),))] == 2.0
+
+
+def test_dead_node_and_degraded_group_reflected():
+    deployment = deploy()
+    system = deployment.system
+    system.kill_node("s2")
+    system.run_for(0.3)
+    parsed = parse_exposition(render_health(system))
+    by_name = {}
+    for name, labels, value in parsed:
+        by_name.setdefault(name, []).append((labels, value))
+    alive = {labels["node"]: value
+             for labels, value in by_name["eternal_node_alive"]}
+    assert alive["s2"] == 0.0 and alive["s1"] == 1.0
+    # the dead node exports no replica series
+    assert all(labels["node"] != "s2"
+               for labels, _ in by_name["eternal_replica_operational"])
+
+
+def test_audit_section_present_when_auditor_attached():
+    deployment = deploy()
+    system = deployment.system
+    system.attach_auditor()
+    system.run_for(0.2)
+    system.auditor.finish()
+    parsed = parse_exposition(render_health(system))
+    values = {name: value for name, labels, value in parsed if not labels}
+    assert values["eternal_audit_ok"] == 1.0
+    assert values["eternal_audit_records_scanned"] > 0
+    assert values["eternal_audit_findings_total"] == 0.0
+
+
+def test_metrics_registry_histograms_render_as_quantile_series():
+    deployment = deploy()
+    system = deployment.system
+    system.metrics.histogram("span.demo", node="s1").record(0.25)
+    parsed = parse_exposition(render_health(system))
+    quantiles = {labels["quantile"]: value
+                 for name, labels, value in parsed
+                 if name == "repro_span_demo"}
+    assert set(quantiles) == {"0.5", "0.95", "0.99"}
+    assert quantiles["0.5"] == pytest.approx(0.25, rel=0.05)
+    counts = [value for name, labels, value in parsed
+              if name == "repro_span_demo_count"]
+    assert counts == [1.0]
+
+
+def test_fault_detector_strikes_exported():
+    deployment = deploy()
+    system = deployment.system
+    parsed = parse_exposition(render_health(system))
+    strikes = [(labels, value) for name, labels, value in parsed
+               if name == "eternal_fault_detector_strikes"]
+    assert strikes, "expected fault-detector series on hosting nodes"
+    assert all(value == 0.0 for _, value in strikes)

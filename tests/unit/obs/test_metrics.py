@@ -195,6 +195,56 @@ def test_merge_registries_folds_series():
     assert a.histogram("lat", node="n").count == 1
 
 
+def test_merge_histograms_with_disjoint_label_sets_pins_quantiles():
+    """Series absent from the target must be adopted with the SOURCE's
+    bucketing — merging a custom-parameter histogram into a registry that
+    has never seen the series used to raise on mismatched buckets."""
+    from repro.obs.metrics import _label_key
+
+    a, b = MetricsRegistry(), MetricsRegistry()
+    # a has only node=n1; b has node=n2 with non-default bucketing
+    a.histogram("lat", node="n1").record(1.0)
+    custom = StreamingHistogram(min_value=1e-3, growth=1.5)
+    b._metrics[("lat", _label_key({"node": "n2"}))] = custom
+    for value in (10.0, 10.0, 10.0, 40.0):
+        custom.record(value)
+    merged = merge_registries([a, b])
+    adopted = merged.histogram("lat", node="n2")
+    assert adopted.count == 4
+    # buckets hold identical values, so the merged quantiles are exact
+    assert adopted.quantile(0.50) == 10.0
+    assert adopted.p95 == 40.0
+    assert adopted.min == 10.0 and adopted.max == 40.0
+    # and merging b in AGAIN folds into the adopted bucketing cleanly
+    merged2 = merge_registries([merged, b])
+    assert merged2.histogram("lat", node="n2").count == 8
+
+
+def test_merge_rejects_kind_conflicts_across_registries():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("x").inc()
+    b.gauge("x").set(1)
+    with pytest.raises(TypeError):
+        merge_registries([a, b])
+
+
+def test_fault_detector_records_feed_counters():
+    tracer = Tracer(keep_records=False)
+    registry = MetricsRegistry()
+    registry.bind(tracer)
+    tracer.emit("fault_detector", "suspect", node="s1", group="g", strikes=1)
+    tracer.emit("fault_detector", "suspect", node="s1", group="g", strikes=2)
+    tracer.emit("fault_detector", "report", node="s1", group="g")
+    tracer.emit("fault_detector", "refuted", node="s2", group="g", strikes=1)
+    # only the FIRST strike of an episode counts as one suspicion
+    assert registry.counter("fault_detector.suspicions",
+                            node="s1", group="g").value == 1
+    assert registry.counter("fault_detector.reports",
+                            node="s1", group="g").value == 1
+    assert registry.counter("fault_detector.false_positives",
+                            node="s2", group="g").value == 1
+
+
 def test_format_table_renders_histograms_and_scalars():
     registry = MetricsRegistry()
     registry.histogram("span.x", node="n").record(0.002)

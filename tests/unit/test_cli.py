@@ -30,6 +30,59 @@ def test_fig6_quick(capsys):
     assert "350000" in out
 
 
+def test_fig6_record_and_compare_round_trip(tmp_path, capsys):
+    from repro.bench.regression import SCHEMA, BenchRecord
+
+    path = tmp_path / "BENCH_fig6.json"
+    assert main(["fig6", "--quick", "--record", str(path)]) == 0
+    capsys.readouterr()
+    record = BenchRecord.load(str(path))
+    assert record.schema == SCHEMA
+    assert record.name == "fig6"
+    assert "350000" in record.points
+    # the simulation is deterministic: a re-run matches its own baseline
+    assert main(["fig6", "--quick", "--compare", str(path)]) == 0
+    assert "PASS:" in capsys.readouterr().out
+
+
+def test_fig6_compare_fails_on_regression(tmp_path, capsys):
+    from repro.bench.regression import BenchRecord
+
+    path = tmp_path / "BENCH_fig6.json"
+    assert main(["fig6", "--quick", "--record", str(path)]) == 0
+    capsys.readouterr()
+    record = BenchRecord.load(str(path))
+    # shrink the baseline: the real run now exceeds any tolerance
+    tightened = BenchRecord.from_points(
+        record.name, record.metric, record.unit,
+        {k: v / 10 for k, v in record.points.items()})
+    tightened.write(str(path))
+    assert main(["fig6", "--quick", "--compare", str(path)]) == 1
+    assert "FAIL:" in capsys.readouterr().out
+
+
+def test_health_command_emits_parseable_exposition(capsys):
+    from repro.obs.health import parse_exposition
+
+    assert main(["health", "--state-size", "1000"]) == 0
+    out = capsys.readouterr().out
+    parsed = parse_exposition(out)
+    names = {name for name, _, _ in parsed}
+    assert "eternal_node_alive" in names
+    assert "eternal_replica_operational" in names
+    assert "eternal_audit_ok" in names
+    values = {name: value for name, labels, value in parsed if not labels}
+    assert values["eternal_audit_ok"] == 1.0
+
+
+def test_demo_health_flag_prints_snapshot(capsys):
+    assert main(["demo", "--state-size", "1000", "--health"]) == 0
+    out = capsys.readouterr().out
+    assert "health snapshot:" in out
+    assert "eternal_audit_ok 1" in out
+    assert "audit: OK" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
