@@ -14,7 +14,14 @@ Commands:
 * ``health``    — run kill/recover, audit the trace for consistency
                   violations, and print the Prometheus-style health
                   exposition (exit 1 on audit findings).
+* ``live``      — run the stack over real loopback-UDP sockets and
+                  wall-clock time (see :mod:`repro.live`): form a ring,
+                  kill and recover a replica under closed-loop load, and
+                  report the wall-clock recovery latency.
 * ``version``   — print the library version.
+
+Every command exits non-zero on its failure paths (regressions, audit
+findings, timeouts, unreadable baselines), so they can gate CI directly.
 """
 
 from __future__ import annotations
@@ -66,14 +73,21 @@ def _audit_retained_trace(system):
 
 
 def _cmd_health(args) -> int:
-    from repro.obs.health import render_health
+    from repro.obs.health import parse_exposition, render_health
 
     print(f"running kill/recover scenario ({args.state_size} B state) …",
           file=sys.stderr)
     deployment = _run_kill_recover(args.state_size)
     system = deployment.system
     auditor = _audit_retained_trace(system)
-    print(render_health(system, auditor=auditor), end="")
+    exposition = render_health(system, auditor=auditor)
+    try:
+        parse_exposition(exposition)
+    except ValueError as exc:
+        print(f"error: health exposition failed its self-check: {exc}",
+              file=sys.stderr)
+        return 2
+    print(exposition, end="")
     print(auditor.summary(), file=sys.stderr)
     return 0 if auditor.ok else 1
 
@@ -167,7 +181,11 @@ def _cmd_fig6(args) -> int:
         deployment = build_client_server(style=ReplicationStyle.ACTIVE,
                                          server_replicas=2,
                                          state_size=size, warmup=0.2)
-        recovery_time = measure_recovery(deployment, "s2")
+        try:
+            recovery_time = measure_recovery(deployment, "s2")
+        except TimeoutError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         recovery_ms = round(recovery_time * 1000, 3)
         rows.append([size, recovery_ms])
         points[str(size)] = recovery_ms
@@ -182,7 +200,12 @@ def _cmd_fig6(args) -> int:
         record = BenchRecord.from_points("fig6", "recovery_ms", "ms",
                                          points)
     if args.compare:
-        baseline = BenchRecord.load(args.compare)
+        try:
+            baseline = BenchRecord.load(args.compare)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: cannot load baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 2
         comparison = compare_bench_records(baseline, record,
                                            tolerance=args.tolerance)
         footer = comparison.verdict
@@ -222,7 +245,12 @@ def _cmd_styles(_args) -> int:
         acked = driver.acked
         kill_time = system.now
         system.kill_node(victim)
-        system.wait_for(lambda: driver.acked > acked + 20, timeout=5.0)
+        if not system.wait_for(lambda: driver.acked > acked + 20,
+                               timeout=5.0):
+            print(f"error: {style.value} never resumed service after the "
+                  f"fault (driver stuck at {driver.acked} acks)",
+                  file=sys.stderr)
+            return 1
         rows.append([style.value,
                      round((system.now - kill_time) * 1000, 2)])
     print_table("Replication styles — client-visible disruption at a fault",
@@ -230,6 +258,12 @@ def _cmd_styles(_args) -> int:
                 paper_note="active: faster recovery; passive: fewer "
                            "resources (§6)")
     return 0
+
+
+def _cmd_live(args) -> int:
+    from repro.live.cli import run_live
+
+    return run_live(args)
 
 
 def main(argv=None) -> int:
@@ -283,6 +317,34 @@ def main(argv=None) -> int:
                        "Prometheus-style health exposition")
     health.add_argument("--state-size", type=int, default=50_000,
                         help="application-level state size in bytes")
+    live = sub.add_parser(
+        "live", help="run the stack over loopback UDP and wall-clock time")
+    live.add_argument("--nodes", type=int, default=3,
+                      help="total nodes: one manager/driver node plus "
+                           "app replicas (min 3)")
+    live.add_argument("--app", default="counter",
+                      choices=("counter", "kvstore"),
+                      help="which servant to replicate and drive")
+    live.add_argument("--duration", type=float, default=10.0,
+                      help="total run length in wall-clock seconds")
+    live.add_argument("--kill-after", type=float, default=2.0,
+                      help="seconds of load before killing a replica")
+    live.add_argument("--downtime", type=float, default=0.5,
+                      help="seconds between the kill and the re-launch")
+    live.add_argument("--state-size", type=int, default=10_000,
+                      help="application-level state size in bytes "
+                           "(kvstore only)")
+    live.add_argument("--health-port", type=int, default=None,
+                      metavar="PORT",
+                      help="serve the live health exposition over HTTP "
+                           "on this port (0 = ephemeral)")
+    live.add_argument("--health-out", default=None, metavar="PATH",
+                      help="write a final health exposition to PATH")
+    live.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="export the run's trace to PATH")
+    live.add_argument("--trace-format", choices=("chrome", "jsonl"),
+                      default="chrome",
+                      help="export format for --trace-out")
     args = parser.parse_args(argv)
     handlers = {
         "version": _cmd_version,
@@ -292,6 +354,7 @@ def main(argv=None) -> int:
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "health": _cmd_health,
+        "live": _cmd_live,
     }
     if args.command is None:
         parser.print_help()

@@ -38,8 +38,8 @@ from repro.giop.types import decode_any, encode_any, to_any
 from repro.obs.spans import SpanEmitter
 from repro.orb.orb import Orb
 from repro.orb.proxy import ObjectProxy
-from repro.simnet.process import Process
-from repro.simnet.trace import NULL_TRACER, Tracer
+from repro.runtime.interfaces import Host
+from repro.runtime.trace import NULL_TRACER, Tracer
 
 # Produced replies are handed here: (connection, reply_bytes)
 ReplySink = Callable[[ConnectionKey, bytes], None]
@@ -52,7 +52,7 @@ class ReplicaContainer:
 
     def __init__(
         self,
-        process: Process,
+        process: Host,
         group_id: str,
         servant: Optional[Checkpointable],
         config: EternalConfig,

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, Set, TYPE_CHECKING
 
 from repro.core.envelope import ReplicaFault
-from repro.simnet.clock import PeriodicTimer
+from repro.runtime.timers import PeriodicTimer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.replication import ReplicaBinding, ReplicationMechanisms

@@ -30,7 +30,7 @@ from repro.giop.messages import (
     encode_message,
 )
 from repro.obs.spans import SpanEmitter
-from repro.simnet.trace import NULL_TRACER, Tracer
+from repro.runtime.trace import NULL_TRACER, Tracer
 
 SendFn = Callable[[IiopEnvelope], None]
 

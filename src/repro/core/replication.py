@@ -49,8 +49,8 @@ from repro.errors import ReplicationError
 from repro.ftcorba.generic_factory import GenericFactory
 from repro.ftcorba.properties import ReplicationStyle
 from repro.giop.ior import IOR
-from repro.simnet.clock import PeriodicTimer
-from repro.simnet.trace import NULL_TRACER, Tracer
+from repro.runtime.timers import PeriodicTimer
+from repro.runtime.trace import NULL_TRACER, Tracer
 from repro.totem.member import TotemMember, View
 
 # Replica status values

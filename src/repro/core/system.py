@@ -1,9 +1,14 @@
-"""The :class:`EternalSystem` facade: a whole simulated Eternal deployment.
+"""Substrate-independent assembly of an Eternal deployment.
 
-Assembles the substrate (scheduler, Ethernet-like network, fault injector),
-one protocol stack per node (process → endpoint → Totem ring member →
-Replication/Recovery Mechanisms), and the managers on a designated manager
-node.  This is the entry point examples, tests, and benchmarks use.
+:class:`SystemCore` wires one protocol stack per node (host → transport →
+Totem ring member → Replication/Recovery Mechanisms) plus the managers on
+a designated manager node, without committing to a substrate.  Two
+subclasses provide the world the stacks run in:
+
+* :class:`repro.simnet.system.EternalSystem` — the deterministic
+  discrete-event simulator (re-exported here for compatibility);
+* :class:`repro.live.system.LiveSystem` — asyncio over real UDP sockets
+  and the wall clock.
 
 Typical use::
 
@@ -35,12 +40,8 @@ from repro.ftcorba.properties import FTProperties
 from repro.giop.ior import IOR
 from repro.obs.exporters import export_chrome_trace, export_jsonl
 from repro.obs.metrics import MetricsRegistry
-from repro.simnet.endpoint import Endpoint
-from repro.simnet.faults import FaultInjector
-from repro.simnet.network import ETHERNET_100MBPS, Network, NetworkConfig
-from repro.simnet.process import Process
-from repro.simnet.scheduler import Scheduler
-from repro.simnet.trace import Tracer
+from repro.runtime.interfaces import Host, Transport
+from repro.runtime.trace import Tracer
 from repro.totem.config import TotemConfig
 from repro.totem.member import TotemMember
 
@@ -48,10 +49,10 @@ from repro.totem.member import TotemMember
 class NodeStack:
     """One node's live protocol stack (rebuilt from scratch on restart)."""
 
-    def __init__(self, system: "EternalSystem", process: Process) -> None:
+    def __init__(self, system: "SystemCore", process: Host) -> None:
         self.system = system
         self.process = process
-        self.endpoint: Optional[Endpoint] = None
+        self.endpoint: Optional[Transport] = None
         self.totem: Optional[TotemMember] = None
         self.mechanisms: Optional[ReplicationMechanisms] = None
         self.build()
@@ -62,12 +63,12 @@ class NodeStack:
         return self.process.node_id
 
     def build(self) -> None:
-        """(Re)construct the stack: a fresh endpoint, a fresh ring member
+        """(Re)construct the stack: a fresh transport, a fresh ring member
         (which joins the ring as a history-less member), and fresh empty
         mechanisms.  Replica re-placement is the Replication Manager's job."""
         system = self.system
         first_build = self.mechanisms is None
-        self.endpoint = Endpoint(self.process, system.network)
+        self.endpoint = system._make_transport(self.process)
         self.totem = TotemMember(
             self.endpoint, system.totem_config,
             on_deliver=lambda origin, payload: None,   # mechanisms rebind
@@ -88,7 +89,7 @@ class NodeStack:
 class GroupHandle:
     """Convenience handle over one deployed object group."""
 
-    def __init__(self, system: "EternalSystem", group_id: str) -> None:
+    def __init__(self, system: "SystemCore", group_id: str) -> None:
         self.system = system
         self.group_id = group_id
 
@@ -159,33 +160,37 @@ class GroupHandle:
         )
 
 
-class EternalSystem:
-    """A complete simulated deployment of the Eternal system."""
+class SystemCore:
+    """A complete deployment of the Eternal system over some substrate.
 
-    def __init__(
+    Subclasses own the substrate (clock, hosts, transports, fault
+    injection) and call :meth:`_init_core` then :meth:`_add_stack` per
+    node; everything else — deployment, group handles, introspection,
+    trace export — is shared.
+    """
+
+    # Subclasses must define: ``now`` (property), ``_make_transport``,
+    # ``kill_node``, ``restart_node``, and a way to advance time
+    # (``run_for``/``wait_for`` — synchronous in the simulator, ``async``
+    # in the live runtime).
+
+    def _init_core(
         self,
         node_ids: List[str],
         *,
-        seed: int = 0,
-        network_config: NetworkConfig = ETHERNET_100MBPS,
-        totem_config: Optional[TotemConfig] = None,
-        eternal_config: Optional[EternalConfig] = None,
-        manager_node: Optional[str] = None,
-        keep_trace_records: bool = False,
+        totem_config: Optional[TotemConfig],
+        eternal_config: Optional[EternalConfig],
+        manager_node: Optional[str],
+        keep_trace_records: bool,
     ) -> None:
         if not node_ids:
             raise SimulationError("need at least one node")
-        self.scheduler = Scheduler()
         self.tracer = Tracer(keep_records=keep_trace_records)
-        self.tracer.bind_clock(lambda: self.scheduler.now)
+        self.tracer.bind_clock(lambda: self.now)
         # The metrics registry rides the trace stream: every completed span
         # becomes a latency sample, with or without record retention.
         self.metrics = MetricsRegistry()
         self.metrics.bind(self.tracer)
-        self.network = Network(self.scheduler, network_config,
-                               tracer=self.tracer)
-        self.faults = FaultInjector(self.network, seed=seed,
-                                    tracer=self.tracer)
         self.totem_config = totem_config or TotemConfig()
         self.eternal_config = eternal_config or EternalConfig()
         self.factories = FactoryRegistry()
@@ -195,13 +200,17 @@ class EternalSystem:
         self.evolution_manager: Optional[EvolutionManager] = None
         self.resource_manager = ResourceManager(self.factories)
         self.auditor = None    # set by attach_auditor()
-
         self.stacks: Dict[str, NodeStack] = {}
-        for node_id in node_ids:
-            process = Process(self.scheduler, node_id, tracer=self.tracer)
-            self.stacks[node_id] = NodeStack(self, process)
-        # All nodes are up at t=0; view events keep this current afterwards.
-        self.resource_manager.set_alive(set(node_ids))
+
+    def _add_stack(self, process: Host) -> NodeStack:
+        stack = NodeStack(self, process)
+        self.stacks[process.node_id] = stack
+        return stack
+
+    def _make_transport(self, process: Host) -> Transport:
+        """Build the substrate's transport for one host (called on every
+        stack build, including rebuilds after a restart)."""
+        raise NotImplementedError
 
     def _attach_managers(self, mechanisms: ReplicationMechanisms) -> None:
         """(Re)bind the managers to the manager node's current stack."""
@@ -233,44 +242,25 @@ class EternalSystem:
         """Deploy a replicated object group; returns its handle.
 
         The deployment becomes effective when the GroupUpdate envelope is
-        delivered (run the simulation briefly)."""
+        delivered (let the system run briefly)."""
         self.replication_manager.create_group(
             group_id, type_id, properties or FTProperties(), nodes
         )
         return GroupHandle(self, group_id)
 
     # ------------------------------------------------------------------
-    # Running
+    # Time and faults (substrate-specific)
     # ------------------------------------------------------------------
 
     @property
     def now(self) -> float:
-        return self.scheduler.now
-
-    def run_until(self, time: float) -> None:
-        self.scheduler.run_until(time)
-
-    def run_for(self, duration: float) -> None:
-        self.scheduler.run_until(self.scheduler.now + duration)
-
-    def wait_for(self, predicate: Callable[[], bool],
-                 timeout: float = 10.0) -> bool:
-        """Run until ``predicate()`` is true; False on timeout."""
-        return self.scheduler.run_while(lambda: not predicate(), timeout)
-
-    # ------------------------------------------------------------------
-    # Fault injection
-    # ------------------------------------------------------------------
+        raise NotImplementedError
 
     def kill_node(self, node_id: str) -> None:
-        if node_id not in self.stacks:
-            raise UnknownNode(node_id)
-        self.faults.crash(node_id)
+        raise NotImplementedError
 
     def restart_node(self, node_id: str) -> None:
-        if node_id not in self.stacks:
-            raise UnknownNode(node_id)
-        self.faults.restart(node_id)
+        raise NotImplementedError
 
     def hang_replica(self, group_id: str, node_id: str) -> None:
         """Inject a replica-hang fault: the servant stops completing
@@ -334,3 +324,14 @@ class EternalSystem:
                 and all(s.totem.operational for s in live)
                 and all(set(s.totem.members) ==
                         {t.node_id for t in live} for s in live))
+
+
+def __getattr__(name):
+    # Lazy re-export: EternalSystem moved to repro.simnet.system, but a lot
+    # of call sites (and the strict_audit fixture) import it from here.
+    # Importing it eagerly would be circular (simnet.system imports this
+    # module), hence PEP 562.
+    if name == "EternalSystem":
+        from repro.simnet.system import EternalSystem
+        return EternalSystem
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,166 @@
+"""The ``python -m repro live`` scenario driver.
+
+Builds a :class:`~repro.live.system.LiveSystem` on loopback UDP, deploys
+one of the :data:`~repro.live.loadgen.LIVE_APPS` actively replicated
+across all non-manager nodes with a closed-loop driver streaming at it,
+then kills one replica, re-launches it, and reports the wall-clock
+recovery latency with the §5.1 per-phase breakdown — the live
+counterpart of the simulated Figure 6 numbers.
+
+Exit codes: 0 on a clean run, 1 if the ring/deployment/recovery fails or
+the consistency auditor reports findings, 2 if a produced artifact
+(health exposition) fails its self-check.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from repro.ftcorba.properties import FTProperties
+from repro.live.health_http import start_health_server
+from repro.live.loadgen import (
+    DRIVER_TYPE,
+    LIVE_APPS,
+    make_driver_factory,
+)
+from repro.live.system import LiveSystem
+
+
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
+async def _run(args) -> int:
+    node_ids = [f"n{i + 1}" for i in range(args.nodes)]
+    manager_node, server_nodes = node_ids[0], node_ids[1:]
+    app = LIVE_APPS[args.app]
+    system = LiveSystem(node_ids,
+                        keep_trace_records=bool(args.trace_out))
+    auditor = system.attach_auditor()
+    health_server = None
+    recovery_wall = None
+    try:
+        if args.health_port is not None:
+            health_server, port = await start_health_server(
+                system, args.health_port)
+            print(f"health exposition at http://127.0.0.1:{port}/")
+
+        # -- ring + deployment ------------------------------------------
+        if not await system.wait_for(system.ring_formed, timeout=15.0):
+            return _fail("Totem ring did not form within 15 s")
+        print(f"ring formed across {args.nodes} nodes at "
+              f"t={system.now * 1000:.0f} ms (wall clock)")
+
+        system.register_factory(app.type_id,
+                                app.make_factory(args.state_size),
+                                nodes=server_nodes)
+        group = system.create_group(
+            "app", app.type_id,
+            FTProperties(initial_replicas=len(server_nodes),
+                         min_replicas=1,
+                         fault_monitoring_interval=0.5),
+            nodes=server_nodes,
+        )
+        if not await system.wait_for(
+                lambda: all(group.is_operational_on(n)
+                            for n in server_nodes), timeout=15.0):
+            return _fail(f"app group never became operational on "
+                         f"{server_nodes}")
+        print(f"app {args.app!r} operational on {', '.join(server_nodes)} "
+              f"({args.state_size} B state)")
+
+        iogr = group.iogr().stringify()
+        system.register_factory(
+            DRIVER_TYPE, make_driver_factory(iogr, app.driver_op),
+            nodes=[manager_node])
+        driver_group = system.create_group(
+            "driver", DRIVER_TYPE,
+            FTProperties(initial_replicas=1, min_replicas=1,
+                         fault_monitoring_interval=0.5),
+            nodes=[manager_node],
+        )
+        if not await system.wait_for(
+                lambda: driver_group.is_operational_on(manager_node),
+                timeout=15.0):
+            return _fail("closed-loop driver never became operational")
+        driver = driver_group.servant_on(manager_node)
+        if not await system.wait_for(lambda: driver.acked >= 10,
+                                     timeout=15.0):
+            return _fail("no load flowing (driver got <10 replies in 15 s)")
+        t0 = system.now
+        print(f"closed-loop load flowing ({app.driver_op!r} invocations)")
+
+        # -- kill / recover ---------------------------------------------
+        victim = server_nodes[-1]
+        await system.run_for(max(0.0, (t0 + args.kill_after) - system.now))
+        print(f"killing {victim} at t={system.now - t0:.2f} s …")
+        system.kill_node(victim)
+        await system.run_for(args.downtime)
+        relaunched_at = system.now
+        print(f"re-launching {victim} after {args.downtime * 1000:.0f} ms "
+              f"downtime …")
+        system.restart_node(victim)
+        if not await system.wait_for(
+                lambda: group.is_operational_on(victim), timeout=30.0):
+            return _fail(f"replica on {victim} did not recover within 30 s")
+        recovery_wall = system.now - relaunched_at
+        acked_at_recovery = driver.acked
+        await system.wait_for(lambda: driver.acked > acked_at_recovery,
+                              timeout=10.0)
+
+        # -- let the remaining duration play out ------------------------
+        await system.run_for(max(0.0, (t0 + args.duration) - system.now))
+
+        # -- report ------------------------------------------------------
+        print(f"\nrecovered {victim} in {recovery_wall * 1000:.2f} ms "
+              f"(wall clock, re-launch → operational)")
+        print("\nper-phase breakdown (§5.1 steps, wall-clock ms):")
+        print(system.metrics.format_table(prefix="span.recovery",
+                                          scale=1000.0, unit="ms"))
+        progress = {n: app.progress_of(group.servant_on(n))
+                    for n in server_nodes
+                    if group.servant_on(n) is not None}
+        print(f"driver: sent={driver.sent} acked={driver.acked}")
+        print("replica progress: "
+              + " ".join(f"{n}={v}" for n, v in sorted(progress.items())))
+
+        if args.health_out or args.health_port is not None:
+            from repro.obs.health import parse_exposition, render_health
+            exposition = render_health(system, auditor=auditor)
+            try:
+                parse_exposition(exposition)
+            except ValueError as exc:
+                print(f"error: health exposition failed its self-check: "
+                      f"{exc}", file=sys.stderr)
+                return 2
+            if args.health_out:
+                with open(args.health_out, "w", encoding="utf-8") as fh:
+                    fh.write(exposition)
+                print(f"wrote health exposition to {args.health_out}")
+    finally:
+        if health_server is not None:
+            health_server.close()
+        system.close()
+
+    if args.trace_out:
+        written = system.export_trace(args.trace_out, fmt=args.trace_format)
+        print(f"wrote {written} trace events to {args.trace_out} "
+              f"({args.trace_format})")
+    auditor.finish()
+    print(auditor.summary())
+    return 0 if auditor.ok else 1
+
+
+def run_live(args) -> int:
+    """Entry point used by ``python -m repro live``."""
+    if args.nodes < 3:
+        return _fail("--nodes must be >= 3 (manager + at least two "
+                     "app replicas)")
+    if args.app not in LIVE_APPS:
+        return _fail(f"unknown app {args.app!r} "
+                     f"(choices: {', '.join(sorted(LIVE_APPS))})")
+    if args.kill_after >= args.duration:
+        return _fail("--kill-after must be less than --duration")
+    return asyncio.run(_run(args))

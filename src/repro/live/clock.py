@@ -1,0 +1,60 @@
+"""Wall-clock scheduler over an asyncio event loop.
+
+Implements :class:`repro.runtime.Scheduler` so the protocol stack's
+timers (token retransmission, gather deadlines, checkpoint intervals …)
+run on real time.  ``now`` is seconds since this scheduler was created —
+the same "seconds since the substrate started" convention the simulator
+uses, so protocol timeout constants carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Optional
+
+from repro.runtime.interfaces import Scheduler, TimerHandle
+
+
+class LiveTimerHandle(TimerHandle):
+    """Wraps an :class:`asyncio.TimerHandle`."""
+
+    __slots__ = ("_handle",)
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+
+    def cancel(self) -> None:
+        self._handle.cancel()
+
+
+class LiveScheduler(Scheduler):
+    """``call_at``/``call_after`` on an asyncio loop, wall-clock ``now``.
+
+    Unlike the simulator — where scheduling in the past is a programming
+    error and raises — a live substrate can observe "late" times simply
+    because wall time moved while code ran; past deadlines are clamped to
+    "as soon as possible".
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._epoch = self._loop.time()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds since this scheduler was created."""
+        return self._loop.time() - self._epoch
+
+    def call_at(self, time: float, fn: Callable[..., Any],
+                *args: Any) -> TimerHandle:
+        when = max(self._epoch + time, self._loop.time())
+        return LiveTimerHandle(self._loop.call_at(when, fn, *args))
+
+    def call_after(self, delay: float, fn: Callable[..., Any],
+                   *args: Any) -> TimerHandle:
+        return LiveTimerHandle(
+            self._loop.call_later(max(0.0, delay), fn, *args))

@@ -1,0 +1,54 @@
+"""Serve the :mod:`repro.obs.health` exposition over HTTP.
+
+A deliberately tiny HTTP/1.0 responder on asyncio streams — every
+request, whatever its path, gets a fresh Prometheus-style snapshot of
+the running :class:`~repro.live.system.LiveSystem`.  Good enough for
+``curl`` and a Prometheus scrape job pointed at
+``http://127.0.0.1:<port>/``; not a general web server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Tuple
+
+from repro.obs.health import render_health
+
+
+async def _handle(system, reader: asyncio.StreamReader,
+                  writer: asyncio.StreamWriter) -> None:
+    try:
+        # Drain the request head; we answer any method/path the same way.
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            if not line.rstrip(b"\r\n"):
+                break
+    except (asyncio.TimeoutError, ConnectionError):
+        writer.close()
+        return
+    try:
+        body = render_health(system, auditor=system.auditor).encode("utf-8")
+        status = b"200 OK"
+    except Exception as exc:   # snapshot raced a teardown — report, not die
+        body = f"health snapshot failed: {exc}\n".encode("utf-8")
+        status = b"500 Internal Server Error"
+    writer.write(b"HTTP/1.0 " + status + b"\r\n"
+                 b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                 + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                 + body)
+    try:
+        await writer.drain()
+    except ConnectionError:
+        pass
+    writer.close()
+
+
+async def start_health_server(system, port: int = 0,
+                              host: str = "127.0.0.1"
+                              ) -> Tuple[asyncio.AbstractServer, int]:
+    """Start serving health snapshots; returns ``(server, bound_port)``
+    (pass ``port=0`` for an ephemeral port)."""
+    server = await asyncio.start_server(
+        lambda r, w: _handle(system, r, w), host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    return server, bound_port

@@ -1,0 +1,154 @@
+"""Closed-loop load generation for the live runtime.
+
+:class:`ClosedLoopDriver` generalizes the paper's packet driver
+(:mod:`repro.apps.packet_driver`) to any target operation: it keeps
+exactly one two-way invocation in flight, each reply immediately
+triggering the next request.  Its whole behaviour is a deterministic
+function of its application state, so it can itself be actively
+replicated, and its recovery contract matches the packet driver's —
+after ``set_state()`` it re-issues the single in-flight invocation
+before anything new, keeping its recovered ORB's request_ids aligned
+with the Interceptor's rewrite offset (§4.2.1).
+
+:data:`LIVE_APPS` maps the ``--app`` CLI choices to the servant under
+test plus the operation the driver streams at it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+from repro.apps.counter import CounterServant
+from repro.apps.kvstore import make_kvstore_factory
+from repro.ftcorba.checkpointable import Checkpointable, InvalidState
+from repro.giop.ior import IOR
+from repro.giop.messages import ReplyMessage, ReplyStatus
+
+DRIVER_TYPE = "IDL:repro/ClosedLoopDriver:1.0"
+
+
+class ClosedLoopDriver(Checkpointable):
+    """Streams ``op_name(sent)`` invocations at a replicated target."""
+
+    type_id = DRIVER_TYPE
+
+    def __init__(self, target_ior: str, op_name: str, *,
+                 max_invocations: int = 0) -> None:
+        self._target_ior = target_ior
+        self._op_name = op_name
+        self._max_invocations = max_invocations     # 0: unbounded
+        self.sent = 0           # invocations issued so far
+        self.acked = 0          # replies received so far
+        self.last_result: Any = None
+        self._proxy = None
+
+    # ------------------------------------------------------------------
+    # Application logic (deterministic function of state)
+    # ------------------------------------------------------------------
+
+    def _ensure_proxy(self):
+        if self._proxy is None:
+            container = self._eternal_container
+            self._proxy = container.connect(IOR.from_string(self._target_ior))
+        return self._proxy
+
+    def _invoke(self, token: int) -> None:
+        self._ensure_proxy().invoke(self._op_name, token,
+                                    on_reply=self._on_reply)
+
+    def _send_next(self) -> None:
+        if self._max_invocations and self.sent >= self._max_invocations:
+            return
+        token = self.sent
+        self.sent += 1
+        self._invoke(token)
+
+    def _on_reply(self, reply: ReplyMessage) -> None:
+        if reply.reply_status is not ReplyStatus.NO_EXCEPTION:
+            return
+        self.acked += 1
+        self.last_result = reply.result
+        self._send_next()
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (called by the replica container)
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Initial kick: begin the invocation stream."""
+        if self.sent == 0:
+            self._send_next()
+
+    def resume(self) -> None:
+        """Post-recovery: re-issue the in-flight invocation, if any; the
+        Interceptor suppresses the duplicate on the wire."""
+        if self.sent > self.acked:
+            self._invoke(self.sent - 1)
+        elif self.sent == 0:
+            self._send_next()
+
+    # ------------------------------------------------------------------
+    # Checkpointable
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> Any:
+        return {"sent": self.sent, "acked": self.acked,
+                "last_result": self.last_result}
+
+    def set_state(self, state: Any) -> None:
+        try:
+            self.sent = int(state["sent"])
+            self.acked = int(state["acked"])
+            self.last_result = state["last_result"]
+        except (TypeError, KeyError, ValueError) as exc:
+            raise InvalidState(f"bad driver state: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class LiveApp:
+    """One servant the live CLI can deploy, and how to drive it."""
+
+    name: str
+    type_id: str
+    driver_op: str
+    make_factory: Callable[[int], Callable[[], Any]]
+    #: Reads the comparable progress value out of a servant instance, so
+    #: the CLI can print cross-replica consistency at the end of a run.
+    progress_of: Callable[[Any], Any]
+
+
+def _counter_factory(state_size: int) -> Callable[[], CounterServant]:
+    # The counter's whole state is one integer; state_size is meaningless
+    # for it and deliberately ignored.
+    return CounterServant
+
+
+LIVE_APPS = {
+    "counter": LiveApp(
+        name="counter",
+        type_id=CounterServant.type_id,
+        driver_op="increment",
+        make_factory=_counter_factory,
+        progress_of=lambda servant: servant.value,
+    ),
+    "kvstore": LiveApp(
+        name="kvstore",
+        type_id="IDL:repro/KvStore:1.0",
+        driver_op="echo",
+        make_factory=make_kvstore_factory,
+        progress_of=lambda servant: servant.echo_count,
+    ),
+}
+
+
+def make_driver_factory(target_ior: str, op_name: str, *,
+                        max_invocations: int = 0
+                        ) -> Callable[[], ClosedLoopDriver]:
+    """Build a zero-argument :class:`ClosedLoopDriver` constructor, for
+    callers (the live CLI) that create the driver only once the hosting
+    node is up."""
+    def factory() -> ClosedLoopDriver:
+        return ClosedLoopDriver(target_ior, op_name,
+                                max_invocations=max_invocations)
+    return factory

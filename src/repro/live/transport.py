@@ -1,0 +1,232 @@
+"""UDP transport for the live runtime.
+
+Each node owns one non-blocking UDP socket on loopback.  Unicast goes
+straight to the destination node's port; broadcast goes to a
+:class:`SegmentDispatcher` — a tiny software switch that forwards every
+frame to *all* member ports, the sender's included, emulating the shared
+Ethernet segment of the paper's testbed (Totem relies on self-delivery
+of its own multicasts).
+
+Frames are pickled ``(src, payload)`` pairs.  That is fine for a
+loopback experiment where both ends are this very process, and keeps the
+protocol objects (Totem messages carrying IIOP envelopes) unchanged on
+the wire; it is **not** a safe wire format across trust boundaries —
+see the loopback caveats in EXPERIMENTS.md.
+
+The MTU contract is enforced on the *declared* ``size_bytes`` of each
+payload, exactly like the simulator's network model: the ring member
+fragments application messages to honest 1500-byte Ethernet frames even
+though the loopback interface would happily carry 64 KB datagrams.  The
+pickled representation is larger than the declared size; loopback's real
+MTU (65 536) absorbs the encoding overhead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import socket
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.runtime.interfaces import Host, Transport
+from repro.runtime.trace import NULL_TRACER, Tracer
+
+Address = Tuple[str, int]
+
+#: Largest declared payload per frame — the simulator's Ethernet model
+#: (1518-byte frame minus the 18-byte header) so fragment counts, and
+#: therefore recovery-vs-state-size behaviour, match the simulation.
+LIVE_MTU_PAYLOAD = 1500
+
+_MAGIC = b"ET1\x00"
+_HEADER = struct.Struct("!4sH")     # magic, src-id length
+
+
+def encode_frame(src: str, payload: Any) -> bytes:
+    """Encode one frame: magic, source node id, pickled payload."""
+    src_bytes = src.encode("utf-8")
+    return (_HEADER.pack(_MAGIC, len(src_bytes)) + src_bytes
+            + pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def decode_frame(data: bytes) -> Tuple[str, Any]:
+    """Decode a frame back into ``(src, payload)``; raises
+    :class:`NetworkError` on anything malformed."""
+    if len(data) < _HEADER.size:
+        raise NetworkError(f"short frame ({len(data)} bytes)")
+    magic, src_len = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise NetworkError(f"bad frame magic {magic!r}")
+    end = _HEADER.size + src_len
+    if len(data) < end:
+        raise NetworkError("truncated frame source id")
+    src = data[_HEADER.size:end].decode("utf-8")
+    try:
+        payload = pickle.loads(data[end:])
+    except Exception as exc:
+        raise NetworkError(f"undecodable frame payload: {exc}") from exc
+    return src, payload
+
+
+def bind_udp_socket(port: int = 0) -> socket.socket:
+    """A non-blocking UDP socket bound to loopback.
+
+    ``SO_REUSEADDR`` lets a restarted node re-bind the port its peers
+    already know (their peer table is fixed at system construction)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind(("127.0.0.1", port))
+    sock.setblocking(False)
+    return sock
+
+
+class UdpTransport(Transport):
+    """One node's attachment to the emulated segment (see module docstring).
+
+    A process restart builds a *new* transport on a *new* socket bound to
+    the same port; this one is closed by the node wrapper, exactly as the
+    simulator's network detaches a crashed process's endpoint.
+    """
+
+    def __init__(
+        self,
+        process: Host,
+        sock: socket.socket,
+        peers: Dict[str, Address],
+        segment_addr: Address,
+        *,
+        mtu_payload: int = LIVE_MTU_PAYLOAD,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        super().__init__(process)
+        self._sock = sock
+        self._peers = peers
+        self._segment_addr = segment_addr
+        self._mtu_payload = mtu_payload
+        self._tracer = tracer
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    @property
+    def mtu_payload(self) -> int:
+        return self._mtu_payload
+
+    @property
+    def local_addr(self) -> Address:
+        return self._sock.getsockname()
+
+    # ------------------------------------------------------------------
+    # Socket lifecycle
+    # ------------------------------------------------------------------
+
+    def open(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Start reading: frames arriving on the socket are dispatched on
+        the event loop thread."""
+        self._loop = loop
+        loop.add_reader(self._sock.fileno(), self._on_readable)
+
+    def close(self) -> None:
+        """Stop reading and release the socket (SIGKILL-style: anything
+        in flight to this port is dropped by the kernel)."""
+        if self._loop is not None:
+            self._loop.remove_reader(self._sock.fileno())
+            self._loop = None
+        self._sock.close()
+
+    def _on_readable(self) -> None:
+        while True:
+            try:
+                data, _addr = self._sock.recvfrom(65536)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                # e.g. ECONNREFUSED surfaced from a prior send to a dead
+                # peer's port (Linux reports the ICMP error on the socket).
+                continue
+            if not self.process.alive:
+                continue
+            try:
+                src, payload = decode_frame(data)
+            except NetworkError:
+                self._tracer.emit("live", "bad_frame", node=self.node_id,
+                                  size=len(data))
+                continue
+            self.deliver(src, payload)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def _check_size(self, size_bytes: int) -> None:
+        if size_bytes > self._mtu_payload:
+            raise NetworkError(
+                f"payload of {size_bytes} bytes exceeds the MTU "
+                f"({self._mtu_payload} bytes) — fragment it first"
+            )
+
+    def _send(self, data: bytes, addr: Address) -> None:
+        try:
+            self._sock.sendto(data, addr)
+        except OSError:
+            # Dead peer (port closed) or transient buffer pressure: UDP
+            # semantics — drop the frame; Totem's retransmission machinery
+            # owns reliability.
+            self._tracer.emit("live", "send_drop", node=self.node_id)
+
+    def unicast(self, dst: str, payload: Any, size_bytes: int) -> None:
+        self._check_size(size_bytes)
+        try:
+            addr = self._peers[dst]
+        except KeyError:
+            raise NetworkError(f"unknown destination node {dst!r}") from None
+        self._send(encode_frame(self.node_id, payload), addr)
+
+    def broadcast(self, payload: Any, size_bytes: int) -> None:
+        self._check_size(size_bytes)
+        self._send(encode_frame(self.node_id, payload), self._segment_addr)
+
+
+class SegmentDispatcher:
+    """The emulated shared segment: one UDP socket that forwards every
+    datagram it receives to all member ports (the origin included — the
+    source id travels inside the frame, so forwarding is verbatim)."""
+
+    def __init__(self) -> None:
+        self._sock = bind_udp_socket()
+        self._members: List[Address] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    @property
+    def addr(self) -> Address:
+        return self._sock.getsockname()
+
+    def set_members(self, addrs: List[Address]) -> None:
+        self._members = list(addrs)
+
+    def add_member(self, addr: Address) -> None:
+        self._members.append(addr)
+
+    def open(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        loop.add_reader(self._sock.fileno(), self._on_readable)
+
+    def close(self) -> None:
+        if self._loop is not None:
+            self._loop.remove_reader(self._sock.fileno())
+            self._loop = None
+        self._sock.close()
+
+    def _on_readable(self) -> None:
+        while True:
+            try:
+                data, _addr = self._sock.recvfrom(65536)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                continue
+            for member in self._members:
+                try:
+                    self._sock.sendto(data, member)
+                except OSError:
+                    continue

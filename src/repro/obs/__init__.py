@@ -1,6 +1,6 @@
 """Observability: metrics, causal span tracing, and trace export.
 
-The subsystem is layered on :class:`repro.simnet.trace.Tracer` — spans are
+The subsystem is layered on :class:`repro.runtime.trace.Tracer` — spans are
 ordinary trace records in the ``span`` category, so one stream feeds every
 consumer:
 

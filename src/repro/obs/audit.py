@@ -47,7 +47,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.identifiers import ConnectionKey, DuplicateFilter, OpKind, OperationId
 from repro.obs.spans import SPAN_CATEGORY, SpanTracker
-from repro.simnet.trace import TraceRecord, Tracer
+from repro.runtime.trace import TraceRecord, Tracer
 
 AUDIT_CATEGORY = "audit"
 

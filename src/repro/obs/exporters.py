@@ -16,7 +16,7 @@ import json
 from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
 
 from repro.obs.spans import SPAN_CATEGORY, SpanTracker
-from repro.simnet.trace import TraceRecord
+from repro.runtime.trace import TraceRecord
 
 Destination = Union[str, TextIO]
 
@@ -81,14 +81,14 @@ def chrome_trace_events(records: Iterable[TraceRecord],
         event: Dict[str, Any] = {
             "name": span.name,
             "cat": SPAN_CATEGORY,
-            "ts": span.start * 1e6,
+            "ts": round(span.start * 1e6, 3),
             "args": _jsonable({**span.attrs, "span_id": span.span_id,
                                "parent_id": span.parent_id}),
             **lane,
         }
         if span.complete:
             event["ph"] = "X"
-            event["dur"] = (span.end - span.start) * 1e6
+            event["dur"] = round((span.end - span.start) * 1e6, 3)
         else:
             event["ph"] = "B"       # unfinished: begin with no end
         events.append(event)
@@ -104,7 +104,7 @@ def chrome_trace_events(records: Iterable[TraceRecord],
                 "cat": record.category,
                 "ph": "i",
                 "s": "t",           # thread-scoped instant
-                "ts": record.time * 1e6,
+                "ts": round(record.time * 1e6, 3),
                 "args": _jsonable(record.fields),
                 **lane,
             })

@@ -12,7 +12,7 @@ while keeping memory proportional to the number of *occupied* buckets, not
 to the sample count.  Each bucket also tracks the sum of its samples, so a
 quantile that falls in a bucket holding identical values is exact.
 
-Bound to a :class:`~repro.simnet.trace.Tracer`
+Bound to a :class:`~repro.runtime.trace.Tracer`
 (:meth:`MetricsRegistry.bind`), the registry turns every completed span
 into a latency observation in ``span.<name>`` and maintains the
 ``spans.open`` gauge — the bench tables' p50/p95/p99 per recovery phase
@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.simnet.trace import TraceRecord, Tracer
+from repro.runtime.trace import TraceRecord, Tracer
 
 LabelKey = Tuple[Tuple[str, str], ...]
 

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.obs.spans import Span, SpanTracker
-from repro.simnet.trace import Tracer
+from repro.runtime.trace import Tracer
 
 #: Phase (child-span) names in protocol order.
 RECOVERY_PHASES = ("announce", "quiesce", "capture", "xfer", "apply",

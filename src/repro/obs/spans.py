@@ -24,7 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.simnet.trace import TraceRecord, Tracer
+from repro.runtime.trace import TraceRecord, Tracer
 
 SPAN_CATEGORY = "span"
 START_EVENT = "span_start"

@@ -1,0 +1,40 @@
+"""Substrate abstractions shared by the simulator and the live runtime.
+
+The protocol stack (Totem ring member, Replication/Recovery Mechanisms,
+replica containers, managers) is written against the narrow interfaces in
+:mod:`repro.runtime.interfaces` — a clock/scheduler, a crashable host, and
+a transport with payload-type dispatch.  Two substrates implement them:
+
+* :mod:`repro.simnet` — the deterministic discrete-event simulator
+  (simulated time, modelled Ethernet);
+* :mod:`repro.live` — asyncio over real UDP sockets and the wall clock.
+
+:mod:`repro.runtime.trace` and :mod:`repro.runtime.timers` hold the tracer
+and periodic-timer utilities, which are substrate-independent and used by
+both.
+"""
+
+from repro.runtime.interfaces import (
+    Clock,
+    Host,
+    Scheduler,
+    TimerHandle,
+    Transport,
+)
+from repro.runtime.host import BaseHost
+from repro.runtime.timers import PeriodicTimer
+from repro.runtime.trace import NULL_TRACER, NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "BaseHost",
+    "Clock",
+    "Host",
+    "NULL_TRACER",
+    "NullTracer",
+    "PeriodicTimer",
+    "Scheduler",
+    "TimerHandle",
+    "TraceRecord",
+    "Tracer",
+    "Transport",
+]

@@ -1,0 +1,78 @@
+"""Timer helpers layered on any :class:`repro.runtime.Scheduler`.
+
+:class:`PeriodicTimer` drives recurring activities such as the
+checkpointing interval, the fault-monitoring (heartbeat) interval, and the
+Totem token retransmission timeout — on simulated or wall-clock time alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.runtime.interfaces import Scheduler, TimerHandle
+
+
+class PeriodicTimer:
+    """Calls ``fn`` every ``interval`` seconds until stopped.
+
+    The timer re-arms itself *after* each tick completes, so a tick that
+    crashes the owning process does not leave a dangling callback: ``stop()``
+    from the crash handler cancels the pending event.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        interval: float,
+        fn: Callable[[], Any],
+        *,
+        start: bool = True,
+        initial_delay: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self._scheduler = scheduler
+        self._interval = interval
+        self._fn = fn
+        self._event: Optional[TimerHandle] = None
+        self._running = False
+        if start:
+            self.start(initial_delay=initial_delay)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    def start(self, *, initial_delay: Optional[float] = None) -> None:
+        """Arm the timer; first tick after ``initial_delay`` (default: interval)."""
+        if self._running:
+            return
+        self._running = True
+        delay = self._interval if initial_delay is None else initial_delay
+        self._event = self._scheduler.call_after(delay, self._tick)
+
+    def stop(self) -> None:
+        """Disarm the timer; a pending tick is cancelled."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def reset(self) -> None:
+        """Restart the full interval from now (a heartbeat-watchdog 'kick')."""
+        if not self._running:
+            return
+        if self._event is not None:
+            self._event.cancel()
+        self._event = self._scheduler.call_after(self._interval, self._tick)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._fn()
+        if self._running:
+            self._event = self._scheduler.call_after(self._interval, self._tick)

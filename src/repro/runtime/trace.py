@@ -1,0 +1,152 @@
+"""Structured event tracing and counters.
+
+Substrate-independent: both the simulator and the live runtime bind their
+clock via :meth:`Tracer.bind_clock`.
+
+Benches and tests observe the system through a :class:`Tracer`: every layer
+emits ``(time, category, event, fields)`` records and bumps named counters.
+The Figure-6 bench, for instance, counts ``totem.frame`` events to verify that
+recovery time grows with the number of multicast frames carrying the state.
+
+The tracer is also the transport for the observability layer in
+:mod:`repro.obs`: span lifecycles travel as ordinary records in the ``span``
+category (see :mod:`repro.obs.spans`), so exporters, the metrics registry,
+and the timeline tools all read one stream.
+
+Filtering semantics (see :meth:`Tracer.emit`):
+
+* **counters always update**, regardless of configuration;
+* ``enabled_categories`` gates *both* record retention and subscriber
+  notification, uniformly — a disabled category is invisible to every
+  consumer of the record stream, while its counters keep counting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    category: str
+    event: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kv = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"[{self.time:.6f}] {self.category}.{self.event} {kv}"
+
+
+class Tracer:
+    """Collects trace records and counters.
+
+    ``enabled_categories`` restricts the record stream (retention *and*
+    subscriber delivery; counters always update); record retention can be
+    disabled entirely for long benches with ``keep_records=False`` —
+    subscribers still see every (enabled) record live.
+    """
+
+    def __init__(
+        self,
+        *,
+        keep_records: bool = True,
+        enabled_categories: Optional[set] = None,
+    ) -> None:
+        self.records: List[TraceRecord] = []
+        self.counters: Counter = Counter()
+        self._keep_records = keep_records
+        self._enabled = enabled_categories
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+        self._now: Callable[[], float] = lambda: 0.0
+        #: Span ids currently open on this trace stream; maintained by
+        #: :class:`repro.obs.spans.SpanEmitter` so that cross-component
+        #: spans end exactly once (``None`` disables the bookkeeping).
+        self.open_spans: Optional[Set[str]] = set()
+
+    def bind_clock(self, now: Callable[[], float]) -> None:
+        """Attach the simulation clock so records carry simulated time."""
+        self._now = now
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Register a live callback invoked for every emitted record.
+
+        Subscribers see the same filtered stream retention does: records of
+        categories outside ``enabled_categories`` are delivered to no one.
+        """
+        self._subscribers.append(fn)
+
+    def emit(self, category: str, event: str, **fields: Any) -> None:
+        """Record an event and bump its counter (``category.event``).
+
+        The counter updates unconditionally.  The record itself is produced
+        only if the category is enabled, and is then both retained (when
+        ``keep_records``) and fanned out to every subscriber — the category
+        filter applies uniformly to retention and subscription.
+        """
+        self.counters[f"{category}.{event}"] += 1
+        if self._enabled is not None and category not in self._enabled:
+            return
+        if not self._keep_records and not self._subscribers:
+            return
+        record = TraceRecord(self._now(), category, event, fields)
+        if self._keep_records:
+            self.records.append(record)
+        for fn in self._subscribers:
+            fn(record)
+
+    def count(self, key: str) -> int:
+        """Counter value for ``category.event`` (0 if never emitted)."""
+        return self.counters.get(key, 0)
+
+    def add(self, key: str, amount: int) -> None:
+        """Bump an arbitrary named counter by ``amount`` (e.g. bytes sent)."""
+        self.counters[key] += amount
+
+    def find(self, category: str, event: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Iterate retained records matching category (and optionally event)."""
+        for record in self.records:
+            if record.category != category:
+                continue
+            if event is not None and record.event != event:
+                continue
+            yield record
+
+    def clear(self) -> None:
+        """Drop retained records and reset all counters."""
+        self.records.clear()
+        self.counters.clear()
+        if self.open_spans is not None:
+            self.open_spans.clear()
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing, counts nothing, notifies no one.
+
+    Components constructed without an explicit tracer share the
+    :data:`NULL_TRACER` instance; a genuinely inert subclass guarantees the
+    singleton accumulates no state across unrelated components or tests
+    (the previous shared ``Tracer(keep_records=False)`` silently collected
+    counters from every use site).
+    """
+
+    def __init__(self) -> None:
+        super().__init__(keep_records=False)
+        self.open_spans = None      # no span bookkeeping either
+
+    def emit(self, category: str, event: str, **fields: Any) -> None:
+        """Discard the event entirely (not even counters update)."""
+
+    def add(self, key: str, amount: int) -> None:
+        """Discard the counter bump."""
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Ignore the subscription: a null tracer never emits records."""
+
+
+NULL_TRACER = NullTracer()
+"""The shared do-nothing tracer for components created without one."""

@@ -2,22 +2,22 @@
 
 A node hosts several protocol layers at once (the Totem ring member, and —
 for the unreplicated baseline used in the overhead benchmark — a raw
-point-to-point channel).  :class:`Endpoint` owns the node's single network
-attachment and routes incoming frames to the handler registered for the
-frame's payload type.
+point-to-point channel).  :class:`Endpoint` is the simulator's
+implementation of :class:`repro.runtime.Transport`: it owns the node's
+single attachment to the modelled Ethernet segment and routes incoming
+frames to the handler registered for the frame's payload type.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Type
+from typing import Any
 
+from repro.runtime.interfaces import Transport
 from repro.simnet.network import Network
 from repro.simnet.process import Process
 
-Handler = Callable[[str, Any], None]
 
-
-class Endpoint:
+class Endpoint(Transport):
     """Routes a node's incoming frames by payload class.
 
     Handlers survive nothing: a process restart rebuilds the protocol stack,
@@ -25,32 +25,13 @@ class Endpoint:
     """
 
     def __init__(self, process: Process, network: Network) -> None:
-        self.process = process
+        super().__init__(process)
         self.network = network
-        self._handlers: Dict[Type, Handler] = {}
-        network.attach(process, self._dispatch)
+        network.attach(process, self.deliver)
 
     @property
-    def node_id(self) -> str:
-        return self.process.node_id
-
-    def register(self, payload_type: Type, handler: Handler) -> None:
-        """Route frames whose payload is an instance of ``payload_type``
-        (exact class match first, then MRO walk) to ``handler``."""
-        self._handlers[payload_type] = handler
-
-    def unregister(self, payload_type: Type) -> None:
-        self._handlers.pop(payload_type, None)
-
-    def _dispatch(self, src: str, payload: Any) -> None:
-        handler = self._handlers.get(type(payload))
-        if handler is None:
-            for base in type(payload).__mro__[1:]:
-                handler = self._handlers.get(base)
-                if handler is not None:
-                    break
-        if handler is not None:
-            handler(src, payload)
+    def mtu_payload(self) -> int:
+        return self.network.config.mtu_payload
 
     # Convenience passthroughs -----------------------------------------
 

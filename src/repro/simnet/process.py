@@ -6,18 +6,20 @@ re-launched.  Components hosted on a process register crash/restart listeners
 so the whole stack (ORB, Eternal mechanisms, Totem member) tears down and
 rebuilds coherently — this is how the benches "kill and re-launch" a replica
 exactly as the paper's experiments did.
+
+All of the lifecycle machinery lives in :class:`repro.runtime.BaseHost`
+(the live runtime's ``LiveHost`` shares it); this subclass only pins the
+simulated-substrate types.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List
-
-from repro.errors import ProcessCrashed
+from repro.runtime.host import BaseHost
+from repro.runtime.trace import NULL_TRACER, Tracer
 from repro.simnet.scheduler import Scheduler
-from repro.simnet.trace import NULL_TRACER, Tracer
 
 
-class Process:
+class Process(BaseHost):
     """One crashable simulated process identified by ``node_id``."""
 
     def __init__(
@@ -27,87 +29,8 @@ class Process:
         *,
         tracer: Tracer = NULL_TRACER,
     ) -> None:
-        self.scheduler = scheduler
-        self.node_id = node_id
-        self.tracer = tracer
-        self._alive = True
-        self._incarnation = 0
-        self._announce_epoch = 0
-        self._crash_listeners: List[Callable[[], None]] = []
-        self._restart_listeners: List[Callable[[], None]] = []
-
-    # ------------------------------------------------------------------
-    # Liveness
-    # ------------------------------------------------------------------
-
-    @property
-    def alive(self) -> bool:
-        return self._alive
-
-    @property
-    def incarnation(self) -> int:
-        """Counts restarts; lets components detect stale callbacks."""
-        return self._incarnation
-
-    def next_announce_epoch(self) -> int:
-        """A per-process monotone counter for 'my volatile state is gone'
-        announcements — bumped on stack rebuilds after a restart and on
-        history loss in a partition merge, never reset."""
-        self._announce_epoch += 1
-        return self._announce_epoch
-
-    def check_alive(self) -> None:
-        """Raise :class:`ProcessCrashed` if the process is down."""
-        if not self._alive:
-            raise ProcessCrashed(f"process {self.node_id} is crashed")
-
-    def crash(self) -> None:
-        """Kill the process.  All hosted components are notified, volatile
-        state is lost, and in-flight deliveries to this process are dropped
-        by the network (it checks ``alive`` at delivery time)."""
-        if not self._alive:
-            return
-        self._alive = False
-        self.tracer.emit("process", "crash", node=self.node_id)
-        for listener in list(self._crash_listeners):
-            listener()
-
-    def restart(self) -> None:
-        """Re-launch the process with a fresh incarnation number."""
-        if self._alive:
-            return
-        self._alive = True
-        self._incarnation += 1
-        self.tracer.emit("process", "restart", node=self.node_id,
-                         incarnation=self._incarnation)
-        for listener in list(self._restart_listeners):
-            listener()
-
-    # ------------------------------------------------------------------
-    # Listener registration
-    # ------------------------------------------------------------------
-
-    def on_crash(self, fn: Callable[[], None]) -> None:
-        self._crash_listeners.append(fn)
-
-    def on_restart(self, fn: Callable[[], None]) -> None:
-        self._restart_listeners.append(fn)
-
-    # ------------------------------------------------------------------
-    # Scheduling helpers that respect liveness
-    # ------------------------------------------------------------------
-
-    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any):
-        """Schedule ``fn`` after ``delay``; it is silently skipped if the
-        process has crashed or restarted in the meantime."""
-        incarnation = self._incarnation
-
-        def guarded() -> None:
-            if self._alive and self._incarnation == incarnation:
-                fn(*args)
-
-        return self.scheduler.call_after(delay, guarded)
+        super().__init__(scheduler, node_id, tracer=tracer)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "up" if self._alive else "down"
-        return f"<Process {self.node_id} {state} inc={self._incarnation}>"
+        state = "up" if self.alive else "down"
+        return f"<Process {self.node_id} {state} inc={self.incarnation}>"

@@ -13,6 +13,8 @@ import itertools
 from typing import Any, Callable, Optional
 
 from repro.errors import ClockError, SimulationError
+from repro.runtime.interfaces import Scheduler as SchedulerInterface
+from repro.runtime.interfaces import TimerHandle
 
 
 class Event:
@@ -44,8 +46,14 @@ class Event:
         return f"<Event t={self.time:.6f} {name}{flag}>"
 
 
-class Scheduler:
-    """Event loop with simulated time.
+# Virtual registration: Event keeps its __slots__ (an ABC base would give it
+# a __dict__) yet satisfies isinstance checks against the interface.
+TimerHandle.register(Event)
+
+
+class Scheduler(SchedulerInterface):
+    """Event loop with simulated time — the discrete-event implementation
+    of :class:`repro.runtime.Scheduler`.
 
     ``now`` is the current simulated time in seconds.  The loop never runs
     wall-clock time; a full benchmark sweep completes in milliseconds of real

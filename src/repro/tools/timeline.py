@@ -1,6 +1,6 @@
 """Render human-readable timelines from trace records.
 
-The mechanisms emit structured events (see :mod:`repro.simnet.trace`);
+The mechanisms emit structured events (see :mod:`repro.runtime.trace`);
 this module turns them into the kind of annotated timeline the paper's
 protocol figures show — useful when debugging a recovery that misbehaves,
 and used by the examples to narrate what happened.
@@ -27,7 +27,7 @@ from repro.obs.report import (
     recovery_phase_report,
     render_phase_table,
 )
-from repro.simnet.trace import TraceRecord, Tracer
+from repro.runtime.trace import TraceRecord, Tracer
 
 _EVENT_LABELS = {
     ("process", "crash"): "process crashed",

@@ -11,7 +11,15 @@ State machine::
 
     OPERATIONAL --token timeout / JOIN seen--> GATHER
     GATHER      --gather deadline, leader FORM--> RECOVERY
-    RECOVERY    --flushed to flush_seq--> OPERATIONAL (new view installed)
+    RECOVERY    --flushed + commit rotation--> OPERATIONAL (view installed)
+
+Installation is gated on a two-pass *commit token* rotation of the forming
+ring (phase 1 confirms every member flushed; phase 2 installs), so a FORM
+computed from an incomplete join set — the sender missed joins under
+message loss — can never make a ring operational: its commit token dies at
+the first member not pending that exact configuration.  Tokens carry a
+``ring_key`` fingerprint because concurrent sibling rings formed from
+divergent gather sets collide on the bare ``ring_id``.
 
 A brand-new or re-launched member starts in GATHER with ``fresh=True``; on
 installation it skips all pre-join traffic (its ``delivered_aru`` jumps to
@@ -33,18 +41,17 @@ from zlib import crc32
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import NotInRing, TotemError
-from repro.simnet.endpoint import Endpoint
-from repro.simnet.scheduler import Event
 from repro.obs.spans import SpanEmitter
-from repro.simnet.trace import NULL_TRACER, Tracer
+from repro.runtime.interfaces import TimerHandle, Transport
+from repro.runtime.trace import NULL_TRACER, Tracer
 from repro.totem.config import TotemConfig
 from repro.totem.fragmentation import Fragmenter, Reassembler
-from repro.totem.messages import DataMsg, FormMsg, JoinMsg, ProbeMsg, Token
+from repro.totem.messages import (DATA_HEADER, DataMsg, FormMsg, JoinMsg,
+                                  ProbeMsg, Token)
 
 DeliverFn = Callable[[str, bytes], None]
 ViewFn = Callable[["View"], None]
 
-_DATA_HEADER = 32  # keep in sync with messages._DATA_HEADER
 
 
 class MemberState(enum.Enum):
@@ -71,7 +78,7 @@ class TotemMember:
 
     def __init__(
         self,
-        endpoint: Endpoint,
+        endpoint: Transport,
         config: TotemConfig,
         *,
         on_deliver: DeliverFn,
@@ -104,23 +111,30 @@ class TotemMember:
         self._order_ring_key = ""
 
         # Sending
-        max_chunk = endpoint.network.config.mtu_payload - _DATA_HEADER
+        max_chunk = endpoint.mtu_payload - DATA_HEADER
         self._fragmenter = Fragmenter(self.node_id, max_chunk)
         self._reassembler = Reassembler(observer=self._on_reassembly)
         self._send_queue: List[tuple] = []
         self._inflight: Dict[Tuple[Tuple[str, int], int], tuple] = {}
-        # Sequence numbers we broadcast whose loopback copy has not arrived
-        # yet; they must not be mistaken for gaps in the rtr scan.
-        self._own_pending: set = set()
 
         # Membership bookkeeping
         self.last_install_was_fresh = False
         self._joins: Dict[str, JoinMsg] = {}
         self._pending_form: Optional[FormMsg] = None
-        self._gather_deadline: Optional[Event] = None
-        self._join_timer: Optional[Event] = None
-        self._token_timer: Optional[Event] = None
-        self._recovery_deadline: Optional[Event] = None
+        self._ring_key = 0              # fingerprint of the installed ring
+        self._base_seen = 0             # base_seq of the installed ring
+        self._commit_started = False
+        self._stashed_commit: Optional[Token] = None
+        self._commit_retry: Optional[TimerHandle] = None
+        self._commit_retries = 0
+        self._ring_kicked = False
+        self._sent_token: Optional[Tuple[Token, str]] = None
+        self._token_retx: Optional[TimerHandle] = None
+        self._last_token_rot = -1
+        self._gather_deadline: Optional[TimerHandle] = None
+        self._join_timer: Optional[TimerHandle] = None
+        self._token_timer: Optional[TimerHandle] = None
+        self._recovery_deadline: Optional[TimerHandle] = None
         self._active = True
 
         self._last_probe = 0.0
@@ -162,7 +176,8 @@ class TotemMember:
             return
         self._active = False
         for event in (self._gather_deadline, self._join_timer,
-                      self._token_timer, self._recovery_deadline):
+                      self._token_timer, self._recovery_deadline,
+                      self._commit_retry, self._token_retx):
             if event is not None:
                 event.cancel()
 
@@ -173,8 +188,6 @@ class TotemMember:
     def _on_data(self, src: str, msg: DataMsg) -> None:
         if not self._active:
             return
-        if msg.sender == self.node_id:
-            self._own_pending.discard(msg.seq)
         if self.state is MemberState.OPERATIONAL \
                 and msg.sender not in self.members:
             # Foreign traffic: another ring exists (a healed partition).
@@ -230,10 +243,25 @@ class TotemMember:
     # ------------------------------------------------------------------
 
     def _on_token_frame(self, src: str, token: Token) -> None:
-        if not self._active or self.state is not MemberState.OPERATIONAL:
+        if not self._active:
             return
-        if token.ring_id != self.ring_id:
-            return  # stale token from a superseded ring
+        if token.commit_phase:
+            self._on_commit_token(token)
+            return
+        if self.state is not MemberState.OPERATIONAL:
+            return
+        if token.ring_key != self._ring_key:
+            return  # stale token, or a same-id sibling ring's token
+        if token.rotations <= self._last_token_rot:
+            # Duplicate: an upstream holder retransmitted a token we have
+            # already processed (see _on_token_retx).  The leader bumps
+            # ``rotations`` once per pass, so every member sees a strictly
+            # increasing value on genuine receipts.
+            return
+        self._last_token_rot = token.rotations
+        if self._token_retx is not None:
+            self._token_retx.cancel()
+            self._token_retx = None
         self._reset_token_timer()
         self.tracer.emit("totem", "token", node=self.node_id, seq=token.seq,
                          aru=token.aru)
@@ -250,7 +278,10 @@ class TotemMember:
                 unresolved.append(seq)
         token.rtr = unresolved
 
-        # 2. Broadcast queued fragments, up to the burst window.
+        # 2. Broadcast queued fragments, up to the burst window.  The
+        # sender retains its own frame directly (real-Totem semantics): a
+        # lost loopback copy must not stall delivery or leave nobody able
+        # to service a retransmission request for the sequence number.
         burst = min(self.config.max_burst, len(self._send_queue))
         for _ in range(burst):
             msg_id, index, count, chunk = self._send_queue.pop(0)
@@ -258,17 +289,17 @@ class TotemMember:
             msg = DataMsg(self.ring_id, token.seq, self.node_id,
                           msg_id, index, count, chunk)
             self._inflight[(msg_id, index)] = (msg_id, index, count, chunk)
-            self._own_pending.add(token.seq)
+            self._held[token.seq] = msg
             self._broadcast_frame(msg)
+        if burst:
+            self._try_deliver()
 
-        # 3. Request retransmission of our genuine gaps (messages we just
-        # broadcast are still looping back — not gaps).
+        # 3. Request retransmission of our genuine gaps.
         budget = 64
         for seq in range(self.delivered_aru + 1, token.seq + 1):
             if budget == 0:
                 break
-            if (seq not in self._held and seq not in token.rtr
-                    and seq not in self._own_pending):
+            if seq not in self._held and seq not in token.rtr:
                 token.rtr.append(seq)
                 budget -= 1
 
@@ -310,7 +341,7 @@ class TotemMember:
         # 6. Forward to the ring successor after the hold time.
         successor = self._successor()
         forwarded = Token(token.ring_id, token.seq, token.aru, token.aru_id,
-                          list(token.rtr), token.rotations)
+                          list(token.rtr), token.rotations, token.ring_key)
         self.endpoint.process.call_after(
             self.config.token_hold,
             self._forward_token, forwarded, successor,
@@ -319,9 +350,47 @@ class TotemMember:
     def _forward_token(self, token: Token, successor: str) -> None:
         if not self._active or self.state is not MemberState.OPERATIONAL:
             return
-        if token.ring_id != self.ring_id:
+        if token.ring_key != self._ring_key:
             return
         self.endpoint.unicast(successor, token, token.size_bytes)
+        # Retain a private copy for loss repair: the in-flight object is
+        # mutated by the receiver's processing, so the retransmission must
+        # snapshot the state as sent.
+        self._sent_token = (Token(token.ring_id, token.seq, token.aru,
+                                  token.aru_id, list(token.rtr),
+                                  token.rotations, token.ring_key),
+                            successor)
+        self._arm_token_retx()
+
+    def _arm_token_retx(self) -> None:
+        if self._token_retx is not None:
+            self._token_retx.cancel()
+        self._token_retx = self.endpoint.process.call_after(
+            self.config.token_timeout / 4, self._on_token_retx
+        )
+
+    def _on_token_retx(self) -> None:
+        """The ring has been silent since we forwarded the token: assume
+        the token frame was lost somewhere downstream and re-unicast our
+        copy.  Every holder upstream of the loss point does the same; all
+        but the one bridging the lost hop are dropped as duplicates by the
+        rotation-count check in _on_token_frame."""
+        self._token_retx = None
+        if not self._active or self.state is not MemberState.OPERATIONAL:
+            return
+        if self._sent_token is None:
+            return
+        token, successor = self._sent_token
+        if token.ring_key != self._ring_key:
+            return
+        self.tracer.emit("totem", "token_retx", node=self.node_id,
+                         seq=token.seq, rotation=token.rotations)
+        # Clone per retransmission: a delivered copy is mutated by its
+        # receiver, and the snapshot must stay pristine for further tries.
+        resend = Token(token.ring_id, token.seq, token.aru, token.aru_id,
+                       list(token.rtr), token.rotations, token.ring_key)
+        self.endpoint.unicast(successor, resend, resend.size_bytes)
+        self._arm_token_retx()
 
     def _successor(self) -> str:
         index = self.members.index(self.node_id)
@@ -380,8 +449,13 @@ class TotemMember:
     def _enter_gather(self) -> None:
         self.state = MemberState.GATHER
         self._pending_form = None
+        self._commit_started = False
+        self._stashed_commit = None
+        self._commit_retries = 0
+        self._ring_kicked = False
         self._joins = {}
-        for event in (self._token_timer, self._recovery_deadline):
+        for event in (self._token_timer, self._recovery_deadline,
+                      self._commit_retry, self._token_retx):
             if event is not None:
                 event.cancel()
         self.tracer.emit("totem", "gather", node=self.node_id)
@@ -401,6 +475,7 @@ class TotemMember:
             held=frozenset(self._held),
             fresh=self.fresh,
             view_members=self.members,
+            base_seen=self._base_seen,
         )
 
     def _broadcast_join(self) -> None:
@@ -430,6 +505,10 @@ class TotemMember:
 
     def _on_join(self, src: str, join: JoinMsg) -> None:
         if not self._active:
+            return
+        if src == self.node_id:
+            # Our own loopback copy: already recorded locally, and it must
+            # not "interrupt" a recovery we started after broadcasting it.
             return
         if self.state is MemberState.OPERATIONAL:
             # A member (re)joining disturbs the ring: reform it.
@@ -479,6 +558,22 @@ class TotemMember:
                 fresh_members.extend(j.sender for j in component)
         surviving = [j for j in joins
                      if not j.fresh and j.sender not in fresh_members]
+        if surviving:
+            # Lineage-conflict guard: a member stuck on an older ring
+            # generation whose delivered_aru extends past the newest
+            # generation's base delivered into sequence numbers the newer
+            # lineage reassigned after truncating its flush — the two
+            # histories conflict, so the laggard rejoins fresh.
+            newest_ring = max(j.ring_id_seen for j in surviving)
+            newest_base = max(j.base_seen for j in surviving
+                              if j.ring_id_seen == newest_ring)
+            conflicted = {j.sender for j in surviving
+                          if j.ring_id_seen < newest_ring
+                          and j.delivered_aru > newest_base}
+            if conflicted:
+                fresh_members.extend(sorted(conflicted))
+                surviving = [j for j in surviving
+                             if j.sender not in conflicted]
         if surviving:
             lo = min(j.delivered_aru for j in surviving)
             hi = max(max(j.held, default=j.delivered_aru) for j in surviving)
@@ -537,7 +632,20 @@ class TotemMember:
     # ------------------------------------------------------------------
 
     def _on_form(self, src: str, form: FormMsg) -> None:
-        if not self._active or self.state is not MemberState.GATHER:
+        if not self._active:
+            return
+        if (self.state is MemberState.RECOVERY
+                and self._pending_form is not None
+                and self._form_ring_key(form)
+                == self._form_ring_key(self._pending_form)):
+            # Leader retransmission of the FORM we are already flushing:
+            # some flush frame was probably lost.  Repair by re-running our
+            # holder rebroadcasts and keep waiting.
+            self._arm_recovery_deadline()
+            self._rebroadcast_holders(form)
+            self._maybe_install()
+            return
+        if self.state is not MemberState.GATHER:
             return
         if self.node_id not in form.members:
             # Too late for this round; keep gathering, which will disturb
@@ -558,13 +666,16 @@ class TotemMember:
         self.state = MemberState.RECOVERY
         self._pending_form = form
         self._arm_recovery_deadline()
-        # Rebroadcast the flush messages assigned to us.
+        self._rebroadcast_holders(form)
+        self._maybe_install()
+
+    def _rebroadcast_holders(self, form: FormMsg) -> None:
+        """Rebroadcast the flush messages assigned to us."""
         for seq, holder in sorted(form.holders.items()):
             if holder == self.node_id:
                 held = self._held.get(seq)
                 if held is not None:
                     self._broadcast_frame(replace(held, retransmit=True))
-        self._maybe_install()
 
     def _arm_recovery_deadline(self) -> None:
         if self._recovery_deadline is not None:
@@ -591,15 +702,135 @@ class TotemMember:
                           if s > self.delivered_aru}
         if self.delivered_aru < form.flush_seq:
             return
-        self._install(form)
+        # Flushed.  Installation additionally requires the commit rotation:
+        # the ring goes operational only once its commit token has visited
+        # every member, so a FORM computed from an incomplete join set (its
+        # sender missed joins under loss) can never install and deliver a
+        # history that diverges from the ring the excluded members form.
+        if form.leader == self.node_id:
+            if not self._commit_started:
+                self._commit_started = True
+                token = Token(form.ring_id, form.flush_seq, form.flush_seq,
+                              ring_key=self._form_ring_key(form),
+                              commit_phase=1)
+                self._send_commit(token, self._form_successor(form),
+                                  retry=True)
+        elif self._stashed_commit is not None:
+            token, self._stashed_commit = self._stashed_commit, None
+            self._on_commit_token(token)
+
+    @staticmethod
+    def _form_ring_key(form: FormMsg) -> int:
+        return crc32(f"{form.ring_id}:{form.leader}:"
+                     f"{','.join(form.members)}".encode())
+
+    def _form_successor(self, form: FormMsg) -> str:
+        index = form.members.index(self.node_id)
+        return form.members[(index + 1) % len(form.members)]
+
+    def _send_commit(self, token: Token, successor: str,
+                     retry: bool = False) -> None:
+        if not self._active:
+            return
+        self.endpoint.unicast(successor, token, token.size_bytes)
+        if retry:
+            self._arm_commit_retry(token, successor)
+
+    def _arm_commit_retry(self, token: Token, successor: str) -> None:
+        """Leader-side loss repair: a commit token is a unicast chain, so a
+        single drop would otherwise stall the rotation until the recovery
+        deadline forces a full (and expensive) re-gather.  The leader
+        re-injects the current pass a few times; every other member
+        re-forwards duplicates, and the kick guard keeps the completed ring
+        from starting twice."""
+        if self._commit_retry is not None:
+            self._commit_retry.cancel()
+        if self._commit_retries >= 4:
+            return
+        self._commit_retries += 1
+        self._commit_retry = self.endpoint.process.call_after(
+            self.config.gather_timeout, self._retry_commit, token, successor,
+        )
+
+    def _retry_commit(self, token: Token, successor: str) -> None:
+        if not self._active:
+            return
+        form = self._pending_form
+        if (form is not None and self.state is MemberState.RECOVERY
+                and token.ring_key == self._form_ring_key(form)):
+            # Phase 1 may be stalled on a member that lost its flush
+            # rebroadcasts rather than the token: re-send the FORM so every
+            # holder repairs its frames (see _on_form).
+            self.endpoint.broadcast(form, form.size_bytes)
+        self._send_commit(token, successor, retry=True)
+
+    def _on_commit_token(self, token: Token) -> None:
+        form = self._pending_form
+        if self.state is MemberState.RECOVERY and form is not None:
+            if token.ring_key != self._form_ring_key(form):
+                return  # a sibling ring's commit token; not our form
+            if self.delivered_aru < form.flush_seq:
+                # Not flushed yet: hold the token until the flush
+                # rebroadcasts catch us up (see _maybe_install).
+                self._stashed_commit = token
+                return
+            self._arm_recovery_deadline()
+            successor = self._form_successor(form)
+            if token.commit_phase == 1:
+                if form.leader == self.node_id:
+                    # Confirm pass complete: every member flushed.  Install
+                    # and start the install pass.
+                    self._install(form)
+                    token.commit_phase = 2
+                    self._send_commit(token, successor, retry=True)
+                else:
+                    self._send_commit(token, successor)
+            elif token.commit_phase == 2:
+                # Install pass (the leader installed at phase-1 return).
+                self._install(form)
+                self._send_commit(token, successor)
+            return
+        if (self.state is MemberState.OPERATIONAL
+                and token.commit_phase == 2
+                and token.ring_key == self._ring_key
+                and self.members):
+            if self.node_id == self.members[0]:
+                # Leader receiving the completed install pass back: every
+                # member is operational in the new ring — begin normal token
+                # circulation (exactly once; retransmitted passes may return
+                # several copies).
+                if self._ring_kicked:
+                    return
+                self._ring_kicked = True
+                if self._commit_retry is not None:
+                    self._commit_retry.cancel()
+                    self._commit_retry = None
+                first = Token(self.ring_id, self.delivered_aru,
+                              self.delivered_aru, ring_key=self._ring_key)
+                self.endpoint.process.call_after(
+                    self.config.token_hold, self._on_token_frame,
+                    self.node_id, first,
+                )
+            else:
+                # Already installed: keep re-forwarding the install pass so
+                # a leader retransmission still reaches members past us.
+                index = self.members.index(self.node_id)
+                self._send_commit(
+                    token, self.members[(index + 1) % len(self.members)])
 
     def _install(self, form: FormMsg) -> None:
         self._pending_form = None
+        self._commit_retries = 0
+        self._ring_kicked = False
+        self._sent_token = None
+        self._last_token_rot = -1
         if self._recovery_deadline is not None:
             self._recovery_deadline.cancel()
         self.ring_id = form.ring_id
         self.members = form.members
         self.state = MemberState.OPERATIONAL
+        self._ring_key = self._form_ring_key(form)
+        self._base_seen = form.base_seq
         # New configuration: restart the delivery-order hash from a seed
         # every member derives identically, based at the flush boundary
         # (all installing members agree on delivered_aru here).
@@ -618,15 +849,8 @@ class TotemMember:
             orphans = [self._inflight[k] for k in sorted(self._inflight)]
             self._inflight.clear()
             self._send_queue = orphans + self._send_queue
-        self._own_pending.clear()
         self.tracer.emit("totem", "install", node=self.node_id,
                          ring_id=self.ring_id, members=self.members)
         if self.on_view_change is not None:
             self.on_view_change(self.view)
         self._reset_token_timer()
-        if form.leader == self.node_id:
-            token = Token(form.ring_id, form.flush_seq, form.flush_seq)
-            self.endpoint.process.call_after(
-                self.config.token_hold, self._on_token_frame,
-                self.node_id, token,
-            )

@@ -11,9 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Tuple
 
-_DATA_HEADER = 32       # ring_id, seq, sender, fragment info, checksum
-_TOKEN_BASE = 48        # ring_id, seq, aru, aru_id, rotation counter
-_JOIN_BASE = 64         # sender, ring_id seen, aru, fresh flag, digest
+DATA_HEADER = 32
+"""Fixed per-frame overhead of a :class:`DataMsg` in bytes (ring_id, seq,
+sender, fragment info, checksum).  The ring member subtracts this from the
+transport MTU to size fragments."""
+
+_DATA_HEADER = DATA_HEADER   # historical alias
+_TOKEN_BASE = 56        # ring_id, seq, aru, aru_id, rotations, ring key/phase
+_JOIN_BASE = 64         # sender, ring id/base seen, aru, fresh flag, digest
 _FORM_BASE = 64         # ring_id, flush_seq, leader
 
 
@@ -45,6 +50,15 @@ class Token:
     (all-received-up-to) is the lowest contiguous sequence number received by
     every member, tracked with the standard Totem ``aru_id`` rule; ``rtr``
     lists sequence numbers some member is missing (retransmission requests).
+
+    ``ring_key`` fingerprints the exact ring configuration (id, leader and
+    member set): concurrent sibling rings formed from divergent gather sets
+    can collide on ``ring_id`` (each computes max-seen + 1), and the key is
+    what keeps one ring's token from circulating in the other.  A token
+    with ``commit_phase`` > 0 is a *commit token*: it carries no broadcast
+    authority but must complete two full rotations of the forming ring
+    (phase 1 = every member flushed, phase 2 = every member installs)
+    before the ring becomes operational.
     """
 
     ring_id: int
@@ -53,6 +67,8 @@ class Token:
     aru_id: str = ""
     rtr: List[int] = field(default_factory=list)
     rotations: int = 0
+    ring_key: int = 0
+    commit_phase: int = 0
 
     @property
     def size_bytes(self) -> int:
@@ -91,6 +107,11 @@ class JoinMsg:
     merely lag a ring generation (overlapping views — same history) from
     members arriving out of a healed partition (disjoint views — divergent
     histories that cannot both be kept).
+
+    ``base_seen`` is the ``base_seq`` of the sender's last installed ring.
+    A join from an older ring generation whose ``delivered_aru`` exceeds
+    the newest generation's base delivered into sequence numbers the newer
+    lineage reassigned — its history conflicts and it must rejoin fresh.
     """
 
     sender: str
@@ -99,6 +120,7 @@ class JoinMsg:
     held: FrozenSet[int]
     fresh: bool
     view_members: Tuple[str, ...] = ()
+    base_seen: int = 0
 
     @property
     def size_bytes(self) -> int:

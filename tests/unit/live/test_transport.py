@@ -1,0 +1,76 @@
+"""Unit tests for the live runtime's frame codec and scheduler."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.live.clock import LiveScheduler
+from repro.live.transport import (
+    LIVE_MTU_PAYLOAD,
+    decode_frame,
+    encode_frame,
+)
+from repro.totem.messages import DataMsg
+
+
+def test_frame_round_trip():
+    payload = {"op": "echo", "args": (1, "two", b"three")}
+    src, decoded = decode_frame(encode_frame("n1", payload))
+    assert src == "n1"
+    assert decoded == payload
+
+
+def test_frame_round_trip_totem_message():
+    msg = DataMsg(ring_id=3, seq=17, sender="n2", msg_id=("n2", 4),
+                  frag_index=0, frag_count=1, chunk=b"\x00" * 100)
+    src, decoded = decode_frame(encode_frame("n2", msg))
+    assert src == "n2"
+    assert decoded == msg
+
+
+@pytest.mark.parametrize("data", [
+    b"",                                  # empty
+    b"xy",                                # shorter than the header
+    b"BAD\x00\x00\x01a" + b"junk",        # wrong magic
+    encode_frame("node", {})[:8],         # truncated source id
+    b"ET1\x00\x00\x02n1\x01\x02\x03",     # unpicklable payload
+])
+def test_malformed_frames_raise_network_error(data):
+    with pytest.raises(NetworkError):
+        decode_frame(data)
+
+
+def test_mtu_matches_simulated_ethernet():
+    assert LIVE_MTU_PAYLOAD == 1500
+
+
+def test_live_scheduler_clamps_past_deadlines():
+    loop = asyncio.new_event_loop()
+    try:
+        scheduler = LiveScheduler(loop)
+        fired = []
+        # Both a negative delay and an already-passed absolute time must
+        # run "as soon as possible" rather than raising — wall time moves
+        # while code runs, unlike the simulator's clock.
+        scheduler.call_after(-5.0, fired.append, "after")
+        scheduler.call_at(scheduler.now - 1.0, fired.append, "at")
+        loop.run_until_complete(asyncio.sleep(0.02))
+        assert sorted(fired) == ["after", "at"]
+    finally:
+        loop.close()
+
+
+def test_live_scheduler_cancel():
+    loop = asyncio.new_event_loop()
+    try:
+        scheduler = LiveScheduler(loop)
+        fired = []
+        handle = scheduler.call_after(0.005, fired.append, "no")
+        handle.cancel()
+        loop.run_until_complete(asyncio.sleep(0.02))
+        assert fired == []
+    finally:
+        loop.close()

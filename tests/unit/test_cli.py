@@ -86,3 +86,26 @@ def test_demo_health_flag_prints_snapshot(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_fig6_compare_missing_baseline_exits_2(tmp_path, capsys):
+    missing = tmp_path / "nope" / "BENCH_fig6.json"
+    assert main(["fig6", "--quick", "--compare", str(missing)]) == 2
+    assert "cannot load baseline" in capsys.readouterr().err
+
+
+def test_fig6_compare_corrupt_baseline_exits_2(tmp_path, capsys):
+    path = tmp_path / "BENCH_fig6.json"
+    path.write_text("{not json")
+    assert main(["fig6", "--quick", "--compare", str(path)]) == 2
+    assert "cannot load baseline" in capsys.readouterr().err
+
+
+def test_live_rejects_too_few_nodes(capsys):
+    assert main(["live", "--nodes", "2"]) == 1
+    assert "--nodes" in capsys.readouterr().err
+
+
+def test_live_rejects_kill_after_beyond_duration(capsys):
+    assert main(["live", "--kill-after", "9", "--duration", "5"]) == 1
+    assert "--kill-after" in capsys.readouterr().err
