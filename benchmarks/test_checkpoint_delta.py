@@ -1,0 +1,66 @@
+"""Tentpole: delta state transfer bends the checkpoint cost curve.
+
+The paper's §3.3 periodic checkpoints ship the *entire* application state
+every interval, so warm-passive checkpoint cost is linear in total state
+size (the same slope as Figure 6's recovery curve).  With page-level
+delta transfer the per-checkpoint wire cost tracks the *changed* pages:
+under a ~10 %-dirty scribbling workload the median transfer at the
+largest Figure-6 state size must improve by at least 2x, and the delta
+bytes on the wire must stay well below the full-snapshot bytes.
+"""
+
+from repro.bench.reporting import print_table
+from repro.bench.sweeps import run_checkpoint_point
+
+STATE_SIZES = [100_000, 350_000]
+
+
+def test_checkpoint_delta_vs_full(benchmark):
+    results = {}
+
+    def run_pair():
+        for delta in (True, False):
+            results[delta] = [
+                run_checkpoint_point(size, delta=delta)
+                for size in STATE_SIZES
+            ]
+        return results
+
+    benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    rows = []
+    for with_delta, points in sorted(results.items(), reverse=True):
+        for r in points:
+            rows.append(["delta" if with_delta else "full",
+                         r["state_size"], r["checkpoints"],
+                         round(r["median_ms"], 3), round(r["p95_ms"], 3),
+                         int(r["wire_bytes"]), int(r["full_bytes"])])
+    print_table(
+        "Tentpole — warm-passive checkpoint transfer, delta vs full",
+        ["mode", "state_bytes", "ckpts", "median_ms", "p95_ms",
+         "delta_wire_B", "full_equiv_B"],
+        rows,
+        paper_note="§3.3 ships the whole state every interval; page "
+                   "deltas make the cost linear in changed pages",
+    )
+
+    for with_delta, full in zip(results[True], results[False]):
+        assert with_delta["checkpoints"] >= 5
+        assert full["checkpoints"] >= 5
+    # >= 2x median improvement at the largest state size, ~10% dirty
+    delta_big, full_big = results[True][-1], results[False][-1]
+    assert delta_big["state_size"] == full_big["state_size"] == 350_000
+    assert delta_big["median_ms"] * 2 <= full_big["median_ms"], (
+        f"delta median {delta_big['median_ms']:.3f} ms not 2x better than "
+        f"full {full_big['median_ms']:.3f} ms"
+    )
+    # the wire carries a small fraction of the full-snapshot bytes
+    assert delta_big["wire_bytes"] < delta_big["full_bytes"] / 2
+    # delta cost reflects changed pages, not total size: scaling the state
+    # 7x must not scale the median transfer 7x
+    delta_small = results[True][0]
+    assert delta_big["median_ms"] < 7 * max(delta_small["median_ms"], 0.01)
+    benchmark.extra_info["median_ms"] = {
+        "delta": round(delta_big["median_ms"], 3),
+        "full": round(full_big["median_ms"], 3),
+    }

@@ -6,51 +6,18 @@ loads and locates the saturation knee of the token-ring pipeline: below
 the knee achieved throughput tracks offered load and latency stays near
 the unloaded RTT; past it, throughput flattens and latency grows without
 bound (queueing).
+
+A second benchmark measures what token-rotation frame packing buys at the
+knee: with the servant cost zeroed out the medium itself saturates, and
+coalescing queued sub-MTU fragments into multi-payload frames amortizes
+the fixed per-frame overhead (header, inter-frame gap, per-frame CPU).
 """
 
-from repro.bench.deployments import build_client_server
 from repro.bench.reporting import print_table
-from repro.bench.workloads import make_open_loop_factory, uniform_schedule
-from repro.ftcorba.properties import FTProperties, ReplicationStyle
+from repro.bench.sweeps import WIRE_BOUND_ECHO, run_throughput_point
 
 OFFERED_LOADS = [1_000, 4_000, 8_000, 16_000, 32_000]  # invocations / s
-WINDOW = 1.0
-DRAIN = 0.3
-DRIVER_TYPE = "IDL:repro/OpenLoopDriver:1.0"
-
-
-def _run_load(rate: int):
-    deployment = build_client_server(
-        style=ReplicationStyle.ACTIVE,
-        server_replicas=2,
-        client_replicas=1,       # the closed-loop driver idles: 0 max invocations
-        state_size=100,
-        warmup=0.05,
-    )
-    system = deployment.system
-    # silence the closed-loop driver by replacing it with an open-loop one
-    # on the same client node, targeting the same store
-    iogr = deployment.server_group.iogr().stringify()
-    schedule = uniform_schedule(rate, WINDOW, start=0.0)
-    system.register_factory(
-        DRIVER_TYPE, make_open_loop_factory(iogr, schedule), nodes=["c1"]
-    )
-    system.create_group("openloop", DRIVER_TYPE,
-                        FTProperties(initial_replicas=1, min_replicas=1),
-                        nodes=["c1"])
-    start = system.now
-    system.run_for(WINDOW + DRAIN)   # schedule window plus a short drain
-    from repro.core.system import GroupHandle
-    driver = GroupHandle(system, "openloop").servant_on("c1")
-    elapsed = system.now - start
-    achieved = driver.completed / WINDOW
-    return {
-        "offered": rate,
-        "sent": driver.sent,
-        "achieved": achieved,
-        "mean_ms": driver.mean_latency * 1000,
-        "p99_ms": driver.p99_latency * 1000,
-    }
+SATURATING_LOAD = 64_000
 
 
 def test_throughput_saturation(benchmark):
@@ -58,7 +25,7 @@ def test_throughput_saturation(benchmark):
 
     def run_sweep():
         for rate in OFFERED_LOADS:
-            results[rate] = _run_load(rate)
+            results[rate] = run_throughput_point(rate)
         return results
 
     benchmark.pedantic(run_sweep, rounds=1, iterations=1)
@@ -89,4 +56,42 @@ def test_throughput_saturation(benchmark):
         str(rate): {k: (round(v, 3) if isinstance(v, float) else v)
                     for k, v in results[rate].items()}
         for rate in OFFERED_LOADS
+    }
+
+
+def test_frame_packing_saturation_gain(benchmark):
+    """Packing buys ≥20% saturated throughput on a wire-bound workload."""
+    results = {}
+
+    def run_pair():
+        for packing in (True, False):
+            results[packing] = run_throughput_point(
+                SATURATING_LOAD, frame_packing=packing,
+                echo_duration=WIRE_BOUND_ECHO)
+        return results
+
+    benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    packed, classic = results[True], results[False]
+    print_table(
+        "Tentpole — frame packing at a wire-bound saturating load",
+        ["frame_packing", "offered_per_s", "achieved_per_s",
+         "mean_latency_ms"],
+        [["on", SATURATING_LOAD, round(packed["achieved"], 0),
+          round(packed["mean_ms"], 3)],
+         ["off", SATURATING_LOAD, round(classic["achieved"], 0),
+          round(classic["mean_ms"], 3)]],
+        paper_note="multi-payload DATA frames amortize the per-frame "
+                   "header, inter-frame gap, and per-frame CPU that "
+                   "otherwise bound small-invocation throughput",
+    )
+    assert packed["achieved"] >= 1.2 * classic["achieved"], (
+        f"frame packing gained only "
+        f"{packed['achieved'] / classic['achieved'] - 1:.1%} "
+        f"saturated throughput (expected >= 20%)"
+    )
+    assert packed["mean_ms"] < classic["mean_ms"]
+    benchmark.extra_info["packing"] = {
+        "on": round(packed["achieved"], 0),
+        "off": round(classic["achieved"], 0),
     }

@@ -7,6 +7,12 @@ Commands:
                   additionally exports the run as a Chrome trace).
 * ``fig6``      — quick reproduction of the paper's Figure 6 sweep, with
                   per-phase latency percentiles from the metrics registry.
+* ``checkpoint`` — warm-passive checkpoint transfer cost vs state size
+                  under a ~10%-dirty workload (delta state transfer;
+                  ``--no-delta`` restores the paper's full snapshots).
+* ``throughput`` — open-loop wire-bound throughput sweep exercising
+                  token-rotation frame packing (``--no-packing`` to
+                  disable).
 * ``styles``    — compare active / warm passive / cold passive at a fault.
 * ``trace``     — run the kill/recover scenario and export the trace (Chrome
                   ``trace_event`` JSON and/or JSONL) for Perfetto.
@@ -164,6 +170,109 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _record_and_compare(args, name: str, metric: str, unit: str,
+                        points) -> "tuple":
+    """Shared --record/--compare handling for the sweep commands.
+
+    Returns ``(footer, exit_code)``: a verdict line for the table footer
+    (or None) and the exit code (0 ok, 1 regression, 2 unusable baseline);
+    writes the record to ``args.record`` when requested.
+    """
+    if not (args.record or args.compare):
+        return None, 0
+    from repro.bench.regression import BenchRecord, compare_bench_records
+    record = BenchRecord.from_points(name, metric, unit, points)
+    footer = None
+    code = 0
+    if args.compare:
+        try:
+            baseline = BenchRecord.load(args.compare)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: cannot load baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return None, 2
+        comparison = compare_bench_records(baseline, record,
+                                           tolerance=args.tolerance)
+        footer = comparison.verdict
+        code = 0 if comparison.ok else 1
+    if args.record:
+        record.write(args.record)
+    return footer, code
+
+
+def _cmd_checkpoint(args) -> int:
+    from repro.bench.reporting import print_table
+    from repro.bench.sweeps import (CHECKPOINT_SIZES,
+                                    CHECKPOINT_SIZES_QUICK,
+                                    run_checkpoint_point)
+
+    sizes = CHECKPOINT_SIZES_QUICK if args.quick else CHECKPOINT_SIZES
+    rows = []
+    points = {}
+    for size in sizes:
+        result = run_checkpoint_point(size, delta=not args.no_delta)
+        rows.append([size, result["checkpoints"],
+                     round(result["median_ms"], 3),
+                     round(result["p95_ms"], 3),
+                     int(result["wire_bytes"]), int(result["full_bytes"])])
+        points[str(size)] = round(result["median_ms"], 3)
+    footer, code = _record_and_compare(args, "checkpoint",
+                                       "checkpoint_xfer_ms", "ms", points)
+    if code == 2:
+        return 2
+    mode = "full snapshots" if args.no_delta else "page deltas"
+    print_table(
+        f"Checkpoint transfer cost vs state size ({mode}, ~10% dirty)",
+        ["state_bytes", "ckpts", "median_ms", "p95_ms",
+         "delta_wire_B", "full_equiv_B"],
+        rows,
+        paper_note="§3.3 ships the whole state every interval; deltas "
+                   "make the cost linear in changed pages",
+        footer=footer,
+    )
+    if args.record:
+        print(f"\nwrote bench record to {args.record}")
+    return code
+
+
+def _cmd_throughput(args) -> int:
+    from repro.bench.reporting import print_table
+    from repro.bench.sweeps import (THROUGHPUT_LOADS,
+                                    THROUGHPUT_LOADS_QUICK,
+                                    WIRE_BOUND_ECHO, run_throughput_point)
+
+    rates = THROUGHPUT_LOADS_QUICK if args.quick else THROUGHPUT_LOADS
+    rows = []
+    points = {}
+    for rate in rates:
+        result = run_throughput_point(
+            rate,
+            frame_packing=not args.no_packing,
+            echo_duration=WIRE_BOUND_ECHO,
+        )
+        rows.append([rate, int(result["achieved"]),
+                     round(result["mean_ms"], 3),
+                     round(result["p99_ms"], 3)])
+        points[str(rate)] = round(result["mean_ms"], 3)
+    footer, code = _record_and_compare(args, "throughput",
+                                       "mean_latency_ms", "ms", points)
+    if code == 2:
+        return 2
+    mode = "frame packing off" if args.no_packing else "frame packing on"
+    print_table(
+        f"Open-loop wire-bound throughput sweep ({mode})",
+        ["offered_per_s", "achieved_per_s", "mean_latency_ms",
+         "p99_latency_ms"],
+        rows,
+        paper_note="multi-payload DATA frames amortize per-frame header, "
+                   "inter-frame gap, and per-frame CPU",
+        footer=footer,
+    )
+    if args.record:
+        print(f"\nwrote bench record to {args.record}")
+    return code
+
+
 def _cmd_fig6(args) -> int:
     from repro.bench.deployments import build_client_server, measure_recovery
     from repro.bench.reporting import print_table
@@ -285,17 +394,35 @@ def main(argv=None) -> int:
     demo.add_argument("--health", action="store_true",
                       help="also audit the trace and print the health "
                            "snapshot (exit 1 on audit findings)")
+    def add_bench_flags(cmd, name):
+        cmd.add_argument("--quick", action="store_true",
+                         help="fewer sweep points")
+        cmd.add_argument("--record", default=None, metavar="PATH",
+                         help=f"write the sweep as a BENCH_{name}.json "
+                              f"record")
+        cmd.add_argument("--compare", default=None, metavar="PATH",
+                         help="compare against a previous bench record "
+                              "(exit 1 on regression)")
+        cmd.add_argument("--tolerance", type=float, default=0.2,
+                         help="allowed relative slowdown vs the baseline "
+                              "(default 0.2 = 20%%)")
+
     fig6 = sub.add_parser("fig6", help="Figure 6 sweep")
-    fig6.add_argument("--quick", action="store_true",
-                      help="fewer sweep points")
-    fig6.add_argument("--record", default=None, metavar="PATH",
-                      help="write the sweep as a BENCH_fig6.json record")
-    fig6.add_argument("--compare", default=None, metavar="PATH",
-                      help="compare against a previous bench record "
-                           "(exit 1 on regression)")
-    fig6.add_argument("--tolerance", type=float, default=0.2,
-                      help="allowed relative slowdown vs the baseline "
-                           "(default 0.2 = 20%%)")
+    add_bench_flags(fig6, "fig6")
+    checkpoint = sub.add_parser(
+        "checkpoint", help="warm-passive checkpoint transfer cost sweep "
+                           "(delta state transfer, ~10%% dirty workload)")
+    add_bench_flags(checkpoint, "checkpoint")
+    checkpoint.add_argument("--no-delta", action="store_true",
+                            help="disable delta state transfer (ship full "
+                                 "snapshots, the paper's §3.3 behaviour)")
+    throughput = sub.add_parser(
+        "throughput", help="open-loop wire-bound throughput sweep "
+                           "(token-rotation frame packing)")
+    add_bench_flags(throughput, "throughput")
+    throughput.add_argument("--no-packing", action="store_true",
+                            help="disable Totem frame packing (one frame "
+                                 "per fragment)")
     sub.add_parser("styles", help="replication-style disruption comparison")
     trace = sub.add_parser(
         "trace", help="run kill/recover and export the trace")
@@ -350,6 +477,8 @@ def main(argv=None) -> int:
         "version": _cmd_version,
         "demo": _cmd_demo,
         "fig6": _cmd_fig6,
+        "checkpoint": _cmd_checkpoint,
+        "throughput": _cmd_throughput,
         "styles": _cmd_styles,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,

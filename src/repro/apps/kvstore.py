@@ -24,6 +24,7 @@ class KvStoreServant(Checkpointable):
         self.data: Dict[str, Any] = {}
         self.payload = self._make_payload(payload_size)
         self.echo_count = 0
+        self.scribble_count = 0
 
     @staticmethod
     def _make_payload(size: int) -> bytes:
@@ -61,15 +62,44 @@ class KvStoreServant(Checkpointable):
         self.echo_count += 1
         return token
 
+    @operation
+    def scribble(self, fraction: float = 0.1) -> int:
+        """Rewrite a rotating window covering ``fraction`` of the payload.
+
+        Models a workload that dirties a bounded fraction of the state
+        between checkpoints: each call overwrites one contiguous window
+        whose position advances deterministically with an internal counter
+        (part of the checkpointed state, so active replicas — and replicas
+        recovered mid-run — scribble identical bytes).  Returns the number
+        of bytes rewritten.
+        """
+        size = len(self.payload)
+        if size == 0 or fraction <= 0:
+            return 0
+        window = max(1, min(size, int(size * fraction)))
+        start = (self.scribble_count * window) % size
+        stamp = (self.scribble_count + 1) & 0xFF
+        patch = bytes((stamp + i) & 0xFF for i in range(window))
+        buf = bytearray(self.payload)
+        end = start + window
+        buf[start:min(end, size)] = patch[:size - start][:window]
+        if end > size:                      # window wraps around
+            buf[:end - size] = patch[size - start:]
+        self.payload = bytes(buf)
+        self.scribble_count += 1
+        return window
+
     def get_state(self) -> Any:
         return {"data": dict(self.data), "payload": self.payload,
-                "echo_count": self.echo_count}
+                "echo_count": self.echo_count,
+                "scribble_count": self.scribble_count}
 
     def set_state(self, state: Any) -> None:
         try:
             self.data = dict(state["data"])
             self.payload = bytes(state["payload"])
             self.echo_count = int(state["echo_count"])
+            self.scribble_count = int(state.get("scribble_count", 0))
         except (TypeError, KeyError, ValueError) as exc:
             raise InvalidState(f"bad kvstore state: {exc}") from exc
 

@@ -27,12 +27,21 @@ class PacketDriverServant(Checkpointable):
     type_id = "IDL:repro/PacketDriver:1.0"
 
     def __init__(self, target_ior: str, *, max_invocations: int = 0,
-                 payload_token_base: int = 0) -> None:
+                 payload_token_base: int = 0, scribble_every: int = 0,
+                 scribble_fraction: float = 0.1) -> None:
         self._target_ior = target_ior
         self._max_invocations = max_invocations     # 0: unbounded
         self._token_base = payload_token_base
-        self.sent = 0           # invocations issued so far
-        self.acked = 0          # replies received so far
+        #: Every ``scribble_every`` echo replies (0: never), issue one
+        #: ``scribble(fraction)`` — a state-dirtying write mixed into the
+        #: read-mostly stream, reply-clocked like everything else so the
+        #: driver still keeps exactly one request in flight.
+        self._scribble_every = scribble_every
+        self._scribble_fraction = scribble_fraction
+        self.sent = 0           # echo invocations issued so far
+        self.acked = 0          # echo replies received so far
+        self.scribbles_sent = 0
+        self.scribbles_acked = 0
         self.last_token: Optional[int] = None
         self._proxy = None
 
@@ -64,12 +73,32 @@ class PacketDriverServant(Checkpointable):
         token = self._token_base + self.sent - 1
         proxy.invoke("echo", token, on_reply=self._on_reply)
 
+    def _scribble_due(self) -> bool:
+        return (self._scribble_every > 0
+                and self.acked >= self._scribble_every * (
+                    self.scribbles_sent + 1))
+
+    def _send_scribble(self) -> None:
+        proxy = self._ensure_proxy()
+        self.scribbles_sent += 1
+        proxy.invoke("scribble", self._scribble_fraction,
+                     on_reply=self._on_scribble_reply)
+
+    def _on_scribble_reply(self, reply: ReplyMessage) -> None:
+        if reply.reply_status is not ReplyStatus.NO_EXCEPTION:
+            return
+        self.scribbles_acked += 1
+        self._send_next()
+
     def _on_reply(self, reply: ReplyMessage) -> None:
         if reply.reply_status is not ReplyStatus.NO_EXCEPTION:
             return
         self.acked += 1
         self.last_token = reply.result
-        self._send_next()
+        if self._scribble_due():
+            self._send_scribble()
+        else:
+            self._send_next()
 
     # ------------------------------------------------------------------
     # Lifecycle hooks (called by the replica container)
@@ -82,7 +111,13 @@ class PacketDriverServant(Checkpointable):
 
     def resume(self) -> None:
         """Post-recovery: re-issue the in-flight invocation, if any."""
-        if self.sent > self.acked:
+        if self.scribbles_sent > self.scribbles_acked:
+            # The state says a scribble is outstanding; re-issue it (the
+            # Interceptor suppresses the on-the-wire duplicate).
+            proxy = self._ensure_proxy()
+            proxy.invoke("scribble", self._scribble_fraction,
+                         on_reply=self._on_scribble_reply)
+        elif self.sent > self.acked:
             self._reissue_inflight()
         elif self.sent == 0:
             self._send_next()
@@ -93,12 +128,16 @@ class PacketDriverServant(Checkpointable):
 
     def get_state(self) -> Any:
         return {"sent": self.sent, "acked": self.acked,
-                "last_token": self.last_token}
+                "last_token": self.last_token,
+                "scribbles_sent": self.scribbles_sent,
+                "scribbles_acked": self.scribbles_acked}
 
     def set_state(self, state: Any) -> None:
         try:
             self.sent = int(state["sent"])
             self.acked = int(state["acked"])
             self.last_token = state["last_token"]
+            self.scribbles_sent = int(state.get("scribbles_sent", 0))
+            self.scribbles_acked = int(state.get("scribbles_acked", 0))
         except (TypeError, KeyError, ValueError) as exc:
             raise InvalidState(f"bad packet driver state: {exc}") from exc

@@ -11,6 +11,9 @@ ablations; this package holds the shared machinery they use:
   overhead measurement.
 * :mod:`repro.bench.reporting` — fixed-width result tables with
   paper-vs-measured context.
+* :mod:`repro.bench.sweeps` — the checkpoint-transfer-cost and
+  wire-bound throughput sweeps shared by the CLI (``python -m repro
+  checkpoint`` / ``throughput``) and the benchmark suite.
 """
 
 from repro.bench.baseline import BaselinePair
@@ -18,6 +21,12 @@ from repro.bench.deployments import ClientServerDeployment, build_client_server
 from repro.bench.plot import ascii_plot
 from repro.bench.reporting import print_table
 from repro.bench.stats import Summary, aggregate, summarize
+from repro.bench.sweeps import (
+    run_checkpoint_point,
+    run_checkpoint_sweep,
+    run_throughput_point,
+    run_throughput_sweep,
+)
 from repro.bench.workloads import (
     OpenLoopDriverServant,
     bursty_schedule,
@@ -35,6 +44,10 @@ __all__ = [
     "aggregate",
     "summarize",
     "OpenLoopDriverServant",
+    "run_checkpoint_point",
+    "run_checkpoint_sweep",
+    "run_throughput_point",
+    "run_throughput_sweep",
     "uniform_schedule",
     "poisson_schedule",
     "bursty_schedule",

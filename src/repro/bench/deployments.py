@@ -100,6 +100,8 @@ def build_client_server(
     seed: int = 0,
     warmup: float = 0.1,
     keep_trace_records: bool = False,
+    scribble_every: int = 0,
+    scribble_fraction: float = 0.1,
 ) -> ClientServerDeployment:
     """Deploy the paper's measurement topology and warm it up.
 
@@ -107,6 +109,11 @@ def build_client_server(
     ``server_replicas`` server nodes (``s*``).  The kvstore server group is
     replicated in ``style`` with ``state_size`` bytes of application-level
     state; the packet-driver client streams ``echo`` invocations at it.
+
+    ``scribble_every`` > 0 mixes a ``scribble(scribble_fraction)`` write
+    into the stream every that many echo replies, dirtying a rotating
+    fraction of the server's bulk state — the workload under which delta
+    checkpointing earns its keep.
     """
     server_nodes = [f"s{i + 1}" for i in range(server_replicas)]
     client_nodes = [f"c{i + 1}" for i in range(client_replicas)]
@@ -138,9 +145,11 @@ def build_client_server(
     )
     system.run_for(0.05)
     iogr = server_group.iogr().stringify()
-    system.register_factory(DRIVER_TYPE,
-                            lambda: PacketDriverServant(iogr),
-                            nodes=client_nodes)
+    system.register_factory(
+        DRIVER_TYPE,
+        lambda: PacketDriverServant(iogr, scribble_every=scribble_every,
+                                    scribble_fraction=scribble_fraction),
+        nodes=client_nodes)
     client_group = system.create_group(
         "driver", DRIVER_TYPE,
         FTProperties(

@@ -41,8 +41,20 @@ class EternalConfig:
     """Piggyback infrastructure-level state (duplicate filters, outstanding
     invocations) during recovery (§4.3)."""
 
+    delta_state_transfer: bool = True
+    """Ship ``set_state()`` bodies as page-level deltas against the
+    receiver's last committed checkpoint whenever both ends share the base
+    (negotiated by checkpoint digest); fall back to the full snapshot
+    otherwise.  Disabling restores the paper's always-full transfers
+    (checkpoint cost linear in total state size)."""
+
+    delta_page_size: int = 1024
+    """Page granularity of delta state transfer (bytes)."""
+
     def __post_init__(self) -> None:
         if self.state_capture_bps <= 0:
             raise ValueError("state_capture_bps must be positive")
         if self.cold_start_delay < 0:
             raise ValueError("cold_start_delay must be non-negative")
+        if self.delta_page_size < 1:
+            raise ValueError("delta_page_size must be positive")

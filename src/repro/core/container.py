@@ -148,9 +148,12 @@ class ReplicaContainer:
         self._pump()
 
     def submit_get_state(self, transfer_id: str,
-                         done: Callable[[str, bytes], None]) -> None:
+                         done: Callable[[str, bytes, str], None]) -> None:
         """Queue the fabricated get_state(); ``done(transfer_id,
-        app_state_bytes)`` fires when the operation completes.
+        app_state_bytes, app_digest)`` fires when the operation completes.
+        The digest is computed once here, at capture time; callers use it
+        for cross-replica consistency auditing and for delta-transfer base
+        negotiation without hashing the blob again.
 
         The wait from here until the marker reaches the head of the FIFO
         queue *is* the time-to-quiescence; it is traced as a
@@ -273,12 +276,14 @@ class ReplicaContainer:
                 f"{reply.result!r}"
             )
         app_state = encode_any(to_any(reply.result))
+        from repro.obs.audit import state_digest
+        app_digest = state_digest(app_state)
         duration = self._state_duration(len(app_state))
         self.quiescence.begin_operation(self.process.scheduler.now + duration)
         self.tracer.emit("replica", "get_state", node=self.process.node_id,
                          group=self.group_id, size=len(app_state))
         self.process.call_after(duration, self._complete_state_op,
-                                done, transfer_id, app_state)
+                                done, transfer_id, app_state, app_digest)
 
     def _run_set_state(self, app_state: bytes,
                        done: Callable[[], None]) -> None:

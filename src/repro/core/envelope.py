@@ -80,22 +80,32 @@ class GroupUpdate:
 @dataclass(frozen=True)
 class ReplicaJoin:
     """Announced by the node hosting a newly launched replica; its delivery
-    position starts the recovery protocol for that replica."""
+    position starts the recovery protocol for that replica.
+
+    ``base_digest`` is the app-state digest of the announcer's last
+    committed checkpoint (empty if it has none): responders whose own
+    checkpoint matches may answer with a page-level delta instead of the
+    full snapshot (see :mod:`repro.core.statedelta`)."""
 
     group_id: str
     node_id: str
     transfer_id: str
+    base_digest: str = ""
 
 
 @dataclass(frozen=True)
 class StateGet:
-    """The fabricated ``get_state()`` marker in the total order (§5.1 i)."""
+    """The fabricated ``get_state()`` marker in the total order (§5.1 i).
+
+    ``base_digest`` names the shared base snapshot a delta-encoded reply
+    may be computed against (empty requests a full snapshot)."""
 
     group_id: str
     transfer_id: str
     purpose: TransferPurpose
     initiator: str
     target_node: str = ""      # RECOVERY: the node being synchronized
+    base_digest: str = ""
 
 
 @dataclass(frozen=True)
@@ -125,10 +135,22 @@ class NodeRestarted:
     incarnation: int
 
 
+#: Versioned ``StateSet`` body layouts: a full encoded snapshot, or a
+#: page-level delta (:func:`repro.core.statedelta.encode_delta`) against
+#: the receiver's last committed checkpoint.
+STATE_BODY_FULL = 0
+STATE_BODY_DELTA = 1
+
+
 @dataclass(frozen=True)
 class StateSet:
     """The fabricated ``set_state()`` with the piggybacked ORB/POA-level
-    and infrastructure-level state (§5.1 iv-v)."""
+    and infrastructure-level state (§5.1 iv-v).
+
+    ``app_state`` is a versioned body: the full encoded snapshot when
+    ``app_delta`` is False, otherwise an encoded
+    :class:`~repro.core.statedelta.StateDelta` the receiver must apply to
+    its own base checkpoint to reconstruct the identical full snapshot."""
 
     group_id: str
     transfer_id: str
@@ -138,6 +160,7 @@ class StateSet:
     app_state: bytes
     orb_state: bytes
     infra_state: bytes
+    app_delta: bool = False
 
 
 Envelope = Union[IiopEnvelope, GroupUpdate, ReplicaJoin, StateGet, StateSet,
@@ -184,6 +207,7 @@ def encode_envelope(envelope: Envelope) -> bytes:
         out.write_string(envelope.group_id)
         out.write_string(envelope.node_id)
         out.write_string(envelope.transfer_id)
+        out.write_octets(envelope.base_digest.encode("ascii"))
     elif isinstance(envelope, StateGet):
         out.write_octet(_TAG_STATE_GET)
         out.write_string(envelope.group_id)
@@ -191,6 +215,7 @@ def encode_envelope(envelope: Envelope) -> bytes:
         out.write_octet(envelope.purpose.value)
         out.write_string(envelope.initiator)
         out.write_string(envelope.target_node)
+        out.write_octets(envelope.base_digest.encode("ascii"))
     elif isinstance(envelope, StateSet):
         out.write_octet(_TAG_STATE_SET)
         out.write_string(envelope.group_id)
@@ -198,6 +223,8 @@ def encode_envelope(envelope: Envelope) -> bytes:
         out.write_octet(envelope.purpose.value)
         out.write_string(envelope.source_node)
         out.write_string(envelope.target_node)
+        out.write_octet(STATE_BODY_DELTA if envelope.app_delta
+                        else STATE_BODY_FULL)
         out.write_octets(envelope.app_state)
         out.write_octets(envelope.orb_state)
         out.write_octets(envelope.infra_state)
@@ -255,17 +282,26 @@ def _decode_envelope(data: bytes) -> Envelope:
                            fault_monitoring_interval, max_log_messages)
     if tag == _TAG_REPLICA_JOIN:
         return ReplicaJoin(inp.read_string(), inp.read_string(),
-                           inp.read_string())
+                           inp.read_string(),
+                           inp.read_octets().decode("ascii"))
     if tag == _TAG_STATE_GET:
         return StateGet(inp.read_string(), inp.read_string(),
                         TransferPurpose(inp.read_octet()),
-                        inp.read_string(), inp.read_string())
-    if tag == _TAG_STATE_SET:
-        return StateSet(inp.read_string(), inp.read_string(),
-                        TransferPurpose(inp.read_octet()),
                         inp.read_string(), inp.read_string(),
-                        inp.read_octets(), inp.read_octets(),
-                        inp.read_octets())
+                        inp.read_octets().decode("ascii"))
+    if tag == _TAG_STATE_SET:
+        group_id = inp.read_string()
+        transfer_id = inp.read_string()
+        purpose = TransferPurpose(inp.read_octet())
+        source_node = inp.read_string()
+        target_node = inp.read_string()
+        body_kind = inp.read_octet()
+        if body_kind not in (STATE_BODY_FULL, STATE_BODY_DELTA):
+            raise ProtocolError(f"unknown StateSet body kind {body_kind}")
+        return StateSet(group_id, transfer_id, purpose, source_node,
+                        target_node, inp.read_octets(), inp.read_octets(),
+                        inp.read_octets(),
+                        app_delta=body_kind == STATE_BODY_DELTA)
     if tag == _TAG_REPLICA_FAULT:
         return ReplicaFault(inp.read_string(), inp.read_string(),
                             inp.read_string())

@@ -39,6 +39,19 @@ class CheckpointRecord:
         return state_digest(self.app_state, self.orb_state,
                             self.infra_state)
 
+    @property
+    def app_digest(self) -> str:
+        """Digest of the application-state blob alone — the identity a
+        page-level delta transfer is negotiated against (the base both ends
+        must share, see :mod:`repro.core.statedelta`).  Cached: the blob is
+        immutable and the digest is consulted on every checkpoint."""
+        cached = self.__dict__.get("_app_digest")
+        if cached is None:
+            from repro.obs.audit import state_digest
+            cached = state_digest(self.app_state)
+            object.__setattr__(self, "_app_digest", cached)
+        return cached
+
 
 class MessageLog:
     """Checkpoint + ordered messages since, for one group at one node."""

@@ -36,6 +36,14 @@ from repro.core.identifiers import OpKind
 from repro.core.infra_state import InfraState
 from repro.core.msglog import CheckpointRecord
 from repro.core.orb_state import OrbStateTracker
+from repro.core.statedelta import (
+    DeltaMismatch,
+    apply_delta,
+    compute_delta,
+    decode_delta,
+    encode_delta,
+)
+from repro.errors import StateTransferError
 from repro.ftcorba.properties import ReplicationStyle
 from repro.obs.audit import state_digest
 from repro.obs.spans import SpanEmitter
@@ -95,6 +103,9 @@ class RecoveryMechanisms:
         self._handled_sets = BoundedIdSet()
         self._transfer_counter = itertools.count(1)
         self._pending_checkpoints: Set[str] = set()
+        # Groups for which this node has asked for a full re-checkpoint
+        # after failing to apply a delta-encoded one (cleared on commit).
+        self._resync_requested: Set[str] = set()
         # Duplicate-filter snapshots taken at each GET's delivery position
         # (the synchronization point), keyed by transfer id.
         self._filter_snapshots: dict = {}
@@ -116,9 +127,15 @@ class RecoveryMechanisms:
         return (f"{kind}:{group_id}:{self.node_id}:e{epoch}:"
                 f"{next(self._transfer_counter)}")
 
-    def announce_join(self, binding: "ReplicaBinding") -> None:
+    def announce_join(self, binding: "ReplicaBinding",
+                      *, with_base: bool = True) -> None:
         """Multicast this node's new replica into the total order; the
-        delivery position of the ReplicaJoin starts the §5.1 protocol."""
+        delivery position of the ReplicaJoin starts the §5.1 protocol.
+
+        When this node already holds a committed checkpoint for the group,
+        its app-state digest is announced so responders sharing that base
+        may answer with a page-level delta; ``with_base=False`` forces a
+        full-snapshot transfer (used when a delta could not be applied)."""
         transfer_id = self._new_transfer_id("rec", binding.group_id)
         binding.pending_transfer = transfer_id
         binding.sync_point_seen = False
@@ -131,8 +148,13 @@ class RecoveryMechanisms:
                          group=binding.group_id)
         self.tracer.emit("recovery", "join_announced", node=self.node_id,
                          group=binding.group_id, transfer=transfer_id)
+        base_digest = ""
+        if (with_base and self.config.delta_state_transfer
+                and binding.log.checkpoint is not None):
+            base_digest = binding.log.checkpoint.app_digest
         self.mechanisms.multicast(
-            ReplicaJoin(binding.group_id, self.node_id, transfer_id)
+            ReplicaJoin(binding.group_id, self.node_id, transfer_id,
+                        base_digest=base_digest)
         )
         self._arm_retry(binding, transfer_id)
 
@@ -167,6 +189,7 @@ class RecoveryMechanisms:
                 purpose=TransferPurpose.RECOVERY,
                 initiator=self.node_id,
                 target_node=envelope.node_id,
+                base_digest=envelope.base_digest,
             ))
 
     # ------------------------------------------------------------------
@@ -213,11 +236,12 @@ class RecoveryMechanisms:
             )
             binding.container.submit_get_state(
                 envelope.transfer_id,
-                lambda transfer_id, app_state, e=envelope:
-                    self._complete_get(e, app_state),
+                lambda transfer_id, app_state, app_digest, e=envelope:
+                    self._complete_get(e, app_state, app_digest),
             )
 
-    def _complete_get(self, envelope: StateGet, app_state: bytes) -> None:
+    def _complete_get(self, envelope: StateGet, app_state: bytes,
+                      app_digest: str) -> None:
         binding = self.mechanisms.bindings.get(envelope.group_id)
         if binding is None or not binding.operational:
             return
@@ -234,17 +258,19 @@ class RecoveryMechanisms:
         self.tracer.emit("audit", "state_digest", node=self.node_id,
                          group=envelope.group_id,
                          transfer=envelope.transfer_id, role="responder",
-                         digest=state_digest(app_state))
+                         digest=app_digest)
+        wire_state, app_delta = self._encode_app_state(binding, envelope,
+                                                       app_state)
         self.spans.start(
             "recovery.xfer",
             span_id=f"{envelope.transfer_id}/xfer@{self.node_id}",
             parent=envelope.transfer_id, node=self.node_id,
-            group=envelope.group_id, app_bytes=len(app_state),
+            group=envelope.group_id, app_bytes=len(wire_state),
             piggyback_bytes=len(orb_blob) + len(infra_blob),
         )
         self.tracer.emit("recovery", "set_state_multicast",
                          node=self.node_id, group=envelope.group_id,
-                         app_bytes=len(app_state),
+                         app_bytes=len(wire_state),
                          piggyback_bytes=len(orb_blob) + len(infra_blob))
         self.mechanisms.multicast(StateSet(
             group_id=envelope.group_id,
@@ -252,12 +278,49 @@ class RecoveryMechanisms:
             purpose=envelope.purpose,
             source_node=self.node_id,
             target_node=envelope.target_node,
-            app_state=app_state,
+            app_state=wire_state,
             orb_state=orb_blob,
             infra_state=infra_blob,
+            app_delta=app_delta,
         ))
         if envelope.purpose is TransferPurpose.CHECKPOINT:
             self._pending_checkpoints.discard(envelope.transfer_id)
+
+    def _encode_app_state(self, binding: "ReplicaBinding",
+                          envelope: StateGet,
+                          app_state: bytes) -> "tuple":
+        """Choose the ``StateSet`` body: a page-level delta against the
+        base named by the GET (iff this responder holds that exact base and
+        the delta actually saves bytes), else the full snapshot."""
+        if not (self.config.delta_state_transfer and envelope.base_digest):
+            return app_state, False
+        checkpoint = binding.log.checkpoint
+        if (checkpoint is None
+                or checkpoint.app_digest != envelope.base_digest):
+            self.tracer.emit("delta", "full_sent", node=self.node_id,
+                             group=envelope.group_id,
+                             transfer=envelope.transfer_id,
+                             reason="base_mismatch",
+                             full_bytes=len(app_state))
+            return app_state, False
+        delta = compute_delta(checkpoint.app_state, app_state,
+                              self.config.delta_page_size)
+        encoded = encode_delta(delta)
+        if len(encoded) >= len(app_state):
+            self.tracer.emit("delta", "full_sent", node=self.node_id,
+                             group=envelope.group_id,
+                             transfer=envelope.transfer_id,
+                             reason="delta_not_smaller",
+                             full_bytes=len(app_state))
+            return app_state, False
+        self.tracer.emit("delta", "delta_sent", node=self.node_id,
+                         group=envelope.group_id,
+                         transfer=envelope.transfer_id,
+                         pages_sent=delta.pages_sent,
+                         pages_skipped=delta.pages_skipped,
+                         wire_bytes=len(encoded),
+                         full_bytes=len(app_state))
+        return encoded, True
 
     # ------------------------------------------------------------------
     # set_state (§5.1 steps iv-vi)
@@ -277,31 +340,107 @@ class RecoveryMechanisms:
         if info is None:
             return
         binding = self.mechanisms.bindings.get(envelope.group_id)
+        full_app = self._reconstruct_app_state(binding, envelope)
         if envelope.purpose is TransferPurpose.CHECKPOINT:
-            self._handle_checkpoint_set(info, binding, envelope)
+            self._handle_checkpoint_set(info, binding, envelope, full_app)
             return
         # RECOVERY: the SET's delivery position is the logical point at
         # which the group regards the target as synchronized.
         info.mark_operational(envelope.target_node)
         if envelope.target_node == self.node_id and binding is not None \
                 and binding.status == STATUS_RECOVERING:
-            self._apply_recovery_set(binding, envelope)
+            if full_app is None:
+                # The delta's base no longer matches this node's checkpoint
+                # (e.g. a checkpoint landed between announce and SET):
+                # restart the protocol asking for a full snapshot.
+                self.tracer.emit("recovery", "delta_fallback_reannounce",
+                                 node=self.node_id,
+                                 group=envelope.group_id,
+                                 transfer=envelope.transfer_id)
+                self.spans.end(envelope.transfer_id,
+                               outcome="delta_fallback")
+                self.announce_join(binding, with_base=False)
+                return
+            self._apply_recovery_set(binding, envelope, full_app)
         else:
+            if binding is not None and full_app is not None:
+                self._align_checkpoint(binding, envelope, full_app)
             self.mechanisms.notify_member_operational(
                 envelope.group_id, envelope.target_node
             )
 
-    def _handle_checkpoint_set(self, info, binding,
-                               envelope: StateSet) -> None:
-        if binding is None:
-            return
-        binding.log.commit_checkpoint(
-            envelope.transfer_id, envelope.app_state,
+    def _reconstruct_app_state(self, binding, envelope: StateSet):
+        """Recover the full app-state snapshot from the ``StateSet`` body.
+
+        Returns the snapshot bytes, or ``None`` when the body is a delta
+        this node cannot apply (no base checkpoint, or the base diverged) —
+        callers fall back to requesting a full transfer."""
+        if not envelope.app_delta:
+            return envelope.app_state
+        checkpoint = binding.log.checkpoint if binding is not None else None
+        if checkpoint is None:
+            self.tracer.emit("delta", "fallback", node=self.node_id,
+                             group=envelope.group_id,
+                             transfer=envelope.transfer_id,
+                             reason="no_base_checkpoint")
+            return None
+        try:
+            delta = decode_delta(envelope.app_state)
+            full_app = apply_delta(checkpoint.app_state, delta)
+        except StateTransferError as exc:
+            self.tracer.emit("delta", "fallback", node=self.node_id,
+                             group=envelope.group_id,
+                             transfer=envelope.transfer_id,
+                             reason=type(exc).__name__)
+            return None
+        self.tracer.emit("delta", "delta_applied", node=self.node_id,
+                         group=envelope.group_id,
+                         transfer=envelope.transfer_id,
+                         pages_sent=delta.pages_sent,
+                         pages_skipped=delta.pages_skipped,
+                         wire_bytes=len(envelope.app_state),
+                         full_bytes=len(full_app))
+        return full_app
+
+    def _align_checkpoint(self, binding: "ReplicaBinding",
+                          envelope: StateSet, full_app: bytes) -> None:
+        """Commit a recovery transfer's state as this node's checkpoint.
+
+        Every node holding the binding logs the reconstructed snapshot (plus
+        the piggybacked blobs) under the transfer id, so all delta bases in
+        the group stay aligned after a recovery — and the next failover
+        restores from this fresher checkpoint.  The audit digest is emitted
+        under the same ``<transfer>/commit`` key at every committing node;
+        the records are identical by construction."""
+        committed = binding.log.commit_checkpoint(
+            envelope.transfer_id, full_app,
             envelope.orb_state, envelope.infra_state,
         )
+        self.tracer.emit("recovery", "checkpoint_aligned",
+                         node=self.node_id, group=envelope.group_id,
+                         app_bytes=len(full_app))
+        self.tracer.emit("audit", "state_digest", node=self.node_id,
+                         group=envelope.group_id,
+                         transfer=f"{envelope.transfer_id}/commit",
+                         role="checkpoint", digest=committed.digest)
+
+    def _handle_checkpoint_set(self, info, binding, envelope: StateSet,
+                               full_app) -> None:
+        if binding is None:
+            return
+        if full_app is None:
+            # Cannot reconstruct this checkpoint from the delta: ask the
+            # group for a fresh full checkpoint so this node regains a base.
+            self._request_checkpoint_resync(envelope.group_id)
+            return
+        binding.log.commit_checkpoint(
+            envelope.transfer_id, full_app,
+            envelope.orb_state, envelope.infra_state,
+        )
+        self._resync_requested.discard(envelope.group_id)
         self.tracer.emit("recovery", "checkpoint_logged", node=self.node_id,
                          group=envelope.group_id,
-                         app_bytes=len(envelope.app_state))
+                         app_bytes=len(full_app))
         # All nodes log the same checkpoint: compare the committed records
         # (all three state blobs) under their own key, separate from the
         # responders' app-state-only capture digests.
@@ -317,38 +456,54 @@ class RecoveryMechanisms:
                 and binding.status == STATUS_OPERATIONAL
                 and binding.container.instantiated):
             binding.container.submit_set_state(
-                envelope.app_state,
+                full_app,
                 lambda b=binding, e=envelope: self._apply_piggyback(b, e),
             )
 
+    def _request_checkpoint_resync(self, group_id: str) -> None:
+        """Multicast a full-snapshot checkpoint GET for the whole group
+        (at most one outstanding per group per node)."""
+        if group_id in self._resync_requested:
+            return
+        self._resync_requested.add(group_id)
+        transfer_id = self._new_transfer_id("ckpt", group_id)
+        self.tracer.emit("delta", "resync_requested", node=self.node_id,
+                         group=group_id, transfer=transfer_id)
+        self.mechanisms.multicast(StateGet(
+            group_id=group_id,
+            transfer_id=transfer_id,
+            purpose=TransferPurpose.CHECKPOINT,
+            initiator=self.node_id,
+        ))
+
     def _apply_recovery_set(self, binding: "ReplicaBinding",
-                            envelope: StateSet) -> None:
+                            envelope: StateSet, full_app: bytes) -> None:
         self.tracer.emit("recovery", "recovery_set_received",
                          node=self.node_id, group=binding.group_id,
-                         app_bytes=len(envelope.app_state))
-        # What the target received must match what the responders captured.
+                         app_bytes=len(full_app))
+        # What the target received must match what the responders captured
+        # — the digest is taken over the *reconstructed* snapshot, so a
+        # delta-encoded transfer is audited end to end.
         self.tracer.emit("audit", "state_digest", node=self.node_id,
                          group=binding.group_id,
                          transfer=envelope.transfer_id, role="target",
-                         digest=state_digest(envelope.app_state))
+                         digest=state_digest(full_app))
         apply_span = self.spans.start(
             "recovery.apply", span_id=f"{envelope.transfer_id}/apply",
             parent=envelope.transfer_id, node=self.node_id,
-            group=binding.group_id, app_bytes=len(envelope.app_state),
+            group=binding.group_id, app_bytes=len(full_app),
         )
         if not binding.container.instantiated:
             # A new cold-passive backup: its "state" is the logged
             # checkpoint; it will be launched only at failover.
             binding.log.mark_get_position(envelope.transfer_id, 0)
-            binding.log.commit_checkpoint(
-                envelope.transfer_id, envelope.app_state,
-                envelope.orb_state, envelope.infra_state,
-            )
+            self._align_checkpoint(binding, envelope, full_app)
             self.spans.end(apply_span, checkpoint_only=True)
             self._become_operational(binding, resume=False)
             return
+        self._align_checkpoint(binding, envelope, full_app)
         binding.container.submit_set_state(
-            envelope.app_state,
+            full_app,
             lambda: self._finish_recovery(binding, envelope),
         )
 
@@ -456,6 +611,12 @@ class RecoveryMechanisms:
             return
         transfer_id = self._new_transfer_id("ckpt", group_id)
         self._pending_checkpoints.add(transfer_id)
+        # Name the previous checkpoint as the delta base: every node holding
+        # the binding committed an identical record, so the responder can
+        # ship only the pages that changed since the last checkpoint.
+        base_digest = ""
+        if self.config.delta_state_transfer and binding.log.checkpoint:
+            base_digest = binding.log.checkpoint.app_digest
         self.tracer.emit("recovery", "checkpoint_initiated",
                          node=self.node_id, group=group_id)
         self.mechanisms.multicast(StateGet(
@@ -463,6 +624,7 @@ class RecoveryMechanisms:
             transfer_id=transfer_id,
             purpose=TransferPurpose.CHECKPOINT,
             initiator=self.node_id,
+            base_digest=base_digest,
         ))
 
     # ------------------------------------------------------------------

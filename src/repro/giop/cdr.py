@@ -18,6 +18,20 @@ from repro.errors import MarshalError, UnmarshalError
 
 _PAD = b"\x00"
 
+#: Padding strings by gap length, so alignment appends one precomputed
+#: constant instead of multiplying a fresh bytes object per call.  CDR
+#: boundaries are at most 8, so gaps are at most 7 bytes.
+_PADDING = tuple(_PAD * n for n in range(8))
+
+#: Precompiled per-primitive ``struct.Struct`` objects, both byte orders;
+#: compiled once instead of re-parsing the format string on every write —
+#: the marshalling hot path under state transfer and frame encoding.
+_STRUCTS = {
+    order + fmt: struct.Struct(order + fmt)
+    for order in ("<", ">")
+    for fmt in ("B", "h", "H", "i", "I", "q", "Q", "f", "d")
+}
+
 
 class CdrOutputStream:
     """Appends CDR-encoded values to a growing byte buffer."""
@@ -32,17 +46,21 @@ class CdrOutputStream:
     def align(self, boundary: int) -> None:
         remainder = len(self._buf) % boundary
         if remainder:
-            self._buf += _PAD * (boundary - remainder)
+            self._buf += _PADDING[boundary - remainder]
 
     def write_raw(self, data: bytes) -> None:
         self._buf += data
 
     def _pack(self, fmt: str, boundary: int, value) -> None:
-        self.align(boundary)
         try:
-            self._buf += struct.pack(self._fmt + fmt, value)
+            packed = _STRUCTS[self._fmt + fmt].pack(value)
         except struct.error as exc:
             raise MarshalError(f"cannot pack {value!r} as {fmt!r}: {exc}") from exc
+        remainder = len(self._buf) % boundary
+        if remainder:
+            # Single append per primitive: pad and payload joined once.
+            packed = _PADDING[boundary - remainder] + packed
+        self._buf += packed
 
     # -- primitives -----------------------------------------------------
 

@@ -7,31 +7,34 @@ frame to *all* member ports, the sender's included, emulating the shared
 Ethernet segment of the paper's testbed (Totem relies on self-delivery
 of its own multicasts).
 
-Frames are pickled ``(src, payload)`` pairs.  That is fine for a
-loopback experiment where both ends are this very process, and keeps the
-protocol objects (Totem messages carrying IIOP envelopes) unchanged on
-the wire; it is **not** a safe wire format across trust boundaries —
-see the loopback caveats in EXPERIMENTS.md.
+Frames carry a small header (magic, source node id) followed by the
+Totem frame in the versioned binary CDR codec of
+:mod:`repro.totem.wire` — the same marshalling layer the IIOP stack
+uses.  Unlike the pickle encoding this transport started with, decoding
+a hostile datagram can only ever produce Totem message objects, and a
+frame from an incompatible build is rejected by its version octet
+instead of being mis-parsed.
 
 The MTU contract is enforced on the *declared* ``size_bytes`` of each
 payload, exactly like the simulator's network model: the ring member
 fragments application messages to honest 1500-byte Ethernet frames even
 though the loopback interface would happily carry 64 KB datagrams.  The
-pickled representation is larger than the declared size; loopback's real
-MTU (65 536) absorbs the encoding overhead.
+encoded representation is slightly larger than the declared size (CDR
+alignment padding); loopback's real MTU (65 536) absorbs the overhead.
 """
 
 from __future__ import annotations
 
 import asyncio
-import pickle
 import socket
 import struct
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import NetworkError
+from repro.errors import MarshalError, NetworkError, ProtocolError, \
+    UnmarshalError
 from repro.runtime.interfaces import Host, Transport
 from repro.runtime.trace import NULL_TRACER, Tracer
+from repro.totem.wire import decode_frame_payload, encode_frame_payload
 
 Address = Tuple[str, int]
 
@@ -40,15 +43,18 @@ Address = Tuple[str, int]
 #: therefore recovery-vs-state-size behaviour, match the simulation.
 LIVE_MTU_PAYLOAD = 1500
 
-_MAGIC = b"ET1\x00"
+_MAGIC = b"ET2\x00"     # bumped with the pickle -> CDR codec switch
 _HEADER = struct.Struct("!4sH")     # magic, src-id length
 
 
 def encode_frame(src: str, payload: Any) -> bytes:
-    """Encode one frame: magic, source node id, pickled payload."""
+    """Encode one frame: magic, source node id, CDR-encoded Totem frame."""
     src_bytes = src.encode("utf-8")
-    return (_HEADER.pack(_MAGIC, len(src_bytes)) + src_bytes
-            + pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    try:
+        body = encode_frame_payload(payload)
+    except (MarshalError, ProtocolError) as exc:
+        raise NetworkError(f"unencodable frame payload: {exc}") from exc
+    return _HEADER.pack(_MAGIC, len(src_bytes)) + src_bytes + body
 
 
 def decode_frame(data: bytes) -> Tuple[str, Any]:
@@ -64,8 +70,8 @@ def decode_frame(data: bytes) -> Tuple[str, Any]:
         raise NetworkError("truncated frame source id")
     src = data[_HEADER.size:end].decode("utf-8")
     try:
-        payload = pickle.loads(data[end:])
-    except Exception as exc:
+        payload = decode_frame_payload(data[end:])
+    except (UnmarshalError, ProtocolError, ValueError) as exc:
         raise NetworkError(f"undecodable frame payload: {exc}") from exc
     return src, payload
 
@@ -152,6 +158,7 @@ class UdpTransport(Transport):
                 self._tracer.emit("live", "bad_frame", node=self.node_id,
                                   size=len(data))
                 continue
+            self._tracer.add("live.codec.bytes_in", len(data))
             self.deliver(src, payload)
 
     # ------------------------------------------------------------------
@@ -180,11 +187,15 @@ class UdpTransport(Transport):
             addr = self._peers[dst]
         except KeyError:
             raise NetworkError(f"unknown destination node {dst!r}") from None
-        self._send(encode_frame(self.node_id, payload), addr)
+        data = encode_frame(self.node_id, payload)
+        self._tracer.add("live.codec.bytes_out", len(data))
+        self._send(data, addr)
 
     def broadcast(self, payload: Any, size_bytes: int) -> None:
         self._check_size(size_bytes)
-        self._send(encode_frame(self.node_id, payload), self._segment_addr)
+        data = encode_frame(self.node_id, payload)
+        self._tracer.add("live.codec.bytes_out", len(data))
+        self._send(data, self._segment_addr)
 
 
 class SegmentDispatcher:

@@ -66,6 +66,16 @@ def _lane(record_fields: Dict[str, Any]) -> Dict[str, str]:
     }
 
 
+def _us(seconds: float) -> int:
+    """Simulated seconds -> integer microseconds.
+
+    Timestamps and durations are exported as integers so that
+    ``ts + dur`` of a child is exactly comparable with its parent's:
+    rounding endpoints independently (instead of the duration) keeps the
+    mapping monotone, so span nesting survives the unit conversion."""
+    return round(seconds * 1e6)
+
+
 def chrome_trace_events(records: Iterable[TraceRecord],
                         *, include_instants: bool = True
                         ) -> List[Dict[str, Any]]:
@@ -81,14 +91,14 @@ def chrome_trace_events(records: Iterable[TraceRecord],
         event: Dict[str, Any] = {
             "name": span.name,
             "cat": SPAN_CATEGORY,
-            "ts": round(span.start * 1e6, 3),
+            "ts": _us(span.start),
             "args": _jsonable({**span.attrs, "span_id": span.span_id,
                                "parent_id": span.parent_id}),
             **lane,
         }
         if span.complete:
             event["ph"] = "X"
-            event["dur"] = round((span.end - span.start) * 1e6, 3)
+            event["dur"] = _us(span.end) - _us(span.start)
         else:
             event["ph"] = "B"       # unfinished: begin with no end
         events.append(event)
@@ -104,7 +114,7 @@ def chrome_trace_events(records: Iterable[TraceRecord],
                 "cat": record.category,
                 "ph": "i",
                 "s": "t",           # thread-scoped instant
-                "ts": round(record.time * 1e6, 3),
+                "ts": _us(record.time),
                 "args": _jsonable(record.fields),
                 **lane,
             })

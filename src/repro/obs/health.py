@@ -88,6 +88,15 @@ def render_health(system, *, auditor=None) -> str:
         lines.append(_series("eternal_node_alive", {"node": node_id},
                              1 if stack.process.alive else 0))
 
+    lines.append("# TYPE eternal_totem_partial_count gauge")
+    for node_id in sorted(system.stacks):
+        stack = system.stacks[node_id]
+        totem = getattr(stack, "totem", None)
+        if totem is None or not stack.process.alive:
+            continue
+        lines.append(_series("eternal_totem_partial_count",
+                             {"node": node_id}, totem.reassembly_pending))
+
     replica_lines: List[str] = []
     detector_lines: List[str] = []
     group_ids: Dict[str, Any] = {}

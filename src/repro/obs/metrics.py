@@ -236,6 +236,15 @@ class MetricsRegistry:
         if record.category == "fault_detector":
             self._observe_fault_detector(record)
             return
+        if record.category == "delta":
+            self._observe_delta(record)
+            return
+        if record.category == "totem" and record.event == "packed_frame":
+            labels = {k: record.fields[k] for k in ("node",)
+                      if k in record.fields}
+            self.histogram("totem.payloads_per_frame", **labels).record(
+                record.fields.get("payloads", 1))
+            return
         if record.category != "span":
             return
         span_id = record.fields.get("span")
@@ -253,6 +262,32 @@ class MetricsRegistry:
                     record.time - start.time
                 )
         self.gauge("spans.open").set(len(self._open_spans))
+
+    def _observe_delta(self, record: TraceRecord) -> None:
+        """Turn delta-state-transfer trace events into counters: how many
+        transfers went out as page deltas vs. full bodies, the page and
+        byte economics of the deltas, and how often a receiver had to fall
+        back (couldn't reconstruct) or request a resync."""
+        labels = {k: record.fields[k] for k in ("node", "group")
+                  if k in record.fields}
+        if record.event == "delta_sent":
+            self.counter("delta.transfers_delta", **labels).inc()
+            self.counter("delta.pages_sent", **labels).inc(
+                record.fields.get("pages_sent", 0))
+            self.counter("delta.pages_skipped", **labels).inc(
+                record.fields.get("pages_skipped", 0))
+            self.counter("delta.wire_bytes", **labels).inc(
+                record.fields.get("wire_bytes", 0))
+            self.counter("delta.full_bytes", **labels).inc(
+                record.fields.get("full_bytes", 0))
+        elif record.event == "full_sent":
+            reason = record.fields.get("reason", "unknown")
+            self.counter("delta.transfers_full",
+                         reason=reason, **labels).inc()
+        elif record.event == "fallback":
+            self.counter("delta.fallbacks", **labels).inc()
+        elif record.event == "resync_requested":
+            self.counter("delta.resyncs", **labels).inc()
 
     def _observe_fault_detector(self, record: TraceRecord) -> None:
         """Turn fault-detector trace events into counters: a first strike

@@ -29,7 +29,15 @@ class TotemConfig:
     """Re-broadcast period for JOIN while gathering/joining."""
 
     max_burst: int = 64
-    """Maximum data messages one member broadcasts per token visit."""
+    """Maximum data frames one member broadcasts per token visit (a packed
+    frame carrying several fragments counts once)."""
+
+    frame_packing: bool = True
+    """Coalesce queued sub-MTU fragments into one multi-payload frame per
+    broadcast slot, amortizing the fixed per-frame costs (header bytes,
+    inter-frame gap, per-frame CPU).  Full-MTU fragments always travel as
+    classic single-fragment frames.  Disabling restores one frame per
+    fragment."""
 
     retain_safe_slack: int = 128
     """Retain messages this far below the safe sequence (GC headroom)."""

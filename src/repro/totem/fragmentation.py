@@ -125,3 +125,20 @@ class Reassembler:
     def pending(self) -> int:
         """Number of messages awaiting further fragments."""
         return len(self._partial)
+
+    def evict_absent_origins(self, members) -> int:
+        """Drop partial messages (and skip markers) whose originating node
+        is not in ``members``.
+
+        Called at ring installation: a departed sender's unfinished message
+        can never complete (its remaining fragments were never sequenced
+        into the surviving history), so retaining the partial would leak
+        buffer space for the life of the member.  Returns the number of
+        partial messages evicted.
+        """
+        allowed = set(members)
+        stale = [mid for mid in self._partial if mid[0] not in allowed]
+        for mid in stale:
+            del self._partial[mid]
+        self._skipped = {mid for mid in self._skipped if mid[0] in allowed}
+        return len(stale)

@@ -46,8 +46,9 @@ from repro.runtime.interfaces import TimerHandle, Transport
 from repro.runtime.trace import NULL_TRACER, Tracer
 from repro.totem.config import TotemConfig
 from repro.totem.fragmentation import Fragmenter, Reassembler
-from repro.totem.messages import (DATA_HEADER, DataMsg, FormMsg, JoinMsg,
-                                  ProbeMsg, Token)
+from repro.totem.messages import (DATA_HEADER, PACKED_SUBHEADER, DataMsg,
+                                  FormMsg, JoinMsg, PackedDataMsg,
+                                  PackedPayload, ProbeMsg, Token)
 
 DeliverFn = Callable[[str, bytes], None]
 ViewFn = Callable[["View"], None]
@@ -139,6 +140,7 @@ class TotemMember:
 
         self._last_probe = 0.0
         endpoint.register(DataMsg, self._on_data)
+        endpoint.register(PackedDataMsg, self._on_data)
         endpoint.register(Token, self._on_token_frame)
         endpoint.register(JoinMsg, self._on_join)
         endpoint.register(FormMsg, self._on_form)
@@ -158,6 +160,12 @@ class TotemMember:
     @property
     def operational(self) -> bool:
         return self.state is MemberState.OPERATIONAL
+
+    @property
+    def reassembly_pending(self) -> int:
+        """Partially reassembled application messages currently buffered
+        (exposed as the ``eternal_totem_partial_count`` health gauge)."""
+        return self._reassembler.pending
 
     def multicast(self, payload: bytes) -> None:
         """Queue ``payload`` for reliable totally-ordered delivery to all
@@ -209,15 +217,36 @@ class TotemMember:
         if self.state is MemberState.RECOVERY:
             self._maybe_install()
 
+    @staticmethod
+    def _payload_entries(msg) -> List[Tuple[Tuple[str, int], int, int, bytes]]:
+        """The application fragments a frame carries, in delivery order —
+        one for a classic :class:`DataMsg`, several for a packed frame."""
+        if isinstance(msg, PackedDataMsg):
+            return [(p.msg_id, p.frag_index, p.frag_count, p.chunk)
+                    for p in msg.payloads]
+        return [(msg.msg_id, msg.frag_index, msg.frag_count, msg.chunk)]
+
     def _try_deliver(self) -> None:
         while (self.delivered_aru + 1) in self._held:
             self.delivered_aru += 1
             msg = self._held[self.delivered_aru]
-            self._order_hash = crc32(
-                f"{msg.seq}:{msg.sender}:{msg.msg_id}:"
-                f"{msg.frag_index}".encode(),
-                self._order_hash,
-            )
+            for msg_id, frag_index, frag_count, chunk \
+                    in self._payload_entries(msg):
+                self._order_hash = crc32(
+                    f"{msg.seq}:{msg.sender}:{msg_id}:"
+                    f"{frag_index}".encode(),
+                    self._order_hash,
+                )
+                if msg.sender == self.node_id:
+                    self._inflight.pop((msg_id, frag_index), None)
+                payload = self._reassembler.add(
+                    msg_id, frag_index, frag_count, chunk
+                )
+                if payload is not None:
+                    self.tracer.emit("totem", "deliver", node=self.node_id,
+                                     origin=msg_id[0], seq=msg.seq,
+                                     size=len(payload))
+                    self.on_deliver(msg_id[0], payload)
             interval = self.config.order_digest_interval
             if (interval and self._order_ring_key
                     and (self.delivered_aru - self._order_base)
@@ -227,16 +256,6 @@ class TotemMember:
                                  base=self._order_base,
                                  seq=self.delivered_aru,
                                  digest=f"{self._order_hash:08x}")
-            if msg.sender == self.node_id:
-                self._inflight.pop((msg.msg_id, msg.frag_index), None)
-            payload = self._reassembler.add(
-                msg.msg_id, msg.frag_index, msg.frag_count, msg.chunk
-            )
-            if payload is not None:
-                self.tracer.emit("totem", "deliver", node=self.node_id,
-                                 origin=msg.msg_id[0], seq=msg.seq,
-                                 size=len(payload))
-                self.on_deliver(msg.msg_id[0], payload)
 
     # ------------------------------------------------------------------
     # Token path
@@ -278,20 +297,19 @@ class TotemMember:
                 unresolved.append(seq)
         token.rtr = unresolved
 
-        # 2. Broadcast queued fragments, up to the burst window.  The
+        # 2. Broadcast queued fragments, up to the burst window (counted in
+        # frames; a packed frame coalesces several sub-MTU fragments).  The
         # sender retains its own frame directly (real-Totem semantics): a
         # lost loopback copy must not stall delivery or leave nobody able
         # to service a retransmission request for the sequence number.
-        burst = min(self.config.max_burst, len(self._send_queue))
-        for _ in range(burst):
-            msg_id, index, count, chunk = self._send_queue.pop(0)
+        sent_frames = 0
+        while sent_frames < self.config.max_burst and self._send_queue:
             token.seq += 1
-            msg = DataMsg(self.ring_id, token.seq, self.node_id,
-                          msg_id, index, count, chunk)
-            self._inflight[(msg_id, index)] = (msg_id, index, count, chunk)
+            msg = self._next_frame(token.seq)
             self._held[token.seq] = msg
             self._broadcast_frame(msg)
-        if burst:
+            sent_frames += 1
+        if sent_frames:
             self._try_deliver()
 
         # 3. Request retransmission of our genuine gaps.
@@ -413,9 +431,44 @@ class TotemMember:
             self.tracer.emit("totem", "reassembly_skipped",
                              node=self.node_id, origin=msg_id[0])
 
-    def _broadcast_frame(self, msg: DataMsg) -> None:
+    def _next_frame(self, seq: int):
+        """Pop queued fragment(s) into the frame for one broadcast slot.
+
+        With packing enabled, greedily coalesce consecutive queued sub-MTU
+        fragments while the frame stays within the transport MTU.  A
+        full-MTU fragment (or a lone fragment) travels as a classic
+        :class:`DataMsg` — the sub-header would only add overhead.
+        """
+        first = self._send_queue.pop(0)
+        self._inflight[(first[0], first[1])] = first
+        entries = [first]
+        if self.config.frame_packing:
+            size = DATA_HEADER + PACKED_SUBHEADER + len(first[3])
+            while self._send_queue:
+                nxt = self._send_queue[0]
+                added = PACKED_SUBHEADER + len(nxt[3])
+                if size + added > self.endpoint.mtu_payload:
+                    break
+                self._send_queue.pop(0)
+                self._inflight[(nxt[0], nxt[1])] = nxt
+                entries.append(nxt)
+                size += added
+        if len(entries) == 1:
+            msg_id, index, count, chunk = first
+            return DataMsg(self.ring_id, seq, self.node_id,
+                           msg_id, index, count, chunk)
+        return PackedDataMsg(
+            self.ring_id, seq, self.node_id,
+            tuple(PackedPayload(*entry) for entry in entries),
+        )
+
+    def _broadcast_frame(self, msg) -> None:
         self.tracer.emit("totem", "frame", node=self.node_id, seq=msg.seq,
                          size=msg.size_bytes, retransmit=msg.retransmit)
+        if isinstance(msg, PackedDataMsg) and not msg.retransmit:
+            self.tracer.emit("totem", "packed_frame", node=self.node_id,
+                             seq=msg.seq, payloads=len(msg.payloads),
+                             size=msg.size_bytes)
         self.endpoint.broadcast(msg, msg.size_bytes)
 
     def _reset_token_timer(self) -> None:
@@ -849,6 +902,12 @@ class TotemMember:
             orphans = [self._inflight[k] for k in sorted(self._inflight)]
             self._inflight.clear()
             self._send_queue = orphans + self._send_queue
+        # Partial reassemblies from members that left the ring can never
+        # complete; evict them instead of leaking them forever.
+        evicted = self._reassembler.evict_absent_origins(form.members)
+        if evicted:
+            self.tracer.emit("totem", "reassembly_evicted",
+                             node=self.node_id, count=evicted)
         self.tracer.emit("totem", "install", node=self.node_id,
                          ring_id=self.ring_id, members=self.members)
         if self.on_view_change is not None:

@@ -21,6 +21,10 @@ _TOKEN_BASE = 56        # ring_id, seq, aru, aru_id, rotations, ring key/phase
 _JOIN_BASE = 64         # sender, ring id/base seen, aru, fresh flag, digest
 _FORM_BASE = 64         # ring_id, flush_seq, leader
 
+PACKED_SUBHEADER = 12
+"""Per-payload overhead inside a :class:`PackedDataMsg` (msg_id, fragment
+indices, payload length)."""
+
 
 @dataclass(frozen=True)
 class DataMsg:
@@ -40,6 +44,41 @@ class DataMsg:
     @property
     def size_bytes(self) -> int:
         return _DATA_HEADER + len(self.chunk)
+
+
+@dataclass(frozen=True)
+class PackedPayload:
+    """One application fragment carried inside a :class:`PackedDataMsg`."""
+
+    msg_id: Tuple[str, int]     # (originating node, per-origin counter)
+    frag_index: int
+    frag_count: int
+    chunk: bytes
+
+
+@dataclass(frozen=True)
+class PackedDataMsg:
+    """One sequenced multicast frame carrying *several* sub-MTU fragments.
+
+    The token holder coalesces queued fragments that fit together under
+    the transport MTU into a single frame per token visit, amortizing the
+    fixed per-frame cost (header, inter-frame silence, per-frame CPU) over
+    many small application messages.  The frame occupies exactly one slot
+    (``seq``) in the total order; members deliver its payloads in listed
+    order, so total-order and reassembly semantics are unchanged — a
+    packed frame is equivalent to its payloads sent back-to-back.
+    """
+
+    ring_id: int
+    seq: int
+    sender: str
+    payloads: Tuple[PackedPayload, ...]
+    retransmit: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        return _DATA_HEADER + sum(PACKED_SUBHEADER + len(p.chunk)
+                                  for p in self.payloads)
 
 
 @dataclass

@@ -1,0 +1,234 @@
+"""Binary wire codec for Totem protocol frames.
+
+The live runtime's UDP transport needs a byte representation of every
+frame the ring exchanges.  This module encodes the six Totem message
+types in CDR (reusing :mod:`repro.giop.cdr`, the same marshalling the
+IIOP layer uses) behind a one-octet format version, replacing the
+pickle encoding the live transport started with: the codec is
+
+* **safe** — decoding attacker-controlled bytes can only yield Totem
+  message objects, never arbitrary Python objects;
+* **versioned** — the leading octet rejects frames from an incompatible
+  build instead of mis-parsing them;
+* **compact** — a classic ``DataMsg`` costs its chunk plus ~40 bytes of
+  header, close to the simulator's declared ``size_bytes`` and far below
+  pickle's overhead.
+
+Unknown tags and malformed bodies raise :class:`~repro.errors.ProtocolError`
+(or the CDR layer's :class:`~repro.errors.UnmarshalError`); the transport
+maps both onto dropped frames.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.giop.cdr import CdrInputStream, CdrOutputStream
+from repro.totem.messages import (DataMsg, FormMsg, JoinMsg, PackedDataMsg,
+                                  PackedPayload, ProbeMsg, Token)
+
+#: Format version octet leading every encoded frame (bump on layout change).
+WIRE_VERSION = 1
+
+_TAG_DATA = 1
+_TAG_PACKED = 2
+_TAG_TOKEN = 3
+_TAG_JOIN = 4
+_TAG_FORM = 5
+_TAG_PROBE = 6
+
+TotemFrame = object     # DataMsg | PackedDataMsg | Token | JoinMsg | ...
+
+#: Extension frame types (tags 64-255): embedders may register additional
+#: payload classes; the core protocol keeps tags below 64.
+_EXT_BY_CLASS: dict = {}
+_EXT_BY_TAG: dict = {}
+
+
+def register_wire_type(tag: int, cls, encode, decode) -> None:
+    """Register an extension frame type.
+
+    ``encode(out, obj)`` writes the body onto a :class:`CdrOutputStream`;
+    ``decode(inp)`` rebuilds the object from a :class:`CdrInputStream`.
+    Exact-class match only (no MRO walk): the codec must reproduce the
+    precise type it was handed, because the transport dispatches received
+    payloads by class.
+    """
+    if not 64 <= tag <= 255:
+        raise ValueError(f"extension tag {tag} outside 64..255")
+    _EXT_BY_CLASS[cls] = (tag, encode)
+    _EXT_BY_TAG[tag] = decode
+
+
+def _write_msg_id(out: CdrOutputStream, msg_id) -> None:
+    out.write_string(msg_id[0])
+    out.write_ulonglong(msg_id[1])
+
+
+def _read_msg_id(inp: CdrInputStream):
+    return (inp.read_string(), inp.read_ulonglong())
+
+
+def _write_members(out: CdrOutputStream, members) -> None:
+    out.write_ulong(len(members))
+    for member in members:
+        out.write_string(member)
+
+
+def _read_members(inp: CdrInputStream):
+    return tuple(inp.read_string() for _ in range(inp.read_ulong()))
+
+
+def encode_frame_payload(msg) -> bytes:
+    """Serialize one Totem frame (any of the six message types)."""
+    out = CdrOutputStream()
+    out.write_octet(WIRE_VERSION)
+    extension = _EXT_BY_CLASS.get(type(msg))
+    if extension is not None:
+        tag, encode = extension
+        out.write_octet(tag)
+        encode(out, msg)
+    elif isinstance(msg, DataMsg):
+        out.write_octet(_TAG_DATA)
+        out.write_ulonglong(msg.ring_id)
+        out.write_ulonglong(msg.seq)
+        out.write_string(msg.sender)
+        _write_msg_id(out, msg.msg_id)
+        out.write_ulong(msg.frag_index)
+        out.write_ulong(msg.frag_count)
+        out.write_boolean(msg.retransmit)
+        out.write_octets(msg.chunk)
+    elif isinstance(msg, PackedDataMsg):
+        out.write_octet(_TAG_PACKED)
+        out.write_ulonglong(msg.ring_id)
+        out.write_ulonglong(msg.seq)
+        out.write_string(msg.sender)
+        out.write_boolean(msg.retransmit)
+        out.write_ulong(len(msg.payloads))
+        for payload in msg.payloads:
+            _write_msg_id(out, payload.msg_id)
+            out.write_ulong(payload.frag_index)
+            out.write_ulong(payload.frag_count)
+            out.write_octets(payload.chunk)
+    elif isinstance(msg, Token):
+        out.write_octet(_TAG_TOKEN)
+        out.write_ulonglong(msg.ring_id)
+        out.write_ulonglong(msg.seq)
+        out.write_ulonglong(msg.aru)
+        out.write_string(msg.aru_id)
+        out.write_ulong(len(msg.rtr))
+        for seq in msg.rtr:
+            out.write_ulonglong(seq)
+        out.write_ulonglong(msg.rotations)
+        out.write_ulong(msg.ring_key)
+        out.write_octet(msg.commit_phase)
+    elif isinstance(msg, JoinMsg):
+        out.write_octet(_TAG_JOIN)
+        out.write_string(msg.sender)
+        out.write_ulonglong(msg.ring_id_seen)
+        out.write_ulonglong(msg.delivered_aru)
+        out.write_ulong(len(msg.held))
+        for seq in sorted(msg.held):
+            out.write_ulonglong(seq)
+        out.write_boolean(msg.fresh)
+        _write_members(out, msg.view_members)
+        out.write_ulonglong(msg.base_seen)
+    elif isinstance(msg, FormMsg):
+        out.write_octet(_TAG_FORM)
+        out.write_ulonglong(msg.ring_id)
+        out.write_string(msg.leader)
+        _write_members(out, msg.members)
+        out.write_ulonglong(msg.flush_seq)
+        out.write_ulonglong(msg.base_seq)
+        out.write_ulong(len(msg.holders))
+        for seq in sorted(msg.holders):
+            out.write_ulonglong(seq)
+            out.write_string(msg.holders[seq])
+        _write_members(out, msg.fresh_members)
+    elif isinstance(msg, ProbeMsg):
+        out.write_octet(_TAG_PROBE)
+        out.write_ulonglong(msg.ring_id)
+        out.write_string(msg.sender)
+        _write_members(out, msg.members)
+    else:
+        raise ProtocolError(
+            f"cannot encode Totem frame {type(msg).__name__}")
+    return out.getvalue()
+
+
+def decode_frame_payload(data: bytes):
+    """Inverse of :func:`encode_frame_payload`."""
+    inp = CdrInputStream(data)
+    version = inp.read_octet()
+    if version != WIRE_VERSION:
+        raise ProtocolError(f"unknown Totem wire version {version}")
+    tag = inp.read_octet()
+    if tag == _TAG_DATA:
+        ring_id = inp.read_ulonglong()
+        seq = inp.read_ulonglong()
+        sender = inp.read_string()
+        msg_id = _read_msg_id(inp)
+        frag_index = inp.read_ulong()
+        frag_count = inp.read_ulong()
+        retransmit = inp.read_boolean()
+        chunk = inp.read_octets()
+        return DataMsg(ring_id, seq, sender, msg_id, frag_index,
+                       frag_count, chunk, retransmit)
+    if tag == _TAG_PACKED:
+        ring_id = inp.read_ulonglong()
+        seq = inp.read_ulonglong()
+        sender = inp.read_string()
+        retransmit = inp.read_boolean()
+        count = inp.read_ulong()
+        payloads = []
+        for _ in range(count):
+            msg_id = _read_msg_id(inp)
+            frag_index = inp.read_ulong()
+            frag_count = inp.read_ulong()
+            payloads.append(PackedPayload(msg_id, frag_index, frag_count,
+                                          inp.read_octets()))
+        return PackedDataMsg(ring_id, seq, sender, tuple(payloads),
+                             retransmit)
+    if tag == _TAG_TOKEN:
+        ring_id = inp.read_ulonglong()
+        seq = inp.read_ulonglong()
+        aru = inp.read_ulonglong()
+        aru_id = inp.read_string()
+        rtr = [inp.read_ulonglong() for _ in range(inp.read_ulong())]
+        rotations = inp.read_ulonglong()
+        ring_key = inp.read_ulong()
+        commit_phase = inp.read_octet()
+        return Token(ring_id, seq, aru, aru_id, rtr, rotations, ring_key,
+                     commit_phase)
+    if tag == _TAG_JOIN:
+        sender = inp.read_string()
+        ring_id_seen = inp.read_ulonglong()
+        delivered_aru = inp.read_ulonglong()
+        held = frozenset(inp.read_ulonglong()
+                         for _ in range(inp.read_ulong()))
+        fresh = inp.read_boolean()
+        view_members = _read_members(inp)
+        base_seen = inp.read_ulonglong()
+        return JoinMsg(sender, ring_id_seen, delivered_aru, held, fresh,
+                       view_members, base_seen)
+    if tag == _TAG_FORM:
+        ring_id = inp.read_ulonglong()
+        leader = inp.read_string()
+        members = _read_members(inp)
+        flush_seq = inp.read_ulonglong()
+        base_seq = inp.read_ulonglong()
+        holders = {}
+        for _ in range(inp.read_ulong()):
+            seq = inp.read_ulonglong()
+            holders[seq] = inp.read_string()
+        fresh_members = _read_members(inp)
+        return FormMsg(ring_id, leader, members, flush_seq, base_seq,
+                       holders, fresh_members)
+    if tag == _TAG_PROBE:
+        ring_id = inp.read_ulonglong()
+        sender = inp.read_string()
+        members = _read_members(inp)
+        return ProbeMsg(ring_id, sender, members)
+    decode = _EXT_BY_TAG.get(tag)
+    if decode is not None:
+        return decode(inp)
+    raise ProtocolError(f"unknown Totem frame tag {tag}")

@@ -58,7 +58,8 @@ def test_application_level_state_is_the_checkpointable_any(captured_set):
     live = deployment.server_servant("s1")
     assert state["payload"] == live.payload
     assert isinstance(state["echo_count"], int)
-    assert set(state) == {"data", "payload", "echo_count"}
+    assert set(state) == {"data", "payload", "echo_count",
+                          "scribble_count"}
 
 
 def test_orb_level_state_carries_request_ids_and_handshake(captured_set):

@@ -121,7 +121,8 @@ def test_token_base_offsets_tokens():
 def test_state_roundtrip():
     driver = make_driver()
     driver.set_state({"sent": 9, "acked": 8, "last_token": 7})
-    assert driver.get_state() == {"sent": 9, "acked": 8, "last_token": 7}
+    assert driver.get_state() == {"sent": 9, "acked": 8, "last_token": 7,
+                                  "scribbles_sent": 0, "scribbles_acked": 0}
 
 
 def test_set_state_validates():

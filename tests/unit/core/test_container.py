@@ -87,7 +87,7 @@ def test_get_state_waits_behind_queued_requests():
     states = []
     container.submit_request(CONN, request_bytes(0, args=(5,)))
     container.submit_get_state(
-        "t1", lambda tid, blob: states.append(decode_any(blob).value)
+        "t1", lambda tid, blob, digest: states.append(decode_any(blob).value)
     )
     scheduler.run_until(0.1)
     assert states == [{"value": 5}]      # request executed first
@@ -119,7 +119,7 @@ def test_get_state_on_uninstantiated_replica_raises():
                                  on_reply_produced=lambda c, d: None)
     assert not container.instantiated
     with pytest.raises(StateTransferError):
-        container.submit_get_state("t", lambda tid, blob: None)
+        container.submit_get_state("t", lambda tid, blob, digest: None)
 
 
 def test_install_servant_enables_execution():

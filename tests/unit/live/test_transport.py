@@ -13,30 +13,67 @@ from repro.live.transport import (
     decode_frame,
     encode_frame,
 )
-from repro.totem.messages import DataMsg
+from repro.totem.messages import (DataMsg, FormMsg, JoinMsg, PackedDataMsg,
+                                  PackedPayload, ProbeMsg, Token)
+
+FRAMES = [
+    DataMsg(ring_id=3, seq=17, sender="n2", msg_id=("n2", 4),
+            frag_index=0, frag_count=1, chunk=b"\x00" * 100),
+    DataMsg(ring_id=1, seq=2, sender="n1", msg_id=("n1", 1),
+            frag_index=2, frag_count=5, chunk=b"", retransmit=True),
+    PackedDataMsg(ring_id=7, seq=90, sender="n3", payloads=(
+        PackedPayload(("n3", 11), 0, 1, b"alpha"),
+        PackedPayload(("n3", 12), 1, 3, b"beta" * 50),
+    )),
+    Token(ring_id=4, seq=1000, aru=990, aru_id="n2", rtr=[991, 995],
+          rotations=62, ring_key=0xDEADBEEF, commit_phase=0),
+    Token(ring_id=5, seq=0, aru=0, commit_phase=2, ring_key=1),
+    JoinMsg(sender="n4", ring_id_seen=2, delivered_aru=40,
+            held=frozenset({41, 42, 45}), fresh=False,
+            view_members=("n1", "n4"), base_seen=30),
+    JoinMsg(sender="n5", ring_id_seen=0, delivered_aru=0,
+            held=frozenset(), fresh=True),
+    FormMsg(ring_id=9, leader="n1", members=("n1", "n2", "n3"),
+            flush_seq=55, base_seq=55, holders={54: "n2", 55: "n3"},
+            fresh_members=("n3",)),
+    ProbeMsg(ring_id=6, sender="n1", members=("n1", "n2")),
+]
 
 
-def test_frame_round_trip():
-    payload = {"op": "echo", "args": (1, "two", b"three")}
-    src, decoded = decode_frame(encode_frame("n1", payload))
+@pytest.mark.parametrize("msg", FRAMES, ids=lambda m: type(m).__name__)
+def test_frame_round_trip_every_totem_type(msg):
+    src, decoded = decode_frame(encode_frame("n1", msg))
     assert src == "n1"
-    assert decoded == payload
-
-
-def test_frame_round_trip_totem_message():
-    msg = DataMsg(ring_id=3, seq=17, sender="n2", msg_id=("n2", 4),
-                  frag_index=0, frag_count=1, chunk=b"\x00" * 100)
-    src, decoded = decode_frame(encode_frame("n2", msg))
-    assert src == "n2"
     assert decoded == msg
+    assert type(decoded) is type(msg)
+
+
+def test_non_totem_payload_rejected_at_encode():
+    # The binary codec only speaks Totem frames — arbitrary objects (which
+    # the original pickle codec would happily carry) are refused.
+    with pytest.raises(NetworkError):
+        encode_frame("n1", {"op": "echo", "args": (1, "two", b"three")})
+
+
+def test_encoded_data_frame_is_compact():
+    chunk = b"\xAB" * 1400
+    msg = DataMsg(ring_id=1, seq=10, sender="n1", msg_id=("n1", 1),
+                  frag_index=0, frag_count=1, chunk=chunk)
+    encoded = encode_frame("n1", msg)
+    # Codec overhead must stay a small constant over the declared frame
+    # size — the loopback MTU headroom the module docstring promises.
+    assert len(encoded) <= msg.size_bytes + 64
 
 
 @pytest.mark.parametrize("data", [
     b"",                                  # empty
     b"xy",                                # shorter than the header
     b"BAD\x00\x00\x01a" + b"junk",        # wrong magic
-    encode_frame("node", {})[:8],         # truncated source id
-    b"ET1\x00\x00\x02n1\x01\x02\x03",     # unpicklable payload
+    encode_frame("node", Token(1, 0, 0))[:8],   # truncated source id
+    b"ET1\x00\x00\x02n1\x01\x02\x03",     # old pickle-codec magic
+    b"ET2\x00\x00\x02n1\x63\x01",         # unknown wire version (0x63)
+    b"ET2\x00\x00\x02n1\x01\x63",         # unknown frame tag (0x63)
+    encode_frame("node", Token(1, 5, 5))[:-3],  # truncated body
 ])
 def test_malformed_frames_raise_network_error(data):
     with pytest.raises(NetworkError):

@@ -113,3 +113,16 @@ def test_fault_detector_strikes_exported():
                if name == "eternal_fault_detector_strikes"]
     assert strikes, "expected fault-detector series on hosting nodes"
     assert all(value == 0.0 for _, value in strikes)
+
+
+def test_totem_partial_count_gauge_exported():
+    deployment = deploy()
+    text = render_health(deployment.system)
+    series = {(name, tuple(sorted(labels.items()))): value
+              for name, labels, value in parse_exposition(text)}
+    nodes = [node for node in deployment.system.stacks
+             if deployment.system.stacks[node].process.alive]
+    for node in nodes:
+        key = ("eternal_totem_partial_count", (("node", node),))
+        assert key in series
+        assert series[key] == 0     # quiescent system: nothing mid-reassembly

@@ -253,3 +253,44 @@ def test_format_table_renders_histograms_and_scalars():
     assert "span.x" in table and "node=n" in table
     assert "2.000" in table     # 0.002 s scaled to ms
     assert "frames" in table and "(counter)" in table
+
+
+def test_delta_records_feed_counters():
+    tracer = Tracer(keep_records=False)
+    registry = MetricsRegistry()
+    registry.bind(tracer)
+    tracer.emit("delta", "delta_sent", node="s1", group="g",
+                pages_sent=4, pages_skipped=36,
+                wire_bytes=5000, full_bytes=40000)
+    tracer.emit("delta", "full_sent", node="s1", group="g",
+                reason="base_mismatch", full_bytes=40000)
+    tracer.emit("delta", "fallback", node="s2", group="g",
+                reason="DeltaMismatch")
+    tracer.emit("delta", "resync_requested", node="s2", group="g")
+    assert registry.counter("delta.transfers_delta",
+                            node="s1", group="g").value == 1
+    assert registry.counter("delta.pages_sent",
+                            node="s1", group="g").value == 4
+    assert registry.counter("delta.pages_skipped",
+                            node="s1", group="g").value == 36
+    assert registry.counter("delta.wire_bytes",
+                            node="s1", group="g").value == 5000
+    assert registry.counter("delta.transfers_full", node="s1", group="g",
+                            reason="base_mismatch").value == 1
+    assert registry.counter("delta.fallbacks",
+                            node="s2", group="g").value == 1
+    assert registry.counter("delta.resyncs",
+                            node="s2", group="g").value == 1
+
+
+def test_packed_frame_records_feed_histogram():
+    tracer = Tracer(keep_records=False)
+    registry = MetricsRegistry()
+    registry.bind(tracer)
+    for payloads in (1, 3, 3, 7):
+        tracer.emit("totem", "packed_frame", node="s1", seq=payloads,
+                    payloads=payloads, size=1000)
+    hist = registry.histogram("totem.payloads_per_frame", node="s1")
+    assert hist.count == 4
+    assert hist.min == 1 and hist.max == 7
+    assert hist.p50 == 3.0

@@ -18,6 +18,7 @@ import pytest
 
 from repro.errors import NetworkError
 from repro.runtime.timers import PeriodicTimer
+from repro.totem.wire import register_wire_type
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,17 @@ class Pong:
 
 class PingSub(Ping):
     pass
+
+
+# The live transport's binary codec carries only registered frame types;
+# give the conformance payloads extension codecs (exact class preserved,
+# which the MRO-dispatch assertions below depend on).
+for _tag, _cls in ((64, Ping), (65, Pong), (66, PingSub)):
+    register_wire_type(
+        _tag, _cls,
+        lambda out, obj: out.write_string(obj.value),
+        lambda inp, c=_cls: c(inp.read_string()),
+    )
 
 
 class SimHarness:
