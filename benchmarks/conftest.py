@@ -17,3 +17,23 @@ def run_once(benchmark, fn):
 @pytest.fixture
 def once():
     return run_once
+
+
+@pytest.fixture
+def strict_audit(monkeypatch):
+    """Hard-fail consistency auditing (same contract as the test suite's
+    fixture): every EternalSystem built while active gets an online
+    auditor; any finding raises at teardown."""
+    from repro.core.system import EternalSystem
+
+    auditors = []
+    original_init = EternalSystem.__init__
+
+    def patched_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        auditors.append(self.attach_auditor())
+
+    monkeypatch.setattr(EternalSystem, "__init__", patched_init)
+    yield auditors
+    for auditor in auditors:
+        auditor.finish(raise_on_findings=True)

@@ -22,6 +22,7 @@ from repro.bench.deployments import build_client_server, measure_recovery
 from repro.bench.plot import ascii_plot
 from repro.bench.reporting import print_table
 from repro.bench.stats import summarize
+from repro.core.config import EternalConfig
 from repro.ftcorba.properties import ReplicationStyle
 from repro.obs.metrics import StreamingHistogram, merge_registries
 from repro.obs.report import RECOVERY_PHASES
@@ -36,6 +37,10 @@ def _recover_once(state_size: int, seed: int = 0):
         style=ReplicationStyle.ACTIVE,
         server_replicas=2,
         state_size=state_size,
+        # this benchmark reproduces the *paper's* in-order fragmented
+        # state transfer; the out-of-band bulk lane (which flattens the
+        # curve) is measured separately in test_recovery_scale.py
+        eternal_config=EternalConfig(bulk_lane=False),
         # the simulation is deterministic; the seeds vary the *phase* of
         # the fault relative to the token rotation and invocation stream,
         # which is the real run-to-run variance of the testbed experiment

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.bench.deployments import build_client_server
 from repro.bench.reporting import print_table
+from repro.core.config import EternalConfig
 from repro.ftcorba.properties import ReplicationStyle
 from repro.simnet.network import NetworkConfig
 
@@ -29,6 +30,9 @@ def _transfer_frames(state_size: int, frame_max: int):
         server_replicas=2,
         state_size=state_size,
         network_config=network,
+        # count the paper's in-order fragments: with the bulk lane the
+        # state pages leave the multicast ring entirely
+        eternal_config=EternalConfig(bulk_lane=False),
         warmup=0.2,
     )
     tracer = deployment.system.tracer

@@ -6,7 +6,12 @@ Commands:
                   narrate the §5.1 protocol from the trace (``--trace-out``
                   additionally exports the run as a Chrome trace).
 * ``fig6``      — quick reproduction of the paper's Figure 6 sweep, with
-                  per-phase latency percentiles from the metrics registry.
+                  per-phase latency percentiles from the metrics registry
+                  (``--no-bulk-lane`` restores the paper's purely in-order
+                  state transfer).
+* ``recovery-scale`` — recovery time and concurrent request throughput
+                  vs large state sizes, exercising the out-of-band bulk
+                  lane (``--no-bulk-lane`` for the in-order ablation).
 * ``checkpoint`` — warm-passive checkpoint transfer cost vs state size
                   under a ~10%-dirty workload (delta state transfer;
                   ``--no-delta`` restores the paper's full snapshots).
@@ -276,9 +281,12 @@ def _cmd_throughput(args) -> int:
 def _cmd_fig6(args) -> int:
     from repro.bench.deployments import build_client_server, measure_recovery
     from repro.bench.reporting import print_table
+    from repro.core.config import EternalConfig
     from repro.ftcorba.properties import ReplicationStyle
 
     from repro.obs.metrics import merge_registries
+
+    eternal_config = EternalConfig(bulk_lane=not args.no_bulk_lane)
 
     sizes = [10, 1_000, 10_000, 50_000, 100_000, 200_000, 350_000]
     if args.quick:
@@ -289,7 +297,9 @@ def _cmd_fig6(args) -> int:
     for size in sizes:
         deployment = build_client_server(style=ReplicationStyle.ACTIVE,
                                          server_replicas=2,
-                                         state_size=size, warmup=0.2)
+                                         state_size=size,
+                                         eternal_config=eternal_config,
+                                         warmup=0.2)
         try:
             recovery_time = measure_recovery(deployment, "s2")
         except TimeoutError as exc:
@@ -328,6 +338,73 @@ def _cmd_fig6(args) -> int:
     print("\nper-phase latency across the sweep (ms):")
     print(merged.format_table(prefix="span.recovery", scale=1000.0,
                               unit="ms"))
+    if args.record:
+        record.write(args.record)
+        print(f"\nwrote bench record to {args.record}")
+    return 0 if comparison is None or comparison.ok else 1
+
+
+def _cmd_recovery_scale(args) -> int:
+    from repro.bench.reporting import print_table
+    from repro.bench.sweeps import (RECOVERY_SCALE_SIZES,
+                                    RECOVERY_SCALE_SIZES_QUICK,
+                                    run_recovery_scale_sweep)
+
+    sizes = (RECOVERY_SCALE_SIZES_QUICK if args.quick
+             else RECOVERY_SCALE_SIZES)
+    bulk = not args.no_bulk_lane
+    try:
+        sweep = run_recovery_scale_sweep(sizes, bulk=bulk)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rows = []
+    points = {}
+    for point in sweep:
+        size = int(point["state_size"])
+        recovery_ms = round(point["recovery_ms"], 3)
+        rows.append([
+            size, recovery_ms,
+            round(point["oob_bytes"] / 1000.0, 1),
+            round(point["inorder_bytes"] / 1000.0, 1),
+            int(point["baseline_per_s"]),
+            int(point["during_per_s"]),
+            round(point["during_ratio"], 3),
+        ])
+        points[str(size)] = recovery_ms
+
+    footer = None
+    comparison = None
+    record = None
+    if args.record or args.compare:
+        from repro.bench.regression import (BenchRecord,
+                                            compare_bench_records)
+        record = BenchRecord.from_points("recovery_scale", "recovery_ms",
+                                         "ms", points)
+    if args.compare:
+        try:
+            baseline = BenchRecord.load(args.compare)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: cannot load baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        comparison = compare_bench_records(baseline, record,
+                                           tolerance=args.tolerance)
+        footer = comparison.verdict
+
+    mode = ("in-order ablation (--no-bulk-lane)" if args.no_bulk_lane
+            else "out-of-band bulk lane")
+    print_table(
+        f"Recovery at scale — {mode}",
+        ["state_bytes", "recovery_ms", "oob_kB", "inorder_kB",
+         "driver_base_per_s", "driver_during_per_s", "during_ratio"],
+        rows,
+        paper_note="the bulk lane moves checkpoint pages off the totally "
+                   "ordered ring; the set_state multicast carries only a "
+                   "page manifest, so concurrent request traffic keeps "
+                   "flowing",
+        footer=footer,
+    )
     if args.record:
         record.write(args.record)
         print(f"\nwrote bench record to {args.record}")
@@ -409,6 +486,18 @@ def main(argv=None) -> int:
 
     fig6 = sub.add_parser("fig6", help="Figure 6 sweep")
     add_bench_flags(fig6, "fig6")
+    fig6.add_argument("--no-bulk-lane", action="store_true",
+                      help="disable the out-of-band recovery bulk lane "
+                           "(the paper's in-order fragmented transfer)")
+    recovery_scale = sub.add_parser(
+        "recovery-scale",
+        help="recovery time and concurrent request throughput vs large "
+             "state sizes (out-of-band bulk lane)")
+    add_bench_flags(recovery_scale, "recovery_scale")
+    recovery_scale.add_argument(
+        "--no-bulk-lane", action="store_true",
+        help="disable the out-of-band recovery bulk lane "
+             "(the paper's in-order fragmented transfer)")
     checkpoint = sub.add_parser(
         "checkpoint", help="warm-passive checkpoint transfer cost sweep "
                            "(delta state transfer, ~10%% dirty workload)")
@@ -477,6 +566,7 @@ def main(argv=None) -> int:
         "version": _cmd_version,
         "demo": _cmd_demo,
         "fig6": _cmd_fig6,
+        "recovery-scale": _cmd_recovery_scale,
         "checkpoint": _cmd_checkpoint,
         "throughput": _cmd_throughput,
         "styles": _cmd_styles,

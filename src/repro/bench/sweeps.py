@@ -10,6 +10,9 @@ baselines and the asserted benchmark claims measure identical workloads.
   exactly the checkpoint's StateSet wire transfer.
 * :func:`run_throughput_point` — the open-loop offered-load probe from
   the saturation extension, parameterized on Totem frame packing.
+* :func:`run_recovery_scale_point` — the fig-6 kill/re-launch experiment
+  at large state sizes, parameterized on the out-of-band bulk lane, with
+  the client's request throughput sampled around the recovery window.
 """
 
 from __future__ import annotations
@@ -173,3 +176,84 @@ def run_throughput_sweep(rates: Sequence[int], *,
     """:func:`run_throughput_point` over a list of offered loads."""
     return [run_throughput_point(rate, frame_packing=frame_packing, **kwargs)
             for rate in rates]
+
+
+# ---------------------------------------------------------------------------
+# Recovery at scale (parameterized on the out-of-band bulk lane)
+# ---------------------------------------------------------------------------
+
+#: State sizes for the recovery-scale sweep: the fig-6 tail and beyond,
+#: where the in-order transfer is fragment-bound and the bulk lane pays.
+RECOVERY_SCALE_SIZES = [64_000, 128_000, 256_000, 350_000, 512_000]
+RECOVERY_SCALE_SIZES_QUICK = [64_000, 256_000, 350_000]
+
+
+def run_recovery_scale_point(state_size: int, *,
+                             bulk: bool = True,
+                             server_replicas: int = 3,
+                             downtime: float = 0.05,
+                             window: float = 0.2,
+                             seed: int = 0) -> Dict[str, float]:
+    """Kill/re-launch one active replica at ``state_size`` and time it.
+
+    ``bulk=False`` is the ablation: the paper's in-order fragmented
+    set_state multicast.  Besides the fig-6 recovery time, the packet
+    driver's acked-invocation rate is sampled over a fixed ``window``
+    before the kill and again from the re-launch, so the sweep also
+    quantifies how much a concurrent large-state transfer disturbs
+    fault-free request traffic (the in-order transfer hogs the total
+    order; the bulk lane leaves it to the manifest).
+    """
+    deployment = build_client_server(
+        style=ReplicationStyle.ACTIVE,
+        server_replicas=server_replicas,
+        state_size=state_size,
+        eternal_config=EternalConfig(bulk_lane=bulk),
+        seed=seed,
+        warmup=0.2,
+    )
+    system = deployment.system
+    driver = deployment.driver
+
+    before = driver.acked
+    system.run_for(window)
+    baseline_per_s = (driver.acked - before) / window
+
+    system.kill_node("s1")
+    system.run_for(downtime)
+    at_restart = driver.acked
+    restart_at = system.now
+    system.restart_node("s1")
+    if not system.wait_for(
+            lambda: deployment.server_group.is_operational_on("s1"),
+            timeout=10.0):
+        raise RuntimeError(
+            f"recovery did not complete at state_size={state_size} "
+            f"(bulk={bulk})")
+    recovery_s = system.now - restart_at
+    # acked rate over the same fixed window, starting at the re-launch:
+    # the whole state transfer sits inside it, so any total-order
+    # disruption it causes shows up as a dip vs the fault-free baseline
+    system.run_until(restart_at + window)
+    during_per_s = (driver.acked - at_restart) / window
+
+    counters = system.tracer.counters
+    return {
+        "state_size": state_size,
+        "recovery_ms": recovery_s * 1000.0,
+        "baseline_per_s": baseline_per_s,
+        "during_per_s": during_per_s,
+        "during_ratio": (during_per_s / baseline_per_s
+                         if baseline_per_s else 0.0),
+        "oob_bytes": float(counters.get("bulk.oob.bytes", 0)),
+        "inorder_bytes": float(counters.get("bulk.inorder.bytes", 0)),
+        "bulk_sessions": float(counters.get("bulk.session_complete", 0)),
+    }
+
+
+def run_recovery_scale_sweep(sizes: Sequence[int], *,
+                             bulk: bool = True,
+                             **kwargs) -> List[Dict[str, float]]:
+    """:func:`run_recovery_scale_point` over a list of state sizes."""
+    return [run_recovery_scale_point(size, bulk=bulk, **kwargs)
+            for size in sizes]

@@ -51,6 +51,53 @@ class EternalConfig:
     delta_page_size: int = 1024
     """Page granularity of delta state transfer (bytes)."""
 
+    bulk_lane: bool = True
+    """Move large recovery state transfers out of the Totem total order:
+    the fabricated ``set_state()`` carries only a page manifest (per-page
+    CRCs plus the whole-state digest) and the pages themselves travel
+    point-to-point over the transport's out-of-band unicast lane, striped
+    across all up-to-date replicas.  The paper's atomic assignment is
+    preserved — state is applied only at the sync point, and only after
+    every page verifies against the in-order digest.  Disabling restores
+    the paper's fully in-order transfers (recovery latency linear in
+    state size, Figure 6)."""
+
+    bulk_min_bytes: int = 64 * 1024
+    """Smallest full-snapshot recovery transfer that engages the bulk
+    lane; smaller states (and page deltas) stay in the total order, where
+    one small message is cheaper than a fetch round-trip."""
+
+    bulk_stripe_width: int = 4
+    """Maximum number of sponsor replicas a session stripes page ranges
+    across."""
+
+    bulk_retransmit_timeout: float = 0.05
+    """Per-stripe watchdog: a sponsor whose stripe made no progress for
+    this long is re-fetched (and dropped after ``bulk_max_retries``)."""
+
+    bulk_max_retries: int = 3
+    """Fruitless re-fetches of one sponsor's stripe before the session
+    drops the sponsor and restripes over the survivors."""
+
+    bulk_burst_pages: int = 32
+    """Pages a sponsor sends back-to-back before yielding (paces the
+    live transport's socket buffers; the simulator's link serializes
+    regardless)."""
+
+    bulk_burst_interval: float = 0.0005
+    """Pause between a sponsor's page bursts (seconds)."""
+
+    bulk_store_ttl: float = 5.0
+    """How long a sponsor retains a stashed snapshot for out-of-band
+    serving after announcing its manifest."""
+
+    max_log_length: int = 10_000
+    """Deployment-wide bound on a warm-passive message log: the primary
+    forces an early checkpoint when a group's log exceeds this between
+    periodic timers.  A group's own ``FTProperties.max_log_messages``
+    (when non-zero) takes precedence; 0 disables the deployment default
+    (unbounded logs, the paper's behaviour)."""
+
     def __post_init__(self) -> None:
         if self.state_capture_bps <= 0:
             raise ValueError("state_capture_bps must be positive")
@@ -58,3 +105,19 @@ class EternalConfig:
             raise ValueError("cold_start_delay must be non-negative")
         if self.delta_page_size < 1:
             raise ValueError("delta_page_size must be positive")
+        if self.bulk_min_bytes < 1:
+            raise ValueError("bulk_min_bytes must be positive")
+        if self.bulk_stripe_width < 1:
+            raise ValueError("bulk_stripe_width must be positive")
+        if self.bulk_retransmit_timeout <= 0:
+            raise ValueError("bulk_retransmit_timeout must be positive")
+        if self.bulk_max_retries < 1:
+            raise ValueError("bulk_max_retries must be positive")
+        if self.bulk_burst_pages < 1:
+            raise ValueError("bulk_burst_pages must be positive")
+        if self.bulk_burst_interval < 0:
+            raise ValueError("bulk_burst_interval must be non-negative")
+        if self.bulk_store_ttl <= 0:
+            raise ValueError("bulk_store_ttl must be positive")
+        if self.max_log_length < 0:
+            raise ValueError("max_log_length must be non-negative")

@@ -85,12 +85,18 @@ class ReplicaJoin:
     ``base_digest`` is the app-state digest of the announcer's last
     committed checkpoint (empty if it has none): responders whose own
     checkpoint matches may answer with a page-level delta instead of the
-    full snapshot (see :mod:`repro.core.statedelta`)."""
+    full snapshot (see :mod:`repro.core.statedelta`).
+
+    ``bulk_ok`` advertises that the announcer can fetch large snapshots
+    over the out-of-band bulk lane (:mod:`repro.core.bulk`); responders
+    then multicast only a page manifest and serve the bytes
+    point-to-point.  Cleared on the in-order fallback re-announce."""
 
     group_id: str
     node_id: str
     transfer_id: str
     base_digest: str = ""
+    bulk_ok: bool = False
 
 
 @dataclass(frozen=True)
@@ -98,7 +104,8 @@ class StateGet:
     """The fabricated ``get_state()`` marker in the total order (§5.1 i).
 
     ``base_digest`` names the shared base snapshot a delta-encoded reply
-    may be computed against (empty requests a full snapshot)."""
+    may be computed against (empty requests a full snapshot); ``bulk_ok``
+    carries the target's bulk-lane capability through to the responders."""
 
     group_id: str
     transfer_id: str
@@ -106,6 +113,7 @@ class StateGet:
     initiator: str
     target_node: str = ""      # RECOVERY: the node being synchronized
     base_digest: str = ""
+    bulk_ok: bool = False
 
 
 @dataclass(frozen=True)
@@ -135,11 +143,14 @@ class NodeRestarted:
     incarnation: int
 
 
-#: Versioned ``StateSet`` body layouts: a full encoded snapshot, or a
+#: Versioned ``StateSet`` body layouts: a full encoded snapshot, a
 #: page-level delta (:func:`repro.core.statedelta.encode_delta`) against
-#: the receiver's last committed checkpoint.
+#: the receiver's last committed checkpoint, or a page manifest
+#: (:func:`repro.core.bulk.encode_manifest`) whose pages travel over the
+#: out-of-band bulk lane.
 STATE_BODY_FULL = 0
 STATE_BODY_DELTA = 1
+STATE_BODY_MANIFEST = 2
 
 
 @dataclass(frozen=True)
@@ -148,9 +159,12 @@ class StateSet:
     and infrastructure-level state (§5.1 iv-v).
 
     ``app_state`` is a versioned body: the full encoded snapshot when
-    ``app_delta`` is False, otherwise an encoded
+    ``app_delta`` and ``app_manifest`` are False, an encoded
     :class:`~repro.core.statedelta.StateDelta` the receiver must apply to
-    its own base checkpoint to reconstruct the identical full snapshot."""
+    its own base checkpoint when ``app_delta``, or an encoded
+    :class:`~repro.core.bulk.PageManifest` when ``app_manifest`` — the
+    snapshot's integrity summary, with the pages themselves fetched
+    point-to-point over the out-of-band bulk lane."""
 
     group_id: str
     transfer_id: str
@@ -161,6 +175,7 @@ class StateSet:
     orb_state: bytes
     infra_state: bytes
     app_delta: bool = False
+    app_manifest: bool = False
 
 
 Envelope = Union[IiopEnvelope, GroupUpdate, ReplicaJoin, StateGet, StateSet,
@@ -208,6 +223,7 @@ def encode_envelope(envelope: Envelope) -> bytes:
         out.write_string(envelope.node_id)
         out.write_string(envelope.transfer_id)
         out.write_octets(envelope.base_digest.encode("ascii"))
+        out.write_boolean(envelope.bulk_ok)
     elif isinstance(envelope, StateGet):
         out.write_octet(_TAG_STATE_GET)
         out.write_string(envelope.group_id)
@@ -216,6 +232,7 @@ def encode_envelope(envelope: Envelope) -> bytes:
         out.write_string(envelope.initiator)
         out.write_string(envelope.target_node)
         out.write_octets(envelope.base_digest.encode("ascii"))
+        out.write_boolean(envelope.bulk_ok)
     elif isinstance(envelope, StateSet):
         out.write_octet(_TAG_STATE_SET)
         out.write_string(envelope.group_id)
@@ -223,8 +240,13 @@ def encode_envelope(envelope: Envelope) -> bytes:
         out.write_octet(envelope.purpose.value)
         out.write_string(envelope.source_node)
         out.write_string(envelope.target_node)
-        out.write_octet(STATE_BODY_DELTA if envelope.app_delta
-                        else STATE_BODY_FULL)
+        if envelope.app_manifest:
+            body_kind = STATE_BODY_MANIFEST
+        elif envelope.app_delta:
+            body_kind = STATE_BODY_DELTA
+        else:
+            body_kind = STATE_BODY_FULL
+        out.write_octet(body_kind)
         out.write_octets(envelope.app_state)
         out.write_octets(envelope.orb_state)
         out.write_octets(envelope.infra_state)
@@ -283,12 +305,14 @@ def _decode_envelope(data: bytes) -> Envelope:
     if tag == _TAG_REPLICA_JOIN:
         return ReplicaJoin(inp.read_string(), inp.read_string(),
                            inp.read_string(),
-                           inp.read_octets().decode("ascii"))
+                           inp.read_octets().decode("ascii"),
+                           inp.read_boolean())
     if tag == _TAG_STATE_GET:
         return StateGet(inp.read_string(), inp.read_string(),
                         TransferPurpose(inp.read_octet()),
                         inp.read_string(), inp.read_string(),
-                        inp.read_octets().decode("ascii"))
+                        inp.read_octets().decode("ascii"),
+                        inp.read_boolean())
     if tag == _TAG_STATE_SET:
         group_id = inp.read_string()
         transfer_id = inp.read_string()
@@ -296,12 +320,14 @@ def _decode_envelope(data: bytes) -> Envelope:
         source_node = inp.read_string()
         target_node = inp.read_string()
         body_kind = inp.read_octet()
-        if body_kind not in (STATE_BODY_FULL, STATE_BODY_DELTA):
+        if body_kind not in (STATE_BODY_FULL, STATE_BODY_DELTA,
+                             STATE_BODY_MANIFEST):
             raise ProtocolError(f"unknown StateSet body kind {body_kind}")
         return StateSet(group_id, transfer_id, purpose, source_node,
                         target_node, inp.read_octets(), inp.read_octets(),
                         inp.read_octets(),
-                        app_delta=body_kind == STATE_BODY_DELTA)
+                        app_delta=body_kind == STATE_BODY_DELTA,
+                        app_manifest=body_kind == STATE_BODY_MANIFEST)
     if tag == _TAG_REPLICA_FAULT:
         return ReplicaFault(inp.read_string(), inp.read_string(),
                             inp.read_string())

@@ -24,6 +24,8 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Set
 
+from repro.core.bulk import BulkLane, build_manifest, decode_manifest, \
+    encode_manifest
 from repro.core.envelope import (
     IiopEnvelope,
     ReplicaJoin,
@@ -101,6 +103,11 @@ class RecoveryMechanisms:
         self.config = mechanisms.config
         self._handled_gets = BoundedIdSet()
         self._handled_sets = BoundedIdSet()
+        # Out-of-band bulk lane: responder-side snapshot stash plus the
+        # target-side striped fetch sessions (see repro.core.bulk).
+        self.bulk = BulkLane(mechanisms.process, mechanisms.endpoint,
+                             mechanisms.config, mechanisms.tracer,
+                             mechanisms.node_id)
         self._transfer_counter = itertools.count(1)
         self._pending_checkpoints: Set[str] = set()
         # Groups for which this node has asked for a full re-checkpoint
@@ -128,14 +135,21 @@ class RecoveryMechanisms:
                 f"{next(self._transfer_counter)}")
 
     def announce_join(self, binding: "ReplicaBinding",
-                      *, with_base: bool = True) -> None:
+                      *, with_base: bool = True,
+                      with_bulk: bool = True) -> None:
         """Multicast this node's new replica into the total order; the
         delivery position of the ReplicaJoin starts the §5.1 protocol.
 
         When this node already holds a committed checkpoint for the group,
         its app-state digest is announced so responders sharing that base
         may answer with a page-level delta; ``with_base=False`` forces a
-        full-snapshot transfer (used when a delta could not be applied)."""
+        full-snapshot transfer (used when a delta could not be applied).
+        ``with_bulk=False`` suppresses the out-of-band bulk lane, forcing
+        the bytes through the total order (the last-resort fallback after
+        a failed bulk session)."""
+        if binding.pending_transfer is not None:
+            # A superseded attempt may still hold an out-of-band session.
+            self.bulk.abort_session(binding.pending_transfer)
         transfer_id = self._new_transfer_id("rec", binding.group_id)
         binding.pending_transfer = transfer_id
         binding.sync_point_seen = False
@@ -154,7 +168,8 @@ class RecoveryMechanisms:
             base_digest = binding.log.checkpoint.app_digest
         self.mechanisms.multicast(
             ReplicaJoin(binding.group_id, self.node_id, transfer_id,
-                        base_digest=base_digest)
+                        base_digest=base_digest,
+                        bulk_ok=with_bulk and self.config.bulk_lane)
         )
         self._arm_retry(binding, transfer_id)
 
@@ -190,6 +205,7 @@ class RecoveryMechanisms:
                 initiator=self.node_id,
                 target_node=envelope.node_id,
                 base_digest=envelope.base_digest,
+                bulk_ok=envelope.bulk_ok,
             ))
 
     # ------------------------------------------------------------------
@@ -228,6 +244,12 @@ class RecoveryMechanisms:
             # appear as already-seen in the transferred state.
             self._filter_snapshots[envelope.transfer_id] = \
                 binding.infra.duplicates.capture()
+            if (envelope.purpose is TransferPurpose.RECOVERY
+                    and envelope.bulk_ok and self.config.bulk_lane):
+                # A bulk fetch may race the (quiescence-gated) capture:
+                # mark the transfer pending so early fetches are NACKed
+                # "pending" (retry) instead of "unknown" (drop sponsor).
+                self.bulk.store.note_pending(envelope.transfer_id)
             self.spans.start(
                 "recovery.capture",
                 span_id=f"{envelope.transfer_id}/capture@{self.node_id}",
@@ -261,6 +283,29 @@ class RecoveryMechanisms:
                          digest=app_digest)
         wire_state, app_delta = self._encode_app_state(binding, envelope,
                                                        app_state)
+        app_manifest = False
+        if (envelope.purpose is TransferPurpose.RECOVERY
+                and envelope.bulk_ok and self.config.bulk_lane
+                and not app_delta
+                and len(wire_state) >= self.config.bulk_min_bytes):
+            # Large full snapshot for a bulk-capable joiner: keep only the
+            # page manifest in the total order, stash the bytes for
+            # out-of-band serving.  (Deltas and small snapshots stay
+            # in-order — one small message beats a fetch round-trip.)
+            page_size = self.config.delta_page_size
+            self.bulk.store.stash(envelope.transfer_id, envelope.group_id,
+                                  wire_state, page_size)
+            manifest = build_manifest(wire_state, page_size)
+            wire_state = encode_manifest(manifest)
+            app_manifest = True
+            self.tracer.emit("bulk", "manifest_sent", node=self.node_id,
+                             group=envelope.group_id,
+                             transfer=envelope.transfer_id,
+                             pages=manifest.page_count,
+                             state_bytes=manifest.total_length,
+                             manifest_bytes=len(wire_state))
+        else:
+            self.tracer.add("bulk.inorder.bytes", len(wire_state))
         self.spans.start(
             "recovery.xfer",
             span_id=f"{envelope.transfer_id}/xfer@{self.node_id}",
@@ -282,6 +327,7 @@ class RecoveryMechanisms:
             orb_state=orb_blob,
             infra_state=infra_blob,
             app_delta=app_delta,
+            app_manifest=app_manifest,
         ))
         if envelope.purpose is TransferPurpose.CHECKPOINT:
             self._pending_checkpoints.discard(envelope.transfer_id)
@@ -340,6 +386,9 @@ class RecoveryMechanisms:
         if info is None:
             return
         binding = self.mechanisms.bindings.get(envelope.group_id)
+        if envelope.app_manifest:
+            self._handle_manifest_set(info, binding, envelope)
+            return
         full_app = self._reconstruct_app_state(binding, envelope)
         if envelope.purpose is TransferPurpose.CHECKPOINT:
             self._handle_checkpoint_set(info, binding, envelope, full_app)
@@ -368,6 +417,78 @@ class RecoveryMechanisms:
             self.mechanisms.notify_member_operational(
                 envelope.group_id, envelope.target_node
             )
+
+    def _handle_manifest_set(self, info, binding, envelope: StateSet) -> None:
+        """A ``set_state()`` whose body is a page manifest: the sync-point
+        semantics are unchanged (the SET's delivery position is where the
+        group regards the target as synchronized) but the bytes travel
+        out-of-band, so only the target — which fetches and verifies them
+        — applies state or commits a checkpoint."""
+        if envelope.purpose is not TransferPurpose.RECOVERY:
+            # The bulk lane never engages for checkpoints; a manifest
+            # checkpoint is a protocol error from a newer/foreign sender.
+            self.tracer.emit("bulk", "manifest_ignored", node=self.node_id,
+                             group=envelope.group_id,
+                             transfer=envelope.transfer_id)
+            return
+        info.mark_operational(envelope.target_node)
+        if envelope.target_node == self.node_id and binding is not None \
+                and binding.status == STATUS_RECOVERING:
+            self._begin_bulk_fetch(info, binding, envelope)
+        else:
+            self.mechanisms.notify_member_operational(
+                envelope.group_id, envelope.target_node
+            )
+
+    def _begin_bulk_fetch(self, info, binding: "ReplicaBinding",
+                          envelope: StateSet) -> None:
+        """Target side: decode the in-order manifest and stripe the page
+        fetches across the up-to-date sponsors."""
+        try:
+            manifest = decode_manifest(envelope.app_state)
+        except StateTransferError as exc:
+            self.tracer.emit("bulk", "manifest_bad", node=self.node_id,
+                             group=envelope.group_id,
+                             transfer=envelope.transfer_id,
+                             reason=type(exc).__name__)
+            self.spans.end(envelope.transfer_id, outcome="bulk_fallback")
+            self.announce_join(binding, with_bulk=False)
+            return
+        sponsors = [node for node in info.member_nodes
+                    if node != self.node_id
+                    and info.responds_to_recovery(node)]
+        self.spans.start(
+            "recovery.bulk", span_id=f"{envelope.transfer_id}/bulk",
+            parent=envelope.transfer_id, node=self.node_id,
+            group=envelope.group_id, pages=manifest.page_count,
+            app_bytes=manifest.total_length, sponsors=len(sponsors),
+        )
+        self.bulk.start_session(
+            envelope.transfer_id, envelope.group_id, manifest, sponsors,
+            lambda blob, b=binding, e=envelope:
+                self._bulk_fetch_done(b, e, blob),
+        )
+
+    def _bulk_fetch_done(self, binding: "ReplicaBinding",
+                         envelope: StateSet, full_app) -> None:
+        """The out-of-band session finished (every page verified) or
+        failed (sponsors exhausted / digest mismatch)."""
+        if (binding.status != STATUS_RECOVERING
+                or binding.pending_transfer != envelope.transfer_id
+                or self.mechanisms.bindings.get(binding.group_id)
+                is not binding):
+            return      # superseded by a retry or re-announce
+        if full_app is None:
+            self.spans.end(f"{envelope.transfer_id}/bulk", outcome="failed")
+            self.tracer.emit("recovery", "bulk_fallback_reannounce",
+                             node=self.node_id, group=envelope.group_id,
+                             transfer=envelope.transfer_id)
+            self.spans.end(envelope.transfer_id, outcome="bulk_fallback")
+            self.announce_join(binding, with_bulk=False)
+            return
+        self.spans.end(f"{envelope.transfer_id}/bulk",
+                       app_bytes=len(full_app))
+        self._apply_recovery_set(binding, envelope, full_app)
 
     def _reconstruct_app_state(self, binding, envelope: StateSet):
         """Recover the full app-state snapshot from the ``StateSet`` body.

@@ -222,9 +222,13 @@ class ReplicationMechanisms:
             # Bounded log: the primary forces an early checkpoint when the
             # log outgrows the configured limit (the in-flight guard in
             # initiate_checkpoint prevents a storm while one completes).
-            if (group.max_log_messages
+            # A group's own FTProperties bound wins; otherwise the
+            # deployment-wide EternalConfig.max_log_length applies (0 in
+            # either position means unbounded at that level).
+            log_bound = group.max_log_messages or self.config.max_log_length
+            if (log_bound
                     and group.primary_node == self.node_id
-                    and binding.log.log_length >= group.max_log_messages):
+                    and binding.log.log_length >= log_bound):
                 self.recovery.initiate_checkpoint(binding.group_id)
         if envelope.kind is OpKind.REQUEST:
             # Watch for the client-server handshake: Eternal stores it so

@@ -181,7 +181,12 @@ class UdpTransport(Transport):
             # owns reliability.
             self._tracer.emit("live", "send_drop", node=self.node_id)
 
-    def unicast(self, dst: str, payload: Any, size_bytes: int) -> None:
+    def unicast(
+        self, dst: str, payload: Any, size_bytes: int, *, oob: bool = False,
+    ) -> None:
+        # ``oob`` is accepted for interface parity and ignored: real UDP
+        # unicast is already point-to-point and off the Totem ring; there
+        # is no separate physical lane to select on a single interface.
         self._check_size(size_bytes)
         try:
             addr = self._peers[dst]

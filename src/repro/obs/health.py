@@ -99,6 +99,7 @@ def render_health(system, *, auditor=None) -> str:
 
     replica_lines: List[str] = []
     detector_lines: List[str] = []
+    bulk_lines: List[str] = []
     group_ids: Dict[str, Any] = {}
     for node_id in sorted(system.stacks):
         stack = system.stacks[node_id]
@@ -131,6 +132,19 @@ def render_health(system, *, auditor=None) -> str:
             replica_lines.append(_series(
                 "eternal_replica_log_length", labels,
                 binding.log.log_length))
+        bulk = getattr(mechanisms.recovery, "bulk", None)
+        if bulk is not None:
+            state = bulk.snapshot()
+            labels = {"node": node_id}
+            bulk_lines.append(_series(
+                "eternal_bulk_sessions_active", labels,
+                state["sessions_active"]))
+            bulk_lines.append(_series(
+                "eternal_bulk_stripes_in_flight", labels,
+                state["stripes_in_flight"]))
+            bulk_lines.append(_series(
+                "eternal_bulk_store_entries", labels,
+                state["store_entries"]))
         detector = mechanisms.fault_detector
         if detector is not None:
             for group_id, state in detector.snapshot().items():
@@ -161,6 +175,10 @@ def render_health(system, *, auditor=None) -> str:
             lines.append(_series(
                 "eternal_group_primary",
                 dict(labels, node=info.primary_node), 1))
+
+    if bulk_lines:
+        lines.append("# TYPE eternal_bulk_sessions_active gauge")
+        lines.extend(bulk_lines)
 
     if detector_lines:
         lines.append("# TYPE eternal_fault_detector_strikes gauge")

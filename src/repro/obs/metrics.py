@@ -239,6 +239,15 @@ class MetricsRegistry:
         if record.category == "delta":
             self._observe_delta(record)
             return
+        if record.category == "bulk":
+            self._observe_bulk(record)
+            return
+        if (record.category == "recovery"
+                and record.event == "set_state_multicast"):
+            labels = {k: record.fields[k] for k in ("node", "group")
+                      if k in record.fields}
+            self.counter("state.bytes", lane="inorder", **labels).inc(
+                record.fields.get("app_bytes", 0))
         if record.category == "totem" and record.event == "packed_frame":
             labels = {k: record.fields[k] for k in ("node",)
                       if k in record.fields}
@@ -288,6 +297,36 @@ class MetricsRegistry:
             self.counter("delta.fallbacks", **labels).inc()
         elif record.event == "resync_requested":
             self.counter("delta.resyncs", **labels).inc()
+
+    def _observe_bulk(self, record: TraceRecord) -> None:
+        """Turn bulk-lane trace events into counters: session outcomes,
+        retransmit/restripe/drop economics, and the out-of-band byte lane
+        (``state.bytes{lane=oob}`` — the in-order complement is counted
+        off the ``set_state_multicast`` event)."""
+        labels = {k: record.fields[k] for k in ("node", "group")
+                  if k in record.fields}
+        event = record.event
+        if event == "session_start":
+            self.counter("bulk.sessions_started", **labels).inc()
+        elif event == "session_complete":
+            self.counter("bulk.sessions_completed", **labels).inc()
+        elif event == "session_failed":
+            self.counter("bulk.fallbacks", **labels).inc()
+        elif event == "retransmit":
+            self.counter("bulk.retransmits", **labels).inc()
+        elif event == "restripe":
+            self.counter("bulk.restripes", **labels).inc()
+        elif event == "sponsor_dropped":
+            self.counter("bulk.sponsors_dropped", **labels).inc()
+        elif event == "page_crc_bad":
+            self.counter("bulk.page_crc_errors", **labels).inc()
+        elif event == "manifest_sent":
+            self.counter("bulk.manifests_sent", **labels).inc()
+        elif event == "pages_sent":
+            self.counter("bulk.pages_served", **labels).inc(
+                record.fields.get("count", 0))
+            self.counter("state.bytes", lane="oob", **labels).inc(
+                record.fields.get("bytes", 0))
 
     def _observe_fault_detector(self, record: TraceRecord) -> None:
         """Turn fault-detector trace events into counters: a first strike

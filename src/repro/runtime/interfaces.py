@@ -138,8 +138,17 @@ class Transport(abc.ABC):
         """Largest payload ``size_bytes`` a single frame may declare."""
 
     @abc.abstractmethod
-    def unicast(self, dst: str, payload: Any, size_bytes: int) -> None:
-        """Send ``payload`` to the host named ``dst`` only."""
+    def unicast(
+        self, dst: str, payload: Any, size_bytes: int, *, oob: bool = False,
+    ) -> None:
+        """Send ``payload`` to the host named ``dst`` only.
+
+        ``oob=True`` requests the transport's out-of-band data lane — a
+        point-to-point path that does not contend with the ordered
+        broadcast stream (the recovery bulk lane uses it to move
+        checkpoint pages).  Transports without a distinct lane simply
+        ignore the flag: plain unicast is already off the ordering path.
+        """
 
     @abc.abstractmethod
     def broadcast(self, payload: Any, size_bytes: int) -> None:

@@ -35,8 +35,10 @@ class Endpoint(Transport):
 
     # Convenience passthroughs -----------------------------------------
 
-    def unicast(self, dst: str, payload: Any, size_bytes: int) -> None:
-        self.network.unicast(self.node_id, dst, payload, size_bytes)
+    def unicast(
+        self, dst: str, payload: Any, size_bytes: int, *, oob: bool = False,
+    ) -> None:
+        self.network.unicast(self.node_id, dst, payload, size_bytes, oob=oob)
 
     def broadcast(self, payload: Any, size_bytes: int) -> None:
         self.network.broadcast(self.node_id, payload, size_bytes)

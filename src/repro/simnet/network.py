@@ -51,6 +51,14 @@ class NetworkConfig:
     frame_header: int = ETHERNET_HEADER
     frame_silence: int = ETHERNET_SILENCE
     per_frame_cpu: float = 30e-6   # send+receive protocol processing per frame
+    #: Bandwidth of the out-of-band data lane: a dedicated point-to-point
+    #: interconnect (think a second NIC on a switched full-duplex fabric,
+    #: the classic "separate replication network") that bulk unicast may
+    #: use instead of the shared broadcast segment.  Each ordered
+    #: ``(src, dst)`` pair is an independent serialized link, so bulk
+    #: transfers neither contend with the ordered multicast stream nor
+    #: with each other across different links.
+    oob_bandwidth_bps: float = 1e9
 
     @property
     def mtu_payload(self) -> int:
@@ -60,6 +68,11 @@ class NetworkConfig:
         """Seconds the medium is occupied by one frame with this payload."""
         wire_bytes = payload_bytes + self.frame_header + self.frame_silence
         return wire_bytes * 8.0 / self.bandwidth_bps
+
+    def oob_frame_time(self, payload_bytes: int) -> float:
+        """Seconds one out-of-band link is occupied by one frame."""
+        wire_bytes = payload_bytes + self.frame_header + self.frame_silence
+        return wire_bytes * 8.0 / self.oob_bandwidth_bps
 
 
 ETHERNET_100MBPS = NetworkConfig()
@@ -88,6 +101,7 @@ class Network:
         self._handlers: Dict[str, DeliverFn] = {}
         self._filters: List[DropFilter] = []
         self._medium_free_at = 0.0
+        self._link_free_at: Dict[tuple, float] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -150,14 +164,40 @@ class Network:
                 f"{self.config.mtu_payload}; fragment before sending"
             )
 
-    def unicast(self, src: str, dst: str, payload: Any, size_bytes: int) -> None:
-        """Send one frame from ``src`` to ``dst``."""
+    def _occupy_link(self, src: str, dst: str, size_bytes: int) -> float:
+        """Serialize one frame onto the dedicated out-of-band link from
+        ``src`` to ``dst``; returns arrival time.  Each ordered pair is an
+        independent full-duplex link, so out-of-band frames contend neither
+        with the shared broadcast medium nor with other links."""
+        key = (src, dst)
+        now = self.scheduler.now
+        start = max(now, self._link_free_at.get(key, 0.0))
+        tx_time = self.config.oob_frame_time(size_bytes)
+        self._link_free_at[key] = start + tx_time
+        return self._link_free_at[key] + self.config.propagation_delay \
+            + self.config.per_frame_cpu
+
+    def unicast(
+        self, src: str, dst: str, payload: Any, size_bytes: int,
+        *, oob: bool = False,
+    ) -> None:
+        """Send one frame from ``src`` to ``dst``.
+
+        With ``oob=True`` the frame travels the out-of-band point-to-point
+        lane (see :attr:`NetworkConfig.oob_bandwidth_bps`) instead of the
+        shared broadcast segment.  Drop filters and MTU limits apply on
+        both lanes.
+        """
         if dst not in self._nodes:
             raise UnknownNode(dst)
         self._check_size(size_bytes)
-        self.tracer.emit("net", "unicast", src=src, dst=dst, size=size_bytes)
+        kind = "oob_unicast" if oob else "unicast"
+        self.tracer.emit("net", kind, src=src, dst=dst, size=size_bytes)
         self.tracer.add("net.bytes", size_bytes)
-        arrival = self._occupy_medium(size_bytes)
+        if oob:
+            arrival = self._occupy_link(src, dst, size_bytes)
+        else:
+            arrival = self._occupy_medium(size_bytes)
         if self._dropped(src, dst, payload, size_bytes):
             self.tracer.emit("net", "drop", src=src, dst=dst)
             return

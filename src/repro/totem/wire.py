@@ -2,9 +2,12 @@
 
 The live runtime's UDP transport needs a byte representation of every
 frame the ring exchanges.  This module encodes the six Totem message
-types in CDR (reusing :mod:`repro.giop.cdr`, the same marshalling the
-IIOP layer uses) behind a one-octet format version, replacing the
-pickle encoding the live transport started with: the codec is
+types — plus the out-of-band bulk-lane frames (:class:`BulkFetch`,
+:class:`BulkPage`, :class:`BulkNack`) the recovery state transfer sends
+point-to-point outside the total order — in CDR (reusing
+:mod:`repro.giop.cdr`, the same marshalling the IIOP layer uses) behind
+a one-octet format version, replacing the pickle encoding the live
+transport started with: the codec is
 
 * **safe** — decoding attacker-controlled bytes can only yield Totem
   message objects, never arbitrary Python objects;
@@ -21,6 +24,8 @@ maps both onto dropped frames.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.errors import ProtocolError
 from repro.giop.cdr import CdrInputStream, CdrOutputStream
 from repro.totem.messages import (DataMsg, FormMsg, JoinMsg, PackedDataMsg,
@@ -35,8 +40,73 @@ _TAG_TOKEN = 3
 _TAG_JOIN = 4
 _TAG_FORM = 5
 _TAG_PROBE = 6
+_TAG_BULK_FETCH = 7
+_TAG_BULK_PAGE = 8
+_TAG_BULK_NACK = 9
 
 TotemFrame = object     # DataMsg | PackedDataMsg | Token | JoinMsg | ...
+
+
+# ---------------------------------------------------------------------------
+# Out-of-band bulk-lane frames (recovery state transfer, repro.core.bulk)
+# ---------------------------------------------------------------------------
+
+#: Declared wire overhead of one :class:`BulkPage` beyond its page bytes.
+BULK_PAGE_HEADER = 48
+#: Declared size of the fixed-layout control frames (fetch / nack).
+BULK_CTRL_SIZE = 64
+
+
+@dataclass(frozen=True)
+class BulkFetch:
+    """Target → sponsor: send me pages ``first_page..last_page`` (one
+    stripe, or a retransmit of its missing subset) of session
+    ``session_id``'s stashed snapshot."""
+
+    session_id: str
+    requester: str
+    first_page: int
+    last_page: int              # inclusive
+
+    @property
+    def size_bytes(self) -> int:
+        return BULK_CTRL_SIZE
+
+    @property
+    def page_count(self) -> int:
+        return self.last_page - self.first_page + 1
+
+
+@dataclass(frozen=True)
+class BulkPage:
+    """Sponsor → target: one page of the snapshot, tagged with its CRC32
+    so the receiver can verify it against the in-order manifest."""
+
+    session_id: str
+    sender: str
+    index: int
+    crc: int
+    page: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.page) + BULK_PAGE_HEADER
+
+
+@dataclass(frozen=True)
+class BulkNack:
+    """Sponsor → target: the fetch cannot be served.  ``reason`` is
+    ``"unknown"`` (no such stash — the sponsor restarted or expired it;
+    drop the sponsor) or ``"pending"`` (capture still in flight — retry
+    the stripe after the watchdog)."""
+
+    session_id: str
+    sender: str
+    reason: str = "unknown"
+
+    @property
+    def size_bytes(self) -> int:
+        return BULK_CTRL_SIZE
 
 #: Extension frame types (tags 64-255): embedders may register additional
 #: payload classes; the core protocol keeps tags below 64.
@@ -149,6 +219,24 @@ def encode_frame_payload(msg) -> bytes:
         out.write_ulonglong(msg.ring_id)
         out.write_string(msg.sender)
         _write_members(out, msg.members)
+    elif isinstance(msg, BulkFetch):
+        out.write_octet(_TAG_BULK_FETCH)
+        out.write_string(msg.session_id)
+        out.write_string(msg.requester)
+        out.write_ulong(msg.first_page)
+        out.write_ulong(msg.last_page)
+    elif isinstance(msg, BulkPage):
+        out.write_octet(_TAG_BULK_PAGE)
+        out.write_string(msg.session_id)
+        out.write_string(msg.sender)
+        out.write_ulong(msg.index)
+        out.write_ulong(msg.crc)
+        out.write_octets(msg.page)
+    elif isinstance(msg, BulkNack):
+        out.write_octet(_TAG_BULK_NACK)
+        out.write_string(msg.session_id)
+        out.write_string(msg.sender)
+        out.write_string(msg.reason)
     else:
         raise ProtocolError(
             f"cannot encode Totem frame {type(msg).__name__}")
@@ -228,6 +316,16 @@ def decode_frame_payload(data: bytes):
         sender = inp.read_string()
         members = _read_members(inp)
         return ProbeMsg(ring_id, sender, members)
+    if tag == _TAG_BULK_FETCH:
+        return BulkFetch(inp.read_string(), inp.read_string(),
+                         inp.read_ulong(), inp.read_ulong())
+    if tag == _TAG_BULK_PAGE:
+        return BulkPage(inp.read_string(), inp.read_string(),
+                        inp.read_ulong(), inp.read_ulong(),
+                        inp.read_octets())
+    if tag == _TAG_BULK_NACK:
+        return BulkNack(inp.read_string(), inp.read_string(),
+                        inp.read_string())
     decode = _EXT_BY_TAG.get(tag)
     if decode is not None:
         return decode(inp)

@@ -15,6 +15,7 @@ from repro.live.transport import (
 )
 from repro.totem.messages import (DataMsg, FormMsg, JoinMsg, PackedDataMsg,
                                   PackedPayload, ProbeMsg, Token)
+from repro.totem.wire import BulkFetch, BulkNack, BulkPage
 
 FRAMES = [
     DataMsg(ring_id=3, seq=17, sender="n2", msg_id=("n2", 4),
@@ -37,6 +38,13 @@ FRAMES = [
             flush_seq=55, base_seq=55, holders={54: "n2", 55: "n3"},
             fresh_members=("n3",)),
     ProbeMsg(ring_id=6, sender="n1", members=("n1", "n2")),
+    # recovery bulk-lane frames ride the same codec as the Totem ring
+    BulkFetch(session_id="rec:store:s1:e0:1", requester="s1",
+              first_page=0, last_page=127),
+    BulkPage(session_id="rec:store:s1:e0:1", sender="s2", index=5,
+             crc=0xDEADBEEF, page=b"\xAB" * 1024),
+    BulkNack(session_id="rec:store:s1:e0:1", sender="s2",
+             reason="pending"),
 ]
 
 

@@ -126,3 +126,37 @@ def test_totem_partial_count_gauge_exported():
         key = ("eternal_totem_partial_count", (("node", node),))
         assert key in series
         assert series[key] == 0     # quiescent system: nothing mid-reassembly
+
+
+def test_bulk_lane_gauges_and_counters_round_trip():
+    """The bulk lane shows up twice: live session gauges on every hosting
+    node, and lane-split byte counters from the metrics registry — and the
+    whole snapshot still parses."""
+    from repro.bench.deployments import measure_recovery
+
+    deployment = build_client_server(style=ReplicationStyle.ACTIVE,
+                                     server_replicas=2,
+                                     state_size=256 * 1024, warmup=0.2)
+    measure_recovery(deployment, "s1")
+    text = render_health(deployment.system)
+    series = {(name, tuple(sorted(labels.items()))): value
+              for name, labels, value in parse_exposition(text)}
+
+    # gauges: present for every replica-hosting node, quiescent after
+    # recovery completed
+    for node in ("s1", "s2"):
+        key = (("node", node),)
+        assert series[("eternal_bulk_sessions_active", key)] == 0.0
+        assert series[("eternal_bulk_stripes_in_flight", key)] == 0.0
+        assert ("eternal_bulk_store_entries", key) in series
+
+    # counters (labelled by node/group): the transfer ran out-of-band
+    def total(metric, **want):
+        return sum(value for name, labels, value in parse_exposition(text)
+                   if name == metric
+                   and all(labels.get(k) == v for k, v in want.items()))
+
+    assert total("repro_bulk_sessions_started") == 1.0
+    assert total("repro_bulk_sessions_completed") == 1.0
+    assert total("repro_bulk_manifests_sent") >= 1.0
+    assert total("repro_state_bytes", lane="oob") >= 256 * 1024
