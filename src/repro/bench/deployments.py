@@ -100,6 +100,7 @@ def build_client_server(
     seed: int = 0,
     warmup: float = 0.1,
     keep_trace_records: bool = False,
+    telemetry=None,
     scribble_every: int = 0,
     scribble_fraction: float = 0.1,
 ) -> ClientServerDeployment:
@@ -125,6 +126,7 @@ def build_client_server(
         totem_config=totem_config,
         eternal_config=eternal_config,
         keep_trace_records=keep_trace_records,
+        telemetry=telemetry,
     )
     if echo_duration is None:
         server_factory = make_kvstore_factory(state_size)

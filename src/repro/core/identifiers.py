@@ -46,6 +46,18 @@ class ConnectionKey:
         return cls(client_group, server_group)
 
 
+def invocation_trace_id(connection: ConnectionKey, request_id: int) -> str:
+    """The end-to-end trace id of one invocation round trip.
+
+    Derived from the connection and wire-level request id alone, so every
+    observation point — the client-side request capture, each member's
+    ring delivery, the server-side reply capture — computes the same id
+    independently and the trace costs **zero wire bytes**: both inputs
+    already travel in the envelope.
+    """
+    return f"op:{connection.as_str()}#{request_id}"
+
+
 @dataclass(frozen=True, order=True)
 class OperationId:
     """Unique identity of one invocation or one response."""

@@ -20,7 +20,7 @@ from dataclasses import replace
 from typing import Callable, Dict, Set, Tuple
 
 from repro.core.envelope import IiopEnvelope
-from repro.core.identifiers import ConnectionKey, OpKind
+from repro.core.identifiers import ConnectionKey, OpKind, invocation_trace_id
 from repro.core.infra_state import InfraState
 from repro.core.orb_state import OrbStateTracker
 from repro.giop.messages import (
@@ -64,6 +64,12 @@ class Interceptor:
     def _rpc_span_id(self, connection: ConnectionKey,
                      request_id: int) -> str:
         return f"rpc:{self.node_id}:{connection.as_str()}:{request_id}"
+
+    #: The invocation's end-to-end trace id (see
+    #: :func:`repro.core.identifiers.invocation_trace_id`): the client-side
+    #: request capture and the server-side reply capture compute the same
+    #: id independently, so one trace spans the whole round trip.
+    trace_id = staticmethod(invocation_trace_id)
 
     # ------------------------------------------------------------------
     # request_id rewrite offsets (installed during recovery, §4.2.1)
@@ -109,8 +115,10 @@ class Interceptor:
                              node=self.node_id, group=self.group_id,
                              request_id=wire_id)
             return
+        trace_id = self.trace_id(connection, wire_id)
         self.tracer.emit("interceptor", "request", node=self.node_id,
-                         conn=connection.as_str(), request_id=wire_id)
+                         conn=connection.as_str(), request_id=wire_id,
+                         trace=trace_id)
         if message.response_expected:
             # One round-trip span per two-way invocation: capture here,
             # closed when the matching reply is delivered back to this
@@ -120,7 +128,7 @@ class Interceptor:
                 span_id=self._rpc_span_id(connection, wire_id),
                 node=self.node_id, group=self.group_id,
                 conn=connection.as_str(), request_id=wire_id,
-                operation=message.operation,
+                operation=message.operation, trace=trace_id,
             )
         self._send(IiopEnvelope(connection, OpKind.REQUEST, wire_id,
                                 self.node_id, data))
@@ -130,9 +138,10 @@ class Interceptor:
         """Capture a reply produced by the local server replica."""
         message = decode_message(data)
         assert isinstance(message, ReplyMessage)
+        trace_id = self.trace_id(connection, message.request_id)
         self.tracer.emit("interceptor", "reply", node=self.node_id,
                          conn=connection.as_str(),
-                         request_id=message.request_id)
+                         request_id=message.request_id, trace=trace_id)
         self._send(IiopEnvelope(connection, OpKind.REPLY,
                                 message.request_id, self.node_id, data))
 

@@ -133,7 +133,8 @@ class ReplicationMechanisms:
 
     def multicast(self, envelope: Envelope) -> None:
         """Encode and reliably totally-order-multicast an envelope."""
-        self.totem.multicast(encode_envelope(envelope))
+        self.totem.multicast(encode_envelope(envelope),
+                             trace_id=getattr(envelope, "trace_id", ""))
 
     # ------------------------------------------------------------------
     # Observers (managers subscribe here)
@@ -257,7 +258,8 @@ class ReplicationMechanisms:
                          group=binding.group_id,
                          conn=envelope.connection.as_str(),
                          request_id=envelope.request_id,
-                         kind=envelope.kind.name)
+                         kind=envelope.kind.name,
+                         trace=envelope.trace_id)
 
     def _deliver_reply(self, binding: ReplicaBinding,
                        envelope: IiopEnvelope) -> None:

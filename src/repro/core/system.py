@@ -40,6 +40,7 @@ from repro.ftcorba.properties import FTProperties
 from repro.giop.ior import IOR
 from repro.obs.exporters import export_chrome_trace, export_jsonl
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TelemetryConfig, TelemetryPlane
 from repro.runtime.interfaces import Host, Transport
 from repro.runtime.trace import Tracer
 from repro.totem.config import TotemConfig
@@ -182,6 +183,7 @@ class SystemCore:
         eternal_config: Optional[EternalConfig],
         manager_node: Optional[str],
         keep_trace_records: bool,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         if not node_ids:
             raise SimulationError("need at least one node")
@@ -191,6 +193,17 @@ class SystemCore:
         # becomes a latency sample, with or without record retention.
         self.metrics = MetricsRegistry()
         self.metrics.bind(self.tracer)
+        # The telemetry plane (flight recorder + metrics history) rides the
+        # same stream; the subclass constructor sets ``self.scheduler``
+        # before calling _init_core, so the sampler can start immediately.
+        self.telemetry = TelemetryPlane(
+            telemetry or TelemetryConfig(),
+            tracer=self.tracer, metrics=self.metrics,
+            clock=lambda: self.now,
+        )
+        self.telemetry.bind_system(self)
+        if self.telemetry.enabled:
+            self.telemetry.start_sampler(self.scheduler)
         self.totem_config = totem_config or TotemConfig()
         self.eternal_config = eternal_config or EternalConfig()
         self.factories = FactoryRegistry()
@@ -287,6 +300,10 @@ class SystemCore:
             from repro.obs.audit import ConsistencyAuditor
             auditor = ConsistencyAuditor(metrics=self.metrics)
         self.auditor = auditor.bind(self.tracer)
+        if self.telemetry.enabled:
+            # A consistency violation is exactly when the recent past
+            # matters: findings trigger a flight-recorder dump.
+            self.auditor.on_finding = self.telemetry.flight.record_finding
         return self.auditor
 
     def stack(self, node_id: str) -> NodeStack:

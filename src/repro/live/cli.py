@@ -25,6 +25,8 @@ from repro.live.loadgen import (
     make_driver_factory,
 )
 from repro.live.system import LiveSystem
+from repro.obs.exporters import ChromeTraceWriter
+from repro.obs.telemetry import TelemetryConfig, install_crash_hooks
 
 
 def _fail(message: str) -> int:
@@ -32,12 +34,33 @@ def _fail(message: str) -> int:
     return 1
 
 
+def _print_dumps(dumps) -> None:
+    for dump in dumps:
+        where = dump.path or f"(in memory, {len(dump.records)} records)"
+        print(f"flight dump [{dump.reason}] {dump.node}: {where}",
+              file=sys.stderr)
+
+
 async def _run(args) -> int:
     node_ids = [f"n{i + 1}" for i in range(args.nodes)]
     manager_node, server_nodes = node_ids[0], node_ids[1:]
     app = LIVE_APPS[args.app]
-    system = LiveSystem(node_ids,
-                        keep_trace_records=bool(args.trace_out))
+    # jsonl export re-reads the retained records at the end; the chrome
+    # exporter streams each event as it happens (survives abrupt exits),
+    # so it needs no retention at all.
+    keep_records = bool(args.trace_out) and args.trace_format == "jsonl"
+    telemetry = (TelemetryConfig(flight_dir=args.flight_dir)
+                 if args.flight_dir else None)
+    system = LiveSystem(node_ids, keep_trace_records=keep_records,
+                        telemetry=telemetry)
+    trace_writer = None
+    if args.trace_out and args.trace_format == "chrome":
+        trace_writer = ChromeTraceWriter(args.trace_out)
+        system.tracer.subscribe(trace_writer.feed)
+    # However this process dies — unhandled exception, SIGINT, plain
+    # exit — every node's flight ring lands in --flight-dir first.
+    uninstall_hooks = install_crash_hooks(system.telemetry,
+                                          on_dump=_print_dumps)
     auditor = system.attach_auditor()
     health_server = None
     recovery_wall = None
@@ -145,9 +168,21 @@ async def _run(args) -> int:
         system.close()
 
     if args.trace_out:
-        written = system.export_trace(args.trace_out, fmt=args.trace_format)
-        print(f"wrote {written} trace events to {args.trace_out} "
-              f"({args.trace_format})")
+        if trace_writer is not None:
+            trace_writer.close()
+            print(f"wrote {trace_writer.events_written} trace events to "
+                  f"{args.trace_out} (chrome, streamed)")
+        else:
+            written = system.export_trace(args.trace_out,
+                                          fmt=args.trace_format)
+            print(f"wrote {written} trace events to {args.trace_out} "
+                  f"({args.trace_format})")
+    if args.flight_dir:
+        # Orderly completion: dump the surviving nodes' rings too, so the
+        # run's dumps stitch into full cross-node timelines (the killed
+        # node already dumped itself at the moment of the crash).
+        _print_dumps(system.telemetry.flight.dump_all("shutdown"))
+    uninstall_hooks()
     auditor.finish()
     print(auditor.summary())
     return 0 if auditor.ok else 1

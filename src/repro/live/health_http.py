@@ -1,15 +1,20 @@
 """Serve the :mod:`repro.obs.health` exposition over HTTP.
 
-A deliberately tiny HTTP/1.0 responder on asyncio streams — every
-request, whatever its path, gets a fresh Prometheus-style snapshot of
-the running :class:`~repro.live.system.LiveSystem`.  Good enough for
-``curl`` and a Prometheus scrape job pointed at
-``http://127.0.0.1:<port>/``; not a general web server.
+A deliberately tiny HTTP/1.0 responder on asyncio streams — good enough
+for ``curl``, a Prometheus scrape job, and ``python -m repro top --url``;
+not a general web server.  Two routes:
+
+* ``/metrics/history`` — a JSON dump of the telemetry plane's sampled
+  time series (counter deltas, gauges, histogram quantiles; see
+  :class:`repro.obs.telemetry.MetricsHistory`), with a fresh sample taken
+  at request time so the newest point is never older than the scrape;
+* anything else — the Prometheus-style text snapshot.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 from typing import Tuple
 
 from repro.obs.health import render_health
@@ -17,23 +22,35 @@ from repro.obs.health import render_health
 
 async def _handle(system, reader: asyncio.StreamReader,
                   writer: asyncio.StreamWriter) -> None:
+    path = "/"
     try:
-        # Drain the request head; we answer any method/path the same way.
-        while True:
-            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
-            if not line.rstrip(b"\r\n"):
-                break
+        # Read the request line for the path, then drain the header block;
+        # any method works.
+        first = await asyncio.wait_for(reader.readline(), timeout=5.0)
+        parts = first.decode("latin-1", "replace").split()
+        if len(parts) >= 2:
+            path = parts[1]
+        while first.rstrip(b"\r\n"):
+            first = await asyncio.wait_for(reader.readline(), timeout=5.0)
     except (asyncio.TimeoutError, ConnectionError):
         writer.close()
         return
+    content_type = b"text/plain; version=0.0.4; charset=utf-8"
     try:
-        body = render_health(system, auditor=system.auditor).encode("utf-8")
+        if path.startswith("/metrics/history"):
+            system.telemetry.sample_now()
+            body = json.dumps(
+                system.telemetry.history.snapshot()).encode("utf-8")
+            content_type = b"application/json"
+        else:
+            body = render_health(system,
+                                 auditor=system.auditor).encode("utf-8")
         status = b"200 OK"
     except Exception as exc:   # snapshot raced a teardown — report, not die
         body = f"health snapshot failed: {exc}\n".encode("utf-8")
         status = b"500 Internal Server Error"
     writer.write(b"HTTP/1.0 " + status + b"\r\n"
-                 b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                 b"Content-Type: " + content_type + b"\r\n"
                  + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
                  + body)
     try:

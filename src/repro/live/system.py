@@ -61,6 +61,7 @@ class LiveSystem(SystemCore):
         eternal_config: Optional[EternalConfig] = None,
         manager_node: Optional[str] = None,
         keep_trace_records: bool = False,
+        telemetry=None,
         loop: Optional[asyncio.AbstractEventLoop] = None,
     ) -> None:
         if loop is None:
@@ -73,6 +74,7 @@ class LiveSystem(SystemCore):
             eternal_config=eternal_config,
             manager_node=manager_node,
             keep_trace_records=keep_trace_records,
+            telemetry=telemetry,
         )
         self.segment = SegmentDispatcher()
         self.segment.open(loop)
@@ -140,6 +142,7 @@ class LiveSystem(SystemCore):
     def close(self) -> None:
         """Tear the deployment down: crash every node (cancelling all
         protocol timers via their crash listeners) and release sockets."""
+        self.telemetry.stop()
         for node in self.nodes.values():
             node.kill()
         self.segment.close()

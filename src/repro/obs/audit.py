@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.identifiers import ConnectionKey, DuplicateFilter, OpKind, OperationId
 from repro.obs.spans import SPAN_CATEGORY, SpanTracker
@@ -136,6 +136,9 @@ class ConsistencyAuditor:
         # violations forever.
         self._checkpoint_grants: Dict[Tuple[str, str], int] = {}
         self._spans = SpanTracker()
+        #: Called with each new AuditFinding the moment it is flagged
+        #: (the telemetry plane hooks this to dump the flight recorder).
+        self.on_finding: Optional[Callable[[AuditFinding], None]] = None
         # Span ids already open when we subscribed mid-stream: their ends
         # are legitimate, not orphans.
         self._preexisting_spans: frozenset = frozenset()
@@ -187,6 +190,8 @@ class ConsistencyAuditor:
         if self.metrics is not None:
             self.metrics.counter("audit.findings",
                                  invariant=invariant).inc()
+        if self.on_finding is not None:
+            self.on_finding(finding)
 
     def summary(self) -> str:
         """One-paragraph human summary (examples, demo, CLI)."""

@@ -145,3 +145,129 @@ def export_chrome_trace(records: Iterable[TraceRecord],
         if owned:
             stream.close()
     return sum(1 for e in events if e["ph"] != "M")
+
+
+class ChromeTraceWriter:
+    """Streaming Chrome ``trace_event`` writer that survives abrupt exits.
+
+    :func:`export_chrome_trace` buffers every record and serializes once at
+    the end — a process killed mid-run (SIGINT, crash) leaves **no** trace
+    file, and an earlier incremental attempt truncated mid-record, which
+    Chrome rejects outright.  This writer instead emits each event as it
+    arrives (``tracer.subscribe(writer.feed)``) and guarantees a valid JSON
+    document however the run ends: the array prefix is written up front,
+    every event lands on its own flush, and :meth:`close` — idempotent, and
+    registered with ``atexit`` by default — emits begin-only events for any
+    still-open spans before sealing the array.
+
+    Completed spans become ``"X"`` duration events at span end; open spans
+    surface as ``"B"`` events only at close (matching the one-shot
+    exporter's treatment of unfinished spans).  Lane-naming metadata is
+    emitted lazily, the first time a (group, node) lane appears.
+    """
+
+    def __init__(self, destination: Destination, *,
+                 include_instants: bool = True,
+                 register_atexit: bool = True) -> None:
+        self._stream, self._owned = _open(destination)
+        self._include_instants = include_instants
+        self._open_spans: Dict[str, TraceRecord] = {}
+        self._lanes: Dict[tuple, None] = {}
+        self._first = True
+        self._closed = False
+        self.events_written = 0
+        self._stream.write('{"displayTimeUnit": "ms", "traceEvents": [')
+        self._stream.flush()
+        if register_atexit:
+            import atexit
+            atexit.register(self.close)
+
+    def _emit(self, event: Dict[str, Any], *, metadata: bool = False) -> None:
+        prefix = "" if self._first else ","
+        self._first = False
+        self._stream.write(prefix + "\n" + json.dumps(event))
+        if not metadata:
+            self.events_written += 1
+
+    def _ensure_lane(self, lane: Dict[str, str]) -> None:
+        key = (lane["pid"], lane["tid"])
+        if key in self._lanes:
+            return
+        self._lanes[key] = None
+        self._emit({"name": "process_name", "ph": "M", "pid": lane["pid"],
+                    "args": {"name": f"group {lane['pid']}"}},
+                   metadata=True)
+        self._emit({"name": "thread_name", "ph": "M", "pid": lane["pid"],
+                    "tid": lane["tid"],
+                    "args": {"name": f"node {lane['tid']}"}},
+                   metadata=True)
+
+    def _span_event(self, start: TraceRecord, *,
+                    end_time: Optional[float]) -> Dict[str, Any]:
+        fields = dict(start.fields)
+        span_id = fields.pop("span", None)
+        name = fields.pop("name", span_id)
+        parent = fields.pop("parent", None)
+        lane = _lane(fields)
+        self._ensure_lane(lane)
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": SPAN_CATEGORY,
+            "ts": _us(start.time),
+            "args": _jsonable({**fields, "span_id": span_id,
+                               "parent_id": parent}),
+            **lane,
+        }
+        if end_time is not None:
+            event["ph"] = "X"
+            event["dur"] = _us(end_time) - _us(start.time)
+        else:
+            event["ph"] = "B"
+        return event
+
+    def feed(self, record: TraceRecord) -> None:
+        """Tracer subscriber: write the record's event(s) incrementally."""
+        if self._closed:
+            return
+        if record.category == SPAN_CATEGORY:
+            span_id = record.fields.get("span")
+            if span_id is None:
+                return
+            if record.event == "span_start":
+                self._open_spans.setdefault(span_id, record)
+            elif record.event == "span_end":
+                start = self._open_spans.pop(span_id, None)
+                if start is not None:
+                    self._emit(self._span_event(start,
+                                                end_time=record.time))
+                    self._stream.flush()
+            return
+        if not self._include_instants:
+            return
+        lane = _lane(record.fields)
+        self._ensure_lane(lane)
+        self._emit({
+            "name": f"{record.category}.{record.event}",
+            "cat": record.category,
+            "ph": "i",
+            "s": "t",
+            "ts": _us(record.time),
+            "args": _jsonable(record.fields),
+            **lane,
+        })
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Seal the document: flush still-open spans as begin-only events
+        and close the JSON array.  Idempotent — safe to call from both the
+        orderly exit path and the atexit hook."""
+        if self._closed:
+            return
+        self._closed = True
+        for start in self._open_spans.values():
+            self._emit(self._span_event(start, end_time=None))
+        self._open_spans.clear()
+        self._stream.write("\n]}\n")
+        self._stream.flush()
+        if self._owned:
+            self._stream.close()

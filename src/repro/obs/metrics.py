@@ -197,6 +197,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, LabelKey], Any] = {}
         self._open_spans: Dict[str, TraceRecord] = {}
+        # node -> (last token receipt time, last inter-arrival delta);
+        # feeds the per-peer token RTT/jitter histograms.
+        self._last_token: Dict[str, Tuple[float, Optional[float]]] = {}
 
     # -- get-or-create -----------------------------------------------------
 
@@ -248,6 +251,9 @@ class MetricsRegistry:
                       if k in record.fields}
             self.counter("state.bytes", lane="inorder", **labels).inc(
                 record.fields.get("app_bytes", 0))
+        if record.category == "totem" and record.event == "token":
+            self._observe_token(record)
+            return
         if record.category == "totem" and record.event == "packed_frame":
             labels = {k: record.fields[k] for k in ("node",)
                       if k in record.fields}
@@ -327,6 +333,31 @@ class MetricsRegistry:
                 record.fields.get("count", 0))
             self.counter("state.bytes", lane="oob", **labels).inc(
                 record.fields.get("bytes", 0))
+
+    def _observe_token(self, record: TraceRecord) -> None:
+        """Turn token receipts into the ring-health sample streams a
+        phi-accrual failure detector consumes: per-node (and per-upstream-
+        peer) token inter-arrival times and their jitter (the absolute
+        change between consecutive inter-arrival deltas)."""
+        node = record.fields.get("node")
+        if node is None:
+            return
+        last = self._last_token.get(node)
+        if last is None:
+            self._last_token[node] = (record.time, None)
+            return
+        last_time, last_delta = last
+        delta = record.time - last_time
+        src = record.fields.get("src")
+        if src is not None:
+            self.histogram("totem.token_interarrival",
+                           node=node, peer=src).record(delta)
+        else:
+            self.histogram("totem.token_interarrival", node=node).record(delta)
+        if last_delta is not None:
+            self.histogram("totem.token_jitter",
+                           node=node).record(abs(delta - last_delta))
+        self._last_token[node] = (record.time, delta)
 
     def _observe_fault_detector(self, record: TraceRecord) -> None:
         """Turn fault-detector trace events into counters: a first strike

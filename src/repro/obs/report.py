@@ -26,11 +26,12 @@ attributed from the wire-span window.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.spans import Span, SpanTracker
-from repro.runtime.trace import Tracer
+from repro.runtime.trace import TraceRecord, Tracer
 
 #: Phase (child-span) names in protocol order.
 RECOVERY_PHASES = ("announce", "quiesce", "capture", "xfer", "apply",
@@ -143,4 +144,166 @@ def render_phase_table(tracer: Tracer, *, scale: float = 1000.0,
                   f"{report.transfer_frames if report.transfer_frames is not None else 0:6d} "
                   f"{report.drained_messages if report.drained_messages is not None else 0:7d}")
         lines.append(f"{who:32s} {total} {cells}{extras}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Cross-node invocation stitching
+# ---------------------------------------------------------------------------
+#
+# Every hop of a replicated invocation emits a trace record carrying the
+# invocation's trace id (``op:<client>-><server>#<request_id>``, minted by
+# the Interceptor and propagated through the IIOP envelope and the Totem
+# data frames).  Stitching groups those records — possibly merged from
+# several per-node JSONL streams (live mode: each node dumps its own
+# flight-recorder file) — into one causal timeline per invocation.
+
+#: Stage names in causal order (ties in time sort by this rank).
+INVOCATION_STAGES = ("client_send", "ring_deliver", "execute",
+                     "reply_send", "reply_deliver", "client_done")
+_STAGE_RANK = {name: i for i, name in enumerate(INVOCATION_STAGES)}
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One stage of one invocation, observed at one node."""
+
+    stage: str
+    time: float
+    node: str
+
+
+@dataclass(frozen=True)
+class InvocationTimeline:
+    """One invocation's causal end-to-end timeline."""
+
+    trace_id: str
+    operation: Optional[str]
+    events: Tuple[TimelineEvent, ...]
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Distinct nodes the invocation touched, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.node)
+        return tuple(seen)
+
+    @property
+    def total(self) -> Optional[float]:
+        """Client-observed round-trip time (None while incomplete)."""
+        start = [e for e in self.events if e.stage == "client_send"]
+        done = [e for e in self.events if e.stage == "client_done"]
+        if not start or not done:
+            return None
+        return done[-1].time - start[0].time
+
+
+def load_trace_jsonl(path: str) -> List[TraceRecord]:
+    """Read one :func:`repro.obs.exporters.export_jsonl` stream (also the
+    flight-recorder dump format) back into trace records."""
+    records: List[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            records.append(TraceRecord(obj["ts"], obj["category"],
+                                       obj["event"], obj.get("fields", {})))
+    return records
+
+
+def stitch_jsonl_streams(paths: Iterable[str]) -> List[TraceRecord]:
+    """Merge several per-node JSONL streams into one time-ordered record
+    list, dropping duplicates (flight dumps overlap: each carries the
+    global lane, and a node may have dumped more than once)."""
+    seen = set()
+    merged: List[TraceRecord] = []
+    for path in paths:
+        for record in load_trace_jsonl(path):
+            key = (record.time, record.category, record.event,
+                   json.dumps(record.fields, sort_keys=True, default=str))
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(record)
+    merged.sort(key=lambda r: r.time)
+    return merged
+
+
+def stitch_invocations(
+        records: Iterable[TraceRecord]) -> List[InvocationTimeline]:
+    """Group trace records by invocation trace id into causal timelines
+    (client send → ring delivery per node → execute → reply → client done),
+    ordered by each invocation's first event."""
+    events: Dict[str, List[TimelineEvent]] = {}
+    operations: Dict[str, str] = {}
+    # span_id -> (trace, node) for open rpc.roundtrip spans: span_end
+    # records carry no attrs, so the close is matched through the start.
+    rpc_spans: Dict[str, Tuple[str, str]] = {}
+
+    def note(trace: Optional[str], stage: str, time: float, node) -> None:
+        if not trace:
+            return
+        events.setdefault(trace, []).append(
+            TimelineEvent(stage, time, str(node)))
+
+    for record in records:
+        fields = record.fields
+        category, event = record.category, record.event
+        if category == "interceptor" and event == "request":
+            note(fields.get("trace"), "client_send", record.time,
+                 fields.get("node", "?"))
+        elif category == "totem" and event == "deliver":
+            note(fields.get("trace"), "ring_deliver", record.time,
+                 fields.get("node", "?"))
+        elif category == "replication" and event == "delivered":
+            stage = ("execute" if fields.get("kind") == "REQUEST"
+                     else "reply_deliver")
+            note(fields.get("trace"), stage, record.time,
+                 fields.get("node", "?"))
+        elif category == "interceptor" and event == "reply":
+            note(fields.get("trace"), "reply_send", record.time,
+                 fields.get("node", "?"))
+        elif category == "span" and event == "span_start":
+            if fields.get("name") == "rpc.roundtrip":
+                trace = fields.get("trace")
+                span_id = fields.get("span")
+                if trace and span_id:
+                    rpc_spans[span_id] = (trace, fields.get("node", "?"))
+                    if "operation" in fields:
+                        operations[trace] = fields["operation"]
+        elif category == "span" and event == "span_end":
+            spot = rpc_spans.pop(fields.get("span"), None)
+            if spot is not None:
+                trace, node = spot
+                note(trace, "client_done", record.time, node)
+
+    timelines: List[InvocationTimeline] = []
+    for trace, evts in events.items():
+        evts.sort(key=lambda e: (e.time, _STAGE_RANK.get(e.stage, 99)))
+        timelines.append(InvocationTimeline(
+            trace_id=trace, operation=operations.get(trace),
+            events=tuple(evts)))
+    timelines.sort(key=lambda t: t.events[0].time)
+    return timelines
+
+
+def render_invocation_timeline(timeline: InvocationTimeline, *,
+                               scale: float = 1000.0,
+                               unit: str = "ms") -> str:
+    """Render one stitched invocation as an indented causal timeline
+    (offsets from the first event, scaled; default milliseconds)."""
+    op = f" {timeline.operation}()" if timeline.operation else ""
+    head = f"{timeline.trace_id}{op}"
+    total = timeline.total
+    if total is not None:
+        head += f"  [{total * scale:.3f} {unit} end-to-end]"
+    lines = [head]
+    base = timeline.events[0].time if timeline.events else 0.0
+    for event in timeline.events:
+        offset = (event.time - base) * scale
+        lines.append(f"  +{offset:9.3f} {unit:3s} {event.stage:14s} "
+                     f"@ {event.node}")
     return "\n".join(lines)

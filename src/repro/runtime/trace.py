@@ -28,9 +28,17 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Set
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
-    """One traced event."""
+    """One traced event.
+
+    ``slots=True`` matters at trace volume: it removes the per-instance
+    ``__dict__``, so allocating — and, for records retained by the flight
+    recorder, later destroying — a record touches two heap objects instead
+    of three.  Eviction from a full flight ring frees records long after
+    they went cache-cold, where per-object cost dominates the plane's
+    overhead budget (see :mod:`repro.obs.telemetry`).
+    """
 
     time: float
     category: str
@@ -61,6 +69,7 @@ class Tracer:
         self.counters: Counter = Counter()
         self._keep_records = keep_records
         self._enabled = enabled_categories
+        self._disabled: Set[str] = set()
         self._subscribers: List[Callable[[TraceRecord], None]] = []
         self._now: Callable[[], float] = lambda: 0.0
         #: Span ids currently open on this trace stream; maintained by
@@ -80,6 +89,13 @@ class Tracer:
         """
         self._subscribers.append(fn)
 
+    def set_disabled_categories(self, categories: Set[str]) -> None:
+        """Blocklist: suppress the record stream (retention *and*
+        subscriber delivery) for these categories without enumerating
+        every allowed one.  Counters still count.  Complements
+        ``enabled_categories``: a category must pass both filters."""
+        self._disabled = set(categories)
+
     def emit(self, category: str, event: str, **fields: Any) -> None:
         """Record an event and bump its counter (``category.event``).
 
@@ -90,6 +106,8 @@ class Tracer:
         """
         self.counters[f"{category}.{event}"] += 1
         if self._enabled is not None and category not in self._enabled:
+            return
+        if category in self._disabled:
             return
         if not self._keep_records and not self._subscribers:
             return

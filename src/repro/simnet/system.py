@@ -47,6 +47,7 @@ class EternalSystem(SystemCore):
         eternal_config: Optional[EternalConfig] = None,
         manager_node: Optional[str] = None,
         keep_trace_records: bool = False,
+        telemetry=None,
     ) -> None:
         self.scheduler = Scheduler()
         self._init_core(
@@ -55,6 +56,7 @@ class EternalSystem(SystemCore):
             eternal_config=eternal_config,
             manager_node=manager_node,
             keep_trace_records=keep_trace_records,
+            telemetry=telemetry,
         )
         self.network = Network(self.scheduler, network_config,
                                tracer=self.tracer)

@@ -167,15 +167,18 @@ class TotemMember:
         (exposed as the ``eternal_totem_partial_count`` health gauge)."""
         return self._reassembler.pending
 
-    def multicast(self, payload: bytes) -> None:
+    def multicast(self, payload: bytes, *, trace_id: str = "") -> None:
         """Queue ``payload`` for reliable totally-ordered delivery to all
         ring members (including this one).  Larger-than-MTU payloads are
-        fragmented into multiple sequenced frames."""
+        fragmented into multiple sequenced frames.  ``trace_id`` rides
+        every fragment to the delivery emit on each member, tying the ring
+        hop into the sender's end-to-end invocation trace."""
         if not self._active:
             raise NotInRing(f"{self.node_id}: member is shut down")
         if len(self._send_queue) >= self.config.max_queue:
             raise TotemError(f"{self.node_id}: send queue overflow")
-        self._send_queue.extend(self._fragmenter.fragment(payload))
+        self._send_queue.extend(
+            entry + (trace_id,) for entry in self._fragmenter.fragment(payload))
 
     def shutdown(self) -> None:
         """Deactivate (process crash or stack teardown): cancel all timers
@@ -218,19 +221,22 @@ class TotemMember:
             self._maybe_install()
 
     @staticmethod
-    def _payload_entries(msg) -> List[Tuple[Tuple[str, int], int, int, bytes]]:
+    def _payload_entries(
+            msg) -> List[Tuple[Tuple[str, int], int, int, bytes, str]]:
         """The application fragments a frame carries, in delivery order —
         one for a classic :class:`DataMsg`, several for a packed frame."""
         if isinstance(msg, PackedDataMsg):
-            return [(p.msg_id, p.frag_index, p.frag_count, p.chunk)
+            return [(p.msg_id, p.frag_index, p.frag_count, p.chunk,
+                     p.trace_id)
                     for p in msg.payloads]
-        return [(msg.msg_id, msg.frag_index, msg.frag_count, msg.chunk)]
+        return [(msg.msg_id, msg.frag_index, msg.frag_count, msg.chunk,
+                 msg.trace_id)]
 
     def _try_deliver(self) -> None:
         while (self.delivered_aru + 1) in self._held:
             self.delivered_aru += 1
             msg = self._held[self.delivered_aru]
-            for msg_id, frag_index, frag_count, chunk \
+            for msg_id, frag_index, frag_count, chunk, trace \
                     in self._payload_entries(msg):
                 self._order_hash = crc32(
                     f"{msg.seq}:{msg.sender}:{msg_id}:"
@@ -245,7 +251,7 @@ class TotemMember:
                 if payload is not None:
                     self.tracer.emit("totem", "deliver", node=self.node_id,
                                      origin=msg_id[0], seq=msg.seq,
-                                     size=len(payload))
+                                     size=len(payload), trace=trace)
                     self.on_deliver(msg_id[0], payload)
             interval = self.config.order_digest_interval
             if (interval and self._order_ring_key
@@ -283,7 +289,7 @@ class TotemMember:
             self._token_retx = None
         self._reset_token_timer()
         self.tracer.emit("totem", "token", node=self.node_id, seq=token.seq,
-                         aru=token.aru)
+                         aru=token.aru, src=src)
 
         # 1. Service retransmission requests we can satisfy.
         unresolved: List[int] = []
@@ -454,9 +460,9 @@ class TotemMember:
                 entries.append(nxt)
                 size += added
         if len(entries) == 1:
-            msg_id, index, count, chunk = first
+            msg_id, index, count, chunk, trace = first
             return DataMsg(self.ring_id, seq, self.node_id,
-                           msg_id, index, count, chunk)
+                           msg_id, index, count, chunk, trace_id=trace)
         return PackedDataMsg(
             self.ring_id, seq, self.node_id,
             tuple(PackedPayload(*entry) for entry in entries),

@@ -40,6 +40,7 @@ class DataMsg:
     frag_count: int
     chunk: bytes
     retransmit: bool = False
+    trace_id: str = ""          # end-to-end invocation trace (may be empty)
 
     @property
     def size_bytes(self) -> int:
@@ -54,6 +55,7 @@ class PackedPayload:
     frag_index: int
     frag_count: int
     chunk: bytes
+    trace_id: str = ""          # end-to-end invocation trace (may be empty)
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,8 @@ from repro.totem.messages import (DataMsg, FormMsg, JoinMsg, PackedDataMsg,
                                   PackedPayload, ProbeMsg, Token)
 
 #: Format version octet leading every encoded frame (bump on layout change).
-WIRE_VERSION = 1
+#: v2: data frames and packed payloads carry a trailing trace-id string.
+WIRE_VERSION = 2
 
 _TAG_DATA = 1
 _TAG_PACKED = 2
@@ -167,6 +168,7 @@ def encode_frame_payload(msg) -> bytes:
         out.write_ulong(msg.frag_count)
         out.write_boolean(msg.retransmit)
         out.write_octets(msg.chunk)
+        out.write_string(msg.trace_id)
     elif isinstance(msg, PackedDataMsg):
         out.write_octet(_TAG_PACKED)
         out.write_ulonglong(msg.ring_id)
@@ -179,6 +181,7 @@ def encode_frame_payload(msg) -> bytes:
             out.write_ulong(payload.frag_index)
             out.write_ulong(payload.frag_count)
             out.write_octets(payload.chunk)
+            out.write_string(payload.trace_id)
     elif isinstance(msg, Token):
         out.write_octet(_TAG_TOKEN)
         out.write_ulonglong(msg.ring_id)
@@ -259,8 +262,9 @@ def decode_frame_payload(data: bytes):
         frag_count = inp.read_ulong()
         retransmit = inp.read_boolean()
         chunk = inp.read_octets()
+        trace_id = inp.read_string()
         return DataMsg(ring_id, seq, sender, msg_id, frag_index,
-                       frag_count, chunk, retransmit)
+                       frag_count, chunk, retransmit, trace_id)
     if tag == _TAG_PACKED:
         ring_id = inp.read_ulonglong()
         seq = inp.read_ulonglong()
@@ -272,8 +276,9 @@ def decode_frame_payload(data: bytes):
             msg_id = _read_msg_id(inp)
             frag_index = inp.read_ulong()
             frag_count = inp.read_ulong()
+            chunk = inp.read_octets()
             payloads.append(PackedPayload(msg_id, frag_index, frag_count,
-                                          inp.read_octets()))
+                                          chunk, inp.read_string()))
         return PackedDataMsg(ring_id, seq, sender, tuple(payloads),
                              retransmit)
     if tag == _TAG_TOKEN:

@@ -80,3 +80,77 @@ def test_export_chrome_trace_writes_valid_json(tmp_path):
     assert data["displayTimeUnit"] == "ms"
     non_meta = [e for e in data["traceEvents"] if e["ph"] != "M"]
     assert count == len(non_meta) == 4       # 2 X + 1 B + 1 instant
+
+
+# ---------------------------------------------------------------------------
+# Streaming Chrome writer (valid JSON however the run ends)
+# ---------------------------------------------------------------------------
+
+def streaming_run(writer_buffer, **writer_kwargs):
+    from repro.obs.exporters import ChromeTraceWriter
+
+    writer = ChromeTraceWriter(writer_buffer, register_atexit=False,
+                               **writer_kwargs)
+    tracer = traced_run()
+    for record in tracer.records:
+        writer.feed(record)
+    return writer
+
+
+def test_streaming_writer_matches_batch_exporter_event_for_event():
+    buffer = io.StringIO()
+    writer = streaming_run(buffer)
+    writer.close()
+    streamed = json.loads(buffer.getvalue())["traceEvents"]
+    batch = chrome_trace_events(traced_run().records)
+
+    def key(event):
+        return (event["ph"], event["name"], event["ts"] if "ts" in event
+                else 0, event.get("dur"))
+
+    streamed_real = sorted([key(e) for e in streamed if e["ph"] != "M"])
+    batch_real = sorted([key(e) for e in batch if e["ph"] != "M"])
+    assert streamed_real == batch_real
+    assert writer.events_written == len(streamed_real)
+
+
+def test_streaming_writer_document_is_valid_without_close():
+    """The abrupt-termination guarantee: every flush leaves the stream one
+    ``]}`` away from a valid document (a reader can repair a truncated
+    capture mechanically, and ``close`` — atexit-registered in production —
+    only appends the suffix, never rewrites)."""
+    buffer = io.StringIO()
+    streaming_run(buffer)
+    # Not closed: a repaired read parses and holds every flushed event.
+    repaired = json.loads(buffer.getvalue() + "\n]}")
+    assert any(e["ph"] == "X" for e in repaired["traceEvents"])
+
+
+def test_streaming_writer_close_flushes_open_spans_as_begin_events():
+    buffer = io.StringIO()
+    writer = streaming_run(buffer)
+    writer.close()
+    events = json.loads(buffer.getvalue())["traceEvents"]
+    begins = [e for e in events if e["ph"] == "B"]
+    # traced_run leaves one rpc.roundtrip span open.
+    assert [e["name"] for e in begins] == ["rpc.roundtrip"]
+
+
+def test_streaming_writer_close_is_idempotent_and_feed_after_close_noops():
+    buffer = io.StringIO()
+    writer = streaming_run(buffer)
+    writer.close()
+    sealed = buffer.getvalue()
+    writer.close()
+    writer.feed(traced_run().records[0])
+    assert buffer.getvalue() == sealed
+    json.loads(sealed)
+
+
+def test_streaming_writer_can_exclude_instants():
+    buffer = io.StringIO()
+    writer = streaming_run(buffer, include_instants=False)
+    writer.close()
+    events = json.loads(buffer.getvalue())["traceEvents"]
+    assert not any(e["ph"] == "i" for e in events)
+    assert any(e["ph"] == "X" for e in events)

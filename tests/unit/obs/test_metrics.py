@@ -294,3 +294,69 @@ def test_packed_frame_records_feed_histogram():
     assert hist.count == 4
     assert hist.min == 1 and hist.max == 7
     assert hist.p50 == 3.0
+
+
+# ---------------------------------------------------------------------------
+# Token ring health: inter-arrival and jitter streams
+# ---------------------------------------------------------------------------
+
+def token_tracer():
+    tracer = Tracer(keep_records=False)
+    clock = {"now": 0.0}
+    tracer.bind_clock(lambda: clock["now"])
+    registry = MetricsRegistry()
+    registry.bind(tracer)
+    return tracer, registry, clock
+
+
+def test_token_receipts_feed_interarrival_and_jitter_histograms():
+    tracer, registry, clock = token_tracer()
+    for now in (0.0, 0.10, 0.25, 0.30):
+        clock["now"] = now
+        tracer.emit("totem", "token", node="s1", src="s2", seq=1)
+    # First receipt only primes the stream: 3 deltas from 4 receipts.
+    rtt = registry.histogram("totem.token_interarrival", node="s1",
+                             peer="s2")
+    assert rtt.count == 3
+    assert rtt.min == pytest.approx(0.05) and rtt.max == pytest.approx(0.15)
+    # Jitter needs two consecutive deltas: |0.15-0.10| then |0.05-0.15|.
+    jitter = registry.histogram("totem.token_jitter", node="s1")
+    assert jitter.count == 2
+    assert jitter.min == pytest.approx(0.05)
+    assert jitter.max == pytest.approx(0.10)
+
+
+def test_token_without_src_uses_node_only_series():
+    tracer, registry, clock = token_tracer()
+    for now in (0.0, 0.1):
+        clock["now"] = now
+        tracer.emit("totem", "token", node="s1", seq=1)
+    assert registry.histogram("totem.token_interarrival",
+                              node="s1").count == 1
+    # No peer-labelled series was created.
+    assert all(labels.get("peer") is None for _, labels, _ in
+               registry.find("totem.token_interarrival"))
+
+
+def test_token_streams_are_independent_per_node():
+    tracer, registry, clock = token_tracer()
+    # Interleaved receipts at two nodes must not cross-contaminate the
+    # per-node deltas (a shared last-seen time would halve them).
+    for now, node in ((0.0, "s1"), (0.05, "s2"), (0.10, "s1"),
+                      (0.15, "s2")):
+        clock["now"] = now
+        tracer.emit("totem", "token", node=node, src="peer", seq=1)
+    for node in ("s1", "s2"):
+        hist = registry.histogram("totem.token_interarrival",
+                                  node=node, peer="peer")
+        assert hist.count == 1
+        assert hist.min == pytest.approx(0.10)
+
+
+def test_token_records_without_node_are_ignored():
+    tracer, registry, clock = token_tracer()
+    clock["now"] = 0.0
+    tracer.emit("totem", "token", seq=1)
+    clock["now"] = 0.1
+    tracer.emit("totem", "token", seq=2)
+    assert registry.find("totem.token_interarrival") == []
