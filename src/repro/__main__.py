@@ -34,6 +34,12 @@ Commands:
                   polls a live node's ``/metrics/history`` with ``--url``.
 * ``obs-overhead`` — wall-clock cost of the telemetry plane on the
                   fault-free throughput workload, gated at ≤3%.
+* ``profile``   — run the kill/recover scenario with span-scoped resource
+                  attribution and a sampling stack profiler: per-phase
+                  cost table (wall vs CPU vs allocs, plus syscalls with
+                  ``--live``) and a ``.folded`` flame-graph artifact.
+* ``prof-overhead`` — wall-clock cost of the profiler itself, gated:
+                  disabled must cost exactly nothing, enabled ≤5%.
 * ``live``      — run the stack over real loopback-UDP sockets and
                   wall-clock time (see :mod:`repro.live`): form a ring,
                   kill and recover a replica under closed-loop load, and
@@ -238,6 +244,7 @@ def _cmd_top(args) -> int:
         import urllib.error
         import urllib.request
         endpoint = args.url.rstrip("/") + "/metrics/history"
+        saw_profile_series = False
         for tick in range(args.count):
             try:
                 with urllib.request.urlopen(endpoint, timeout=5.0) as resp:
@@ -246,6 +253,16 @@ def _cmd_top(args) -> int:
                 print(f"error: cannot fetch {endpoint}: {exc}",
                       file=sys.stderr)
                 return 2
+            if not isinstance(snapshot, dict) or "series" not in snapshot:
+                print(f"error: {endpoint} returned no metrics-history "
+                      f"series — the node predates the telemetry plane or "
+                      f"serves a different payload; upgrade it or point "
+                      f"--url at a /metrics/history-capable health port",
+                      file=sys.stderr)
+                return 1
+            if any(key.startswith("profile.")
+                   for key in snapshot["series"]):
+                saw_profile_series = True
             sys.stdout.write("\x1b[2J\x1b[H")
             print(f"{endpoint}  (refresh {args.interval}s, "
                   f"tick {tick + 1}/{args.count})")
@@ -253,18 +270,29 @@ def _cmd_top(args) -> int:
             sys.stdout.flush()
             if tick + 1 < args.count:
                 wallclock.sleep(args.interval)
+        if not saw_profile_series:
+            print("note: the endpoint never served profile.* series, so "
+                  "the cpu%/allocs columns stayed empty — run the node "
+                  "with profiling enabled (e.g. `python -m repro live "
+                  "--profile`) to feed them",
+                  file=sys.stderr)
+            return 1
         return 0
 
     # Simulated mode: drive the kill/recover scenario, advancing
-    # --interval seconds of simulated time per rendered frame.
+    # --interval seconds of simulated time per rendered frame.  Profiling
+    # is on so the cpu%/allocs columns are fed; note the cpu%% reading is
+    # host CPU over *simulated* seconds, so >100% is expected.
     from repro.bench.deployments import build_client_server
     from repro.ftcorba.properties import ReplicationStyle
+    from repro.obs.profiling import ProfilingConfig
 
     deployment = build_client_server(
         style=ReplicationStyle.ACTIVE,
         server_replicas=2,
         state_size=args.state_size,
         warmup=0.2,
+        profiling=ProfilingConfig(enabled=True),
     )
     system = deployment.system
     horizon = args.interval * args.count
@@ -320,6 +348,147 @@ def _cmd_obs_overhead(args) -> int:
                    "on/off A-B deltas on shared hardware swing +/-10% — "
                    "far above a 3% budget — so the gate measures the "
                    "plane's own share, which is stable to ~0.1%.",
+        footer=footer,
+    )
+    if args.record:
+        print(f"\nwrote bench record to {args.record}")
+    return code
+
+
+def _start_profile_session(args):
+    """Build and start a :class:`~repro.obs.profiling.ProfileSession` when
+    ``--profile`` was passed (None otherwise) — shared by the sweep
+    commands."""
+    if not getattr(args, "profile", False):
+        return None
+    from repro.obs.profiling import ProfileSession
+    session = ProfileSession(
+        sample_interval=getattr(args, "profile_sample_interval", 0.005))
+    session.start()
+    return session
+
+
+def _finish_profile_session(session, args, *, syscalls=None) -> None:
+    """Stop the session, print the per-phase cost table, and write the
+    ``.folded`` artifact to ``--profile-out``."""
+    if session is None:
+        return
+    session.stop()
+    print("\nper-phase resource attribution (profiler):")
+    print(session.render_table(syscalls=syscalls))
+    out = getattr(args, "profile_out", None) or "profile.folded"
+    lines = session.write_folded(out)
+    print(f"\nwrote {lines} folded stacks to {out} "
+          f"({session.sampler.samples_taken} samples; render with "
+          f"flamegraph.pl or speedscope)")
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profiling import ProfileSession, syscall_counters
+
+    if args.live:
+        # Delegate to the live runner with profiling switched on: real
+        # sockets, so the table includes the transport's syscall counters.
+        from repro.live.cli import run_live
+        live_args = argparse.Namespace(
+            nodes=3, app="kvstore", state_size=args.state_size,
+            duration=3.0 if args.quick else 8.0,
+            kill_after=1.0 if args.quick else 2.0,
+            downtime=0.5, health_port=None, health_out=None,
+            trace_out=None, trace_format="chrome", flight_dir=None,
+            profile=True, profile_out=args.out,
+            profile_sample_interval=args.sample_interval,
+        )
+        return run_live(live_args)
+
+    from repro.bench.deployments import build_client_server, measure_recovery
+    from repro.ftcorba.properties import ReplicationStyle
+
+    session = ProfileSession(sample_interval=args.sample_interval,
+                             alloc_trace=args.alloc_trace)
+    session.start()
+    print(f"profiling the kill/recover scenario ({args.state_size} B "
+          f"state) …", file=sys.stderr)
+    deployment = build_client_server(
+        style=ReplicationStyle.ACTIVE,
+        server_replicas=2,
+        state_size=args.state_size,
+        warmup=0.2,
+        profiling=session.config,
+    )
+    session.attach(deployment.system)
+    system = deployment.system
+    system.run_for(0.1 if args.quick else 0.5)     # fault-free load phase
+    try:
+        recovery_time = measure_recovery(deployment, "s2")
+    except TimeoutError as exc:
+        session.stop()
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    system.run_for(0.1)
+    session.stop()
+    phases = session.merged_phases()
+    print(f"recovered s2 in {recovery_time * 1000:.2f} ms (simulated); "
+          f"host costs per phase:")
+    print(session.render_table(
+        syscalls=syscall_counters(system.tracer.counters),
+        wall_label="sim"))
+    lines = session.write_folded(args.out)
+    print(f"\nwrote {lines} folded stacks to {args.out} "
+          f"({session.sampler.samples_taken} samples; render with "
+          f"flamegraph.pl or speedscope)")
+    missing = [name for name in ("recovery.announce", "recovery.capture",
+                                 "recovery.apply", "recovery.assign",
+                                 "recovery.drain", "totem.rotation")
+               if name not in phases]
+    if missing:
+        print(f"error: no resource attribution for {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_prof_overhead(args) -> int:
+    from repro.bench.reporting import print_table
+    from repro.bench.sweeps import (PROF_OVERHEAD_LOADS,
+                                    PROF_OVERHEAD_LOADS_QUICK,
+                                    run_prof_overhead_point)
+
+    rates = PROF_OVERHEAD_LOADS_QUICK if args.quick else PROF_OVERHEAD_LOADS
+    rows = []
+    points = {}
+    worst_off = 1.0
+    for rate in rates:
+        result = run_prof_overhead_point(rate,
+                                         repeats=2 if args.quick else 3)
+        ratio = result["overhead_ratio"]
+        rows.append([rate, round(result["off_s"] * 1000, 1),
+                     round(result["on_s"] * 1000, 1),
+                     round(result["off_ratio"], 4), round(ratio, 4)])
+        points[f"off:{rate}"] = round(result["off_ratio"], 4)
+        points[f"on:{rate}"] = round(ratio, 4)
+        worst_off = max(worst_off, result["off_ratio"])
+    footer, code = _record_and_compare(args, "prof_overhead",
+                                       "overhead_ratio", "ratio", points)
+    if code == 2:
+        return 2
+    worst_on = max(v for k, v in points.items() if k.startswith("on:"))
+    budget_line = (f"off overhead {100 * (worst_off - 1):+.4f}% "
+                   f"(must be 0), on {100 * (worst_on - 1):+.2f}% "
+                   f"(budget ≤{100 * args.max_overhead:.0f}%)")
+    if worst_off > 1.0 + 1e-9 or worst_on - 1.0 > args.max_overhead:
+        budget_line += "  — OVER BUDGET"
+        code = max(code, 1)
+    footer = budget_line if footer is None else f"{footer}\n{budget_line}"
+    print_table(
+        "Profiler overhead — fault-free throughput",
+        ["offered_per_s", "profiler_off_ms", "profiler_on_ms",
+         "off_ratio", "on_ratio"],
+        rows,
+        paper_note="in-situ shares (InSituProbe inside span bookkeeping "
+                   "and sampler walks), like obs-overhead.  off_ratio is "
+                   "structural: a disabled profiler never subscribes to "
+                   "the tracer, so its probed share is exactly zero.",
         footer=footer,
     )
     if args.record:
@@ -399,6 +568,7 @@ def _cmd_throughput(args) -> int:
                                     WIRE_BOUND_ECHO, run_throughput_point)
 
     rates = THROUGHPUT_LOADS_QUICK if args.quick else THROUGHPUT_LOADS
+    session = _start_profile_session(args)
     rows = []
     points = {}
     for rate in rates:
@@ -406,6 +576,7 @@ def _cmd_throughput(args) -> int:
             rate,
             frame_packing=not args.no_packing,
             echo_duration=WIRE_BOUND_ECHO,
+            profile=session,
         )
         rows.append([rate, int(result["achieved"]),
                      round(result["mean_ms"], 3),
@@ -425,6 +596,7 @@ def _cmd_throughput(args) -> int:
                    "inter-frame gap, and per-frame CPU",
         footer=footer,
     )
+    _finish_profile_session(session, args)
     if args.record:
         print(f"\nwrote bench record to {args.record}")
     return code
@@ -443,6 +615,7 @@ def _cmd_fig6(args) -> int:
     sizes = [10, 1_000, 10_000, 50_000, 100_000, 200_000, 350_000]
     if args.quick:
         sizes = [10, 10_000, 100_000, 350_000]
+    session = _start_profile_session(args)
     rows = []
     registries = []
     points = {}
@@ -451,7 +624,11 @@ def _cmd_fig6(args) -> int:
                                          server_replicas=2,
                                          state_size=size,
                                          eternal_config=eternal_config,
+                                         profiling=(session.config
+                                                    if session else None),
                                          warmup=0.2)
+        if session is not None:
+            session.attach(deployment.system)
         try:
             recovery_time = measure_recovery(deployment, "s2")
         except TimeoutError as exc:
@@ -490,6 +667,7 @@ def _cmd_fig6(args) -> int:
     print("\nper-phase latency across the sweep (ms):")
     print(merged.format_table(prefix="span.recovery", scale=1000.0,
                               unit="ms"))
+    _finish_profile_session(session, args)
     if args.record:
         record.write(args.record)
         print(f"\nwrote bench record to {args.record}")
@@ -505,8 +683,9 @@ def _cmd_recovery_scale(args) -> int:
     sizes = (RECOVERY_SCALE_SIZES_QUICK if args.quick
              else RECOVERY_SCALE_SIZES)
     bulk = not args.no_bulk_lane
+    session = _start_profile_session(args)
     try:
-        sweep = run_recovery_scale_sweep(sizes, bulk=bulk)
+        sweep = run_recovery_scale_sweep(sizes, bulk=bulk, profile=session)
     except RuntimeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -557,6 +736,7 @@ def _cmd_recovery_scale(args) -> int:
                    "flowing",
         footer=footer,
     )
+    _finish_profile_session(session, args)
     if args.record:
         record.write(args.record)
         print(f"\nwrote bench record to {args.record}")
@@ -636,8 +816,22 @@ def main(argv=None) -> int:
                          help="allowed relative slowdown vs the baseline "
                               "(default 0.2 = 20%%)")
 
+    def add_profile_flags(cmd):
+        cmd.add_argument("--profile", action="store_true",
+                         help="attribute host CPU/allocations to protocol "
+                              "phases and sample stacks during the sweep")
+        cmd.add_argument("--profile-out", default="profile.folded",
+                         metavar="PATH",
+                         help="collapsed-stack output for --profile "
+                              "(default profile.folded)")
+        cmd.add_argument("--profile-sample-interval", type=float,
+                         default=0.005, metavar="SEC",
+                         help="stack-sampler period in wall seconds "
+                              "(default 0.005)")
+
     fig6 = sub.add_parser("fig6", help="Figure 6 sweep")
     add_bench_flags(fig6, "fig6")
+    add_profile_flags(fig6)
     fig6.add_argument("--no-bulk-lane", action="store_true",
                       help="disable the out-of-band recovery bulk lane "
                            "(the paper's in-order fragmented transfer)")
@@ -646,6 +840,7 @@ def main(argv=None) -> int:
         help="recovery time and concurrent request throughput vs large "
              "state sizes (out-of-band bulk lane)")
     add_bench_flags(recovery_scale, "recovery_scale")
+    add_profile_flags(recovery_scale)
     recovery_scale.add_argument(
         "--no-bulk-lane", action="store_true",
         help="disable the out-of-band recovery bulk lane "
@@ -661,6 +856,7 @@ def main(argv=None) -> int:
         "throughput", help="open-loop wire-bound throughput sweep "
                            "(token-rotation frame packing)")
     add_bench_flags(throughput, "throughput")
+    add_profile_flags(throughput)
     throughput.add_argument("--no-packing", action="store_true",
                             help="disable Totem frame packing (one frame "
                                  "per fragment)")
@@ -715,6 +911,36 @@ def main(argv=None) -> int:
     obs.add_argument("--max-overhead", type=float, default=0.03,
                      help="hard budget for the on/off wall-clock ratio "
                           "minus one (default 0.03 = 3%%; exit 1 if over)")
+    profile = sub.add_parser(
+        "profile", help="span-scoped CPU/alloc attribution + sampled "
+                        "stacks for the kill/recover scenario")
+    profile.add_argument("--quick", action="store_true",
+                         help="shorter load phases")
+    profile.add_argument("--live", action="store_true",
+                         help="profile the live (loopback-UDP) runner "
+                              "instead of the simulator — includes the "
+                              "transport's syscall counters")
+    profile.add_argument("--state-size", type=int, default=50_000,
+                         help="application-level state size in bytes")
+    profile.add_argument("--out", default="profile.folded", metavar="PATH",
+                         help="collapsed-stack output path "
+                              "(default profile.folded)")
+    profile.add_argument("--sample-interval", type=float, default=0.005,
+                         metavar="SEC",
+                         help="stack-sampler period in wall seconds "
+                              "(default 0.005)")
+    profile.add_argument("--alloc-trace", action="store_true",
+                         help="also trace allocation bytes via tracemalloc "
+                              "(expensive; simulated mode only)")
+    prof_overhead = sub.add_parser(
+        "prof-overhead", help="wall-clock overhead of the profiler on the "
+                              "fault-free throughput workload")
+    add_bench_flags(prof_overhead, "prof_overhead")
+    prof_overhead.add_argument(
+        "--max-overhead", type=float, default=0.05,
+        help="hard budget for the profiler-on in-situ share minus one "
+             "(default 0.05 = 5%%; profiler-off must be exactly zero; "
+             "exit 1 if over)")
     live = sub.add_parser(
         "live", help="run the stack over loopback UDP and wall-clock time")
     live.add_argument("--nodes", type=int, default=3,
@@ -748,6 +974,7 @@ def main(argv=None) -> int:
                            "per node) to DIR: automatically on node kill, "
                            "audit violation, crash, or SIGINT, and for "
                            "every node at shutdown")
+    add_profile_flags(live)
     args = parser.parse_args(argv)
     handlers = {
         "version": _cmd_version,
@@ -762,6 +989,8 @@ def main(argv=None) -> int:
         "health": _cmd_health,
         "top": _cmd_top,
         "obs-overhead": _cmd_obs_overhead,
+        "profile": _cmd_profile,
+        "prof-overhead": _cmd_prof_overhead,
         "live": _cmd_live,
     }
     if args.command is None:

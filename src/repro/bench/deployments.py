@@ -101,6 +101,7 @@ def build_client_server(
     warmup: float = 0.1,
     keep_trace_records: bool = False,
     telemetry=None,
+    profiling=None,
     scribble_every: int = 0,
     scribble_fraction: float = 0.1,
 ) -> ClientServerDeployment:
@@ -127,6 +128,7 @@ def build_client_server(
         eternal_config=eternal_config,
         keep_trace_records=keep_trace_records,
         telemetry=telemetry,
+        profiling=profiling,
     )
     if echo_duration is None:
         server_factory = make_kvstore_factory(state_size)

@@ -15,6 +15,14 @@ baselines and the asserted benchmark claims measure identical workloads.
   the client's request throughput sampled around the recovery window.
 * :func:`run_obs_overhead_point` — wall-clock cost of the telemetry plane
   on a fault-free throughput workload (telemetry on vs. off).
+* :func:`run_prof_overhead_point` — the same in-situ discipline applied
+  to the span-resource profiler (:mod:`repro.obs.profiling`): proves the
+  disabled profiler costs exactly nothing and gates the enabled one.
+
+Overhead measurement is one audited code path:
+:class:`repro.obs.profiling.InSituProbe` patches the measured plane's
+entry points to accumulate their own wall-clock share inside the run
+(see :func:`run_obs_overhead_point` for why on/off A-B deltas fail).
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.bench.deployments import build_client_server
 from repro.bench.workloads import make_open_loop_factory, uniform_schedule
 from repro.core.config import EternalConfig
 from repro.ftcorba.properties import FTProperties, ReplicationStyle
+from repro.obs.profiling import InSituProbe, ProfileSession
 from repro.totem.config import TotemConfig
 
 #: Figure-6 state sizes reused for the checkpoint-cost sweep.
@@ -127,6 +136,7 @@ def run_throughput_point(rate: int, *,
                          drain: float = 0.3,
                          state_size: int = 100,
                          echo_duration: Optional[float] = None,
+                         profile: Optional[ProfileSession] = None,
                          seed: int = 0) -> Dict[str, float]:
     """Drive the 2-way active group open-loop at ``rate`` invocations/s.
 
@@ -134,8 +144,9 @@ def run_throughput_point(rate: int, *,
     force the token-rotation frame-packing optimization on or off.
     ``echo_duration`` overrides the servant's simulated per-``echo`` cost
     (pass :data:`WIRE_BOUND_ECHO` to saturate the medium instead of the
-    server CPU).  Returns offered/achieved throughput and latency
-    statistics.
+    server CPU).  ``profile`` attributes the run's host CPU/allocations
+    to protocol phases (``--profile`` on the CLI).  Returns
+    offered/achieved throughput and latency statistics.
     """
     totem_config = None
     if frame_packing is not None:
@@ -147,10 +158,13 @@ def run_throughput_point(rate: int, *,
         state_size=state_size,
         echo_duration=echo_duration,
         totem_config=totem_config,
+        profiling=profile.config if profile else None,
         seed=seed,
         warmup=0.05,
     )
     system = deployment.system
+    if profile is not None:
+        profile.attach(system)
     # Silence the closed-loop driver by deploying an open-loop one on the
     # same client node, targeting the same store.
     iogr = deployment.server_group.iogr().stringify()
@@ -196,6 +210,7 @@ def run_recovery_scale_point(state_size: int, *,
                              server_replicas: int = 3,
                              downtime: float = 0.05,
                              window: float = 0.2,
+                             profile: Optional[ProfileSession] = None,
                              seed: int = 0) -> Dict[str, float]:
     """Kill/re-launch one active replica at ``state_size`` and time it.
 
@@ -212,10 +227,13 @@ def run_recovery_scale_point(state_size: int, *,
         server_replicas=server_replicas,
         state_size=state_size,
         eternal_config=EternalConfig(bulk_lane=bulk),
+        profiling=profile.config if profile else None,
         seed=seed,
         warmup=0.2,
     )
     system = deployment.system
+    if profile is not None:
+        profile.attach(system)
     driver = deployment.driver
 
     before = driver.acked
@@ -271,12 +289,12 @@ OBS_OVERHEAD_LOADS = [4_000, 16_000]
 OBS_OVERHEAD_LOADS_QUICK = [8_000]
 
 
-def _obs_workload_wall_clock(rate: int, *, telemetry, window: float,
-                             drain: float, state_size: int,
+def _obs_workload_wall_clock(rate: int, *, telemetry=None, profiling=None,
+                             window: float, drain: float, state_size: int,
                              seed: int) -> float:
     """Wall-clock seconds to simulate one fault-free open-loop throughput
-    run with the given telemetry config (the simulated workload is
-    identical either way — only the host CPU cost differs)."""
+    run with the given telemetry/profiling configs (the simulated workload
+    is identical either way — only the host CPU cost differs)."""
     deployment = build_client_server(
         style=ReplicationStyle.ACTIVE,
         server_replicas=2,
@@ -284,6 +302,7 @@ def _obs_workload_wall_clock(rate: int, *, telemetry, window: float,
         state_size=state_size,
         echo_duration=WIRE_BOUND_ECHO,
         telemetry=telemetry,
+        profiling=profiling,
         seed=seed,
         warmup=0.05,
     )
@@ -312,41 +331,23 @@ def _obs_instrumented_wall_clock(rate: int, *, sample_interval: float,
     the time spent inside :meth:`FlightRecorder._admit` (per-record ring
     admission, including the amortized batch trims that destroy
     long-retained records) and :meth:`TelemetryPlane.sample_now` (the
-    periodic poll-and-snapshot).  The wrapper's own two clock reads per
-    admitted record are charged *to* the plane, which over-counts it by
-    more than the untimed dispatcher check costs — the conservative
-    direction for a budget gate.  Classes are patched before the system
-    is built (subscription captures bound methods) and restored after.
+    periodic poll-and-snapshot), accumulated by an
+    :class:`~repro.obs.profiling.InSituProbe` — installed before the
+    system is built (subscription captures bound methods) and restored
+    after.  See the probe's docstring for the over-counting direction.
     """
     from repro.obs.telemetry import (FlightRecorder, TelemetryConfig,
                                      TelemetryPlane)
 
-    plane_acc = [0.0]
-    original_admit = FlightRecorder._admit
-    original_sample = TelemetryPlane.sample_now
-
-    def timed_admit(self, record, _clock=time.perf_counter):
-        t0 = _clock()
-        original_admit(self, record)
-        plane_acc[0] += _clock() - t0
-
-    def timed_sample(self, _clock=time.perf_counter):
-        t0 = _clock()
-        original_sample(self)
-        plane_acc[0] += _clock() - t0
-
-    FlightRecorder._admit = timed_admit
-    TelemetryPlane.sample_now = timed_sample
-    try:
+    with InSituProbe() as probe:
+        probe.patch(FlightRecorder, "_admit")
+        probe.patch(TelemetryPlane, "sample_now")
         run_s = _obs_workload_wall_clock(
             rate,
             telemetry=TelemetryConfig(enabled=True,
                                       sample_interval=sample_interval),
             window=window, drain=drain, state_size=state_size, seed=seed)
-    finally:
-        FlightRecorder._admit = original_admit
-        TelemetryPlane.sample_now = original_sample
-    return run_s, plane_acc[0]
+    return run_s, probe.seconds
 
 
 def run_obs_overhead_point(rate: int, *,
@@ -396,4 +397,86 @@ def run_obs_overhead_point(rate: int, *,
         "on_s": min(on_times),
         "off_s": min(off_times),
         "overhead_ratio": min(ratios),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Profiler overhead (wall clock)
+# ---------------------------------------------------------------------------
+
+#: Offered loads (invocations/s) for the prof-overhead gate.
+PROF_OVERHEAD_LOADS = [4_000, 16_000]
+PROF_OVERHEAD_LOADS_QUICK = [8_000]
+
+
+def run_prof_overhead_point(rate: int, *,
+                            repeats: int = 3,
+                            window: float = 0.5,
+                            drain: float = 0.2,
+                            state_size: int = 100,
+                            sample_interval: float = 0.005,
+                            seed: int = 0) -> Dict[str, float]:
+    """Measure the span-resource profiler's cost at one offered load.
+
+    Same in-situ discipline as :func:`run_obs_overhead_point` (see there
+    for why on/off wall A-B fails on shared hardware), applied to the
+    profiler's two entry points:
+
+    * **off**: the workload runs with ``ProfilingConfig(enabled=False)``
+      while both :meth:`SpanResourceProfiler.observe_record` and
+      :meth:`~SpanResourceProfiler.observe_span` are probed.  A disabled
+      profiler never subscribes to the tracer, so the probes accumulate
+      **exactly zero** and the ratio is exactly 1.0 — the "off = zero
+      cost" half of the gate is structural, not statistical.
+    * **on**: the workload runs with the profiler enabled and a live
+      stack sampler; the probe wraps ``observe_span`` (the per-span
+      CPU/alloc bookkeeping) and :meth:`StackSampler.sample_once` (the
+      periodic stack walk), and ``overhead_ratio = run / (run - plane)``.
+      ``observe_record`` — one category compare per trace record — is
+      deliberately left unprobed in the ON arm: wrapping it would charge
+      the probe's own clock reads to every non-span record, measuring
+      the instrumentation instead of the profiler (observed 5x the real
+      cost).  The dispatch itself is one attribute compare and is
+      covered by the off arm's structural-zero check.
+
+    Probes patch classes before the system is built (subscription
+    captures bound methods).  The min over ``repeats`` is gated.
+    """
+    from repro.obs.profiling import (ProfilingConfig, SpanResourceProfiler,
+                                     StackSampler)
+
+    off_ratios: List[float] = []
+    on_ratios: List[float] = []
+    on_times: List[float] = []
+    off_times: List[float] = []
+    for _ in range(repeats):
+        with InSituProbe() as probe:
+            probe.patch(SpanResourceProfiler, "observe_record")
+            probe.patch(SpanResourceProfiler, "observe_span")
+            off_s = _obs_workload_wall_clock(
+                rate, profiling=ProfilingConfig(enabled=False),
+                window=window, drain=drain, state_size=state_size, seed=seed)
+        off_times.append(off_s)
+        off_ratios.append(probe.overhead_ratio(off_s))
+
+        with InSituProbe() as probe:
+            probe.patch(SpanResourceProfiler, "observe_span")
+            probe.patch(StackSampler, "sample_once")
+            sampler = StackSampler(interval=sample_interval)
+            sampler.start()
+            try:
+                on_s = _obs_workload_wall_clock(
+                    rate, profiling=ProfilingConfig(enabled=True),
+                    window=window, drain=drain, state_size=state_size,
+                    seed=seed)
+            finally:
+                sampler.stop()
+        on_times.append(on_s)
+        on_ratios.append(probe.overhead_ratio(on_s))
+    return {
+        "offered": float(rate),
+        "on_s": min(on_times),
+        "off_s": min(off_times),
+        "off_ratio": min(off_ratios),
+        "overhead_ratio": min(on_ratios),
     }

@@ -40,6 +40,7 @@ from repro.ftcorba.properties import FTProperties
 from repro.giop.ior import IOR
 from repro.obs.exporters import export_chrome_trace, export_jsonl
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import ProfilingConfig, SpanResourceProfiler
 from repro.obs.telemetry import TelemetryConfig, TelemetryPlane
 from repro.runtime.interfaces import Host, Transport
 from repro.runtime.trace import Tracer
@@ -184,6 +185,7 @@ class SystemCore:
         manager_node: Optional[str],
         keep_trace_records: bool,
         telemetry: Optional[TelemetryConfig] = None,
+        profiling: Optional[ProfilingConfig] = None,
     ) -> None:
         if not node_ids:
             raise SimulationError("need at least one node")
@@ -204,6 +206,12 @@ class SystemCore:
         self.telemetry.bind_system(self)
         if self.telemetry.enabled:
             self.telemetry.start_sampler(self.scheduler)
+        # Span-scoped resource attribution (CPU/alloc per phase) is a third
+        # subscriber on the same stream; inert — never subscribed — unless
+        # its config enables it, so the default hot path pays nothing.
+        self.profiler = SpanResourceProfiler(
+            profiling or ProfilingConfig(), metrics=self.metrics,
+        ).attach(self.tracer)
         self.totem_config = totem_config or TotemConfig()
         self.eternal_config = eternal_config or EternalConfig()
         self.factories = FactoryRegistry()

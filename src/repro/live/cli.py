@@ -51,8 +51,17 @@ async def _run(args) -> int:
     keep_records = bool(args.trace_out) and args.trace_format == "jsonl"
     telemetry = (TelemetryConfig(flight_dir=args.flight_dir)
                  if args.flight_dir else None)
-    system = LiveSystem(node_ids, keep_trace_records=keep_records,
-                        telemetry=telemetry)
+    profile_session = None
+    if getattr(args, "profile", False):
+        from repro.obs.profiling import ProfileSession
+        profile_session = ProfileSession(
+            sample_interval=getattr(args, "profile_sample_interval", 0.005))
+    system = LiveSystem(
+        node_ids, keep_trace_records=keep_records, telemetry=telemetry,
+        profiling=profile_session.config if profile_session else None)
+    if profile_session is not None:
+        profile_session.attach(system)
+        profile_session.start()
     trace_writer = None
     if args.trace_out and args.trace_format == "chrome":
         trace_writer = ChromeTraceWriter(args.trace_out)
@@ -165,6 +174,8 @@ async def _run(args) -> int:
     finally:
         if health_server is not None:
             health_server.close()
+        if profile_session is not None:
+            profile_session.stop()
         system.close()
 
     if args.trace_out:
@@ -177,6 +188,17 @@ async def _run(args) -> int:
                                           fmt=args.trace_format)
             print(f"wrote {written} trace events to {args.trace_out} "
                   f"({args.trace_format})")
+    if profile_session is not None:
+        from repro.obs.profiling import syscall_counters
+        print("\nper-phase resource attribution (wall vs CPU vs allocs "
+              "vs syscalls):")
+        print(profile_session.render_table(
+            syscalls=syscall_counters(system.tracer.counters)))
+        out = getattr(args, "profile_out", None) or "profile.folded"
+        lines = profile_session.write_folded(out)
+        print(f"wrote {lines} folded stacks to {out} "
+              f"({profile_session.sampler.samples_taken} samples; render "
+              f"with flamegraph.pl or speedscope)")
     if args.flight_dir:
         # Orderly completion: dump the surviving nodes' rings too, so the
         # run's dumps stitch into full cross-node timelines (the killed

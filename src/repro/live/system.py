@@ -62,6 +62,7 @@ class LiveSystem(SystemCore):
         manager_node: Optional[str] = None,
         keep_trace_records: bool = False,
         telemetry=None,
+        profiling=None,
         loop: Optional[asyncio.AbstractEventLoop] = None,
     ) -> None:
         if loop is None:
@@ -75,6 +76,7 @@ class LiveSystem(SystemCore):
             manager_node=manager_node,
             keep_trace_records=keep_trace_records,
             telemetry=telemetry,
+            profiling=profiling,
         )
         self.segment = SegmentDispatcher()
         self.segment.open(loop)
@@ -143,6 +145,7 @@ class LiveSystem(SystemCore):
         """Tear the deployment down: crash every node (cancelling all
         protocol timers via their crash listeners) and release sockets."""
         self.telemetry.stop()
+        self.profiler.release()
         for node in self.nodes.values():
             node.kill()
         self.segment.close()

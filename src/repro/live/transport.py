@@ -141,24 +141,35 @@ class UdpTransport(Transport):
         self._sock.close()
 
     def _on_readable(self) -> None:
+        # Syscall accounting (``live.sys.*``, see repro.obs.profiling):
+        # one wakeup drains the socket, so recvfrom calls = datagrams + 1
+        # (the terminating EAGAIN) and datagrams/batches is the kernel
+        # batching the drain loop actually achieves.
+        tracer = self._tracer
+        tracer.add("live.sys.recv_batches", 1)
+        datagrams = 0
         while True:
+            tracer.add("live.sys.recvfrom", 1)
             try:
                 data, _addr = self._sock.recvfrom(65536)
             except (BlockingIOError, InterruptedError):
+                tracer.add("live.sys.recv_eagain", 1)
+                tracer.add("live.sys.recv_datagrams", datagrams)
                 return
             except OSError:
                 # e.g. ECONNREFUSED surfaced from a prior send to a dead
                 # peer's port (Linux reports the ICMP error on the socket).
                 continue
+            datagrams += 1
             if not self.process.alive:
                 continue
             try:
                 src, payload = decode_frame(data)
             except NetworkError:
-                self._tracer.emit("live", "bad_frame", node=self.node_id,
-                                  size=len(data))
+                tracer.emit("live", "bad_frame", node=self.node_id,
+                            size=len(data))
                 continue
-            self._tracer.add("live.codec.bytes_in", len(data))
+            tracer.add("live.codec.bytes_in", len(data))
             self.deliver(src, payload)
 
     # ------------------------------------------------------------------
@@ -173,8 +184,15 @@ class UdpTransport(Transport):
             )
 
     def _send(self, data: bytes, addr: Address) -> None:
+        self._tracer.add("live.sys.sendto", 1)
         try:
             self._sock.sendto(data, addr)
+        except BlockingIOError:
+            # Socket buffer full (EAGAIN) — counted apart from generic
+            # drops: a nonzero rate here means the sender outruns the
+            # kernel buffer, a different problem than a dead peer.
+            self._tracer.add("live.sys.send_eagain", 1)
+            self._tracer.emit("live", "send_drop", node=self.node_id)
         except OSError:
             # Dead peer (port closed) or transient buffer pressure: UDP
             # semantics — drop the frame; Totem's retransmission machinery

@@ -35,6 +35,16 @@ from repro.obs.metrics import (
     MetricsRegistry,
     StreamingHistogram,
 )
+from repro.obs.profiling import (
+    InSituProbe,
+    PhaseCost,
+    ProfileSession,
+    ProfilingConfig,
+    SpanResourceProfiler,
+    StackSampler,
+    render_cost_table,
+    render_folded,
+)
 from repro.obs.report import (
     RecoveryPhaseBreakdown,
     recovery_phase_report,
@@ -48,16 +58,24 @@ __all__ = [
     "ConsistencyAuditor",
     "CounterMetric",
     "GaugeMetric",
+    "InSituProbe",
     "MetricsRegistry",
+    "PhaseCost",
+    "ProfileSession",
+    "ProfilingConfig",
     "RecoveryPhaseBreakdown",
     "Span",
     "SpanEmitter",
+    "SpanResourceProfiler",
     "SpanTracker",
+    "StackSampler",
     "StreamingHistogram",
     "export_chrome_trace",
     "export_jsonl",
     "parse_exposition",
     "recovery_phase_report",
+    "render_cost_table",
+    "render_folded",
     "render_phase_table",
     "state_digest",
     "render_health",

@@ -355,6 +355,12 @@ class TelemetryPlane:
         system = self._system
         if system is None:
             return
+        profiler = getattr(system, "profiler", None)
+        if profiler is not None and profiler.enabled:
+            # The span-resource profiler defers its counter export off the
+            # hot path; reconcile here so this tick's history sample (and
+            # the /metrics/history body) sees current profile.* series.
+            profiler.flush_to_metrics()
         for node_id, stack in getattr(system, "stacks", {}).items():
             if not stack.process.alive:
                 continue
@@ -391,10 +397,30 @@ class TelemetryPlane:
 # Terminal rendering (``python -m repro top``)
 # ---------------------------------------------------------------------------
 
+def _cpu_pct(point: list) -> str:
+    # CPU%% needs a rate: the sampled counter delta (host ns of thread CPU
+    # attributed to this node's spans) over the inter-sample interval.  In
+    # simulated runs the interval is *simulated* seconds while the CPU is
+    # host nanoseconds, so >100% readings are expected and meaningful
+    # (host cost per simulated second); live runs read as normal CPU%%.
+    if len(point) < 3 or point[2] <= 0:
+        return "-"
+    return f"{point[1] / (point[2] * 1e9) * 100:.1f}"
+
+
+#: Counter-delta series (fed by the span-resource profiler; see
+#: :mod:`repro.obs.profiling`): their latest sample is folded across
+#: duplicate timestamps (a manual ``sample_now`` can coincide with a
+#: periodic tick, leaving a zero-delta point at the same instant) and
+#: carries the inter-sample interval as a third element for rate columns.
+_COUNTER_SERIES = ("profile.node_cpu_ns", "profile.node_alloc_blocks")
+
 #: (column header, series name, value picker) for the per-node top table.
 _TOP_COLUMNS = (
     ("rot p50 ms", "span.totem.rotation",
      lambda p: f"{p[1] * 1000:.2f}"),
+    ("cpu%", "profile.node_cpu_ns", _cpu_pct),
+    ("allocs", "profile.node_alloc_blocks", lambda p: f"{p[1]:g}"),
     ("sendq", "totem.send_queue_depth", lambda p: f"{p[1]:g}"),
     ("held", "totem.retransmit_buffer", lambda p: f"{p[1]:g}"),
     ("reasm", "totem.reassembly_pending", lambda p: f"{p[1]:g}"),
@@ -426,6 +452,19 @@ def render_top(snapshot: Dict[str, Any]) -> str:
             continue
         name = key.split("{", 1)[0]
         nodes.setdefault(node)
+        point = list(point)
+        if name in _COUNTER_SERIES:
+            ts = point[0]
+            delta = 0.0
+            prev_ts = None
+            for prior in reversed(points):
+                if prior[0] >= ts:      # same-instant samples: sum deltas
+                    delta += prior[1]
+                else:
+                    prev_ts = prior[0]
+                    break
+            point = [ts, delta,
+                     (ts - prev_ts) if prev_ts is not None else 0.0]
         spot = latest.get((name, node))
         if spot is None:
             latest[(name, node)] = list(point)

@@ -48,6 +48,7 @@ class EternalSystem(SystemCore):
         manager_node: Optional[str] = None,
         keep_trace_records: bool = False,
         telemetry=None,
+        profiling=None,
     ) -> None:
         self.scheduler = Scheduler()
         self._init_core(
@@ -57,6 +58,7 @@ class EternalSystem(SystemCore):
             manager_node=manager_node,
             keep_trace_records=keep_trace_records,
             telemetry=telemetry,
+            profiling=profiling,
         )
         self.network = Network(self.scheduler, network_config,
                                tracer=self.tracer)

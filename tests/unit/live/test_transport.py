@@ -92,6 +92,106 @@ def test_mtu_matches_simulated_ethernet():
     assert LIVE_MTU_PAYLOAD == 1500
 
 
+# ---------------------------------------------------------------------------
+# Syscall accounting (live.sys.* counters; see repro.obs.profiling)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def udp_pair():
+    """Two UdpTransports on loopback sharing a tracer, driven directly
+    (no event loop: `_on_readable`/`_send` are called by hand)."""
+    from repro.live.clock import LiveScheduler
+    from repro.live.transport import UdpTransport, bind_udp_socket
+    from repro.runtime.host import BaseHost
+    from repro.runtime.trace import Tracer
+
+    loop = asyncio.new_event_loop()
+    scheduler = LiveScheduler(loop)
+    tracer = Tracer()
+    socks = {"a": bind_udp_socket(), "b": bind_udp_socket()}
+    peers = {n: s.getsockname() for n, s in socks.items()}
+    transports = {
+        n: UdpTransport(BaseHost(scheduler, n), socks[n], peers,
+                        ("127.0.0.1", 1), tracer=tracer)
+        for n in socks
+    }
+    yield transports, tracer
+    for sock in socks.values():
+        sock.close()
+    loop.close()
+
+
+def _drain(transport, tracer, *, expect: int):
+    # Loopback delivery is asynchronous to the sender: poll until the
+    # expected number of datagrams has been drained.
+    import time as wallclock
+    deadline = wallclock.monotonic() + 2.0
+    while (tracer.count("live.sys.recv_datagrams") < expect
+           and wallclock.monotonic() < deadline):
+        transport._on_readable()
+        wallclock.sleep(0.005)
+
+
+def test_recv_syscall_counters_account_for_the_drain_loop(udp_pair):
+    transports, tracer = udp_pair
+    transports["b"].unicast("a", Token(ring_id=1, seq=5, aru=5), 50)
+    assert tracer.count("live.sys.sendto") == 1
+    _drain(transports["a"], tracer, expect=1)
+    assert tracer.count("live.sys.recv_datagrams") == 1
+    # Every wakeup ends in EAGAIN, so recvfrom = datagrams + eagain and
+    # wakeups = eagain (each batch terminates exactly once).
+    assert tracer.count("live.sys.recvfrom") == (
+        tracer.count("live.sys.recv_datagrams")
+        + tracer.count("live.sys.recv_eagain"))
+    assert tracer.count("live.sys.recv_batches") == \
+        tracer.count("live.sys.recv_eagain")
+    assert tracer.count("live.codec.bytes_in") > 0
+
+
+def test_empty_wakeup_counts_one_probe_and_no_datagrams(udp_pair):
+    transports, tracer = udp_pair
+    transports["a"]._on_readable()
+    assert tracer.count("live.sys.recv_batches") == 1
+    assert tracer.count("live.sys.recvfrom") == 1
+    assert tracer.count("live.sys.recv_eagain") == 1
+    assert tracer.count("live.sys.recv_datagrams") == 0
+
+
+def test_bad_frame_still_counts_as_received_datagram(udp_pair):
+    transports, tracer = udp_pair
+    sock_b = transports["b"]._sock
+    sock_b.sendto(b"not a frame", transports["a"].local_addr)
+    _drain(transports["a"], tracer, expect=1)
+    assert tracer.count("live.sys.recv_datagrams") == 1
+    assert tracer.count("live.bad_frame") == 1
+    assert tracer.count("live.codec.bytes_in") == 0
+
+
+def test_send_eagain_counted_apart_from_generic_drops(udp_pair):
+    transports, tracer = udp_pair
+    transport = transports["a"]
+
+    class FullSocket:
+        def sendto(self, data, addr):
+            raise BlockingIOError
+
+    class DeadPeerSocket:
+        def sendto(self, data, addr):
+            raise OSError("ECONNREFUSED")
+
+    transport._sock = FullSocket()
+    transport.unicast("b", Token(ring_id=1, seq=1, aru=1), 50)
+    assert tracer.count("live.sys.sendto") == 1
+    assert tracer.count("live.sys.send_eagain") == 1
+    assert tracer.count("live.send_drop") == 1
+
+    transport._sock = DeadPeerSocket()
+    transport.broadcast(Token(ring_id=1, seq=2, aru=2), 50)
+    assert tracer.count("live.sys.sendto") == 2
+    assert tracer.count("live.sys.send_eagain") == 1   # unchanged
+    assert tracer.count("live.send_drop") == 2
+
+
 def test_live_scheduler_clamps_past_deadlines():
     loop = asyncio.new_event_loop()
     try:

@@ -1,0 +1,400 @@
+"""Unit tests for span-scoped resource attribution and the stack sampler."""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import (
+    DEFAULT_ALLOC_SPANS,
+    UNATTRIBUTED,
+    InSituProbe,
+    PhaseCost,
+    ProfileSession,
+    ProfilingConfig,
+    SpanResourceProfiler,
+    StackSampler,
+    fold_frames,
+    merge_phase_costs,
+    phase_table_rows,
+    render_cost_table,
+    render_folded,
+    syscall_counters,
+)
+from repro.runtime.trace import TraceRecord, Tracer
+
+GOLDEN = Path(__file__).parent / "data" / "folded_golden.txt"
+
+
+def span_record(event: str, span_id: str, *, t: float = 0.0, **fields):
+    return TraceRecord(time=t, category="span", event=event,
+                      fields={"span": span_id, **fields})
+
+
+def start(span_id: str, name: str, *, t: float = 0.0, **fields):
+    return span_record("span_start", span_id, t=t, name=name, **fields)
+
+
+def end(span_id: str, *, t: float = 0.0, **fields):
+    return span_record("span_end", span_id, t=t, **fields)
+
+
+def make_profiler(**overrides) -> SpanResourceProfiler:
+    config = ProfilingConfig(enabled=True, alloc_spans=None, **overrides)
+    return SpanResourceProfiler(config)
+
+
+# ---------------------------------------------------------------------------
+# Span resource attribution
+# ---------------------------------------------------------------------------
+
+def burn_cpu(n: int = 20_000) -> int:
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def test_nested_spans_attribute_inclusive_and_self_cpu():
+    prof = make_profiler()
+    prof.observe_span(start("outer", "recovery.total", t=0.0))
+    burn_cpu()
+    prof.observe_span(start("inner", "recovery.capture", t=1.0))
+    burn_cpu()
+    prof.observe_span(end("inner", t=2.0))
+    burn_cpu()
+    prof.observe_span(end("outer", t=3.0))
+
+    outer = prof.phases["recovery.total"]
+    inner = prof.phases["recovery.capture"]
+    assert outer.spans == 1 and inner.spans == 1
+    assert outer.wall_s == pytest.approx(3.0)
+    assert inner.wall_s == pytest.approx(1.0)
+    # Inclusive CPU of the outer span covers the inner span too.
+    assert outer.cpu_ns >= inner.cpu_ns > 0
+    # Self CPU splits the same interval exclusively: the two shares can
+    # never exceed the outer inclusive total.
+    assert outer.self_cpu_ns + inner.self_cpu_ns <= outer.cpu_ns
+    assert outer.self_cpu_ns > 0 and inner.self_cpu_ns > 0
+
+
+def test_allocation_attribution_net_blocks():
+    prof = make_profiler()
+    prof.observe_span(start("s", "recovery.capture"))
+    keep = [bytearray(64) for _ in range(5000)]
+    prof.observe_span(end("s"))
+    assert prof.phases["recovery.capture"].alloc_blocks >= 4000
+    del keep
+
+
+def test_net_free_clamps_counter_but_not_phase_cost():
+    prof = make_profiler()
+    prof.metrics = MetricsRegistry()
+    junk = [bytearray(64) for _ in range(5000)]
+    prof.observe_span(start("s", "recovery.apply"))
+    junk.clear()
+    prof.observe_span(end("s"))
+    prof.flush_to_metrics()
+    # The monotone counter clamps the net-free interval to zero ...
+    counter = prof.metrics.counter("profile.alloc_blocks",
+                                   phase="recovery.apply")
+    assert counter.value == 0
+    # ... while the raw phase cost keeps the (negative) net delta.
+    assert prof.phases["recovery.apply"].alloc_blocks < 0
+
+
+def test_out_of_lifo_span_ends_are_tolerated():
+    # §5.1 spans may start on one component and end on another, so ends
+    # can arrive in non-stack order.
+    prof = make_profiler()
+    prof.observe_span(start("a", "recovery.xfer", t=0.0))
+    prof.observe_span(start("b", "rpc.roundtrip", t=1.0))
+    prof.observe_span(end("a", t=2.0))      # outer ends before inner
+    prof.observe_span(end("b", t=3.0))
+    assert prof.phases["recovery.xfer"].spans == 1
+    assert prof.phases["rpc.roundtrip"].spans == 1
+    assert prof.current_phase() is None
+
+
+def test_duplicate_starts_and_orphan_ends_are_dropped():
+    prof = make_profiler()
+    prof.observe_span(start("s", "recovery.total", t=0.0))
+    prof.observe_span(start("s", "recovery.total", t=1.0))   # dup start
+    prof.observe_span(end("ghost", t=1.5))                   # orphan end
+    prof.observe_span(end("s", t=2.0))
+    prof.observe_span(end("s", t=3.0))                       # dup end
+    cost = prof.phases["recovery.total"]
+    assert cost.spans == 1
+    assert cost.wall_s == pytest.approx(2.0)
+
+
+def test_observe_record_dispatches_span_category_only():
+    prof = make_profiler()
+    prof.observe_record(TraceRecord(time=0.0, category="totem",
+                                    event="frame", fields={"span": "x"}))
+    assert prof.phases == {}
+    prof.observe_record(start("s", "totem.rotation"))
+    assert prof.current_phase() == "totem.rotation"
+
+
+def test_disabled_profiler_never_subscribes():
+    tracer = Tracer()
+    prof = SpanResourceProfiler(ProfilingConfig()).attach(tracer)
+    assert not prof.enabled
+    tracer.emit("span", "span_start", span="s", name="recovery.total")
+    tracer.emit("span", "span_end", span="s")
+    assert prof.phases == {}
+
+
+def test_alloc_spans_prefix_gates_allocation_probes():
+    prof = SpanResourceProfiler(ProfilingConfig(enabled=True))
+    assert prof.config.alloc_spans == DEFAULT_ALLOC_SPANS
+    prof.observe_span(start("r", "totem.rotation"))
+    keep = [bytearray(64) for _ in range(3000)]
+    prof.observe_span(end("r"))
+    # Rotation spans are outside the default granularity: CPU is still
+    # attributed, allocations are not probed.
+    assert prof.phases["totem.rotation"].cpu_ns > 0
+    assert prof.phases["totem.rotation"].alloc_blocks == 0
+    del keep
+
+
+def test_flush_to_metrics_is_incremental_and_idempotent():
+    prof = make_profiler()
+    prof.metrics = MetricsRegistry()
+    prof.observe_span(start("1", "totem.rotation", node="n1"))
+    prof.observe_span(end("1"))
+    prof.flush_to_metrics()
+    spans = prof.metrics.counter("profile.spans", phase="totem.rotation")
+    cpu = prof.metrics.counter("profile.node_cpu_ns", node="n1")
+    assert spans.value == 1
+    first_cpu = cpu.value
+    assert first_cpu > 0
+    prof.flush_to_metrics()     # no new spans: flush must not re-count
+    assert spans.value == 1
+    assert cpu.value == first_cpu
+    prof.observe_span(start("2", "totem.rotation", node="n1"))
+    prof.observe_span(end("2"))
+    prof.flush_to_metrics()
+    assert spans.value == 2
+    assert cpu.value > first_cpu
+
+
+def test_merge_phase_costs_folds_sweep_results():
+    a = {"recovery.total": PhaseCost(spans=1, wall_s=1.0, cpu_ns=100)}
+    b = {"recovery.total": PhaseCost(spans=2, wall_s=0.5, cpu_ns=50),
+         "rpc.roundtrip": PhaseCost(spans=9, cpu_ns=9)}
+    merged = merge_phase_costs([a, b])
+    assert merged["recovery.total"].spans == 3
+    assert merged["recovery.total"].cpu_ns == 150
+    assert merged["rpc.roundtrip"].spans == 9
+
+
+def test_phase_table_orders_protocol_phases_first():
+    phases = {"custom.hot": PhaseCost(cpu_ns=999),
+              "recovery.capture": PhaseCost(cpu_ns=1),
+              "totem.rotation": PhaseCost(cpu_ns=5)}
+    names = [name for name, _ in phase_table_rows(phases)]
+    assert names == ["recovery.capture", "totem.rotation", "custom.hot"]
+
+
+def test_render_cost_table_includes_syscall_section():
+    table = render_cost_table(
+        {"recovery.total": PhaseCost(spans=1, wall_s=0.01, cpu_ns=10**6)},
+        syscalls={"live.sys.recvfrom": 10, "live.sys.recv_datagrams": 8,
+                  "live.sys.recv_batches": 4},
+    )
+    assert "recovery.total" in table
+    assert "live.sys.recvfrom" in table
+    assert "(datagrams per wakeup)" in table
+    assert "2.00" in table      # 8 datagrams / 4 wakeups
+
+
+def test_syscall_counters_filters_tracer_counters():
+    counters = {"live.sys.sendto": 3, "live.codec.bytes_out": 900,
+                "totem.frame": 12}
+    assert syscall_counters(counters) == {"live.sys.sendto": 3}
+
+
+# ---------------------------------------------------------------------------
+# Folded stacks and the sampler
+# ---------------------------------------------------------------------------
+
+def test_render_folded_matches_golden_file():
+    samples = {
+        ("recovery.capture",
+         ("system.py:run", "transfer.py:StateTransfer.capture")): 3,
+        ("recovery.capture",
+         ("system.py:run", "transfer.py:StateTransfer.capture",
+          "codec.py:encode")): 1,
+        ("totem.rotation", ("member.py:RingMember.on_token",)): 7,
+        (UNATTRIBUTED, ("scheduler.py:Scheduler.step",)): 2,
+    }
+    assert render_folded(samples) == GOLDEN.read_text()
+
+
+def test_render_folded_empty_is_empty_string():
+    assert render_folded({}) == ""
+
+
+def test_fold_frames_walks_root_first():
+    def inner():
+        import sys
+        return fold_frames(sys._getframe())
+    stack = inner()
+    # Root-first: the innermost frame (inner) is last.
+    assert stack[-1].endswith(":inner") or "inner" in stack[-1]
+    assert all(":" in frame for frame in stack)
+
+
+def test_sampler_tags_samples_with_current_phase():
+    phase = {"name": "recovery.capture"}
+    sampler = StackSampler(interval=0.001,
+                           phase_provider=lambda: phase["name"])
+    assert sampler.sample_once() == 1
+    phase["name"] = None
+    assert sampler.sample_once() == 1
+    folded = sampler.folded()
+    assert "recovery.capture;" in folded
+    assert UNATTRIBUTED + ";" in folded
+
+
+def test_sampler_start_stop_idempotent_and_thread_safe():
+    sampler = StackSampler(interval=0.001)
+    sampler.start()
+    sampler.start()                 # second start: no second thread
+    assert sampler.running
+    deadline = time.monotonic() + 2.0
+    while sampler.samples_taken == 0 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    sampler.stop()
+    sampler.stop()                  # second stop: no-op
+    assert not sampler.running
+    assert sampler.samples_taken > 0
+    # Restart still works after a stop.
+    sampler.start()
+    sampler.stop()
+
+
+def test_sampler_snapshot_consistent_under_concurrent_sampling():
+    sampler = StackSampler(interval=0.0005)
+    sampler.start()
+    errors = []
+
+    def reader():
+        try:
+            for _ in range(50):
+                snap = sampler.snapshot()
+                assert all(count > 0 for count in snap.values())
+                render_folded(snap)
+        except Exception as exc:    # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    sampler.stop()
+    assert errors == []
+
+
+def test_sampler_write_folded_counts_lines(tmp_path):
+    sampler = StackSampler(interval=1.0)
+    sampler.sample_once()
+    out = tmp_path / "out.folded"
+    lines = sampler.write_folded(str(out))
+    text = out.read_text()
+    assert lines == text.count("\n") >= 1
+    # Every line is "frames... count" with a positive integer count.
+    for line in text.splitlines():
+        frames, count = line.rsplit(" ", 1)
+        assert frames and int(count) > 0
+
+
+# ---------------------------------------------------------------------------
+# InSituProbe
+# ---------------------------------------------------------------------------
+
+class Workload:
+    def busy(self, n: int) -> int:
+        total = 0
+        for i in range(n):
+            total += i
+        return total
+
+    def idle(self) -> None:
+        pass
+
+
+def test_probe_accumulates_inside_patched_methods():
+    with InSituProbe() as probe:
+        probe.patch(Workload, "busy")
+        w = Workload()
+        assert w.busy(10_000) == sum(range(10_000))
+        w.idle()
+    assert probe.calls == 1
+    assert probe.seconds > 0
+    # Restored on exit: further calls are unprobed.
+    Workload().busy(1000)
+    assert probe.calls == 1
+
+
+def test_probe_restore_reinstates_original_methods():
+    original = Workload.busy
+    probe = InSituProbe().patch(Workload, "busy")
+    assert Workload.busy is not original
+    assert Workload.busy.__wrapped__ is original
+    probe.restore()
+    assert Workload.busy is original
+
+
+def test_probe_overhead_ratio_semantics():
+    probe = InSituProbe()
+    assert probe.overhead_ratio(1.0) == 1.0        # nothing probed
+    probe.seconds = 0.25
+    assert probe.overhead_ratio(1.0) == pytest.approx(1.0 / 0.75)
+    probe.seconds = 2.0
+    assert probe.overhead_ratio(1.0) == float("inf")
+
+
+# ---------------------------------------------------------------------------
+# ProfileSession
+# ---------------------------------------------------------------------------
+
+class FakeSystem:
+    def __init__(self, profiler):
+        self.profiler = profiler
+
+
+def test_session_probes_allocs_on_every_span():
+    session = ProfileSession()
+    assert session.config.enabled
+    assert session.config.alloc_spans is None
+
+
+def test_session_merges_attached_systems_and_follows_latest_phase():
+    session = ProfileSession()
+    first = SpanResourceProfiler(session.config)
+    second = SpanResourceProfiler(session.config)
+    session.attach(FakeSystem(first))
+    first.observe_span(start("a", "recovery.total"))
+    first.observe_span(end("a"))
+    session.attach(FakeSystem(second))
+    second.observe_span(start("b", "totem.rotation"))
+    assert session._current_phase() == "totem.rotation"
+    merged = session.merged_phases()
+    assert merged["recovery.total"].spans == 1
+
+
+def test_session_write_folded_guarantees_a_sample(tmp_path):
+    session = ProfileSession()
+    out = tmp_path / "short.folded"
+    assert session.sampler.samples_taken == 0
+    lines = session.write_folded(str(out))
+    assert lines >= 1
+    assert out.read_text().strip()

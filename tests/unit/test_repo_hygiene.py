@@ -1,0 +1,48 @@
+"""Guard: build and profiling artifacts never land in the tree.
+
+Profiling runs drop ``.folded`` files and Python drops ``__pycache__``
+next to whatever module was imported; both are one careless ``git add``
+away from being committed.  The only sanctioned profile artifacts are
+the committed baselines under ``benchmarks/profiles/``.
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def tracked_files():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files"], cwd=REPO_ROOT, check=True,
+            capture_output=True, text=True, timeout=30,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("git unavailable or not a work tree")
+    if not out.strip():
+        pytest.skip("no tracked files (not a git checkout)")
+    return out.splitlines()
+
+
+def test_no_bytecode_or_cache_dirs_tracked():
+    offenders = [f for f in tracked_files()
+                 if "__pycache__" in f or f.endswith((".pyc", ".pyo"))]
+    assert offenders == []
+
+
+def test_profile_artifacts_only_under_benchmarks_profiles():
+    offenders = [f for f in tracked_files()
+                 if f.endswith(".folded")
+                 and not f.startswith("benchmarks/profiles/")]
+    assert offenders == []
+
+
+def test_gitignore_covers_profiling_artifacts():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    assert "__pycache__" in gitignore
+    assert "*.folded" in gitignore
+    # The committed-baseline carve-out must stay alongside the ignore.
+    assert "!benchmarks/profiles/" in gitignore
