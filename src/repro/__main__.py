@@ -18,6 +18,12 @@ Commands:
 * ``throughput`` — open-loop wire-bound throughput sweep exercising
                   token-rotation frame packing (``--no-packing`` to
                   disable).
+* ``cold-restart`` — durable-journal restart economics: warm-journal vs
+                  no-store state bytes over the wire, and a full-cluster
+                  kill recovered by cold-boot election from the journals
+                  (gated at a ≥10x wire saving).
+* ``store``     — inspect (and optionally compact) the durable journals
+                  under a ``live --store-dir``.
 * ``styles``    — compare active / warm passive / cold passive at a fault.
 * ``trace``     — run the kill/recover scenario and export the trace (Chrome
                   ``trace_event`` JSON and/or JSONL) for Perfetto.
@@ -743,6 +749,121 @@ def _cmd_recovery_scale(args) -> int:
     return 0 if comparison is None or comparison.ok else 1
 
 
+def _cmd_cold_restart(args) -> int:
+    from repro.bench.reporting import print_table
+    from repro.bench.sweeps import (COLD_RESTART_SIZES,
+                                    COLD_RESTART_SIZES_QUICK,
+                                    run_cold_restart_point)
+
+    sizes = COLD_RESTART_SIZES_QUICK if args.quick else COLD_RESTART_SIZES
+    rows = []
+    points = {}
+    worst_ratio = None
+    for size in sizes:
+        try:
+            result = run_cold_restart_point(size)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        ratio = result["wire_ratio"]
+        rows.append([
+            size,
+            round(result["warm_recovery_ms"], 3),
+            round(result["warm_wire_bytes"] / 1000.0, 1),
+            round(result["nostore_recovery_ms"], 3),
+            round(result["nostore_wire_bytes"] / 1000.0, 1),
+            round(ratio, 1) if ratio != float("inf") else "inf",
+            round(result["cold_recovery_ms"], 3),
+        ])
+        points[f"warm_ms:{size}"] = round(result["warm_recovery_ms"], 3)
+        points[f"cold_ms:{size}"] = round(result["cold_recovery_ms"], 3)
+        points[f"warm_kB:{size}"] = round(
+            result["warm_wire_bytes"] / 1000.0, 1)
+        worst_ratio = (ratio if worst_ratio is None
+                       else min(worst_ratio, ratio))
+    footer, code = _record_and_compare(args, "cold_restart",
+                                       "cold_restart", "mixed", points)
+    if code == 2:
+        return 2
+    gate_line = (f"worst warm-journal wire saving {worst_ratio:.1f}x "
+                 f"(gate ≥{args.min_ratio:.0f}x)")
+    if worst_ratio < args.min_ratio:
+        gate_line += "  — UNDER GATE"
+        code = max(code, 1)
+    footer = gate_line if footer is None else f"{footer}\n{gate_line}"
+    print_table(
+        "Cold restart — durable journal vs network-only recovery",
+        ["state_bytes", "warm_ms", "warm_wire_kB", "nostore_ms",
+         "nostore_wire_kB", "wire_ratio", "coldboot_ms"],
+        rows,
+        paper_note="a restarting replica replays its journal "
+                   "(checkpoint + logged messages) and fetches only the "
+                   "digest-negotiated tail from live peers; with every "
+                   "replica dead the best journal seeds the group "
+                   "(cold-boot election)",
+        footer=footer,
+    )
+    if args.record:
+        print(f"\nwrote bench record to {args.record}")
+    return code
+
+
+def _cmd_store(args) -> int:
+    import os
+
+    from repro.errors import StoreCorruptError
+    from repro.store.journal import JournalStore
+
+    root = args.store_dir
+    if not os.path.isdir(root):
+        print(f"error: {root!r} is not a directory", file=sys.stderr)
+        return 2
+
+    def node_roots():
+        # A per-node root has group dirs (each with a MANIFEST) directly
+        # under it; a `live --store-dir` root has one such tree per node.
+        entries = sorted(e for e in os.listdir(root)
+                         if os.path.isdir(os.path.join(root, e)))
+        if any(os.path.isfile(os.path.join(root, e, "MANIFEST"))
+               for e in entries):
+            return [("", root)]
+        return [(e, os.path.join(root, e)) for e in entries]
+
+    code = 0
+    found = False
+    for node, node_root in node_roots():
+        store = JournalStore(node_root)
+        for group_id in store.group_ids():
+            found = True
+            label = f"{node}/{group_id}" if node else group_id
+            group = store.group(group_id)
+            try:
+                stored = group.load()
+            except StoreCorruptError as exc:
+                print(f"{label}: CORRUPT — {exc}")
+                code = 1
+                continue
+            ckpt = stored.checkpoint
+            stats = group.stats()
+            ckpt_text = f"@{ckpt.position}" if ckpt else "none"
+            print(f"{label}: position={stored.last_position} "
+                  f"checkpoint={ckpt_text} "
+                  f"pending_messages={len(stored.messages)} "
+                  f"segments={int(stats.get('segments', 0))} "
+                  f"bytes={int(stats.get('bytes', 0))}")
+            if args.compact:
+                if group.compact():
+                    after = group.stats()
+                    print(f"{label}: compacted → "
+                          f"bytes={int(after.get('bytes', 0))}")
+                else:
+                    print(f"{label}: nothing to compact (no checkpoint)")
+        store.close()
+    if not found:
+        print(f"no journals under {root}")
+    return code
+
+
 def _cmd_styles(_args) -> int:
     from repro.bench.deployments import build_client_server
     from repro.bench.reporting import print_table
@@ -860,6 +981,24 @@ def main(argv=None) -> int:
     throughput.add_argument("--no-packing", action="store_true",
                             help="disable Totem frame packing (one frame "
                                  "per fragment)")
+    cold_restart = sub.add_parser(
+        "cold-restart",
+        help="durable-journal restart economics: warm vs no-store wire "
+             "bytes, plus full-cluster cold boot from the journals")
+    add_bench_flags(cold_restart, "cold_restart")
+    cold_restart.add_argument(
+        "--min-ratio", type=float, default=10.0,
+        help="required no-store/warm state-wire-bytes ratio "
+             "(default 10; exit 1 if a sweep point falls under)")
+    store_cmd = sub.add_parser(
+        "store", help="inspect (and optionally compact) the durable "
+                      "journals under a live --store-dir")
+    store_cmd.add_argument("--store-dir", required=True, metavar="DIR",
+                           help="a per-node journal root, or a `live "
+                                "--store-dir` root holding one per node")
+    store_cmd.add_argument("--compact", action="store_true",
+                           help="rewrite each journal down to its newest "
+                                "checkpoint plus the pending message tail")
     sub.add_parser("styles", help="replication-style disruption comparison")
     trace = sub.add_parser(
         "trace", help="run kill/recover and export the trace")
@@ -969,6 +1108,16 @@ def main(argv=None) -> int:
     live.add_argument("--trace-format", choices=("chrome", "jsonl"),
                       default="chrome",
                       help="export format for --trace-out")
+    live.add_argument("--store-dir", default=None, metavar="DIR",
+                      help="keep per-node durable journals under DIR "
+                           "(see repro.store): a node re-launched on the "
+                           "same DIR restores from its journal first and "
+                           "fetches only the tail from live peers")
+    live.add_argument("--store-fsync",
+                      choices=("always", "checkpoint", "never"),
+                      default="checkpoint",
+                      help="journal fsync policy for --store-dir "
+                           "(default: checkpoint)")
     live.add_argument("--flight-dir", default=None, metavar="DIR",
                       help="write flight-recorder dumps (JSONL, one file "
                            "per node) to DIR: automatically on node kill, "
@@ -983,6 +1132,8 @@ def main(argv=None) -> int:
         "recovery-scale": _cmd_recovery_scale,
         "checkpoint": _cmd_checkpoint,
         "throughput": _cmd_throughput,
+        "cold-restart": _cmd_cold_restart,
+        "store": _cmd_store,
         "styles": _cmd_styles,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,

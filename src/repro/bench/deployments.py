@@ -102,6 +102,7 @@ def build_client_server(
     keep_trace_records: bool = False,
     telemetry=None,
     profiling=None,
+    store_factory=None,
     scribble_every: int = 0,
     scribble_fraction: float = 0.1,
 ) -> ClientServerDeployment:
@@ -116,6 +117,10 @@ def build_client_server(
     into the stream every that many echo replies, dirtying a rotating
     fraction of the server's bulk state — the workload under which delta
     checkpointing earns its keep.
+
+    ``store_factory`` gives each node a durable store (see
+    :mod:`repro.store`) that survives kill/restart — the cold-restart
+    experiments pass ``lambda node_id: MemoryStore()``.
     """
     server_nodes = [f"s{i + 1}" for i in range(server_replicas)]
     client_nodes = [f"c{i + 1}" for i in range(client_replicas)]
@@ -129,6 +134,7 @@ def build_client_server(
         keep_trace_records=keep_trace_records,
         telemetry=telemetry,
         profiling=profiling,
+        store_factory=store_factory,
     )
     if echo_duration is None:
         server_factory = make_kvstore_factory(state_size)

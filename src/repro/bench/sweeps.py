@@ -281,6 +281,137 @@ def run_recovery_scale_sweep(sizes: Sequence[int], *,
 
 
 # ---------------------------------------------------------------------------
+# Cold restart: the durable-store rung of the recovery ladder
+# ---------------------------------------------------------------------------
+
+#: State sizes for the cold-restart sweep; 350 kB is the acceptance point.
+COLD_RESTART_SIZES = [64_000, 350_000]
+COLD_RESTART_SIZES_QUICK = [350_000]
+
+
+def _wire_bytes(system) -> float:
+    """Total state bytes moved for recovery, both lanes (the in-order
+    set_state payloads plus the out-of-band bulk pages)."""
+    counters = system.tracer.counters
+    return (float(counters.get("bulk.inorder.bytes", 0))
+            + float(counters.get("bulk.oob.bytes", 0)))
+
+
+def _restart_and_measure(deployment, node: str, *,
+                         downtime: float) -> Tuple[float, float]:
+    """Kill/re-launch one server replica; returns ``(recovery_seconds,
+    state_wire_bytes)`` where the byte count is the delta over exactly the
+    recovery window (kill → operational), so warm-up traffic and
+    checkpoints taken before the fault don't pollute it."""
+    system = deployment.system
+    system.kill_node(node)
+    system.run_for(downtime)
+    bytes_before = _wire_bytes(system)
+    restart_at = system.now
+    system.restart_node(node)
+    if not system.wait_for(
+            lambda: deployment.server_group.is_operational_on(node),
+            timeout=10.0):
+        raise RuntimeError(f"replica on {node} did not recover")
+    return system.now - restart_at, _wire_bytes(system) - bytes_before
+
+
+def run_cold_restart_point(state_size: int, *,
+                           checkpoint_interval: float = 5.0,
+                           downtime: float = 0.05,
+                           seed: int = 0) -> Dict[str, float]:
+    """Measure what a durable journal saves on restart at one state size.
+
+    Three arms, all on the paper's topology with three active server
+    replicas and a closed-loop driver:
+
+    * **warm**: every node keeps a durable store
+      (:class:`~repro.store.memory.MemoryStore` — same journal codec as
+      the disk backend, deterministic under the simulator).  One
+      checkpoint is forced before the fault, then one replica is
+      killed and re-launched; it restores checkpoint + log from its
+      journal and fetches only the digest-negotiated tail from live
+      peers.
+    * **no-store**: the identical kill/re-launch without a store — the
+      whole state crosses the wire (the pre-store behaviour).
+    * **cold boot**: with stores, *all three* replicas are killed and
+      re-launched; nobody is left to recover from, so the group seeds
+      itself from the best journal (cold-boot election) and replays.
+
+    The checkpoint interval is long (and the one checkpoint forced
+    explicitly) so no periodic checkpoint transfer lands inside a
+    measurement window.  The gated claim: ``wire_ratio =
+    no-store / warm state bytes >= 10`` at 350 kB.
+    """
+    from repro.store.memory import MemoryStore
+
+    def build(with_store: bool):
+        return build_client_server(
+            style=ReplicationStyle.ACTIVE,
+            server_replicas=3,
+            state_size=state_size,
+            checkpoint_interval=checkpoint_interval,
+            store_factory=(lambda node_id: MemoryStore())
+                          if with_store else None,
+            seed=seed,
+            warmup=0.2,
+        )
+
+    # -- warm arm: journal-backed single-replica restart -------------------
+    deployment = build(True)
+    system = deployment.system
+    # Force the durable checkpoint the restart will restore from.
+    system.mechanisms("s1").recovery.initiate_checkpoint("store")
+    system.run_for(0.2)
+    warm_s, warm_bytes = _restart_and_measure(deployment, "s2",
+                                              downtime=downtime)
+
+    # -- cold-boot arm: the same system loses every replica ----------------
+    acked_before = deployment.driver.acked
+    for node in deployment.server_nodes:
+        system.kill_node(node)
+    system.run_for(downtime)
+    restart_at = system.now
+    for node in deployment.server_nodes:
+        system.restart_node(node)
+    if not system.wait_for(
+            lambda: all(deployment.server_group.is_operational_on(n)
+                        for n in deployment.server_nodes),
+            timeout=20.0):
+        raise RuntimeError("full-cluster cold boot did not recover "
+                           f"at state_size={state_size}")
+    cold_s = system.now - restart_at
+    if not system.wait_for(
+            lambda: deployment.driver.acked > acked_before, timeout=10.0):
+        raise RuntimeError("driver never resumed after the cold boot")
+    cold_seeds = float(system.tracer.counters.get("store.cold_seed_claimed",
+                                                  0))
+
+    # -- no-store arm: the ablation ----------------------------------------
+    ablation = build(False)
+    nostore_s, nostore_bytes = _restart_and_measure(ablation, "s2",
+                                                    downtime=downtime)
+
+    return {
+        "state_size": state_size,
+        "warm_recovery_ms": warm_s * 1000.0,
+        "warm_wire_bytes": warm_bytes,
+        "nostore_recovery_ms": nostore_s * 1000.0,
+        "nostore_wire_bytes": nostore_bytes,
+        "wire_ratio": (nostore_bytes / warm_bytes if warm_bytes
+                       else float("inf")),
+        "cold_recovery_ms": cold_s * 1000.0,
+        "cold_seeds": cold_seeds,
+    }
+
+
+def run_cold_restart_sweep(sizes: Sequence[int],
+                           **kwargs) -> List[Dict[str, float]]:
+    """:func:`run_cold_restart_point` over a list of state sizes."""
+    return [run_cold_restart_point(size, **kwargs) for size in sizes]
+
+
+# ---------------------------------------------------------------------------
 # Telemetry-plane overhead (wall clock)
 # ---------------------------------------------------------------------------
 

@@ -91,6 +91,23 @@ class EternalConfig:
     """How long a sponsor retains a stashed snapshot for out-of-band
     serving after announcing its manifest."""
 
+    cold_boot_window: float = 0.5
+    """How long a restarting replica with a durable store waits for a live
+    responder (or a better-covered peer) before claiming the cold-boot
+    seed role for its group (see :class:`repro.core.envelope.ColdSeed`).
+    Trades restart latency against the chance of seeding from a journal
+    that misses a peer's longer tail."""
+
+    request_retransmit_interval: float = 0.5
+    """How often a client-side replica re-multicasts a two-way request
+    that is still awaiting its reply.  A request ordered while its target
+    group had no live members (the window a cold boot recovers from) is
+    dropped by everyone and would otherwise hang a reply-clocked client
+    forever; the retransmission is idempotent because delivered duplicates
+    are suppressed by every replica's duplicate filter.  A request is only
+    re-sent once it has been outstanding for two consecutive ticks.  0
+    disables retransmission (the paper's behaviour)."""
+
     max_log_length: int = 10_000
     """Deployment-wide bound on a warm-passive message log: the primary
     forces an early checkpoint when a group's log exceeds this between
@@ -119,5 +136,10 @@ class EternalConfig:
             raise ValueError("bulk_burst_interval must be non-negative")
         if self.bulk_store_ttl <= 0:
             raise ValueError("bulk_store_ttl must be positive")
+        if self.cold_boot_window <= 0:
+            raise ValueError("cold_boot_window must be positive")
+        if self.request_retransmit_interval < 0:
+            raise ValueError(
+                "request_retransmit_interval must be non-negative")
         if self.max_log_length < 0:
             raise ValueError("max_log_length must be non-negative")

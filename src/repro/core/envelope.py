@@ -105,13 +105,22 @@ class ReplicaJoin:
     ``bulk_ok`` advertises that the announcer can fetch large snapshots
     over the out-of-band bulk lane (:mod:`repro.core.bulk`); responders
     then multicast only a page manifest and serve the bytes
-    point-to-point.  Cleared on the in-order fallback re-announce."""
+    point-to-point.  Cleared on the in-order fallback re-announce.
+
+    ``store_position`` advertises how far the announcer's *durable* store
+    covers the group's message stream: ``-1`` means no store is
+    configured, ``0`` a configured but empty journal, and a positive
+    value the highest journaled local log position.  When no live member
+    can answer the join (whole-cluster restart), these values elect the
+    cold-boot seed (see
+    :meth:`repro.core.recovery.RecoveryMechanisms.handle_cold_seed`)."""
 
     group_id: str
     node_id: str
     transfer_id: str
     base_digest: str = ""
     bulk_ok: bool = False
+    store_position: int = -1
 
 
 @dataclass(frozen=True)
@@ -142,6 +151,27 @@ class ReplicaFault:
     group_id: str
     node_id: str
     reason: str = "unresponsive"
+
+
+@dataclass(frozen=True)
+class ColdSeed:
+    """A cold-boot candidate claims the seed role for a whole-dead group.
+
+    When every replica of a group is gone — full-cluster power loss — no
+    member can answer a :class:`ReplicaJoin`, and §5.1 recovery has
+    nothing to ladder from.  A restarting node with a durable store waits
+    out a short bid window collecting the ``store_position`` values from
+    its peers' join announcements; the best-covered candidate (ties to
+    the lowest node id) multicasts ``ColdSeed``.  Its delivery in the
+    total order is the group's rebirth point: every node marks the seed
+    operational, the seed restores from its journal and replays its local
+    log, and everyone else recovers from the seed over the ordinary
+    ladder — now with a live responder."""
+
+    group_id: str
+    node_id: str
+    transfer_id: str
+    store_position: int = 0
 
 
 @dataclass(frozen=True)
@@ -194,7 +224,7 @@ class StateSet:
 
 
 Envelope = Union[IiopEnvelope, GroupUpdate, ReplicaJoin, StateGet, StateSet,
-                 ReplicaFault, NodeRestarted]
+                 ReplicaFault, NodeRestarted, ColdSeed]
 
 _TAG_IIOP = 1
 _TAG_GROUP_UPDATE = 2
@@ -203,6 +233,7 @@ _TAG_STATE_GET = 6
 _TAG_STATE_SET = 7
 _TAG_REPLICA_FAULT = 8
 _TAG_NODE_RESTARTED = 9
+_TAG_COLD_SEED = 10
 
 
 def encode_envelope(envelope: Envelope) -> bytes:
@@ -239,6 +270,7 @@ def encode_envelope(envelope: Envelope) -> bytes:
         out.write_string(envelope.transfer_id)
         out.write_octets(envelope.base_digest.encode("ascii"))
         out.write_boolean(envelope.bulk_ok)
+        out.write_longlong(envelope.store_position)
     elif isinstance(envelope, StateGet):
         out.write_octet(_TAG_STATE_GET)
         out.write_string(envelope.group_id)
@@ -274,6 +306,12 @@ def encode_envelope(envelope: Envelope) -> bytes:
         out.write_octet(_TAG_NODE_RESTARTED)
         out.write_string(envelope.node_id)
         out.write_ulong(envelope.incarnation)
+    elif isinstance(envelope, ColdSeed):
+        out.write_octet(_TAG_COLD_SEED)
+        out.write_string(envelope.group_id)
+        out.write_string(envelope.node_id)
+        out.write_string(envelope.transfer_id)
+        out.write_longlong(envelope.store_position)
     else:
         raise ProtocolError(f"cannot encode envelope {type(envelope).__name__}")
     return out.getvalue()
@@ -321,7 +359,8 @@ def _decode_envelope(data: bytes) -> Envelope:
         return ReplicaJoin(inp.read_string(), inp.read_string(),
                            inp.read_string(),
                            inp.read_octets().decode("ascii"),
-                           inp.read_boolean())
+                           inp.read_boolean(),
+                           inp.read_longlong())
     if tag == _TAG_STATE_GET:
         return StateGet(inp.read_string(), inp.read_string(),
                         TransferPurpose(inp.read_octet()),
@@ -348,4 +387,7 @@ def _decode_envelope(data: bytes) -> Envelope:
                             inp.read_string())
     if tag == _TAG_NODE_RESTARTED:
         return NodeRestarted(inp.read_string(), inp.read_ulong())
+    if tag == _TAG_COLD_SEED:
+        return ColdSeed(inp.read_string(), inp.read_string(),
+                        inp.read_string(), inp.read_longlong())
     raise ProtocolError(f"unknown envelope tag {tag}")

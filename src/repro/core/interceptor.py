@@ -17,7 +17,7 @@ The ORB itself is never modified and never knows.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, Set, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.core.envelope import IiopEnvelope
 from repro.core.identifiers import ConnectionKey, OpKind, invocation_trace_id
@@ -58,8 +58,12 @@ class Interceptor:
         self._offsets: Dict[ConnectionKey, int] = {}
         self.suppressed_reissues = 0
         # Two-way invocations issued by this replica whose replies have
-        # not come back yet (rendered by the health exposition).
-        self._open_roundtrips: Set[Tuple[ConnectionKey, int]] = set()
+        # not come back yet (rendered by the health exposition), with the
+        # captured envelope kept for retransmission: a request ordered
+        # while its target group had no live members is dropped by
+        # everyone, and only the issuing side can put it back on the wire.
+        self._open_roundtrips: Dict[Tuple[ConnectionKey, int],
+                                    IiopEnvelope] = {}
 
     def _rpc_span_id(self, connection: ConnectionKey,
                      request_id: int) -> str:
@@ -98,10 +102,12 @@ class Interceptor:
         if offset:
             data = encode_message(replace(message, request_id=wire_id))
         self._orb_state.observe_outgoing_request(connection, wire_id)
+        envelope = IiopEnvelope(connection, OpKind.REQUEST, wire_id,
+                                self.node_id, data)
         if message.response_expected:
             # Track before the reissue check: a suppressed reissue is
             # still awaiting its reply, so it is still outstanding.
-            self._open_roundtrips.add((connection, wire_id))
+            self._open_roundtrips[(connection, wire_id)] = envelope
         is_new = self._infra.record_issued(
             connection, wire_id, message.operation,
             message.response_expected,
@@ -130,8 +136,7 @@ class Interceptor:
                 conn=connection.as_str(), request_id=wire_id,
                 operation=message.operation, trace=trace_id,
             )
-        self._send(IiopEnvelope(connection, OpKind.REQUEST, wire_id,
-                                self.node_id, data))
+        self._send(envelope)
 
     def capture_server_reply(self, connection: ConnectionKey,
                              data: bytes) -> None:
@@ -158,8 +163,17 @@ class Interceptor:
                              request_id: int) -> None:
         """Close the round-trip span opened when the request was captured
         (``request_id`` is the wire id; no-op for unmatched replies)."""
-        self._open_roundtrips.discard((connection, request_id))
+        self._open_roundtrips.pop((connection, request_id), None)
         self._spans.end(self._rpc_span_id(connection, request_id))
+
+    def open_requests(self) -> List[IiopEnvelope]:
+        """The captured envelopes of every two-way invocation still
+        awaiting its reply, in issue order — the retransmission
+        candidates after the target group went through a window with no
+        live members."""
+        return [self._open_roundtrips[key]
+                for key in sorted(self._open_roundtrips,
+                                  key=lambda k: (k[0].as_str(), k[1]))]
 
     def rewrite_incoming_reply(self, connection: ConnectionKey,
                                data: bytes) -> bytes:

@@ -100,6 +100,7 @@ class ReplicationManager:
         mechanisms.on_member_operational(self._on_member_operational)
         mechanisms.on_replica_fault(self._on_replica_fault)
         mechanisms.on_node_restarted(self._on_node_restarted)
+        mechanisms.on_cold_seed(self._on_cold_seed)
         self.resources.set_alive({mechanisms.node_id})
 
     # ------------------------------------------------------------------
@@ -305,6 +306,22 @@ class ReplicationManager:
             envelope.incarnation, last_seen
         )
         self._place_pending([envelope.node_id])
+
+    def _on_cold_seed(self, group_id: str, node_id: str) -> None:
+        """A cold-boot seed elected itself from its durable journal — no
+        live replica existed to recover from (see
+        :meth:`repro.core.recovery.RecoveryMechanisms.handle_cold_seed`).
+        Adopt the promotion into the management record; otherwise the next
+        membership multicast would revert the seed to a backup."""
+        managed = self.groups.get(group_id)
+        if managed is None or node_id not in managed.assignments:
+            return
+        if managed.properties.replication_style is ReplicationStyle.ACTIVE:
+            return
+        for node, role in managed.assignments.items():
+            if role == ROLE_PRIMARY and node != node_id:
+                managed.assignments[node] = ROLE_BACKUP
+        managed.assignments[node_id] = ROLE_PRIMARY
 
     def _on_replica_fault(self, fault) -> None:
         """A pull-monitor reported a hung replica on a live node: drop the

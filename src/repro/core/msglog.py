@@ -86,6 +86,17 @@ class MessageLog:
         self.checkpoints_taken += 1
         return record
 
+    def restore(self, checkpoint: Optional[CheckpointRecord],
+                messages: List[Tuple[int, IiopEnvelope]]) -> None:
+        """Adopt a durable checkpoint and message tail read back from the
+        node's journal (:mod:`repro.store`) — the disk rung of the cold
+        restart ladder.  Replaces any volatile contents; ``messages`` must
+        be position-ordered and past the checkpoint, which is exactly what
+        :meth:`repro.store.base.GroupStore.load` reconstructs."""
+        self.checkpoint = checkpoint
+        self._messages = list(messages)
+        self._pending_get_positions.clear()
+
     # -- replay ---------------------------------------------------------------
 
     def messages_since_checkpoint(self) -> List[IiopEnvelope]:

@@ -22,18 +22,20 @@ Implements, per node:
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from repro.core.bulk import BulkLane, build_manifest, decode_manifest, \
     encode_manifest
 from repro.core.envelope import (
+    ColdSeed,
     IiopEnvelope,
     ReplicaJoin,
     StateGet,
     StateSet,
     TransferPurpose,
+    decode_envelope,
 )
-from repro.core.groupinfo import ROLE_BACKUP, ROLE_PRIMARY
+from repro.core.groupinfo import GroupInfo, ROLE_BACKUP, ROLE_PRIMARY
 from repro.core.identifiers import OpKind
 from repro.core.infra_state import InfraState
 from repro.core.msglog import CheckpointRecord
@@ -45,7 +47,8 @@ from repro.core.statedelta import (
     decode_delta,
     encode_delta,
 )
-from repro.errors import StateTransferError
+from repro.errors import ProtocolError, StateTransferError, StoreCorruptError
+from repro.ftcorba.object_group import elect_cold_seed
 from repro.ftcorba.properties import ReplicationStyle
 from repro.obs.audit import state_digest
 from repro.obs.spans import SpanEmitter
@@ -116,6 +119,68 @@ class RecoveryMechanisms:
         # Duplicate-filter snapshots taken at each GET's delivery position
         # (the synchronization point), keyed by transfer id.
         self._filter_snapshots: dict = {}
+        # Cold-boot election state (whole-dead groups, repro.store):
+        # per group, the durable coverage each peer advertised in its join
+        # announcement, with the local time it was last seen — stale bids
+        # from candidates that died mid-election must not win forever.
+        self._cold_bids: Dict[str, Dict[str, Tuple[int, float]]] = {}
+        self._cold_windows: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Durable store (the disk rung of the restart ladder)
+    # ------------------------------------------------------------------
+
+    def prepare_from_store(self, binding: "ReplicaBinding") -> None:
+        """Adopt the node's durable checkpoint and journaled message tail
+        into the volatile log *before* announcing the join.
+
+        This is what makes restart cost proportional to missed work: the
+        subsequent :meth:`announce_join` advertises the restored
+        checkpoint's digest, so a responder sharing the base ships only
+        the changed pages — and if the whole group is dead, the restored
+        log makes this node a cold-boot candidate.
+
+        A journal that fails its integrity checks is quarantined (wiped)
+        and the replica falls back to a full network recovery, exactly as
+        if it had no store."""
+        if binding.store is None:
+            return
+        span_id = self._new_transfer_id("store", binding.group_id)
+        self.spans.start("recovery.store.load", span_id=span_id,
+                         node=self.node_id, group=binding.group_id)
+        try:
+            stored = binding.store.load()
+            messages = []
+            for position, raw in stored.messages:
+                decoded = decode_envelope(raw)
+                if not isinstance(decoded, IiopEnvelope):
+                    raise StoreCorruptError(
+                        f"journaled message at position {position} decodes "
+                        f"to {type(decoded).__name__}"
+                    )
+                messages.append((position, decoded))
+        except (StoreCorruptError, ProtocolError) as exc:
+            self.tracer.emit("store", "corrupt", node=self.node_id,
+                             group=binding.group_id,
+                             reason=type(exc).__name__, detail=str(exc))
+            binding.store.reset()
+            binding.store_position = 0
+            self.spans.end(span_id, outcome="corrupt")
+            return
+        binding.log.restore(stored.checkpoint, messages)
+        binding.store_position = max(0, stored.last_position)
+        # Keep local log positions monotonic across incarnations: new
+        # deliveries must sort after everything the journal already holds,
+        # or the position-keyed prune/dedup rules would conflate eras.
+        binding.delivery_position = max(binding.delivery_position,
+                                        stored.last_position)
+        self.tracer.emit("store", "restored", node=self.node_id,
+                         group=binding.group_id,
+                         has_checkpoint=stored.checkpoint is not None,
+                         messages=len(messages),
+                         last_position=stored.last_position)
+        self.spans.end(span_id, messages=len(messages),
+                       has_checkpoint=stored.checkpoint is not None)
 
     # ------------------------------------------------------------------
     # Join announcement (the recovering side starts here)
@@ -169,7 +234,8 @@ class RecoveryMechanisms:
         self.mechanisms.multicast(
             ReplicaJoin(binding.group_id, self.node_id, transfer_id,
                         base_digest=base_digest,
-                        bulk_ok=with_bulk and self.config.bulk_lane)
+                        bulk_ok=with_bulk and self.config.bulk_lane,
+                        store_position=binding.store_position)
         )
         self._arm_retry(binding, transfer_id)
 
@@ -195,7 +261,11 @@ class RecoveryMechanisms:
         binding = self.mechanisms.bindings.get(envelope.group_id)
         if info is None or binding is None:
             return
+        self._note_cold_bid(envelope)
         if envelope.node_id == self.node_id:
+            # Our own announcement came back: if nobody can answer it and
+            # we hold a journal, start bidding for the cold-seed role.
+            self._maybe_arm_cold_window(info, binding)
             return
         if binding.operational and info.responds_to_recovery(self.node_id):
             self.mechanisms.multicast(StateGet(
@@ -207,6 +277,207 @@ class RecoveryMechanisms:
                 base_digest=envelope.base_digest,
                 bulk_ok=envelope.bulk_ok,
             ))
+
+    # ------------------------------------------------------------------
+    # Cold-boot election (whole-dead groups, repro.store)
+    # ------------------------------------------------------------------
+
+    def _has_responder(self, info: GroupInfo) -> bool:
+        return any(info.responds_to_recovery(node)
+                   for node in info.member_nodes)
+
+    def _note_cold_bid(self, envelope: ReplicaJoin) -> None:
+        """Every join announcement doubles as a cold-boot bid: it carries
+        how far the announcer's durable store covers the group
+        (``store_position``; -1 = no store, never a candidate)."""
+        if envelope.store_position < 0:
+            return
+        bids = self._cold_bids.setdefault(envelope.group_id, {})
+        bids[envelope.node_id] = (envelope.store_position,
+                                  self.mechanisms.process.scheduler.now)
+
+    def _maybe_arm_cold_window(self, info: GroupInfo,
+                               binding: "ReplicaBinding") -> None:
+        if (binding.store is None
+                or binding.status != STATUS_RECOVERING
+                or self._has_responder(info)
+                or binding.group_id in self._cold_windows):
+            return
+        self._cold_windows.add(binding.group_id)
+        self.tracer.emit("store", "cold_window_armed", node=self.node_id,
+                         group=binding.group_id,
+                         store_position=binding.store_position)
+        self.mechanisms.process.call_after(
+            self.config.cold_boot_window,
+            self._cold_window_expired, binding,
+        )
+
+    def _cold_window_expired(self, binding: "ReplicaBinding") -> None:
+        group_id = binding.group_id
+        self._cold_windows.discard(group_id)
+        info = self.mechanisms.groups.get(group_id)
+        if (info is None
+                or self.mechanisms.bindings.get(group_id) is not binding
+                or binding.status != STATUS_RECOVERING
+                or binding.store is None):
+            return
+        if self._has_responder(info):
+            return  # a live responder appeared; the normal ladder proceeds
+        # Elect among the *fresh* bids: a better-covered candidate that
+        # died mid-election must not block the group forever.  The horizon
+        # covers two full announce-retry rounds, so any live candidate has
+        # re-announced (and re-bid) within it.
+        now = self.mechanisms.process.scheduler.now
+        horizon = 2 * (self.config.cold_boot_window
+                       + self.config.recovery_retry_timeout)
+        fresh = {node: position
+                 for node, (position, seen)
+                 in self._cold_bids.get(group_id, {}).items()
+                 if now - seen <= horizon}
+        fresh[self.node_id] = binding.store_position
+        winner = elect_cold_seed(fresh)
+        if winner != self.node_id:
+            best_position = fresh[winner]
+            # The better candidate claims the seat; our announce retry will
+            # recover from it once it is operational.  (If it is dead, its
+            # bid ages out and the retry re-arms the window.)
+            self.tracer.emit("store", "cold_window_lost", node=self.node_id,
+                             group=group_id, winner=winner,
+                             winner_position=best_position)
+            return
+        seed_id = self._new_transfer_id("seed", group_id)
+        self.tracer.emit("store", "cold_seed_claimed", node=self.node_id,
+                         group=group_id,
+                         store_position=binding.store_position)
+        self.mechanisms.multicast(ColdSeed(
+            group_id, self.node_id, seed_id, binding.store_position,
+        ))
+
+    def handle_cold_seed(self, envelope: ColdSeed) -> None:
+        """A candidate claimed the seed role; its delivery in the total
+        order is the group's rebirth point (first claim wins — a live
+        responder appearing first makes the claim stale)."""
+        info = self.mechanisms.groups.get(envelope.group_id)
+        if info is None:
+            return
+        binding = self.mechanisms.bindings.get(envelope.group_id)
+        if self._has_responder(info):
+            self.tracer.emit("store", "cold_seed_stale", node=self.node_id,
+                             group=envelope.group_id, seed=envelope.node_id)
+            return
+        self._cold_bids.pop(envelope.group_id, None)
+        self._cold_windows.discard(envelope.group_id)
+        self.tracer.emit("store", "cold_seed", node=self.node_id,
+                         group=envelope.group_id, seed=envelope.node_id,
+                         store_position=envelope.store_position)
+        if info.style.is_passive:
+            info.promote(envelope.node_id)
+        info.mark_operational(envelope.node_id)
+        self.mechanisms.notify_cold_seed(envelope.group_id,
+                                         envelope.node_id)
+        if (envelope.node_id == self.node_id and binding is not None
+                and binding.status == STATUS_RECOVERING):
+            self._begin_seed_restore(info, binding, envelope)
+        else:
+            self.mechanisms.notify_member_operational(envelope.group_id,
+                                                      envelope.node_id)
+            self.mechanisms._sync_checkpoint_timer(info)
+
+    def _begin_seed_restore(self, info: GroupInfo,
+                            binding: "ReplicaBinding",
+                            envelope: ColdSeed) -> None:
+        """The seed restores itself from its own journal: newest durable
+        checkpoint, then local log replay — no network rung at all."""
+        if binding.pending_transfer is not None:
+            # Supersede the (unanswerable) network transfer in flight.
+            self.bulk.abort_session(binding.pending_transfer)
+            self.spans.end(f"{binding.pending_transfer}/announce",
+                           outcome="cold_seed")
+            self.spans.end(binding.pending_transfer, outcome="cold_seed")
+        binding.pending_transfer = envelope.transfer_id
+        binding.sync_point_seen = True      # enqueue everything from now on
+        binding.active_span = envelope.transfer_id
+        # Opens the auditor's quiesced window: the journal restore applies
+        # set_state (and replays executions) with no network transfer.
+        self.tracer.emit("recovery", "cold_seed_restore", node=self.node_id,
+                         group=binding.group_id,
+                         transfer=envelope.transfer_id)
+        self.spans.start("recovery.coldboot", span_id=envelope.transfer_id,
+                         node=self.node_id, group=binding.group_id,
+                         style=info.style.value,
+                         has_checkpoint=binding.log.checkpoint is not None)
+        self.spans.start("recovery.store.restore",
+                         span_id=f"{envelope.transfer_id}/restore",
+                         parent=envelope.transfer_id, node=self.node_id,
+                         group=binding.group_id,
+                         messages=binding.log.log_length)
+        if info.style.is_passive:
+            binding.infra.role = ROLE_PRIMARY
+        if not binding.container.instantiated:
+            # Cold passive: launch the backup process first (§3.3).
+            servant = self.mechanisms.factory.create_object(
+                info.type_id, info.app_version
+            )
+            self.mechanisms.process.call_after(
+                self.config.cold_start_delay,
+                self._seed_with_servant, binding, servant,
+            )
+            return
+        self._seed_restore(binding)
+
+    def _seed_with_servant(self, binding: "ReplicaBinding",
+                           servant) -> None:
+        binding.container.install_servant(servant)
+        self._seed_restore(binding)
+
+    def _seed_restore(self, binding: "ReplicaBinding") -> None:
+        checkpoint = binding.log.checkpoint
+        if checkpoint is None:
+            # The group died before any durable checkpoint: re-run the
+            # application from its deterministic initial state and replay
+            # the whole journaled log over it.
+            binding.container.start_application()
+            self._seed_replay(binding)
+            return
+        binding.container.submit_set_state(
+            checkpoint.app_state,
+            lambda: self._seed_apply_piggyback(binding, checkpoint),
+        )
+
+    def _seed_apply_piggyback(self, binding: "ReplicaBinding",
+                              checkpoint: CheckpointRecord) -> None:
+        infra = InfraState.decode(checkpoint.infra_state)
+        self._apply_orb_state(binding, checkpoint.orb_state, infra)
+        if self.config.sync_infra_state:
+            binding.infra.adopt(infra, keep_role=True)
+        binding.container.resume_application()
+        self._seed_replay(binding)
+
+    def _seed_replay(self, binding: "ReplicaBinding") -> None:
+        """Replay the journaled messages past the checkpoint, then go
+        operational — the group is alive again, and every other replica
+        recovers from this one over the ordinary network ladder."""
+        replayed = binding.log.messages_since_checkpoint()
+        root_span = binding.active_span
+        replay_span = None
+        if root_span is not None:
+            self.spans.end(f"{root_span}/restore")
+            replay_span = self.spans.start(
+                "recovery.store.replay", span_id=f"{root_span}/replay",
+                parent=root_span, node=self.node_id,
+                group=binding.group_id, messages=len(replayed),
+            )
+        self.tracer.emit("store", "seed_replay", node=self.node_id,
+                         group=binding.group_id, messages=len(replayed))
+        for envelope in replayed:
+            if envelope.kind is OpKind.REQUEST:
+                binding.container.submit_request(envelope.connection,
+                                                 envelope.iiop_bytes)
+            else:
+                self.mechanisms._deliver_reply(binding, envelope)
+        if replay_span is not None:
+            self.spans.end(replay_span)
+        self._become_operational(binding, resume=False)
 
     # ------------------------------------------------------------------
     # get_state (§5.1 steps i-iii)
@@ -537,6 +808,7 @@ class RecoveryMechanisms:
             envelope.transfer_id, full_app,
             envelope.orb_state, envelope.infra_state,
         )
+        self._persist_checkpoint(binding, committed)
         self.tracer.emit("recovery", "checkpoint_aligned",
                          node=self.node_id, group=envelope.group_id,
                          app_bytes=len(full_app))
@@ -544,6 +816,16 @@ class RecoveryMechanisms:
                          group=envelope.group_id,
                          transfer=f"{envelope.transfer_id}/commit",
                          role="checkpoint", digest=committed.digest)
+
+    def _persist_checkpoint(self, binding: "ReplicaBinding",
+                            record: CheckpointRecord) -> None:
+        """Journal a committed checkpoint (and let the store reclaim the
+        messages it covers)."""
+        if binding.store is None:
+            return
+        binding.store.commit_checkpoint(record)
+        binding.store_position = max(binding.store_position,
+                                     record.position, 0)
 
     def _handle_checkpoint_set(self, info, binding, envelope: StateSet,
                                full_app) -> None:
@@ -554,10 +836,11 @@ class RecoveryMechanisms:
             # group for a fresh full checkpoint so this node regains a base.
             self._request_checkpoint_resync(envelope.group_id)
             return
-        binding.log.commit_checkpoint(
+        committed = binding.log.commit_checkpoint(
             envelope.transfer_id, full_app,
             envelope.orb_state, envelope.infra_state,
         )
+        self._persist_checkpoint(binding, committed)
         self._resync_requested.discard(envelope.group_id)
         self.tracer.emit("recovery", "checkpoint_logged", node=self.node_id,
                          group=envelope.group_id,
@@ -710,21 +993,37 @@ class RecoveryMechanisms:
     def _drain(self, binding: "ReplicaBinding") -> None:
         """Step (vi): deliver the enqueued messages, in order."""
         while binding.enqueued:
-            envelope = binding.enqueued.pop(0)
-            self.mechanisms.route_iiop(binding, envelope)
+            position, envelope = binding.enqueued.pop(0)
+            self.mechanisms.route_iiop(binding, envelope, position)
 
     # ------------------------------------------------------------------
     # Periodic checkpointing (§3.3)
     # ------------------------------------------------------------------
 
+    def checkpoint_initiator(self, info: GroupInfo) -> Optional[str]:
+        """Which node fabricates this group's periodic checkpoints.
+
+        The primary for the passive styles (§3.3).  Active replication
+        needs no checkpoints in the paper — but a durable store must be
+        fed, so with a store configured the lowest operational executor
+        initiates; without one, nobody does (``None``), preserving the
+        paper's behaviour."""
+        if info.style.is_passive:
+            return info.primary_node
+        if self.mechanisms.store is None:
+            return None
+        candidates = sorted(node for node in info.operational
+                            if info.executes(node))
+        return candidates[0] if candidates else None
+
     def initiate_checkpoint(self, group_id: str) -> None:
-        """Timer tick on the primary's node: fabricate a checkpoint
+        """Timer tick on the initiator's node: fabricate a checkpoint
         get_state() unless one is still in flight."""
         info = self.mechanisms.groups.get(group_id)
         binding = self.mechanisms.bindings.get(group_id)
         if info is None or binding is None or not binding.operational:
             return
-        if info.primary_node != self.node_id:
+        if self.checkpoint_initiator(info) != self.node_id:
             return
         pending = [t for t in self._pending_checkpoints
                    if t.startswith(f"ckpt:{group_id}:")]

@@ -18,11 +18,12 @@ replica containers above.  They
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import EternalConfig
 from repro.core.container import ReplicaContainer
 from repro.core.envelope import (
+    ColdSeed,
     Envelope,
     GroupUpdate,
     IiopEnvelope,
@@ -51,6 +52,7 @@ from repro.ftcorba.properties import ReplicationStyle
 from repro.giop.ior import IOR
 from repro.runtime.timers import PeriodicTimer
 from repro.runtime.trace import NULL_TRACER, Tracer
+from repro.store.base import DurableStore, GroupStore
 from repro.totem.member import TotemMember, View
 
 # Replica status values
@@ -70,10 +72,12 @@ class ReplicaBinding:
     log: MessageLog
     status: str = STATUS_RECOVERING
     delivery_position: int = 0
-    enqueued: List[IiopEnvelope] = field(default_factory=list)
+    enqueued: List[Tuple[int, IiopEnvelope]] = field(default_factory=list)
     sync_point_seen: bool = False      # the recovery get_state() passed by
     pending_transfer: Optional[str] = None
     active_span: Optional[str] = None  # root span of the in-flight recovery
+    store: Optional[GroupStore] = None  # durable journal (repro.store)
+    store_position: int = -1           # -1 no store, else last durable pos
 
     @property
     def operational(self) -> bool:
@@ -93,6 +97,7 @@ class ReplicationMechanisms:
         *,
         announce_epoch: int = 0,
         tracer: Tracer = NULL_TRACER,
+        store: Optional[DurableStore] = None,
     ) -> None:
         from repro.core.recovery import RecoveryMechanisms
 
@@ -103,15 +108,19 @@ class ReplicationMechanisms:
         self.factory = factory
         self.config = config
         self.tracer = tracer
+        self.store = store
         self.groups: Dict[str, GroupInfo] = {}
         self.bindings: Dict[str, ReplicaBinding] = {}
         self.recovery = RecoveryMechanisms(self)
         self.fault_detector = None    # created when the first group arrives
         self._checkpoint_timers: Dict[str, PeriodicTimer] = {}
+        self._retransmit_timer: Optional[PeriodicTimer] = None
+        self._retransmit_seen: Set[Tuple[str, ConnectionKey, int]] = set()
         self._view_listeners: List[Callable[[View, Set[str], Set[str]], None]] = []
         self._operational_listeners: List[Callable[[str, str], None]] = []
         self._replica_fault_listeners: List[Callable[[ReplicaFault], None]] = []
         self._node_restart_listeners: List[Callable[[NodeRestarted], None]] = []
+        self._cold_seed_listeners: List[Callable[[str, str], None]] = []
         self._node_incarnations: Dict[str, int] = {}
         self._known_view_members: Set[str] = set()
         totem.on_deliver = self._on_deliver
@@ -156,6 +165,14 @@ class ReplicationMechanisms:
         for fn in list(self._operational_listeners):
             fn(group_id, node_id)
 
+    def on_cold_seed(self, fn: Callable[[str, str], None]) -> None:
+        """Subscribe to (group_id, node_id) winning a cold-boot election."""
+        self._cold_seed_listeners.append(fn)
+
+    def notify_cold_seed(self, group_id: str, node_id: str) -> None:
+        for fn in list(self._cold_seed_listeners):
+            fn(group_id, node_id)
+
     # ------------------------------------------------------------------
     # Delivery from Totem
     # ------------------------------------------------------------------
@@ -164,6 +181,11 @@ class ReplicationMechanisms:
         for timer in self._checkpoint_timers.values():
             timer.stop()
         self._checkpoint_timers.clear()
+        self._stop_retransmit_timer()
+        if self.store is not None:
+            # Drop file handles without flushing, as SIGKILL would; the
+            # journal on disk is what the next incarnation finds.
+            self.store.handle_crash()
 
     def _on_deliver(self, origin: str, payload: bytes) -> None:
         envelope = decode_envelope(payload)
@@ -181,6 +203,8 @@ class ReplicationMechanisms:
             self._handle_replica_fault(envelope)
         elif isinstance(envelope, NodeRestarted):
             self._handle_node_restarted(envelope)
+        elif isinstance(envelope, ColdSeed):
+            self.recovery.handle_cold_seed(envelope)
         else:  # pragma: no cover - decode_envelope is exhaustive
             raise ReplicationError(f"unroutable envelope {envelope!r}")
 
@@ -199,7 +223,10 @@ class ReplicationMechanisms:
             # the get_state() marker onwards, enqueue for delivery after
             # set_state() completes.
             if binding.sync_point_seen:
-                binding.enqueued.append(envelope)
+                # The delivery position rides along so the post-recovery
+                # drain journals each message at its true position.
+                binding.enqueued.append((binding.delivery_position,
+                                         envelope))
                 self.tracer.emit("replication", "enqueued",
                                  node=self.node_id,
                                  group=envelope.target_group)
@@ -207,9 +234,15 @@ class ReplicationMechanisms:
         self.route_iiop(binding, envelope)
 
     def route_iiop(self, binding: ReplicaBinding,
-                   envelope: IiopEnvelope) -> None:
+                   envelope: IiopEnvelope,
+                   position: Optional[int] = None) -> None:
         """Duplicate-filter and dispatch one IIOP envelope to a local
-        replica (also used when draining the recovery queue)."""
+        replica.  ``position`` is the envelope's delivery position when
+        draining the recovery queue (whose entries were assigned theirs at
+        enqueue time); fresh deliveries default to the binding's current
+        one."""
+        if position is None:
+            position = binding.delivery_position
         if binding.infra.duplicates.seen_before(envelope.operation_id):
             self.tracer.emit("replication", "duplicate", node=self.node_id,
                              group=binding.group_id,
@@ -218,18 +251,31 @@ class ReplicationMechanisms:
             return
         group = self.groups[binding.group_id]
         executes = group.executes(self.node_id)
+        if binding.store is not None:
+            # Journal write-ahead of execution: the message is durable
+            # before its effects exist, so a crash replays it rather than
+            # losing it.
+            binding.store.append_message(position,
+                                         encode_envelope(envelope))
+            binding.store_position = max(binding.store_position, position)
         if group.style.is_passive:
-            binding.log.append(binding.delivery_position, envelope)
-            # Bounded log: the primary forces an early checkpoint when the
-            # log outgrows the configured limit (the in-flight guard in
-            # initiate_checkpoint prevents a storm while one completes).
-            # A group's own FTProperties bound wins; otherwise the
-            # deployment-wide EternalConfig.max_log_length applies (0 in
-            # either position means unbounded at that level).
-            log_bound = group.max_log_messages or self.config.max_log_length
-            if (log_bound
-                    and group.primary_node == self.node_id
-                    and binding.log.log_length >= log_bound):
+            binding.log.append(position, envelope)
+        # Bounded log: the checkpoint initiator forces an early checkpoint
+        # when the volatile log (passive) or the durable journal's
+        # unreclaimed tail (any style with a store) outgrows the limit (the
+        # in-flight guard in initiate_checkpoint prevents a storm while one
+        # completes).  A group's own FTProperties bound wins; otherwise the
+        # deployment-wide EternalConfig.max_log_length applies (0 in either
+        # position means unbounded at that level).
+        log_bound = group.max_log_messages or self.config.max_log_length
+        if log_bound:
+            volatile_over = (group.style.is_passive
+                             and binding.log.log_length >= log_bound)
+            durable_over = (binding.store is not None
+                            and binding.store.pending_messages >= log_bound)
+            if ((volatile_over or durable_over)
+                    and self.recovery.checkpoint_initiator(group)
+                    == self.node_id):
                 self.recovery.initiate_checkpoint(binding.group_id)
         if envelope.kind is OpKind.REQUEST:
             # Watch for the client-server handshake: Eternal stores it so
@@ -308,6 +354,11 @@ class ReplicationMechanisms:
         if envelope.action == "create":
             local_role = info.role_of(self.node_id)
             if local_role is not None:
+                if self.store is not None:
+                    # A create is a fresh deployment: whatever journal a
+                    # previous deployment of this group id left behind is
+                    # superseded, never replayed into the new incarnation.
+                    self.store.reset_group(envelope.group_id)
                 binding = self._create_binding(info, local_role,
                                                envelope.app_version)
                 binding.status = STATUS_OPERATIONAL
@@ -322,6 +373,9 @@ class ReplicationMechanisms:
                     envelope.app_version,
                 )
                 binding.status = STATUS_RECOVERING
+                # Disk rung of the recovery ladder: adopt the durable
+                # checkpoint + message tail before asking the network.
+                self.recovery.prepare_from_store(binding)
                 self.recovery.announce_join(binding)
         elif envelope.action == "remove":
             if envelope.subject_node == self.node_id:
@@ -355,6 +409,10 @@ class ReplicationMechanisms:
             orb_state=orb_state,
             log=MessageLog(info.group_id),
         )
+        if self.store is not None:
+            binding.store = self.store.group(
+                info.group_id, page_size=self.config.delta_page_size)
+            binding.store_position = 0
         interceptor = Interceptor(
             self.node_id, info.group_id,
             self.multicast_iiop, infra, orb_state, tracer=self.tracer,
@@ -369,6 +427,7 @@ class ReplicationMechanisms:
         binding.container = container
         binding.interceptor = interceptor
         self.bindings[info.group_id] = binding
+        self._ensure_retransmit_timer()
         self.tracer.emit("replication", "binding_created",
                          node=self.node_id, group=info.group_id, role=role)
         self._sync_fault_detector()
@@ -376,6 +435,48 @@ class ReplicationMechanisms:
 
     def multicast_iiop(self, envelope: IiopEnvelope) -> None:
         self.multicast(envelope)
+
+    # ------------------------------------------------------------------
+    # Unanswered-request retransmission
+    # ------------------------------------------------------------------
+
+    def _ensure_retransmit_timer(self) -> None:
+        if (self._retransmit_timer is not None
+                or self.config.request_retransmit_interval <= 0):
+            return
+        self._retransmit_timer = PeriodicTimer(
+            self.process.scheduler, self.config.request_retransmit_interval,
+            self._retransmit_tick,
+        )
+
+    def _retransmit_tick(self) -> None:
+        """Re-multicast two-way requests that have gone unanswered for two
+        consecutive ticks.
+
+        A request ordered while its target group had no live members (the
+        window a cold boot recovers from) was dropped by everyone; only
+        the issuing replica can put it back on the wire.  Re-sent copies
+        that *were* delivered are suppressed by every replica's duplicate
+        filter, so retransmission is idempotent."""
+        stale = {}
+        for binding in self.bindings.values():
+            for envelope in binding.interceptor.open_requests():
+                stale[(binding.group_id, envelope.connection,
+                       envelope.request_id)] = envelope
+        for key, envelope in stale.items():
+            if key in self._retransmit_seen:
+                self.tracer.emit("interceptor", "retransmit",
+                                 node=self.node_id, group=key[0],
+                                 conn=envelope.connection.as_str(),
+                                 request_id=envelope.request_id)
+                self.multicast(envelope)
+        self._retransmit_seen = set(stale)
+
+    def _stop_retransmit_timer(self) -> None:
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.stop()
+            self._retransmit_timer = None
+        self._retransmit_seen = set()
 
     def _on_reply_produced(self, binding: ReplicaBinding,
                            connection: ConnectionKey, data: bytes) -> None:
@@ -467,11 +568,13 @@ class ReplicationMechanisms:
     # ------------------------------------------------------------------
 
     def _sync_checkpoint_timer(self, info: GroupInfo) -> None:
-        """The primary's node runs the periodic state-retrieval timer."""
+        """The checkpoint initiator's node runs the periodic state-retrieval
+        timer: the primary for passive styles, and — only when a durable
+        store needs feeding — the lowest operational executor for active
+        ones (see :meth:`RecoveryMechanisms.checkpoint_initiator`)."""
         should_run = (
-            info.style.is_passive
-            and info.primary_node == self.node_id
-            and info.group_id in self.bindings
+            info.group_id in self.bindings
+            and self.recovery.checkpoint_initiator(info) == self.node_id
         )
         timer = self._checkpoint_timers.get(info.group_id)
         if should_run and timer is None:
@@ -515,6 +618,7 @@ class ReplicationMechanisms:
         for timer in self._checkpoint_timers.values():
             timer.stop()
         self._checkpoint_timers.clear()
+        self._stop_retransmit_timer()
         from repro.core.recovery import RecoveryMechanisms
         self.recovery = RecoveryMechanisms(self)
         epoch = self.process.next_announce_epoch()

@@ -44,6 +44,7 @@ from repro.obs.profiling import ProfilingConfig, SpanResourceProfiler
 from repro.obs.telemetry import TelemetryConfig, TelemetryPlane
 from repro.runtime.interfaces import Host, Transport
 from repro.runtime.trace import Tracer
+from repro.store.base import DurableStore
 from repro.totem.config import TotemConfig
 from repro.totem.member import TotemMember
 
@@ -83,6 +84,9 @@ class NodeStack:
             announce_epoch=(0 if first_build
                             else self.process.next_announce_epoch()),
             tracer=system.tracer,
+            # The store outlives the stack, like a disk outlives a process:
+            # cached at the system level, re-adopted on every rebuild.
+            store=system._store_for(self.node_id),
         )
         if self.node_id == system.manager_node:
             system._attach_managers(self.mechanisms)
@@ -186,6 +190,7 @@ class SystemCore:
         keep_trace_records: bool,
         telemetry: Optional[TelemetryConfig] = None,
         profiling: Optional[ProfilingConfig] = None,
+        store_factory: Optional[Callable[[str], "DurableStore"]] = None,
     ) -> None:
         if not node_ids:
             raise SimulationError("need at least one node")
@@ -221,12 +226,33 @@ class SystemCore:
         self.evolution_manager: Optional[EvolutionManager] = None
         self.resource_manager = ResourceManager(self.factories)
         self.auditor = None    # set by attach_auditor()
+        # Durable stores persist at the system level — a node's journal
+        # survives any number of kill/restart cycles of its process, the
+        # way a disk survives a power cycle.  ``store_factory(node_id)``
+        # creates one per node lazily; None means fully volatile (the
+        # pre-store behaviour).
+        self.store_factory = store_factory
+        self.stores: Dict[str, "DurableStore"] = {}
         self.stacks: Dict[str, NodeStack] = {}
 
     def _add_stack(self, process: Host) -> NodeStack:
         stack = NodeStack(self, process)
         self.stacks[process.node_id] = stack
         return stack
+
+    def _store_for(self, node_id: str) -> Optional["DurableStore"]:
+        if self.store_factory is None:
+            return None
+        store = self.stores.get(node_id)
+        if store is None:
+            store = self.store_factory(node_id)
+            store.bind_tracer(self.tracer, node_id)
+            self.stores[node_id] = store
+        return store
+
+    def close_stores(self) -> None:
+        for store in self.stores.values():
+            store.close()
 
     def _make_transport(self, process: Host) -> Transport:
         """Build the substrate's transport for one host (called on every

@@ -131,6 +131,21 @@ class DuplicateOperation(ReplicationError):
     """Raised internally when an operation identifier was already delivered."""
 
 
+class StoreError(ReproError):
+    """Base class for durable-store failures (:mod:`repro.store`)."""
+
+
+class StoreCorruptError(StoreError):
+    """A journal failed its integrity checks beyond the torn tail.
+
+    A torn *final* record (an incomplete frame at the physical end of the
+    newest segment) is the expected debris of a crash mid-write and is
+    truncated silently on open; anything else — a CRC mismatch on a
+    complete frame, a missing segment, an undecodable record — means the
+    journal cannot be trusted, and the replica falls back to a full
+    network recovery."""
+
+
 class RecoveryError(ReproError):
     """Base class for recovery-mechanism failures."""
 

@@ -24,7 +24,8 @@ from repro.ftcorba.checkpointable import (
 )
 from repro.ftcorba.fault_notifier import FaultNotifier, FaultReport
 from repro.ftcorba.generic_factory import FactoryRegistry, GenericFactory
-from repro.ftcorba.object_group import MemberInfo, ObjectGroup, ReplicaRole
+from repro.ftcorba.object_group import (MemberInfo, ObjectGroup,
+                                        ReplicaRole, elect_cold_seed)
 from repro.ftcorba.properties import FTProperties, ReplicationStyle
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "ReplicationStyle",
     "ObjectGroup",
     "MemberInfo",
+    "elect_cold_seed",
     "ReplicaRole",
     "GenericFactory",
     "FactoryRegistry",

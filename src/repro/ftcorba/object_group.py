@@ -22,6 +22,27 @@ from repro.orb.objectkey import make_key
 GROUP_PORT = 2809
 
 
+def elect_cold_seed(bids: Dict[str, int]) -> Optional[str]:
+    """The cold-boot seed election rule (durable store, ``repro.store``).
+
+    When every member of a group is gone, restarting replicas bid with
+    how far their durable journal covers the group's ordered history
+    (``store_position``; negative = no journal, never a candidate).  The
+    deepest journal wins so no committed invocation is lost; ties break
+    to the smallest node id so every bidder — each evaluating its own
+    (possibly partial) bid set — converges on the same winner, and the
+    first ``ColdSeed`` claim in the total order settles any remaining
+    disagreement.  Returns ``None`` when no member holds a journal.
+    """
+    candidates = {node: position for node, position in bids.items()
+                  if position >= 0}
+    if not candidates:
+        return None
+    best = max(candidates.values())
+    return min(node for node, position in candidates.items()
+               if position == best)
+
+
 class ReplicaRole(enum.Enum):
     """The role of one member within its group."""
 

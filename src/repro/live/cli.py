@@ -58,7 +58,12 @@ async def _run(args) -> int:
             sample_interval=getattr(args, "profile_sample_interval", 0.005))
     system = LiveSystem(
         node_ids, keep_trace_records=keep_records, telemetry=telemetry,
-        profiling=profile_session.config if profile_session else None)
+        profiling=profile_session.config if profile_session else None,
+        store_dir=getattr(args, "store_dir", None),
+        store_fsync=getattr(args, "store_fsync", "checkpoint"))
+    if getattr(args, "store_dir", None):
+        print(f"durable journals under {args.store_dir} "
+              f"(fsync={args.store_fsync})")
     if profile_session is not None:
         profile_session.attach(system)
         profile_session.start()

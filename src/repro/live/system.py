@@ -20,6 +20,7 @@ with real sockets and timers on an asyncio loop.  Time advances by
 from __future__ import annotations
 
 import asyncio
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import EternalConfig
@@ -63,12 +64,25 @@ class LiveSystem(SystemCore):
         keep_trace_records: bool = False,
         telemetry=None,
         profiling=None,
+        store_dir: Optional[str] = None,
+        store_fsync: str = "checkpoint",
         loop: Optional[asyncio.AbstractEventLoop] = None,
     ) -> None:
         if loop is None:
             loop = asyncio.get_event_loop()
         self.loop = loop
         self.scheduler = LiveScheduler(loop)
+        store_factory = None
+        if store_dir is not None:
+            # One journal root per node, as each real deployment node
+            # would own its own disk.  The store survives kill()/restart()
+            # because SystemCore caches it outside the node stack.
+            from repro.store.journal import JournalStore
+
+            def store_factory(node_id: str, _root=store_dir,
+                              _fsync=store_fsync) -> JournalStore:
+                return JournalStore(os.path.join(_root, node_id),
+                                    fsync=_fsync)
         self._init_core(
             node_ids,
             totem_config=totem_config or LIVE_TOTEM_CONFIG,
@@ -77,6 +91,7 @@ class LiveSystem(SystemCore):
             keep_trace_records=keep_trace_records,
             telemetry=telemetry,
             profiling=profiling,
+            store_factory=store_factory,
         )
         self.segment = SegmentDispatcher()
         self.segment.open(loop)
@@ -148,4 +163,5 @@ class LiveSystem(SystemCore):
         self.profiler.release()
         for node in self.nodes.values():
             node.kill()
+        self.close_stores()
         self.segment.close()

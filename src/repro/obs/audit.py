@@ -321,6 +321,15 @@ class ConsistencyAuditor:
             self._windows[key] = _RecoveryWindow(
                 transfer="failover", opened_at=record.time, kind="failover",
             )
+        elif record.event == "cold_seed_restore":
+            # A cold-boot seed restores itself from its durable journal:
+            # set_state and the log replay's executions are the recovery
+            # mechanism itself, inside a window nobody else is alive to
+            # quiesce (new deliveries are enqueued until it closes).
+            self._windows[key] = _RecoveryWindow(
+                transfer=fields.get("transfer", ""),
+                opened_at=record.time, kind="coldboot",
+            )
         elif record.event == "recovered":
             self._windows.pop(key, None)
         elif record.event == "checkpoint_logged":
@@ -331,7 +340,7 @@ class ConsistencyAuditor:
         fields = record.fields
         key = (fields.get("node", ""), fields.get("group", ""))
         window = self._windows.get(key)
-        if window is not None:
+        if window is not None and window.kind != "coldboot":
             self._flag(
                 RECOVERY_WINDOW, record.time,
                 f"operation {fields.get('operation', '?')!r} executed "

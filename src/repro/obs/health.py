@@ -180,6 +180,20 @@ def render_health(system, *, auditor=None) -> str:
         lines.append("# TYPE eternal_bulk_sessions_active gauge")
         lines.extend(bulk_lines)
 
+    # -- durable stores ----------------------------------------------------
+    store_lines: List[str] = []
+    for node_id in sorted(getattr(system, "stores", None) or {}):
+        store = system.stores[node_id]
+        for group_id, stats in store.snapshot().items():
+            labels = {"node": node_id, "group": group_id}
+            for stat in sorted(stats):
+                store_lines.append(_series(
+                    _metric_name(stat, "eternal_store_"), labels,
+                    stats[stat]))
+    if store_lines:
+        lines.append("# TYPE eternal_store_bytes gauge")
+        lines.extend(store_lines)
+
     if detector_lines:
         lines.append("# TYPE eternal_fault_detector_strikes gauge")
         lines.extend(detector_lines)

@@ -245,6 +245,9 @@ class MetricsRegistry:
         if record.category == "bulk":
             self._observe_bulk(record)
             return
+        if record.category == "store":
+            self._observe_store(record)
+            return
         if (record.category == "recovery"
                 and record.event == "set_state_multicast"):
             labels = {k: record.fields[k] for k in ("node", "group")
@@ -333,6 +336,50 @@ class MetricsRegistry:
                 record.fields.get("count", 0))
             self.counter("state.bytes", lane="oob", **labels).inc(
                 record.fields.get("bytes", 0))
+
+    def _observe_store(self, record: TraceRecord) -> None:
+        """Turn durable-store trace events into metrics: journal I/O
+        economics (fsync latency, torn tails, segment rolls), checkpoint
+        write amplification (delta vs full bytes), and the cold-restart
+        ladder's disk-rung outcomes (restores, replays, corruption
+        fallbacks, cold-boot seeds)."""
+        labels = {k: record.fields[k] for k in ("node", "group")
+                  if k in record.fields}
+        event = record.event
+        if event == "fsync":
+            self.histogram("store.fsync.seconds", **labels).record(
+                record.fields.get("seconds", 0.0))
+        elif event == "tail_truncated":
+            self.counter("store.tail_truncations", **labels).inc()
+            self.counter("store.bytes.truncated", **labels).inc(
+                record.fields.get("dropped", 0))
+        elif event == "segment_rolled":
+            self.counter("store.segments_rolled", **labels).inc()
+        elif event == "checkpoint_delta":
+            self.counter("store.checkpoints_delta", **labels).inc()
+            self.counter("store.checkpoint.wire_bytes", **labels).inc(
+                record.fields.get("wire_bytes", 0))
+            self.counter("store.checkpoint.full_bytes", **labels).inc(
+                record.fields.get("full_bytes", 0))
+        elif event == "checkpoint_full":
+            self.counter("store.checkpoints_full", **labels).inc()
+            self.counter("store.checkpoint.wire_bytes", **labels).inc(
+                record.fields.get("full_bytes", 0))
+            self.counter("store.checkpoint.full_bytes", **labels).inc(
+                record.fields.get("full_bytes", 0))
+        elif event == "compacted":
+            self.counter("store.compactions", **labels).inc()
+        elif event == "restored":
+            self.counter("store.restores", **labels).inc()
+            self.counter("store.messages.restored", **labels).inc(
+                record.fields.get("messages", 0))
+        elif event == "corrupt":
+            self.counter("store.corruptions", **labels).inc()
+        elif event == "cold_seed_claimed":
+            self.counter("store.cold_seeds", **labels).inc()
+        elif event == "seed_replay":
+            self.counter("store.messages.replayed", **labels).inc(
+                record.fields.get("messages", 0))
 
     def _observe_token(self, record: TraceRecord) -> None:
         """Turn token receipts into the ring-health sample streams a

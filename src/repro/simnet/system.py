@@ -49,6 +49,7 @@ class EternalSystem(SystemCore):
         keep_trace_records: bool = False,
         telemetry=None,
         profiling=None,
+        store_factory=None,
     ) -> None:
         self.scheduler = Scheduler()
         self._init_core(
@@ -59,6 +60,7 @@ class EternalSystem(SystemCore):
             keep_trace_records=keep_trace_records,
             telemetry=telemetry,
             profiling=profiling,
+            store_factory=store_factory,
         )
         self.network = Network(self.scheduler, network_config,
                                tracer=self.tracer)

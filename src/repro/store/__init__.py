@@ -1,0 +1,45 @@
+"""Durable checkpoint & message-log store for cold restart.
+
+See :mod:`repro.store.base` for the model.  Public surface:
+
+* :class:`DurableStore` / :class:`GroupStore` — the pluggable API the
+  replication mechanisms write through;
+* :class:`JournalStore` — the on-disk segmented journal (live runtime);
+* :class:`MemoryStore` — deterministic in-memory equivalent (simnet);
+* :class:`~repro.errors.StoreCorruptError` — integrity failure beyond
+  the torn tail; the recovery layer catches it and falls back to a full
+  network state transfer.
+"""
+
+from repro.errors import StoreCorruptError, StoreError
+from repro.store.base import (
+    DEFAULT_MAX_DELTA_CHAIN,
+    DurableStore,
+    FSYNC_ALWAYS,
+    FSYNC_CHECKPOINT,
+    FSYNC_NEVER,
+    FSYNC_POLICIES,
+    GroupBackend,
+    GroupStore,
+    StoredState,
+)
+from repro.store.journal import JournalBackend, JournalStore
+from repro.store.memory import MemoryBackend, MemoryStore
+
+__all__ = [
+    "DEFAULT_MAX_DELTA_CHAIN",
+    "DurableStore",
+    "FSYNC_ALWAYS",
+    "FSYNC_CHECKPOINT",
+    "FSYNC_NEVER",
+    "FSYNC_POLICIES",
+    "GroupBackend",
+    "GroupStore",
+    "JournalBackend",
+    "JournalStore",
+    "MemoryBackend",
+    "MemoryStore",
+    "StoreCorruptError",
+    "StoreError",
+    "StoredState",
+]

@@ -1,0 +1,91 @@
+"""In-memory store backend for simnet determinism.
+
+The simulator must stay bit-for-bit deterministic, so its durable store
+cannot touch the host filesystem.  :class:`MemoryBackend` keeps each
+group's journal as a single framed byte blob — the *same* frames
+:mod:`repro.store.journal` writes to disk, decoded through the same
+:func:`~repro.store.records.scan_segment` — so every codec path, the
+torn-tail rule included, is exercised under simulation, and tests can
+corrupt or shear the blob exactly as they would a file.
+
+Durability semantics: the :class:`MemoryStore` object is owned by the
+*system*, not by any simulated process, so it survives
+:meth:`fault-injected <repro.simnet.faults.FaultInjector.crash>` kills
+and restarts the way a disk survives a power cycle.  ``sync`` is a
+no-op — memory is always "stable" here — which models a journal running
+with an ideal fsync.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.store.base import (
+    DEFAULT_MAX_DELTA_CHAIN,
+    DurableStore,
+    FSYNC_CHECKPOINT,
+    FSYNC_POLICIES,
+    GroupBackend,
+)
+from repro.store.records import frame, scan_segment
+
+
+class MemoryBackend(GroupBackend):
+    """One group's journal as a framed blob in memory."""
+
+    def __init__(self, group_id: str) -> None:
+        super().__init__(group_id)
+        self.blob = bytearray()
+        self.sync_count = 0
+
+    def load_payloads(self) -> List:
+        payloads, truncate_to = scan_segment(bytes(self.blob),
+                                             last_segment=True)
+        if truncate_to is not None:
+            dropped = len(self.blob) - truncate_to
+            del self.blob[truncate_to:]
+            self.tracer.emit("store", "tail_truncated", node=self.node_id,
+                             group=self.group_id, dropped=dropped)
+        return payloads
+
+    def append(self, payload: bytes, *, sync: bool) -> None:
+        self.blob += frame(payload)
+        if sync:
+            self.sync_count += 1
+
+    def rewrite(self, payloads: List[bytes]) -> None:
+        rebuilt = bytearray()
+        for payload in payloads:
+            rebuilt += frame(payload)
+        self.blob = rebuilt
+
+    def wipe(self) -> None:
+        self.blob = bytearray()
+
+    def close(self) -> None:
+        pass
+
+    def stats(self) -> Dict[str, float]:
+        return {"bytes": float(len(self.blob)), "segments": 1.0,
+                "fsyncs": float(self.sync_count)}
+
+
+class MemoryStore(DurableStore):
+    """Per-node in-memory store (simnet's stand-in for a disk)."""
+
+    def __init__(self, *, fsync: str = FSYNC_CHECKPOINT,
+                 max_delta_chain: int = DEFAULT_MAX_DELTA_CHAIN) -> None:
+        super().__init__()
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"unknown fsync policy {fsync!r}")
+        self.fsync = fsync
+        self._max_delta_chain = max_delta_chain
+
+    def _make_backend(self, group_id: str) -> GroupBackend:
+        return MemoryBackend(group_id)
+
+    def fsync_policy(self) -> str:
+        return self.fsync
+
+    def max_delta_chain(self) -> int:
+        return self._max_delta_chain

@@ -1,0 +1,175 @@
+"""Wire format of the durable journal (:mod:`repro.store`).
+
+A journal is a sequence of CRC32-framed records::
+
+    frame  := [u32 payload_length][u32 crc32(payload)][payload]
+    payload:= [octet record_type][type-specific CDR body]
+
+Three record types cover everything the recovery ladder needs:
+
+* ``CKPT_FULL`` — a complete :class:`~repro.core.msglog.CheckpointRecord`
+  (all three kinds of state);
+* ``CKPT_DELTA`` — the app-state blob replaced by an encoded
+  :class:`~repro.core.statedelta.StateDelta` against the *previous durable
+  checkpoint* — the PR-4 page format, so delta checkpoints go to disk as
+  cheaply as they go over the wire.  The ORB/POA and infrastructure blobs
+  are small and always stored in full;
+* ``MSG`` — one totally-ordered message (the encoded
+  :class:`~repro.core.envelope.IiopEnvelope`) at its local log position.
+
+Framing failures are classified by the reader:  an *incomplete* frame at
+the physical end of the newest segment is the torn tail of a crashed
+write and is truncated silently; a CRC mismatch on a complete frame, or
+any short frame that is not the journal's last bytes, raises
+:class:`~repro.errors.StoreCorruptError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+from zlib import crc32
+
+from repro.errors import StoreCorruptError, UnmarshalError
+from repro.giop.cdr import CdrInputStream, CdrOutputStream
+
+#: Bump on any layout change; readers reject unknown record types.
+REC_CKPT_FULL = 1
+REC_CKPT_DELTA = 2
+REC_MSG = 3
+
+_FRAME = struct.Struct("<II")
+FRAME_HEADER_SIZE = _FRAME.size
+
+
+@dataclass(frozen=True)
+class CheckpointPayload:
+    """A decoded checkpoint record (full or delta-encoded app state)."""
+
+    transfer_id: str
+    position: int
+    app_state: bytes          # full snapshot, or encoded StateDelta
+    orb_state: bytes
+    infra_state: bytes
+    delta: bool
+
+
+@dataclass(frozen=True)
+class MessagePayload:
+    """A decoded message record."""
+
+    position: int
+    envelope_bytes: bytes
+
+
+RecordPayload = Union[CheckpointPayload, MessagePayload]
+
+
+def encode_checkpoint(transfer_id: str, position: int, app_state: bytes,
+                      orb_state: bytes, infra_state: bytes,
+                      *, delta: bool) -> bytes:
+    """Encode a checkpoint record payload (``delta`` selects whether
+    ``app_state`` is an encoded :class:`StateDelta` or a full snapshot)."""
+    out = CdrOutputStream()
+    out.write_octet(REC_CKPT_DELTA if delta else REC_CKPT_FULL)
+    out.write_string(transfer_id)
+    out.write_longlong(position)
+    out.write_octets(app_state)
+    out.write_octets(orb_state)
+    out.write_octets(infra_state)
+    return out.getvalue()
+
+
+def encode_message(position: int, envelope_bytes: bytes) -> bytes:
+    """Encode one ordered-message record payload."""
+    out = CdrOutputStream()
+    out.write_octet(REC_MSG)
+    out.write_longlong(position)
+    out.write_octets(envelope_bytes)
+    return out.getvalue()
+
+
+def decode_record(payload: bytes) -> RecordPayload:
+    """Decode one framed payload; raises :class:`StoreCorruptError` on any
+    malformed body (the frame CRC already passed, so this is real damage
+    or a foreign/newer format, never a torn write)."""
+    try:
+        inp = CdrInputStream(payload)
+        rec_type = inp.read_octet()
+        if rec_type in (REC_CKPT_FULL, REC_CKPT_DELTA):
+            return CheckpointPayload(
+                transfer_id=inp.read_string(),
+                position=inp.read_longlong(),
+                app_state=inp.read_octets(),
+                orb_state=inp.read_octets(),
+                infra_state=inp.read_octets(),
+                delta=rec_type == REC_CKPT_DELTA,
+            )
+        if rec_type == REC_MSG:
+            return MessagePayload(
+                position=inp.read_longlong(),
+                envelope_bytes=inp.read_octets(),
+            )
+    except UnmarshalError as exc:
+        raise StoreCorruptError(f"undecodable journal record: {exc}") from exc
+    raise StoreCorruptError(f"unknown journal record type {rec_type}")
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap a record payload in its length+CRC frame."""
+    return _FRAME.pack(len(payload), crc32(payload)) + payload
+
+
+def iter_frames(blob: bytes, *,
+                last_segment: bool) -> Iterator[Tuple[bytes, int]]:
+    """Yield ``(payload, end_offset)`` for every complete, CRC-clean frame
+    in one segment's bytes.
+
+    ``last_segment`` selects the torn-tail rule: an incomplete frame at
+    the end of the *newest* segment is silently dropped (the caller may
+    truncate the file to the last yielded ``end_offset``); the same
+    condition in an older segment — which was only ever appended to while
+    it was the newest — is corruption.  A CRC mismatch on a complete
+    frame is corruption anywhere.
+    """
+    offset = 0
+    total = len(blob)
+    while offset < total:
+        header = blob[offset:offset + FRAME_HEADER_SIZE]
+        if len(header) < FRAME_HEADER_SIZE:
+            if last_segment:
+                return        # torn header at the physical tail
+            raise StoreCorruptError(
+                f"short frame header at offset {offset} of a sealed segment"
+            )
+        length, tag = _FRAME.unpack(header)
+        start = offset + FRAME_HEADER_SIZE
+        payload = blob[start:start + length]
+        if len(payload) < length:
+            if last_segment:
+                return        # torn payload at the physical tail
+            raise StoreCorruptError(
+                f"short frame payload at offset {offset} of a sealed segment"
+            )
+        if crc32(payload) != tag:
+            raise StoreCorruptError(
+                f"frame CRC mismatch at offset {offset}"
+            )
+        offset = start + length
+        yield payload, offset
+
+
+def scan_segment(blob: bytes, *,
+                 last_segment: bool) -> Tuple[list, Optional[int]]:
+    """Decode a whole segment.
+
+    Returns ``(payloads, truncate_to)`` where ``truncate_to`` is the byte
+    length the caller should truncate the file to (``None`` when the
+    segment ends on a clean frame boundary)."""
+    payloads = []
+    end = 0
+    for payload, offset in iter_frames(blob, last_segment=last_segment):
+        payloads.append(decode_record(payload))
+        end = offset
+    return payloads, (end if end != len(blob) else None)

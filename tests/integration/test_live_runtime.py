@@ -86,6 +86,78 @@ async def _kill_recover_scenario():
         system.close()
 
 
+async def _durable_restart_scenario(store_dir):
+    """Kill/re-launch with ``store_dir`` set: the relaunched node must come
+    back through its on-disk journal (store restore, not a state-less
+    rejoin), and the journal must actually exist on disk."""
+    system = LiveSystem(NODES, store_dir=store_dir)
+    auditor = system.attach_auditor()
+    try:
+        assert await system.wait_for(system.ring_formed, timeout=15.0)
+        server_nodes = ["n2", "n3"]
+        system.register_factory(CounterServant.type_id, CounterServant,
+                                nodes=server_nodes)
+        group = system.create_group(
+            "counter", CounterServant.type_id,
+            FTProperties(initial_replicas=2, min_replicas=1,
+                         fault_monitoring_interval=0.5,
+                         checkpoint_interval=0.2),
+            nodes=server_nodes,
+        )
+        assert await system.wait_for(
+            lambda: all(group.is_operational_on(n) for n in server_nodes),
+            timeout=15.0)
+        iogr = group.iogr().stringify()
+        system.register_factory(
+            DRIVER_TYPE, make_driver_factory(iogr, "increment"),
+            nodes=["n1"])
+        driver_group = system.create_group(
+            "driver", DRIVER_TYPE,
+            FTProperties(initial_replicas=1, min_replicas=1,
+                         fault_monitoring_interval=0.5),
+            nodes=["n1"],
+        )
+        assert await system.wait_for(
+            lambda: driver_group.is_operational_on("n1"), timeout=15.0)
+        driver = driver_group.servant_on("n1")
+        assert await system.wait_for(lambda: driver.acked >= 10,
+                                     timeout=15.0)
+        # Let at least one periodic checkpoint land in the journals.
+        await system.run_for(0.5)
+
+        system.kill_node("n3")
+        await system.run_for(0.3)
+        restored_before = system.tracer.counters.get("store.restored", 0)
+        system.restart_node("n3")
+        assert await system.wait_for(
+            lambda: group.is_operational_on("n3"), timeout=30.0)
+        assert (system.tracer.counters.get("store.restored", 0)
+                > restored_before), \
+            "relaunched node rejoined without restoring from its journal"
+        acked = driver.acked
+        assert await system.wait_for(lambda: driver.acked > acked,
+                                     timeout=10.0)
+        assert await system.wait_for(
+            lambda: (group.servant_on("n2").value
+                     == group.servant_on("n3").value), timeout=10.0)
+        return auditor
+    finally:
+        system.close()
+
+
+def test_kill_and_recover_with_durable_store(tmp_path):
+    import os
+
+    auditor = asyncio.run(_durable_restart_scenario(str(tmp_path)))
+    auditor.finish(raise_on_findings=True)
+    journals = [
+        os.path.join(root, name)
+        for root, _dirs, names in os.walk(tmp_path)
+        for name in names if name.endswith(".jrnl")
+    ]
+    assert journals, "no journal segments written under --store-dir"
+
+
 def test_three_node_ring_kill_and_recover_clean_audit():
     recovery_wall, auditor = asyncio.run(_kill_recover_scenario())
     # Wall-clock budget: generous for CI, tight enough to catch a hang

@@ -114,7 +114,7 @@ def test_recovering_binding_drops_pre_sync_and_queues_post_sync():
     envelope2 = IiopEnvelope(ConnectionKey("cli", "g"), OpKind.REQUEST, 1,
                              "other", b"bytes")
     mechanisms._handle_iiop(envelope2)
-    assert binding.enqueued == [envelope2]   # post-sync-point: enqueued
+    assert binding.enqueued == [(2, envelope2)]  # post-sync-point: enqueued
 
 
 def test_backup_logs_but_does_not_execute():

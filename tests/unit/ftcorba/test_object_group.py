@@ -8,6 +8,7 @@ from repro.ftcorba.object_group import (
     MemberInfo,
     ObjectGroup,
     ReplicaRole,
+    elect_cold_seed,
 )
 from repro.ftcorba.properties import FTProperties, ReplicationStyle
 from repro.giop.ior import IOR
@@ -92,3 +93,33 @@ def test_primary_node_none_for_active():
     group = make_group()
     group.add_member("n1", ReplicaRole.ACTIVE)
     assert group.primary_node is None
+
+
+class TestColdSeedElection:
+    """The durable-store cold-boot rule: deepest journal wins, ties to
+    the smallest node id, journal-less members never candidate."""
+
+    def test_deepest_journal_wins(self):
+        assert elect_cold_seed({"s1": 10, "s2": 42, "s3": 7}) == "s2"
+
+    def test_tie_breaks_to_smallest_node_id(self):
+        assert elect_cold_seed({"s3": 42, "s2": 42, "s1": 10}) == "s2"
+
+    def test_journal_less_members_never_candidate(self):
+        assert elect_cold_seed({"s1": -1, "s2": 0}) == "s2"
+        assert elect_cold_seed({"s1": -1, "s2": -1}) is None
+        assert elect_cold_seed({}) is None
+
+    def test_every_partial_view_converges(self):
+        # Any bidder that *includes the true winner* in its (possibly
+        # partial) view elects that same winner — the convergence the
+        # first-claim-wins ColdSeed multicast relies on.
+        from itertools import combinations
+        bids = {"s1": 5, "s2": 9, "s3": 9, "s4": 0}
+        winner = elect_cold_seed(bids)
+        assert winner == "s2"
+        for r in range(1, len(bids) + 1):
+            for view in combinations(bids, r):
+                if winner in view:
+                    assert elect_cold_seed(
+                        {n: bids[n] for n in view}) == winner

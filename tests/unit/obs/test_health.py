@@ -160,3 +160,30 @@ def test_bulk_lane_gauges_and_counters_round_trip():
     assert total("repro_bulk_sessions_completed") == 1.0
     assert total("repro_bulk_manifests_sent") >= 1.0
     assert total("repro_state_bytes", lane="oob") >= 256 * 1024
+
+
+def test_store_gauges_round_trip():
+    """Per-node, per-group durable-store gauges render and parse; the
+    fsync-latency histogram appears once real fsyncs happened (journal
+    backend only, so here just the counter-style gauges)."""
+    from repro.store.memory import MemoryStore
+
+    deployment = build_client_server(
+        style=ReplicationStyle.ACTIVE, server_replicas=2, state_size=4_000,
+        checkpoint_interval=0.1, warmup=0.3,
+        store_factory=lambda node_id: MemoryStore())
+    text = render_health(deployment.system)
+    series = {(name, tuple(sorted(labels.items()))): value
+              for name, labels, value in parse_exposition(text)}
+
+    for node in ("s1", "s2"):
+        key = (("group", "store"), ("node", node))
+        assert series[("eternal_store_bytes", key)] > 0
+        assert series[("eternal_store_checkpoints_written", key)] >= 1.0
+        assert ("eternal_store_pending_messages", key) in series
+        assert ("eternal_store_segments", key) in series
+
+
+def test_store_section_absent_without_stores():
+    text = render_health(deploy().system)
+    assert "eternal_store_" not in text

@@ -1,0 +1,112 @@
+"""Wire-format tests for the journal record codec (repro.store.records)."""
+
+import pytest
+
+from repro.errors import StoreCorruptError
+from repro.store.records import (
+    CheckpointPayload,
+    FRAME_HEADER_SIZE,
+    MessagePayload,
+    decode_record,
+    encode_checkpoint,
+    encode_message,
+    frame,
+    scan_segment,
+)
+
+
+def _segment(*payloads: bytes) -> bytes:
+    return b"".join(frame(p) for p in payloads)
+
+
+def test_checkpoint_roundtrip():
+    payload = encode_checkpoint("xfer-1", 42, b"app" * 100, b"orb", b"infra",
+                                delta=False)
+    decoded = decode_record(payload)
+    assert isinstance(decoded, CheckpointPayload)
+    assert decoded.transfer_id == "xfer-1"
+    assert decoded.position == 42
+    assert decoded.app_state == b"app" * 100
+    assert decoded.orb_state == b"orb"
+    assert decoded.infra_state == b"infra"
+    assert decoded.delta is False
+
+
+def test_delta_checkpoint_roundtrip():
+    payload = encode_checkpoint("xfer-2", 7, b"\x01\x02delta", b"", b"",
+                                delta=True)
+    decoded = decode_record(payload)
+    assert decoded.delta is True
+    assert decoded.app_state == b"\x01\x02delta"
+
+
+def test_message_roundtrip():
+    payload = encode_message(9, b"envelope-bytes")
+    decoded = decode_record(payload)
+    assert isinstance(decoded, MessagePayload)
+    assert decoded.position == 9
+    assert decoded.envelope_bytes == b"envelope-bytes"
+
+
+def test_unknown_record_type_is_corruption():
+    with pytest.raises(StoreCorruptError):
+        decode_record(b"\x7f" + b"\x00" * 16)
+
+
+def test_undecodable_body_is_corruption():
+    # Type octet says checkpoint, but the body ends mid-string.
+    with pytest.raises(StoreCorruptError):
+        decode_record(b"\x01\x00\x00\x00\xff")
+
+
+def test_scan_segment_clean():
+    p1 = encode_message(1, b"a")
+    p2 = encode_message(2, b"b")
+    payloads, truncate_to = scan_segment(_segment(p1, p2), last_segment=True)
+    assert [p.position for p in payloads] == [1, 2]
+    assert truncate_to is None
+
+
+def test_torn_tail_in_last_segment_truncates():
+    p1 = encode_message(1, b"a")
+    clean = _segment(p1)
+    torn = clean + frame(encode_message(2, b"b"))[:-3]   # shear the payload
+    payloads, truncate_to = scan_segment(torn, last_segment=True)
+    assert [p.position for p in payloads] == [1]
+    assert truncate_to == len(clean)
+
+
+def test_torn_header_in_last_segment_truncates():
+    clean = _segment(encode_message(1, b"a"))
+    torn = clean + b"\x05\x00"                           # header fragment
+    payloads, truncate_to = scan_segment(torn, last_segment=True)
+    assert len(payloads) == 1
+    assert truncate_to == len(clean)
+
+
+def test_torn_tail_in_sealed_segment_is_corruption():
+    clean = _segment(encode_message(1, b"a"))
+    torn = clean + frame(encode_message(2, b"b"))[:-3]
+    with pytest.raises(StoreCorruptError):
+        scan_segment(torn, last_segment=False)
+
+
+def test_crc_mismatch_is_corruption_even_in_last_segment():
+    blob = bytearray(_segment(encode_message(1, b"abcdef")))
+    blob[-1] ^= 0xFF                                      # flip a payload byte
+    with pytest.raises(StoreCorruptError):
+        scan_segment(bytes(blob), last_segment=True)
+
+
+def test_crc_mismatch_mid_file_is_corruption():
+    p1, p2 = encode_message(1, b"aaaa"), encode_message(2, b"bbbb")
+    blob = bytearray(_segment(p1, p2))
+    blob[FRAME_HEADER_SIZE + 2] ^= 0xFF                   # damage first payload
+    with pytest.raises(StoreCorruptError):
+        scan_segment(bytes(blob), last_segment=True)
+
+
+def test_empty_segment_scans_clean():
+    payloads, truncate_to = scan_segment(b"", last_segment=True)
+    assert payloads == []
+    assert truncate_to is None

@@ -46,3 +46,17 @@ def test_gitignore_covers_profiling_artifacts():
     assert "*.folded" in gitignore
     # The committed-baseline carve-out must stay alongside the ignore.
     assert "!benchmarks/profiles/" in gitignore
+
+
+def test_no_journal_artifacts_tracked():
+    offenders = [f for f in tracked_files()
+                 if f.endswith(".jrnl")
+                 or Path(f).name == "MANIFEST"
+                 or "/store-dir/" in f or f.startswith("store-dir/")]
+    assert offenders == []
+
+
+def test_gitignore_covers_journal_artifacts():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    assert "*.jrnl" in gitignore
+    assert "store-dir/" in gitignore
