@@ -905,6 +905,58 @@ def _cmd_live(args) -> int:
     return run_live(args)
 
 
+def _cmd_live_throughput(args) -> int:
+    from repro.bench.livebench import run_live_throughput
+    from repro.bench.reporting import print_table
+
+    duration = 1.0 if args.quick else args.duration
+    try:
+        result = run_live_throughput(duration=duration,
+                                     use_uvloop=args.uvloop)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rows = []
+    for label in ("ordered", "leased", "saturated"):
+        arm = result[label]
+        rows.append([
+            label, arm["n_drivers"],
+            "on" if arm["read_lease"] else "off",
+            round(arm["acked_per_s"], 1), arm["acked"],
+            arm["fast_reads"], arm["fallbacks"],
+            round(arm["datagrams_per_wakeup"], 2),
+        ])
+    points = result["points"]
+    footer, code = _record_and_compare(args, "live", "live_throughput",
+                                       "ratio", points)
+    if code == 2:
+        return 2
+    gate_line = (f"read-lease speedup {result['speedup']:.2f}x "
+                 f"(gate ≥{args.min_speedup:.1f}x); saturation receive "
+                 f"batching {1.0 / points['wakeups_per_datagram']:.2f} "
+                 f"datagrams/wakeup")
+    if result["speedup"] < args.min_speedup:
+        gate_line += "  — UNDER GATE"
+        code = max(code, 1)
+    footer = gate_line if footer is None else f"{footer}\n{gate_line}"
+    print_table(
+        "Live closed-loop throughput — total order vs read lease "
+        "(loopback UDP, wall clock)",
+        ["arm", "drivers", "lease", "acked_per_s", "acked",
+         "fast_reads", "fallbacks", "dg_per_wakeup"],
+        rows,
+        paper_note="the paper orders every IIOP message through Totem; "
+                   "read_only operations served by the ring leaseholder "
+                   "skip the token rotation entirely, and the batched "
+                   "transport drains multiple datagrams per wakeup at "
+                   "saturation",
+        footer=footer,
+    )
+    if args.record:
+        print(f"\nwrote bench record to {args.record}")
+    return code
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -1086,8 +1138,10 @@ def main(argv=None) -> int:
                       help="total nodes: one manager/driver node plus "
                            "app replicas (min 3)")
     live.add_argument("--app", default="counter",
-                      choices=("counter", "kvstore"),
-                      help="which servant to replicate and drive")
+                      choices=("counter", "kvstore", "kvstore-read"),
+                      help="which servant to replicate and drive "
+                           "(kvstore-read streams a read-heavy put/get "
+                           "mix that exercises the read fast path)")
     live.add_argument("--duration", type=float, default=10.0,
                       help="total run length in wall-clock seconds")
     live.add_argument("--kill-after", type=float, default=2.0,
@@ -1118,12 +1172,37 @@ def main(argv=None) -> int:
                       default="checkpoint",
                       help="journal fsync policy for --store-dir "
                            "(default: checkpoint)")
+    live.add_argument("--uvloop", action="store_true",
+                      help="drive the run with uvloop's event loop "
+                           "(requires the optional extra: "
+                           "pip install 'eternal-repro[uvloop]')")
+    live.add_argument("--no-read-lease", dest="read_lease",
+                      action="store_false", default=True,
+                      help="disable the leader-lease read fast path and "
+                           "route every invocation through the total "
+                           "order (the paper's original behaviour)")
     live.add_argument("--flight-dir", default=None, metavar="DIR",
                       help="write flight-recorder dumps (JSONL, one file "
                            "per node) to DIR: automatically on node kill, "
                            "audit violation, crash, or SIGINT, and for "
                            "every node at shutdown")
     add_profile_flags(live)
+    live_tp = sub.add_parser(
+        "live-throughput",
+        help="closed-loop throughput of the live hot path over loopback "
+             "UDP: total-order vs read-lease arms plus a saturation "
+             "receive-batching probe")
+    add_bench_flags(live_tp, "live")
+    live_tp.add_argument("--duration", type=float, default=2.0,
+                         help="measurement window per arm in wall-clock "
+                              "seconds (default 2)")
+    live_tp.add_argument("--uvloop", action="store_true",
+                         help="drive all arms with uvloop's event loop "
+                              "(requires the optional extra)")
+    live_tp.add_argument("--min-speedup", type=float, default=2.0,
+                         help="required read-lease over total-order "
+                              "throughput ratio (default 2; exit 1 "
+                              "under)")
     args = parser.parse_args(argv)
     handlers = {
         "version": _cmd_version,
@@ -1143,6 +1222,7 @@ def main(argv=None) -> int:
         "profile": _cmd_profile,
         "prof-overhead": _cmd_prof_overhead,
         "live": _cmd_live,
+        "live-throughput": _cmd_live_throughput,
     }
     if args.command is None:
         parser.print_help()

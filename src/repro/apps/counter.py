@@ -22,7 +22,7 @@ class CounterServant(Checkpointable):
         self.value += amount
         return self.value
 
-    @operation
+    @operation(read_only=True)
     def read(self) -> int:
         """Current value."""
         return self.value

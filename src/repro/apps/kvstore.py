@@ -38,7 +38,7 @@ class KvStoreServant(Checkpointable):
         self.data[key] = value
         return True
 
-    @operation
+    @operation(read_only=True)
     def get(self, key: str) -> Any:
         return self.data.get(key)
 
@@ -46,7 +46,7 @@ class KvStoreServant(Checkpointable):
     def delete(self, key: str) -> bool:
         return self.data.pop(key, None) is not None
 
-    @operation
+    @operation(read_only=True)
     def size(self) -> int:
         return len(self.data)
 

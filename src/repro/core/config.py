@@ -115,6 +115,22 @@ class EternalConfig:
     (when non-zero) takes precedence; 0 disables the deployment default
     (unbounded logs, the paper's behaviour)."""
 
+    read_lease: bool = False
+    """Leader-lease read fast path (LLFT-style application-aware
+    relaxation): operations the servant declares ``read_only`` are served
+    point-to-point by the ring leader among the target group's replicas,
+    bypassing the total order, for as long as that leader's ring
+    membership is current.  Lease safety rides on Totem's membership
+    timeouts: a partitioned leaseholder's token-loss timeout fires before
+    the survivors can complete ring formation, so the lease is revoked
+    before a new ring can order conflicting writes.  Off by default (the
+    paper's pure total-order behaviour)."""
+
+    read_lease_timeout: float = 0.25
+    """Client-side fallback: a fast-path read unanswered for this long is
+    re-issued through the total order (idempotent — read_only operations
+    may execute twice)."""
+
     def __post_init__(self) -> None:
         if self.state_capture_bps <= 0:
             raise ValueError("state_capture_bps must be positive")
@@ -143,3 +159,5 @@ class EternalConfig:
                 "request_retransmit_interval must be non-negative")
         if self.max_log_length < 0:
             raise ValueError("max_log_length must be non-negative")
+        if self.read_lease_timeout <= 0:
+            raise ValueError("read_lease_timeout must be positive")

@@ -358,14 +358,14 @@ def _decode_envelope(data: bytes) -> Envelope:
     if tag == _TAG_REPLICA_JOIN:
         return ReplicaJoin(inp.read_string(), inp.read_string(),
                            inp.read_string(),
-                           inp.read_octets().decode("ascii"),
+                           str(inp.read_octets(), "ascii"),
                            inp.read_boolean(),
                            inp.read_longlong())
     if tag == _TAG_STATE_GET:
         return StateGet(inp.read_string(), inp.read_string(),
                         TransferPurpose(inp.read_octet()),
                         inp.read_string(), inp.read_string(),
-                        inp.read_octets().decode("ascii"),
+                        str(inp.read_octets(), "ascii"),
                         inp.read_boolean())
     if tag == _TAG_STATE_SET:
         group_id = inp.read_string()

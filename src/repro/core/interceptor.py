@@ -17,7 +17,7 @@ The ORB itself is never modified and never knows.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.envelope import IiopEnvelope
 from repro.core.identifiers import ConnectionKey, OpKind, invocation_trace_id
@@ -57,6 +57,12 @@ class Interceptor:
         self._spans = SpanEmitter(tracer, node_id=node_id)
         self._offsets: Dict[ConnectionKey, int] = {}
         self.suppressed_reissues = 0
+        #: Optional read fast-path hook (repro.core.readfast): called with
+        #: (connection, wire_id, operation, envelope) for each captured
+        #: two-way request; returning True claims the request for
+        #: point-to-point service instead of the total-order multicast.
+        self.fast_path: Optional[
+            Callable[[ConnectionKey, int, str, IiopEnvelope], bool]] = None
         # Two-way invocations issued by this replica whose replies have
         # not come back yet (rendered by the health exposition), with the
         # captured envelope kept for retransmission: a request ordered
@@ -104,6 +110,27 @@ class Interceptor:
         self._orb_state.observe_outgoing_request(connection, wire_id)
         envelope = IiopEnvelope(connection, OpKind.REQUEST, wire_id,
                                 self.node_id, data)
+        if (message.response_expected and self.fast_path is not None
+                and self.fast_path(connection, wire_id, message.operation,
+                                   envelope)):
+            # Claimed by the leader-lease read fast path: served
+            # point-to-point, off the total order and off the infra
+            # books (reads are idempotent; a recovery re-issue simply
+            # reads again).  Still an open round trip — the fallback
+            # machinery and the retransmission safety net both key on it.
+            self._open_roundtrips[(connection, wire_id)] = envelope
+            trace_id = self.trace_id(connection, wire_id)
+            self.tracer.emit("interceptor", "request_fast",
+                             node=self.node_id, conn=connection.as_str(),
+                             request_id=wire_id, trace=trace_id)
+            self._spans.start(
+                "rpc.roundtrip",
+                span_id=self._rpc_span_id(connection, wire_id),
+                node=self.node_id, group=self.group_id,
+                conn=connection.as_str(), request_id=wire_id,
+                operation=message.operation, trace=trace_id,
+            )
+            return
         if message.response_expected:
             # Track before the reissue check: a suppressed reissue is
             # still awaiting its reply, so it is still outstanding.

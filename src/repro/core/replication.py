@@ -112,6 +112,7 @@ class ReplicationMechanisms:
         self.groups: Dict[str, GroupInfo] = {}
         self.bindings: Dict[str, ReplicaBinding] = {}
         self.recovery = RecoveryMechanisms(self)
+        self.readfast = None
         self.fault_detector = None    # created when the first group arrives
         self._checkpoint_timers: Dict[str, PeriodicTimer] = {}
         self._retransmit_timer: Optional[PeriodicTimer] = None
@@ -126,6 +127,9 @@ class ReplicationMechanisms:
         totem.on_deliver = self._on_deliver
         totem.on_view_change = self._on_view_change
         self.process.on_crash(self._on_crash)
+        if config.read_lease:
+            from repro.core.readfast import ReadFastCoordinator
+            self.readfast = ReadFastCoordinator(self)
         # Announce this (fresh, empty) stack in the total order.  A fast
         # restart may never leave the ring view, so membership alone cannot
         # reveal that our previous incarnation's replicas are gone; and the
@@ -424,6 +428,8 @@ class ReplicationMechanisms:
             tracer=self.tracer,
         )
         container.orb.set_client_transport(interceptor.capture_client_request)
+        if self.readfast is not None:
+            interceptor.fast_path = self.readfast.try_fast_read
         binding.container = container
         binding.interceptor = interceptor
         self.bindings[info.group_id] = binding
@@ -482,6 +488,11 @@ class ReplicationMechanisms:
                            connection: ConnectionKey, data: bytes) -> None:
         group = self.groups.get(binding.group_id)
         if group is None or not group.executes(self.node_id):
+            return
+        if (self.readfast is not None
+                and self.readfast.intercept_reply(binding, connection, data)):
+            # The reply answers a lease-served read: it went back
+            # point-to-point and must not enter the total order.
             return
         binding.interceptor.capture_server_reply(connection, data)
 

@@ -123,11 +123,18 @@ class CdrOutputStream:
 class CdrInputStream:
     """Reads CDR-encoded values from a byte buffer.
 
+    Accepts ``bytes``, ``bytearray`` or ``memoryview``: the decode hot
+    path hands in a ``memoryview`` of the received datagram, and
+    :meth:`read_raw` / :meth:`read_octets` then return sub-views instead
+    of copied slices — payload bytes are never duplicated on the way up
+    the stack (the view pins the ~MTU-sized datagram buffer, which is
+    immutable and bounded).
+
     ``offset_base`` supports encapsulations: alignment inside an
     encapsulation is relative to the encapsulation's own start.
     """
 
-    def __init__(self, data: bytes, little_endian: bool = False) -> None:
+    def __init__(self, data, little_endian: bool = False) -> None:
         self._data = data
         self._pos = 0
         self.little_endian = little_endian
@@ -155,11 +162,21 @@ class CdrInputStream:
         return value
 
     def _unpack(self, fmt: str, boundary: int, size: int):
-        self.align(boundary)
-        raw = self.read_raw(size)
+        # Unpack straight out of the backing buffer (no intermediate
+        # slice object per primitive — this is the decode hot path).
+        pos = self._pos
+        remainder = pos % boundary
+        if remainder:
+            pos += boundary - remainder
+        if pos + size > len(self._data):
+            raise UnmarshalError(
+                f"truncated CDR stream: need {size} bytes at offset "
+                f"{pos}, have {len(self._data) - pos}"
+            )
+        self._pos = pos + size
         try:
-            return struct.unpack(self._fmt + fmt, raw)[0]
-        except struct.error as exc:  # pragma: no cover - read_raw guards size
+            return _STRUCTS[self._fmt + fmt].unpack_from(self._data, pos)[0]
+        except struct.error as exc:  # pragma: no cover - guarded above
             raise UnmarshalError(str(exc)) from exc
 
     # -- primitives -----------------------------------------------------
@@ -201,10 +218,11 @@ class CdrInputStream:
         if length == 0:
             raise UnmarshalError("CDR string length 0 (must include NUL)")
         raw = self.read_raw(length)
-        if raw[-1:] != b"\x00":
+        if raw[-1] != 0:
             raise UnmarshalError("CDR string missing NUL terminator")
         try:
-            return raw[:-1].decode("utf-8")
+            # str(buffer, encoding) decodes bytes and memoryview alike.
+            return str(raw[:-1], "utf-8")
         except UnicodeDecodeError as exc:
             raise UnmarshalError(f"invalid UTF-8 in CDR string: {exc}") from exc
 

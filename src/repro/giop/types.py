@@ -98,7 +98,9 @@ def to_any(value: PyAny) -> Any:
         return Any(TC_DOUBLE, value)
     if isinstance(value, str):
         return Any(TC_STRING, value)
-    if isinstance(value, (bytes, bytearray)):
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        # memoryview: zero-copy decode hands out views into the recv
+        # buffer; materialize on the (cold) re-marshal path.
         return Any(TC_OCTETS, bytes(value))
     if isinstance(value, (list, tuple)):
         return Any(TypeCode(TCKind.SEQUENCE, element=TC_ANY), list(value))

@@ -1,0 +1,309 @@
+"""Opportunistic ``sendmmsg(2)`` / ``recvmmsg(2)`` batching via ctypes.
+
+The live transport's hot cost is the per-datagram syscall: one
+``recvfrom`` per received frame and one ``sendto`` per destination.
+Linux can move a whole batch per syscall with ``sendmmsg``/``recvmmsg``;
+Python's :mod:`socket` does not expose them, so this module binds the
+libc wrappers with :mod:`ctypes` and manages preallocated scatter/gather
+arrays per socket.
+
+Availability is *probed functionally* at import (a real send+recv round
+trip over a loopback socket), and everything degrades gracefully: if the
+symbols are missing, the probe fails, or ``REPRO_NO_MMSG`` is set in the
+environment, :func:`new_batch` returns ``None`` and the transport falls
+back to its portable batched loop (``recvfrom_into`` until EAGAIN,
+per-datagram ``sendto``).  The fallback is semantically identical —
+batching is a syscall-count optimization, never a protocol change.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import errno
+import os
+import socket
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+Address = Tuple[str, int]
+
+#: Errnos that mean "the peer's port is closed" on loopback — dead-peer
+#: noise during kill tests, classified apart from real send failures.
+DEAD_PEER_ERRNOS = frozenset({errno.ECONNREFUSED, errno.EHOSTUNREACH})
+
+_EAGAIN_ERRNOS = frozenset({errno.EAGAIN, errno.EWOULDBLOCK})
+
+
+class _IoVec(ctypes.Structure):
+    # ``iov_base`` is declared ``c_char_p`` so the send path can assign a
+    # ``bytes`` object directly (one C-level conversion) instead of
+    # wrapping it in two fresh ctypes objects per datagram.
+    _fields_ = [
+        ("iov_base", ctypes.c_char_p),
+        ("iov_len", ctypes.c_size_t),
+    ]
+
+
+class _MsgHdr(ctypes.Structure):
+    # Linux layout; ctypes inserts the natural-alignment padding.
+    _fields_ = [
+        ("msg_name", ctypes.c_void_p),
+        ("msg_namelen", ctypes.c_uint32),
+        ("msg_iov", ctypes.POINTER(_IoVec)),
+        ("msg_iovlen", ctypes.c_size_t),
+        ("msg_control", ctypes.c_void_p),
+        ("msg_controllen", ctypes.c_size_t),
+        ("msg_flags", ctypes.c_int),
+    ]
+
+
+class _MMsgHdr(ctypes.Structure):
+    _fields_ = [
+        ("msg_hdr", _MsgHdr),
+        ("msg_len", ctypes.c_uint),
+    ]
+
+
+class _SockaddrIn(ctypes.Structure):
+    _fields_ = [
+        ("sin_family", ctypes.c_uint16),
+        ("sin_port", ctypes.c_uint16),      # network byte order
+        ("sin_addr", ctypes.c_uint32),      # network byte order
+        ("sin_zero", ctypes.c_uint8 * 8),
+    ]
+
+
+def _load_libc():
+    try:
+        libc = ctypes.CDLL(None, use_errno=True)
+        sendmmsg = libc.sendmmsg
+        recvmmsg = libc.recvmmsg
+    except (OSError, AttributeError):
+        return None
+    sendmmsg.restype = ctypes.c_int
+    sendmmsg.argtypes = [ctypes.c_int, ctypes.POINTER(_MMsgHdr),
+                         ctypes.c_uint, ctypes.c_int]
+    recvmmsg.restype = ctypes.c_int
+    recvmmsg.argtypes = [ctypes.c_int, ctypes.POINTER(_MMsgHdr),
+                         ctypes.c_uint, ctypes.c_int, ctypes.c_void_p]
+    return sendmmsg, recvmmsg
+
+
+_LIBC = _load_libc()
+
+
+@dataclass
+class SendResult:
+    """Outcome of one batched send: datagrams handed to the kernel plus
+    the drop counts per failure class."""
+
+    sent: int = 0
+    eagain: int = 0         # socket buffer full; remainder dropped
+    dead_peer: int = 0      # ECONNREFUSED/EHOSTUNREACH (kill-test noise)
+    other: int = 0          # any other per-message errno
+    syscalls: int = 0
+
+
+class MmsgBatch:
+    """Preallocated scatter/gather arrays for one socket's batched I/O.
+
+    One instance belongs to one transport (arrays are reused across
+    calls, never shared across sockets concurrently).
+    """
+
+    def __init__(self, max_batch: int = 32, buf_size: int = 4096) -> None:
+        if _LIBC is None:
+            raise OSError("sendmmsg/recvmmsg unavailable")
+        self._sendmmsg, self._recvmmsg = _LIBC
+        self._n = max_batch
+        self._buf_size = buf_size
+        # Receive side: fixed buffers, headers set up once.
+        self._recv_bufs = ((ctypes.c_char * buf_size) * max_batch)()
+        self._recv_iovs = (_IoVec * max_batch)()
+        self._recv_hdrs = (_MMsgHdr * max_batch)()
+        for i in range(max_batch):
+            self._recv_iovs[i].iov_base = ctypes.cast(
+                self._recv_bufs[i], ctypes.c_char_p)
+            self._recv_iovs[i].iov_len = buf_size
+            hdr = self._recv_hdrs[i].msg_hdr
+            hdr.msg_iov = ctypes.pointer(self._recv_iovs[i])
+            hdr.msg_iovlen = 1
+        # Send side: per-slot destination sockaddr + iovec.
+        self._send_addrs = (_SockaddrIn * max_batch)()
+        self._send_iovs = (_IoVec * max_batch)()
+        self._send_hdrs = (_MMsgHdr * max_batch)()
+        for i in range(max_batch):
+            hdr = self._send_hdrs[i].msg_hdr
+            hdr.msg_name = ctypes.cast(
+                ctypes.pointer(self._send_addrs[i]), ctypes.c_void_p)
+            hdr.msg_namelen = ctypes.sizeof(_SockaddrIn)
+            hdr.msg_iov = ctypes.pointer(self._send_iovs[i])
+            hdr.msg_iovlen = 1
+        # Per-slot proxies resolved once: ctypes array indexing builds a
+        # fresh wrapper object per access, which would otherwise dominate
+        # the per-item setup below.
+        self._send_addr_refs = [ctypes.byref(self._send_addrs[i])
+                                for i in range(max_batch)]
+        self._send_iov_slots = [self._send_iovs[i]
+                                for i in range(max_batch)]
+        self._addr_cache: dict = {}
+
+    @property
+    def max_batch(self) -> int:
+        return self._n
+
+    def _packed_sockaddr(self, addr: Address) -> bytes:
+        """The full ``sockaddr_in`` image for ``(host, port)``, cached:
+        the per-item send setup is one ``memmove`` of these 16 bytes
+        instead of three (slow) ctypes field assignments."""
+        packed = self._addr_cache.get(addr)
+        if packed is None:
+            host, port = addr
+            packed = struct.pack("=HHI8s", socket.AF_INET,
+                                 socket.htons(port),
+                                 struct.unpack("=I", socket.inet_aton(host))[0],
+                                 b"\x00" * 8)
+            self._addr_cache[addr] = packed
+        return packed
+
+    # ------------------------------------------------------------------
+    # Receive
+    # ------------------------------------------------------------------
+
+    def recv(self, fd: int) -> Tuple[List[bytes], int, bool]:
+        """One ``recvmmsg`` call: ``(datagrams, truncated, drained)``.
+
+        ``drained`` is True when the socket is (almost certainly) empty —
+        EAGAIN, or fewer messages than the batch had room for.  Each
+        returned datagram is a fresh immutable ``bytes`` copied out of
+        the reused kernel-fill buffer: the one unavoidable copy per
+        datagram, and the buffer zero-copy decode views point into.
+        """
+        r = self._recvmmsg(fd, self._recv_hdrs, self._n, 0, None)
+        if r < 0:
+            err = ctypes.get_errno()
+            if err in _EAGAIN_ERRNOS:
+                return [], 0, True
+            if err == errno.EINTR or err in DEAD_PEER_ERRNOS:
+                # Dead-peer ICMP errors surface on the socket queue; eat
+                # one and let the caller loop (matches the per-datagram
+                # path's ``except OSError: continue``).
+                return [], 0, False
+            raise OSError(err, os.strerror(err))
+        out: List[bytes] = []
+        truncated = 0
+        for i in range(r):
+            hdr = self._recv_hdrs[i]
+            if hdr.msg_hdr.msg_flags & socket.MSG_TRUNC:
+                truncated += 1
+                continue
+            out.append(self._recv_bufs[i][:hdr.msg_len])
+        return out, truncated, r < self._n
+
+    # ------------------------------------------------------------------
+    # Send
+    # ------------------------------------------------------------------
+
+    def send(self, fd: int, items: List[Tuple[bytes, Address]]) -> SendResult:
+        """Send every ``(data, (host, port))`` with as few syscalls as
+        possible.  Per-message destinations are supported directly, so
+        callers never need to group by destination.  UDP drop semantics
+        are preserved: EAGAIN drops the remainder of the queue (the
+        kernel buffer is full; Totem retransmission owns reliability),
+        a dead-peer errno drops that one message and continues."""
+        result = SendResult()
+        total = len(items)
+        index = 0
+        addr_cache = self._addr_cache
+        addr_refs = self._send_addr_refs
+        iov_slots = self._send_iov_slots
+        sockaddr_size = ctypes.sizeof(_SockaddrIn)
+        memmove = ctypes.memmove
+        while index < total:
+            round_count = min(self._n, total - index)
+            for slot in range(round_count):
+                data, addr = items[index + slot]
+                packed = addr_cache.get(addr)
+                if packed is None:
+                    packed = self._packed_sockaddr(addr)
+                memmove(addr_refs[slot], packed, sockaddr_size)
+                iov = iov_slots[slot]
+                # The bytes object stays referenced via ``items`` for the
+                # duration of the call, so the raw pointer is safe.
+                iov.iov_base = data
+                iov.iov_len = len(data)
+            done = 0
+            while done < round_count:
+                result.syscalls += 1
+                r = self._sendmmsg(
+                    fd,
+                    ctypes.cast(
+                        ctypes.byref(self._send_hdrs,
+                                     done * ctypes.sizeof(_MMsgHdr)),
+                        ctypes.POINTER(_MMsgHdr)),
+                    round_count - done, 0)
+                if r > 0:
+                    done += r
+                    result.sent += r
+                    continue
+                err = ctypes.get_errno()
+                if err == errno.EINTR:
+                    continue
+                if err in _EAGAIN_ERRNOS:
+                    result.eagain += (round_count - done) + (total - index
+                                                             - round_count)
+                    return result
+                # The error belongs to the first unsent message; classify
+                # it, skip it, keep going with the rest.
+                if err in DEAD_PEER_ERRNOS:
+                    result.dead_peer += 1
+                else:
+                    result.other += 1
+                done += 1
+            index += round_count
+        return result
+
+
+def _probe() -> bool:
+    """Functional availability check: a real batched round trip."""
+    if _LIBC is None:
+        return False
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        sock.bind(("127.0.0.1", 0))
+        sock.setblocking(False)
+        batch = MmsgBatch(max_batch=2)
+        here = sock.getsockname()
+        result = batch.send(sock.fileno(), [(b"mmsg0", here), (b"mmsg1", here)])
+        if result.sent != 2:
+            return False
+        got: List[bytes] = []
+        for _ in range(1000):
+            msgs, _trunc, drained = batch.recv(sock.fileno())
+            got.extend(msgs)
+            if len(got) >= 2:
+                break
+            if drained and not msgs and got:
+                break
+        return got == [b"mmsg0", b"mmsg1"]
+    except OSError:
+        return False
+    finally:
+        sock.close()
+
+
+_AVAILABLE = _probe()
+
+
+def available() -> bool:
+    """Can this process batch syscalls?  (Re-checks ``REPRO_NO_MMSG`` so
+    tests can force the portable path at runtime.)"""
+    return _AVAILABLE and not os.environ.get("REPRO_NO_MMSG")
+
+
+def new_batch(max_batch: int = 32, buf_size: int = 4096) -> Optional[MmsgBatch]:
+    """A fresh :class:`MmsgBatch`, or ``None`` when unavailable."""
+    if not available():
+        return None
+    return MmsgBatch(max_batch=max_batch, buf_size=buf_size)

@@ -17,7 +17,9 @@ from __future__ import annotations
 import asyncio
 import sys
 
+from repro.core.config import EternalConfig
 from repro.ftcorba.properties import FTProperties
+from repro.live.clock import new_event_loop
 from repro.live.health_http import start_health_server
 from repro.live.loadgen import (
     DRIVER_TYPE,
@@ -56,8 +58,13 @@ async def _run(args) -> int:
         from repro.obs.profiling import ProfileSession
         profile_session = ProfileSession(
             sample_interval=getattr(args, "profile_sample_interval", 0.005))
+    # The live CLI defaults the leader-lease read fast path ON
+    # (--no-read-lease restores the paper's pure total order); servants
+    # without read_only operations are unaffected either way.
+    read_lease = getattr(args, "read_lease", True)
     system = LiveSystem(
         node_ids, keep_trace_records=keep_records, telemetry=telemetry,
+        eternal_config=EternalConfig(read_lease=read_lease),
         profiling=profile_session.config if profile_session else None,
         store_dir=getattr(args, "store_dir", None),
         store_fsync=getattr(args, "store_fsync", "checkpoint"))
@@ -109,9 +116,10 @@ async def _run(args) -> int:
               f"({args.state_size} B state)")
 
         iogr = group.iogr().stringify()
-        system.register_factory(
-            DRIVER_TYPE, make_driver_factory(iogr, app.driver_op),
-            nodes=[manager_node])
+        driver_factory = (app.make_driver(iogr) if app.make_driver
+                          else make_driver_factory(iogr, app.driver_op))
+        system.register_factory(DRIVER_TYPE, driver_factory,
+                                nodes=[manager_node])
         driver_group = system.create_group(
             "driver", DRIVER_TYPE,
             FTProperties(initial_replicas=1, min_replicas=1,
@@ -162,6 +170,18 @@ async def _run(args) -> int:
         print(f"driver: sent={driver.sent} acked={driver.acked}")
         print("replica progress: "
               + " ".join(f"{n}={v}" for n, v in sorted(progress.items())))
+        batches = system.tracer.count("live.sys.recv_batches")
+        datagrams = system.tracer.count("live.sys.recv_datagrams")
+        if batches:
+            print(f"socket batching: {datagrams} datagrams over "
+                  f"{batches} wakeups "
+                  f"({datagrams / batches:.2f} datagrams/wakeup)")
+        fast = system.tracer.count("interceptor.request_fast")
+        if read_lease and fast:
+            print(f"read fast path: {fast} reads diverted to the "
+                  f"leaseholder, "
+                  f"{system.tracer.count('lease.fallback')} fell back "
+                  f"to the total order")
 
         if args.health_out or args.health_port is not None:
             from repro.obs.health import parse_exposition, render_health
@@ -225,4 +245,15 @@ def run_live(args) -> int:
                      f"(choices: {', '.join(sorted(LIVE_APPS))})")
     if args.kill_after >= args.duration:
         return _fail("--kill-after must be less than --duration")
-    return asyncio.run(_run(args))
+    use_uvloop = getattr(args, "uvloop", False)
+    try:
+        # asyncio.Runner so the loop factory is pluggable (--uvloop swaps
+        # in uvloop's implementation when the optional extra is present).
+        with asyncio.Runner(
+                loop_factory=lambda: new_event_loop(
+                    use_uvloop=use_uvloop)) as runner:
+            return runner.run(_run(args))
+    except RuntimeError as exc:
+        if "uvloop" in str(exc):
+            return _fail(str(exc))
+        raise

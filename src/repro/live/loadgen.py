@@ -105,6 +105,58 @@ class ClosedLoopDriver(Checkpointable):
             raise InvalidState(f"bad driver state: {exc}") from exc
 
 
+class ReadMixDriver(ClosedLoopDriver):
+    """A closed-loop driver streaming a read-heavy kvstore mix: every
+    ``write_every``-th invocation is a ``put`` (ordered through Totem as
+    always), the rest are ``get`` reads the leader-lease fast path can
+    serve point-to-point (:mod:`repro.core.readfast`).
+
+    The very first invocation is a write, so the client-server handshake
+    is ordered — and therefore replayable to every server replica —
+    before any read may bypass the total order.  The op choice is a pure
+    function of the invocation index, keeping the driver deterministic
+    and safely replicable like its parent.
+    """
+
+    def __init__(self, target_ior: str, *, write_every: int = 16,
+                 key_space: int = 8, max_invocations: int = 0) -> None:
+        super().__init__(target_ior, "get",
+                         max_invocations=max_invocations)
+        self._write_every = max(1, write_every)
+        self._key_space = max(1, key_space)
+        self.reads_acked = 0
+        self.writes_acked = 0
+
+    def _invoke(self, token: int) -> None:
+        proxy = self._ensure_proxy()
+        key = f"k{token % self._key_space}"
+        if token % self._write_every == 0:
+            proxy.invoke("put", key, token, on_reply=self._on_write_reply)
+        else:
+            proxy.invoke("get", key, on_reply=self._on_read_reply)
+
+    def _on_read_reply(self, reply: ReplyMessage) -> None:
+        if reply.reply_status is ReplyStatus.NO_EXCEPTION:
+            self.reads_acked += 1
+        self._on_reply(reply)
+
+    def _on_write_reply(self, reply: ReplyMessage) -> None:
+        if reply.reply_status is ReplyStatus.NO_EXCEPTION:
+            self.writes_acked += 1
+        self._on_reply(reply)
+
+    def get_state(self) -> Any:
+        state = super().get_state()
+        state["reads_acked"] = self.reads_acked
+        state["writes_acked"] = self.writes_acked
+        return state
+
+    def set_state(self, state: Any) -> None:
+        super().set_state(state)
+        self.reads_acked = int(state.get("reads_acked", 0))
+        self.writes_acked = int(state.get("writes_acked", 0))
+
+
 @dataclass(frozen=True)
 class LiveApp:
     """One servant the live CLI can deploy, and how to drive it."""
@@ -116,6 +168,9 @@ class LiveApp:
     #: Reads the comparable progress value out of a servant instance, so
     #: the CLI can print cross-replica consistency at the end of a run.
     progress_of: Callable[[Any], Any]
+    #: Optional custom driver builder (target IOR -> zero-arg factory);
+    #: when None the CLI streams ``driver_op`` via ClosedLoopDriver.
+    make_driver: Optional[Callable[[str], Callable[[], Any]]] = None
 
 
 def _counter_factory(state_size: int) -> Callable[[], CounterServant]:
@@ -138,6 +193,16 @@ LIVE_APPS = {
         driver_op="echo",
         make_factory=make_kvstore_factory,
         progress_of=lambda servant: servant.echo_count,
+    ),
+    "kvstore-read": LiveApp(
+        name="kvstore-read",
+        type_id="IDL:repro/KvStore:1.0",
+        driver_op="get",
+        make_factory=make_kvstore_factory,
+        progress_of=lambda servant: sorted(
+            (k, v) for k, v in servant.data.items()
+            if isinstance(k, str) and k.startswith("k")),
+        make_driver=lambda iogr: (lambda: ReadMixDriver(iogr)),
     ),
 }
 

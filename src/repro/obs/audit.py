@@ -59,9 +59,11 @@ DUPLICATE_DELIVERY = "duplicate-delivery"
 RECOVERY_WINDOW = "recovery-window"
 SET_STATE_WINDOW = "set-state-window"
 SPAN_STRUCTURE = "span-structure"
+LEASE_WINDOW = "lease-window"
 
 INVARIANTS = (STATE_DIGEST, ORDER_DIGEST, DUPLICATE_DELIVERY,
-              RECOVERY_WINDOW, SET_STATE_WINDOW, SPAN_STRUCTURE)
+              RECOVERY_WINDOW, SET_STATE_WINDOW, SPAN_STRUCTURE,
+              LEASE_WINDOW)
 
 
 def state_digest(*blobs: bytes) -> str:
@@ -135,6 +137,11 @@ class ConsistencyAuditor:
         # (node, group); capped — a stale grant must not mask real
         # violations forever.
         self._checkpoint_grants: Dict[Tuple[str, str], int] = {}
+        # lease-window: per-node installed ring (None while in GATHER),
+        # plus every ring membership ever installed by anyone — the
+        # evidence for judging lease.read_served events.
+        self._node_ring: Dict[str, Optional[int]] = {}
+        self._ring_members: Dict[int, Tuple[str, ...]] = {}
         self._spans = SpanTracker()
         #: Called with each new AuditFinding the moment it is flagged
         #: (the telemetry plane hooks this to dump the flight recorder).
@@ -231,6 +238,18 @@ class ConsistencyAuditor:
                 self._on_executed(record)
             elif record.event == "set_state":
                 self._on_set_state(record)
+        elif category == "totem":
+            if record.event == "install":
+                node = record.fields.get("node", "")
+                ring_id = int(record.fields.get("ring_id", 0))
+                self._node_ring[node] = ring_id
+                self._ring_members[ring_id] = tuple(
+                    record.fields.get("members", ()))
+            elif record.event == "gather":
+                self._node_ring[record.fields.get("node", "")] = None
+        elif category == "lease":
+            if record.event == "read_served":
+                self._on_read_served(record)
 
     # -- state digests -----------------------------------------------------
 
@@ -367,6 +386,62 @@ class ConsistencyAuditor:
             "sync point, no failover, no announced checkpoint)",
             group=key[1], node=key[0],
         )
+
+    # -- lease windows -----------------------------------------------------
+
+    def _on_read_served(self, record: TraceRecord) -> None:
+        """A fast read may only be served *inside* the serving node's
+        installed ring: the node must hold an installed membership, it
+        must match the ring the lease claims, and no node may have
+        installed a newer ring that excludes the server (Totem's timeout
+        ordering guarantees the stale leaseholder notices its revocation
+        first — a serve after such an install means that ordering was
+        violated)."""
+        fields = record.fields
+        node = fields.get("node", "")
+        served_ring = int(fields.get("ring_id", 0))
+        group = fields.get("group")
+        if node in self._node_ring:
+            installed = self._node_ring[node]
+            if installed is None:
+                self._flag(
+                    LEASE_WINDOW, record.time,
+                    "fast read served while the node was in GATHER "
+                    "(no installed ring — lease revoked)",
+                    group=group, node=node,
+                )
+                return
+            if installed != served_ring:
+                self._flag(
+                    LEASE_WINDOW, record.time,
+                    f"fast read served under ring {served_ring} but the "
+                    f"node's installed ring is {installed}",
+                    group=group, node=node,
+                )
+                return
+            members = self._ring_members.get(installed, ())
+            if members and node not in members:
+                self._flag(
+                    LEASE_WINDOW, record.time,
+                    f"fast read served by a node outside its own ring "
+                    f"{installed} membership {members}",
+                    group=group, node=node,
+                )
+                return
+        # Cross-node ordering: a newer installed ring that excludes the
+        # server means its lease was already revoked when the new ring
+        # became operational.  (Judged even when the server's own install
+        # predates our subscription.)
+        for ring_id, members in self._ring_members.items():
+            if ring_id > served_ring and members and node not in members:
+                self._flag(
+                    LEASE_WINDOW, record.time,
+                    f"fast read served under ring {served_ring} after "
+                    f"ring {ring_id} (which excludes the server) was "
+                    f"installed",
+                    group=group, node=node,
+                )
+                return
 
     # ------------------------------------------------------------------
     # End-of-stream checks

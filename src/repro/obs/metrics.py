@@ -263,6 +263,17 @@ class MetricsRegistry:
             self.histogram("totem.payloads_per_frame", **labels).record(
                 record.fields.get("payloads", 1))
             return
+        if record.category == "live" and record.event == "recv_batch":
+            labels = {k: record.fields[k] for k in ("node",)
+                      if k in record.fields}
+            self.histogram("live.sys.recv_batch_size", **labels).record(
+                record.fields.get("n", 1))
+            return
+        if record.category == "lease":
+            labels = {k: record.fields[k] for k in ("node",)
+                      if k in record.fields}
+            self.counter(f"lease.{record.event}", **labels).inc()
+            return
         if record.category != "span":
             return
         span_id = record.fields.get("span")

@@ -75,15 +75,18 @@ class TelemetryConfig:
     internals), and ``replication.duplicate`` (routine in active
     replication — every non-primary replica's reply is suppressed as a
     duplicate, so the retained ``interceptor.reply`` records already
-    imply it).  Set it to ``()`` for full wire fidelity at roughly
-    double the hot-path cost.
+    imply it), and ``live.recv_batch`` (one record per socket wakeup in
+    the live runtime; the ``live.sys.recv_batch_size`` histogram keeps
+    the distribution).  Set it to ``()`` for full wire fidelity at
+    roughly double the hot-path cost.
     """
 
     enabled: bool = True
     flight_capacity: int = 512
     flight_dir: Optional[str] = None
     flight_exclude: Tuple[str, ...] = ("net", "totem.deliver",
-                                       "replication.duplicate")
+                                       "replication.duplicate",
+                                       "live.recv_batch")
     sample_interval: float = 0.25
     history_capacity: int = 256
 
@@ -429,6 +432,7 @@ _TOP_COLUMNS = (
     ("bulk", "bulk.store_depth", lambda p: f"{p[1]:g}"),
     ("tok-rtt ms", "totem.token_interarrival",
      lambda p: f"{p[1] * 1000:.2f}"),
+    ("rxbatch p50", "live.sys.recv_batch_size", lambda p: f"{p[1]:g}"),
 )
 
 

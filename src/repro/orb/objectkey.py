@@ -34,7 +34,7 @@ def parse_key(key: bytes) -> Tuple[str, bytes]:
     (length,) = struct.unpack(">H", key[1:3])
     if len(key) < 3 + length:
         raise ProtocolError("truncated object key POA name")
-    poa_name = key[3:3 + length].decode("utf-8")
+    poa_name = str(key[3:3 + length], "utf-8")
     return poa_name, key[3 + length:]
 
 

@@ -30,20 +30,41 @@ class CorbaUserException(Exception):
 
 
 def operation(fn: Callable = None, *, duration: float = DEFAULT_OP_DURATION,
-              oneway: bool = False):
+              oneway: bool = False, read_only: bool = False):
     """Mark a servant method as a CORBA operation.
 
     ``duration`` is the simulated execution time; ``oneway`` marks
-    operations that return no response.
+    operations that return no response.  ``read_only`` declares that the
+    operation does not mutate replica state — application-level metadata
+    (in the spirit of LLFT's application-aware ordering relaxations) that
+    lets the replication layer serve the call through the leader-lease
+    read fast path instead of the total order.  Marking a mutating
+    operation ``read_only`` voids the consistency guarantee; the
+    declaration is the application's promise.
     """
     def mark(func: Callable) -> Callable:
         func._corba_operation = True
         func._corba_duration = duration
         func._corba_oneway = oneway
+        func._corba_read_only = read_only
         return func
     if fn is not None:
         return mark(fn)
     return mark
+
+
+#: ``type_id`` -> frozenset of operation names declared ``read_only``.
+#: Populated by :class:`Servant.__init_subclass__`, so the registry is
+#: complete as soon as the servant classes are imported — the client-side
+#: fast-path gate needs the metadata *before* any servant instance of the
+#: target group exists locally.
+_READ_ONLY_OPS: Dict[str, frozenset] = {}
+
+
+def read_only_operations(type_id: str) -> frozenset:
+    """Operation names declared ``read_only`` for ``type_id`` (empty set
+    for unknown or fully-ordered types)."""
+    return _READ_ONLY_OPS.get(type_id, frozenset())
 
 
 class Servant:
@@ -59,6 +80,19 @@ class Servant:
     """
 
     type_id = "IDL:repro/Object:1.0"
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        type_id = cls.__dict__.get("type_id")
+        if type_id is None:
+            return
+        names = set(_READ_ONLY_OPS.get(type_id, frozenset()))
+        for klass in cls.__mro__:
+            for name, member in vars(klass).items():
+                if getattr(member, "_corba_read_only", False):
+                    names.add(name)
+        if names:
+            _READ_ONLY_OPS[type_id] = frozenset(names)
 
     def _find_operation(self, name: str) -> Callable:
         fn = getattr(self, name, None)

@@ -70,6 +70,7 @@ class Tracer:
         self._keep_records = keep_records
         self._enabled = enabled_categories
         self._disabled: Set[str] = set()
+        self._muted: frozenset = frozenset()
         self._subscribers: List[Callable[[TraceRecord], None]] = []
         self._now: Callable[[], float] = lambda: 0.0
         #: Span ids currently open on this trace stream; maintained by
@@ -96,15 +97,28 @@ class Tracer:
         ``enabled_categories``: a category must pass both filters."""
         self._disabled = set(categories)
 
+    def set_muted_events(self, events) -> None:
+        """Mute individual ``category.event`` record streams: no record
+        is created, retained, or delivered to subscribers; the counter
+        keeps counting.  Finer-grained than the category filters — built
+        for provably consumer-less high-volume events on the live hot
+        path, where building and fanning out a record that every
+        subscriber ignores is pure overhead."""
+        self._muted = frozenset(events)
+
     def emit(self, category: str, event: str, **fields: Any) -> None:
         """Record an event and bump its counter (``category.event``).
 
         The counter updates unconditionally.  The record itself is produced
-        only if the category is enabled, and is then both retained (when
-        ``keep_records``) and fanned out to every subscriber — the category
-        filter applies uniformly to retention and subscription.
+        only if the category is enabled and the event is not muted, and is
+        then both retained (when ``keep_records``) and fanned out to every
+        subscriber — the filters apply uniformly to retention and
+        subscription.
         """
-        self.counters[f"{category}.{event}"] += 1
+        key = f"{category}.{event}"
+        self.counters[key] += 1
+        if key in self._muted:
+            return
         if self._enabled is not None and category not in self._enabled:
             return
         if category in self._disabled:

@@ -96,10 +96,7 @@ def test_mtu_matches_simulated_ethernet():
 # Syscall accounting (live.sys.* counters; see repro.obs.profiling)
 # ---------------------------------------------------------------------------
 
-@pytest.fixture()
-def udp_pair():
-    """Two UdpTransports on loopback sharing a tracer, driven directly
-    (no event loop: `_on_readable`/`_send` are called by hand)."""
+def _make_pair(force_portable=False):
     from repro.live.clock import LiveScheduler
     from repro.live.transport import UdpTransport, bind_udp_socket
     from repro.runtime.host import BaseHost
@@ -115,6 +112,30 @@ def udp_pair():
                         ("127.0.0.1", 1), tracer=tracer)
         for n in socks
     }
+    if force_portable:
+        for transport in transports.values():
+            transport._mmsg = None
+    return loop, socks, transports, tracer
+
+
+@pytest.fixture()
+def udp_pair():
+    """Two UdpTransports on loopback sharing a tracer, driven directly
+    (no event loop: `_on_readable`/`_send` are called by hand), pinned
+    to the portable (recvfrom/sendto) path so the syscall counters the
+    tests assert on are deterministic."""
+    loop, socks, transports, tracer = _make_pair(force_portable=True)
+    yield transports, tracer
+    for sock in socks.values():
+        sock.close()
+    loop.close()
+
+
+@pytest.fixture()
+def udp_pair_batched():
+    """Same as ``udp_pair`` but on whatever path the platform provides
+    (sendmmsg/recvmmsg when available)."""
+    loop, socks, transports, tracer = _make_pair()
     yield transports, tracer
     for sock in socks.values():
         sock.close()
@@ -135,6 +156,9 @@ def _drain(transport, tracer, *, expect: int):
 def test_recv_syscall_counters_account_for_the_drain_loop(udp_pair):
     transports, tracer = udp_pair
     transports["b"].unicast("a", Token(ring_id=1, seq=5, aru=5), 50)
+    # A token send outside a receive drain goes straight through (the
+    # rotation's critical path never queues).
+    assert tracer.count("live.sys.send_flushes") == 1
     assert tracer.count("live.sys.sendto") == 1
     _drain(transports["a"], tracer, expect=1)
     assert tracer.count("live.sys.recv_datagrams") == 1
@@ -146,6 +170,107 @@ def test_recv_syscall_counters_account_for_the_drain_loop(udp_pair):
     assert tracer.count("live.sys.recv_batches") == \
         tracer.count("live.sys.recv_eagain")
     assert tracer.count("live.codec.bytes_in") > 0
+
+
+def test_recv_batch_record_is_sampled_one_in_32(udp_pair):
+    transports, tracer = udp_pair
+    receiver = transports["a"]
+    for _ in range(64):
+        receiver._on_readable()     # empty wakeups still tick the sampler
+    assert tracer.count("live.sys.recv_batches") == 64
+    # The histogram record fires on every 32nd wakeup only; the exact
+    # counters above carry the full accounting.
+    assert tracer.count("live.recv_batch") == 2
+
+
+def test_mmsg_path_batches_syscalls():
+    from repro.live import _mmsg
+    if not _mmsg.available():
+        pytest.skip("sendmmsg/recvmmsg unavailable")
+    loop, socks, transports, tracer = _make_pair()
+    try:
+        assert transports["a"].batching
+        sender = transports["b"]
+        # Simulate a deep burst issued inside a receive drain: the
+        # frames queue and flush once, in a single sendmmsg syscall
+        # (a flush shallower than _MMSG_SEND_MIN uses a sendto loop).
+        sender._in_drain = True
+        for seq in range(20):
+            sender.unicast("a", Token(ring_id=1, seq=seq, aru=seq), 50)
+        assert tracer.count("live.sys.send_flushes") == 0   # queued
+        sender._in_drain = False
+        sender._flush_sends()
+        assert tracer.count("live.sys.send_flushes") == 1
+        assert tracer.count("live.sys.sendmmsg") == 1
+        assert tracer.count("live.sys.sendto") == 0
+        _drain(transports["a"], tracer, expect=20)
+        assert tracer.count("live.sys.recv_datagrams") == 20
+        # Hybrid drain: the first few datagrams of a wakeup use the
+        # C-speed recvfrom_into, then recvmmsg moves the deep remainder.
+        assert tracer.count("live.sys.recvmmsg") >= 1
+        assert tracer.count("live.sys.recvfrom") >= 2
+    finally:
+        for sock in socks.values():
+            sock.close()
+        loop.close()
+
+
+def test_sends_during_a_drain_coalesce_into_one_flush():
+    """End-to-end: replies a delivery handler issues while the wakeup's
+    drain loop is running queue up and flush once at the end of the
+    wakeup; sends outside any drain go straight out."""
+    from repro.live import _mmsg
+    loop, socks, transports, tracer = _make_pair()
+    try:
+        a, b = transports["a"], transports["b"]
+
+        def reply_three(src, payload):
+            for seq in range(3):
+                a.unicast("b", Token(ring_id=2, seq=seq, aru=seq), 50)
+
+        a.deliver = reply_three
+        b.unicast("a", Token(ring_id=1, seq=0, aru=0), 50)
+        # Outside a drain the frame goes straight out: one flush, now.
+        assert tracer.count("live.sys.send_flushes") == 1
+        _drain(a, tracer, expect=1)
+        # The three replies issued mid-drain coalesced into one flush
+        # (shallow, so it went out as a sendto loop, not sendmmsg).
+        assert tracer.count("live.sys.send_flushes") == 2
+        assert tracer.count("live.sys.sendmmsg") == 0
+        assert tracer.count("live.sys.sendto") == 4     # 1 direct + 3 flush
+    finally:
+        for sock in socks.values():
+            sock.close()
+        loop.close()
+
+
+def test_out_of_drain_data_sends_coalesce_per_loop_pass():
+    """Ordinary frames sent outside any drain (timer-callback bursts,
+    e.g. the container's reply completions) queue behind a flush
+    scheduled for the next event-loop pass — one flush per iteration —
+    while token sends skip the queue entirely."""
+    loop, socks, transports, tracer = _make_pair(force_portable=True)
+    try:
+        sender = transports["b"]
+        sender._loop = loop     # open() would do this; no reader needed
+        for seq in range(3):
+            sender.unicast("a", DataMsg(
+                ring_id=1, seq=seq, sender="b", msg_id=("b", seq),
+                frag_index=0, frag_count=1, chunk=b"x"), 200)
+        # Nothing on the wire yet: the flush awaits the next loop pass.
+        assert tracer.count("live.sys.sendto") == 0
+        assert tracer.count("live.sys.send_flushes") == 0
+        loop.run_until_complete(asyncio.sleep(0))
+        assert tracer.count("live.sys.send_flushes") == 1
+        assert tracer.count("live.sys.sendto") == 3
+        # A token forward bypasses the queue: sent immediately.
+        sender.unicast("a", Token(ring_id=1, seq=9, aru=9), 50)
+        assert tracer.count("live.sys.sendto") == 4
+        assert tracer.count("live.sys.send_flushes") == 2
+    finally:
+        for sock in socks.values():
+            sock.close()
+        loop.close()
 
 
 def test_empty_wakeup_counts_one_probe_and_no_datagrams(udp_pair):
@@ -167,7 +292,61 @@ def test_bad_frame_still_counts_as_received_datagram(udp_pair):
     assert tracer.count("live.codec.bytes_in") == 0
 
 
+def test_malformed_datagrams_do_not_tear_down_the_transport(udp_pair):
+    """A fuzzing peer (or bit-rot on the wire) must cost exactly one
+    dropped frame per bad datagram: the reader stays registered and the
+    next well-formed frame still delivers."""
+    import os as os_mod
+
+    transports, tracer = udp_pair
+    a = transports["a"]
+    delivered = []
+    a.deliver = lambda src, payload: delivered.append((src, payload))
+    raw = transports["b"]._sock
+    good = encode_frame("b", Token(ring_id=1, seq=9, aru=9))
+    hostile = [
+        b"",                                    # zero-length datagram
+        b"xy",                                  # shorter than the header
+        b"ET1\x00\x00\x02n1\x01\x02\x03",       # old pickle-codec magic
+        b"XT2\x00" + good[4:],                  # bit-flipped magic
+        good[:-3],                              # truncated body
+        b"ET2\x00\x00\x02n1\x63\x01",           # unknown wire version
+        b"ET2\x00\x00\x02n1\x01\x63",           # unknown frame tag
+        os_mod.urandom(48),                     # junk
+    ]
+    for frame in hostile:
+        raw.sendto(frame, a.local_addr)
+    raw.sendto(good, a.local_addr)
+    _drain(a, tracer, expect=len(hostile) + 1)
+    assert tracer.count("live.sys.recv_datagrams") == len(hostile) + 1
+    assert tracer.count("live.bad_frame") == len(hostile)
+    assert delivered == [("b", Token(ring_id=1, seq=9, aru=9))]
+
+
+def test_repro_no_mmsg_forces_portable_path(monkeypatch):
+    from repro.live import _mmsg
+
+    monkeypatch.setenv("REPRO_NO_MMSG", "1")
+    assert not _mmsg.available()
+    assert _mmsg.new_batch() is None
+    loop, socks, transports, tracer = _make_pair()
+    try:
+        assert not transports["a"].batching
+        transports["b"].unicast("a", Token(ring_id=1, seq=5, aru=5), 50)
+        _drain(transports["a"], tracer, expect=1)
+        assert tracer.count("live.sys.recv_datagrams") == 1
+        assert tracer.count("live.sys.recvmmsg") == 0
+        assert tracer.count("live.sys.sendmmsg") == 0
+        assert tracer.count("live.sys.sendto") == 1
+    finally:
+        for sock in socks.values():
+            sock.close()
+        loop.close()
+
+
 def test_send_eagain_counted_apart_from_generic_drops(udp_pair):
+    import errno as errno_mod
+
     transports, tracer = udp_pair
     transport = transports["a"]
 
@@ -177,7 +356,11 @@ def test_send_eagain_counted_apart_from_generic_drops(udp_pair):
 
     class DeadPeerSocket:
         def sendto(self, data, addr):
-            raise OSError("ECONNREFUSED")
+            raise OSError(errno_mod.ECONNREFUSED, "connection refused")
+
+    class BrokenSocket:
+        def sendto(self, data, addr):
+            raise OSError(errno_mod.EPERM, "operation not permitted")
 
     transport._sock = FullSocket()
     transport.unicast("b", Token(ring_id=1, seq=1, aru=1), 50)
@@ -185,11 +368,48 @@ def test_send_eagain_counted_apart_from_generic_drops(udp_pair):
     assert tracer.count("live.sys.send_eagain") == 1
     assert tracer.count("live.send_drop") == 1
 
+    # Dead-peer errnos (kill-test noise) are classified apart from
+    # generic send drops.
     transport._sock = DeadPeerSocket()
     transport.broadcast(Token(ring_id=1, seq=2, aru=2), 50)
     assert tracer.count("live.sys.sendto") == 2
+    assert tracer.count("live.sys.send_dead_peer") == 1
+    assert tracer.count("live.send_dead_peer") == 1
     assert tracer.count("live.sys.send_eagain") == 1   # unchanged
+    assert tracer.count("live.send_drop") == 1          # unchanged
+
+    transport._sock = BrokenSocket()
+    transport.broadcast(Token(ring_id=1, seq=3, aru=3), 50)
     assert tracer.count("live.send_drop") == 2
+    assert tracer.count("live.sys.send_dead_peer") == 1  # unchanged
+
+
+def test_mmsg_send_result_classified_into_counters(udp_pair_batched):
+    """The batched-send outcome maps onto the same counter taxonomy the
+    portable path uses: EAGAIN vs dead-peer vs generic drops."""
+    from repro.live._mmsg import SendResult
+
+    transports, tracer = udp_pair_batched
+    transport = transports["a"]
+
+    class FakeBatch:
+        def send(self, fd, items):
+            return SendResult(sent=len(items) - 4, eagain=2, dead_peer=1,
+                              other=1, syscalls=3)
+
+    transport._mmsg = FakeBatch()
+    # Queue a deep mid-drain burst so the flush takes the batched path
+    # (a flush shallower than _MMSG_SEND_MIN uses a sendto loop).
+    transport._in_drain = True
+    for seq in range(16):
+        transport.unicast("b", Token(ring_id=1, seq=seq, aru=seq), 50)
+    transport._in_drain = False
+    transport._flush_sends()
+    assert tracer.count("live.sys.sendmmsg") == 3
+    assert tracer.count("live.sys.send_eagain") == 2
+    assert tracer.count("live.sys.send_dead_peer") == 1
+    assert tracer.count("live.send_dead_peer") == 1
+    assert tracer.count("live.send_drop") == 2 + 1
 
 
 def test_live_scheduler_clamps_past_deadlines():
