@@ -957,6 +957,67 @@ def _cmd_live_throughput(args) -> int:
     return code
 
 
+def _cmd_shard_scale(args) -> int:
+    from repro.bench.reporting import print_table
+    from repro.bench.shardbench import (SHARD_SCALE_RINGS,
+                                        SHARD_SCALE_RINGS_QUICK,
+                                        run_shard_scale_point)
+
+    ring_counts = SHARD_SCALE_RINGS_QUICK if args.quick else SHARD_SCALE_RINGS
+    duration = 0.5 if args.quick else args.duration
+    rows = []
+    results = {}
+    for rings in ring_counts:
+        result = run_shard_scale_point(rings, pairs=args.pairs,
+                                       duration=duration)
+        results[rings] = result
+        rows.append([rings, args.pairs // rings * 2,
+                     result["acked"],
+                     round(result["throughput_per_s"], 1),
+                     round(result["inv_cost_us"], 2)])
+    base = results[ring_counts[0]]["inv_cost_us"]
+    # Machine-independent points: each arm's per-invocation cost relative
+    # to the single-ring arm (simulated time, so deterministic; lower is
+    # better — the 8-ring point ≈ 1/scaling).
+    points = {f"rings_{rings}": round(r["inv_cost_us"] / base, 4)
+              for rings, r in results.items()}
+    footer, code = _record_and_compare(args, "shard_scale", "cost_ratio",
+                                       "ratio", points)
+    if code == 2:
+        return 2
+    top = max(results)
+    scaling = (results[top]["throughput_per_s"]
+               / results[ring_counts[0]]["throughput_per_s"])
+    gate_line = (f"{top}-ring aggregate {scaling:.2f}x the single ring "
+                 f"(gate ≥{args.min_scaling:.1f}x, same "
+                 f"{args.pairs}-pair work/node budget)")
+    if scaling < args.min_scaling:
+        gate_line += "  — UNDER GATE"
+        code = max(code, 1)
+    footer = gate_line if footer is None else f"{footer}\n{gate_line}"
+    for rings, row in zip(ring_counts, rows):
+        row.append(round(results[ring_counts[0]]["throughput_per_s"]
+                         and results[rings]["throughput_per_s"]
+                         / results[ring_counts[0]]["throughput_per_s"], 2))
+    print_table(
+        "Sharded aggregate throughput — object groups over a "
+        "consistent-hashing ring of Totem rings (simulated time)",
+        ["rings", "nodes_per_ring", "acked", "acked_per_s",
+         "inv_cost_us", "vs_1_ring"],
+        rows,
+        paper_note="one Totem ring serialises all traffic through one "
+                   "token rotation, so the single-ring arm is flat no "
+                   "matter how many pairs share it; sharding the same "
+                   "pairs over independent rings multiplies the "
+                   "available rotations and aggregate throughput "
+                   "scales near-linearly",
+        footer=footer,
+    )
+    if args.record:
+        print(f"\nwrote bench record to {args.record}")
+    return code
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -1136,7 +1197,13 @@ def main(argv=None) -> int:
         "live", help="run the stack over loopback UDP and wall-clock time")
     live.add_argument("--nodes", type=int, default=3,
                       help="total nodes: one manager/driver node plus "
-                           "app replicas (min 3)")
+                           "app replicas (min 3); with --rings, per ring")
+    live.add_argument("--rings", type=int, default=1,
+                      help="independent Totem rings sharded over a "
+                           "consistent-hashing placement layer (>1 runs "
+                           "the multi-ring scenario: closed-loop load on "
+                           "every ring, kill/recover inside r0, healthy "
+                           "rings must keep streaming)")
     live.add_argument("--app", default="counter",
                       choices=("counter", "kvstore", "kvstore-read"),
                       help="which servant to replicate and drive "
@@ -1203,6 +1270,21 @@ def main(argv=None) -> int:
                          help="required read-lease over total-order "
                               "throughput ratio (default 2; exit 1 "
                               "under)")
+    shard = sub.add_parser(
+        "shard-scale",
+        help="aggregate throughput of a fixed closed-loop workload "
+             "sharded over 1..8 independent Totem rings (simulated)")
+    add_bench_flags(shard, "shard_scale")
+    shard.add_argument("--pairs", type=int, default=16,
+                       help="closed-loop driver/server pairs in the "
+                            "fixed work budget (default 16; must divide "
+                            "by every swept ring count)")
+    shard.add_argument("--duration", type=float, default=1.0,
+                       help="measurement window per arm in simulated "
+                            "seconds (default 1; --quick uses 0.5)")
+    shard.add_argument("--min-scaling", type=float, default=4.0,
+                       help="required 8-ring over 1-ring aggregate "
+                            "throughput ratio (default 4; exit 1 under)")
     args = parser.parse_args(argv)
     handlers = {
         "version": _cmd_version,
@@ -1223,6 +1305,7 @@ def main(argv=None) -> int:
         "prof-overhead": _cmd_prof_overhead,
         "live": _cmd_live,
         "live-throughput": _cmd_live_throughput,
+        "shard-scale": _cmd_shard_scale,
     }
     if args.command is None:
         parser.print_help()

@@ -1,0 +1,118 @@
+"""The ``shard-scale`` bench: aggregate throughput vs. ring count.
+
+One Totem ring serialises every multicast through one token rotation,
+so adding nodes to a single ring does not add aggregate throughput —
+the rotation is the bottleneck (§6's single-ring numbers).  Sharding
+the same workload over N independent rings multiplies the available
+rotations; this bench pins that claim with a fixed **work and node
+budget** swept across ring counts:
+
+* ``pairs`` closed-loop (driver → kvstore) pairs total — each driver
+  node and each server node exists in every arm, only the ring
+  partitioning changes (1 ring of 2·pairs nodes … N rings of
+  2·pairs/N nodes);
+* every pair is placement-pinned to its own ring, so the steady-state
+  stream never crosses rings (the gateway stays cold — cross-ring
+  bridging is benched by its own tests, not here);
+* throughput is counted in *simulated* time, so the sweep is
+  deterministic: the recorded points are machine-independent ratios
+  (arm cost / single-ring cost, lower is better) suitable for a
+  committed baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.deployments import DRIVER_TYPE, KVSTORE_TYPE
+from repro.apps.kvstore import make_kvstore_factory
+from repro.apps.packet_driver import PacketDriverServant
+from repro.errors import SimulationError
+from repro.ftcorba.properties import FTProperties
+from repro.simnet.sharded import ShardedEternalSystem
+
+#: Ring counts swept (all divide the default 16-pair budget).
+SHARD_SCALE_RINGS = (1, 2, 4, 8)
+SHARD_SCALE_RINGS_QUICK = (1, 8)
+
+
+def run_shard_scale_point(rings: int, *, pairs: int = 16,
+                          duration: float = 1.0, warmup: float = 0.3,
+                          state_size: int = 1_000,
+                          seed: int = 0) -> Dict[str, float]:
+    """One arm: ``pairs`` closed-loop pairs sharded over ``rings`` rings.
+
+    Returns the aggregate invocation count over ``duration`` simulated
+    seconds and the derived per-invocation cost (µs, lower is better).
+    """
+    if pairs % rings != 0:
+        raise SimulationError(f"{pairs} pairs do not shard evenly over "
+                              f"{rings} rings")
+    per_ring = pairs // rings
+    template: List[str] = []
+    for j in range(1, per_ring + 1):
+        template += [f"c{j}", f"s{j}"]
+    system = ShardedEternalSystem(rings=rings, node_template=template,
+                                  seed=seed)
+    system.register_factory(KVSTORE_TYPE, make_kvstore_factory(state_size))
+    if not system.wait_for(system.ring_formed, timeout=10.0):
+        raise SimulationError(f"{rings} rings did not form")
+
+    # Deploy all stores first (their IOGRs gate the drivers), each pinned
+    # to its own ring with a single replica on its server node.
+    stores = {}
+    for name, sub in system.rings.items():
+        for j in range(1, per_ring + 1):
+            group_id = f"store{j}.{name}"
+            stores[group_id] = system.create_group(
+                group_id, KVSTORE_TYPE, FTProperties(initial_replicas=1),
+                nodes=[f"{name}.s{j}"])
+    if not system.wait_for(
+            lambda: all(h.is_operational_on(h.member_nodes()[0])
+                        if _known(h) else False
+                        for h in stores.values()), timeout=10.0):
+        raise SimulationError("store groups never became operational")
+
+    drivers = []
+    for name, sub in system.rings.items():
+        for j in range(1, per_ring + 1):
+            client = f"{name}.c{j}"
+            iogr = stores[f"store{j}.{name}"].iogr().stringify()
+            sub.register_factory(
+                DRIVER_TYPE,
+                lambda _iogr=iogr: PacketDriverServant(_iogr),
+                nodes=[client])
+            handle = system.create_group(
+                f"driver{j}.{name}", DRIVER_TYPE,
+                FTProperties(initial_replicas=1), nodes=[client])
+            drivers.append((handle, client))
+    if not system.wait_for(
+            lambda: all(h.servant_on(c) is not None
+                        and h.servant_on(c).acked > 0
+                        if _known(h) else False
+                        for h, c in drivers), timeout=10.0):
+        raise SimulationError("drivers never started streaming")
+
+    system.run_for(warmup)
+    before = sum(h.servant_on(c).acked for h, c in drivers)
+    system.run_for(duration)
+    acked = sum(h.servant_on(c).acked for h, c in drivers) - before
+    if acked <= 0:
+        raise SimulationError(f"no invocations completed in the "
+                              f"{rings}-ring arm")
+    return {
+        "rings": rings,
+        "pairs": pairs,
+        "acked": acked,
+        "throughput_per_s": acked / duration,
+        "inv_cost_us": duration / acked * 1e6,
+    }
+
+
+def _known(handle) -> bool:
+    """True once some live node knows the group (GroupUpdate delivered)."""
+    try:
+        handle._info()
+    except SimulationError:
+        return False
+    return True

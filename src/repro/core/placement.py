@@ -1,0 +1,114 @@
+"""Consistent-hashing placement of object groups onto Totem rings.
+
+One Totem ring bounds aggregate throughput at one token rotation, so a
+sharded deployment runs many independent rings and needs a stable answer
+to "which ring owns this object group?".  :class:`HashRing` provides it:
+each shard is planted at ``virtual_nodes`` pseudo-random points on a
+64-bit hash circle, and a key is owned by the first shard point at or
+after the key's own hash (wrapping).  Virtual nodes smooth the load
+across shards, and the classic consistent-hashing property holds:
+adding or removing one shard remaps only the keys that fall into the
+arcs its points cover — about ``K/N`` of them — while every other
+key keeps its owner (no global reshuffle, no cross-ring state
+migration for unaffected groups).
+
+The structure is deterministic (pure blake2b of shard names and keys,
+no process-seeded randomness), so every node of every ring — and the
+client-side routers — derive identical placements independently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class PlacementError(ReproError):
+    """Raised for invalid placement operations (empty ring, dup shard)."""
+
+
+def _point(data: str) -> int:
+    """A stable 64-bit position on the hash circle."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hashing circle mapping keys to shard names.
+
+    ``virtual_nodes`` is the number of points each shard plants; more
+    points flatten the per-shard load spread at the cost of a larger
+    sorted table (lookup stays O(log(shards x points)) via bisect).
+    """
+
+    def __init__(self, shards: Iterable[str] = (),
+                 *, virtual_nodes: int = 64) -> None:
+        if virtual_nodes < 1:
+            raise PlacementError("virtual_nodes must be at least 1")
+        self.virtual_nodes = virtual_nodes
+        self._shards: List[str] = []
+        self._points: List[int] = []       # sorted circle positions
+        self._owners: List[str] = []       # shard at self._points[i]
+        for shard in shards:
+            self.add_shard(shard)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        return tuple(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def add_shard(self, shard: str) -> None:
+        if shard in self._shards:
+            raise PlacementError(f"shard {shard!r} already on the ring")
+        self._shards.append(shard)
+        for index in range(self.virtual_nodes):
+            point = _point(f"{shard}#{index}")
+            at = bisect.bisect_left(self._points, point)
+            # Collisions across 64-bit points are practically impossible;
+            # break one deterministically on shard name anyway.
+            if at < len(self._points) and self._points[at] == point \
+                    and self._owners[at] < shard:
+                at += 1
+            self._points.insert(at, point)
+            self._owners.insert(at, shard)
+
+    def remove_shard(self, shard: str) -> None:
+        if shard not in self._shards:
+            raise PlacementError(f"shard {shard!r} not on the ring")
+        self._shards.remove(shard)
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != shard]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def owner_of(self, key: str) -> str:
+        """The shard owning ``key`` (deterministic; O(log points))."""
+        if not self._points:
+            raise PlacementError("ring has no shards")
+        at = bisect.bisect_right(self._points, _point(key))
+        if at == len(self._points):
+            at = 0                         # wrap past the highest point
+        return self._owners[at]
+
+    def distribution(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of ``keys`` each shard owns (includes empty shards)."""
+        counts = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.owner_of(key)] += 1
+        return counts

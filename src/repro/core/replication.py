@@ -114,6 +114,10 @@ class ReplicationMechanisms:
         self.recovery = RecoveryMechanisms(self)
         self.readfast = None
         self.fault_detector = None    # created when the first group arrives
+        # Sharded deployments install a RingGatewayPort here so ordered
+        # IIOP deliveries with no local binding can bridge to the ring
+        # that owns the target group (see repro.core.gateway).
+        self.gateway = None
         self._checkpoint_timers: Dict[str, PeriodicTimer] = {}
         self._retransmit_timer: Optional[PeriodicTimer] = None
         self._retransmit_seen: Set[Tuple[str, ConnectionKey, int]] = set()
@@ -219,6 +223,8 @@ class ReplicationMechanisms:
     def _handle_iiop(self, envelope: IiopEnvelope) -> None:
         binding = self.bindings.get(envelope.target_group)
         if binding is None:
+            if self.gateway is not None:
+                self.gateway.on_unplaced_iiop(envelope, self)
             return
         binding.delivery_position += 1
         if binding.status == STATUS_RECOVERING:

@@ -24,6 +24,7 @@ Typical use::
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.config import EternalConfig
@@ -47,6 +48,23 @@ from repro.runtime.trace import Tracer
 from repro.store.base import DurableStore
 from repro.totem.config import TotemConfig
 from repro.totem.member import TotemMember
+
+
+@dataclass(frozen=True)
+class SharedObservability:
+    """One observability plane shared by the rings of a sharded facade.
+
+    A multi-ring deployment runs one tracer, one metrics registry, one
+    telemetry plane, and one profiler for the whole cluster; each ring's
+    :class:`SystemCore` adopts the bundle (scoping its tracer view with
+    ``ring=<name>``) instead of constructing its own.  The facade owns
+    the bundle's lifecycle: clock binding, sampler start, teardown.
+    """
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+    telemetry: TelemetryPlane
+    profiler: SpanResourceProfiler
 
 
 class NodeStack:
@@ -88,6 +106,10 @@ class NodeStack:
             # cached at the system level, re-adopted on every rebuild.
             store=system._store_for(self.node_id),
         )
+        if system.gateway_port is not None:
+            # Sharded deployment: re-install the cross-ring gateway port on
+            # every rebuild, so a restarted node resumes forwarding duty.
+            self.mechanisms.gateway = system.gateway_port
         if self.node_id == system.manager_node:
             system._attach_managers(self.mechanisms)
 
@@ -191,32 +213,53 @@ class SystemCore:
         telemetry: Optional[TelemetryConfig] = None,
         profiling: Optional[ProfilingConfig] = None,
         store_factory: Optional[Callable[[str], "DurableStore"]] = None,
+        shared_observability: Optional[SharedObservability] = None,
+        ring_name: str = "",
     ) -> None:
         if not node_ids:
             raise SimulationError("need at least one node")
-        self.tracer = Tracer(keep_records=keep_trace_records)
-        self.tracer.bind_clock(lambda: self.now)
-        # The metrics registry rides the trace stream: every completed span
-        # becomes a latency sample, with or without record retention.
-        self.metrics = MetricsRegistry()
-        self.metrics.bind(self.tracer)
-        # The telemetry plane (flight recorder + metrics history) rides the
-        # same stream; the subclass constructor sets ``self.scheduler``
-        # before calling _init_core, so the sampler can start immediately.
-        self.telemetry = TelemetryPlane(
-            telemetry or TelemetryConfig(),
-            tracer=self.tracer, metrics=self.metrics,
-            clock=lambda: self.now,
-        )
-        self.telemetry.bind_system(self)
-        if self.telemetry.enabled:
-            self.telemetry.start_sampler(self.scheduler)
-        # Span-scoped resource attribution (CPU/alloc per phase) is a third
-        # subscriber on the same stream; inert — never subscribed — unless
-        # its config enables it, so the default hot path pays nothing.
-        self.profiler = SpanResourceProfiler(
-            profiling or ProfilingConfig(), metrics=self.metrics,
-        ).attach(self.tracer)
+        #: Shard identity of this (sub-)system in a multi-ring deployment
+        #: ("" for the classic single-ring case); health/top group per-ring
+        #: stats by it via ``stack.system.ring_name``.
+        self.ring_name = ring_name
+        if shared_observability is not None:
+            # A ring of a sharded facade: adopt the facade's plane.  The
+            # scoped tracer stamps every record with this ring's name;
+            # clock binding, sampler start, and teardown stay with the
+            # facade, which owns the bundle.
+            shared = shared_observability
+            self.tracer = (shared.tracer.scoped(ring=ring_name)
+                           if ring_name else shared.tracer)
+            self.metrics = shared.metrics
+            self.telemetry = shared.telemetry
+            self.profiler = shared.profiler
+        else:
+            self.tracer = Tracer(keep_records=keep_trace_records)
+            self.tracer.bind_clock(lambda: self.now)
+            # The metrics registry rides the trace stream: every completed
+            # span becomes a latency sample, with or without record
+            # retention.
+            self.metrics = MetricsRegistry()
+            self.metrics.bind(self.tracer)
+            # The telemetry plane (flight recorder + metrics history) rides
+            # the same stream; the subclass constructor sets
+            # ``self.scheduler`` before calling _init_core, so the sampler
+            # can start immediately.
+            self.telemetry = TelemetryPlane(
+                telemetry or TelemetryConfig(),
+                tracer=self.tracer, metrics=self.metrics,
+                clock=lambda: self.now,
+            )
+            self.telemetry.bind_system(self)
+            if self.telemetry.enabled:
+                self.telemetry.start_sampler(self.scheduler)
+            # Span-scoped resource attribution (CPU/alloc per phase) is a
+            # third subscriber on the same stream; inert — never
+            # subscribed — unless its config enables it, so the default
+            # hot path pays nothing.
+            self.profiler = SpanResourceProfiler(
+                profiling or ProfilingConfig(), metrics=self.metrics,
+            ).attach(self.tracer)
         self.totem_config = totem_config or TotemConfig()
         self.eternal_config = eternal_config or EternalConfig()
         self.factories = FactoryRegistry()
@@ -226,6 +269,10 @@ class SystemCore:
         self.evolution_manager: Optional[EvolutionManager] = None
         self.resource_manager = ResourceManager(self.factories)
         self.auditor = None    # set by attach_auditor()
+        # Cross-ring gateway port (sharded facades set this right after
+        # construction; NodeStack.build installs it on every mechanisms
+        # instance, including rebuilds after a restart).
+        self.gateway_port = None
         # Durable stores persist at the system level — a node's journal
         # survives any number of kill/restart cycles of its process, the
         # way a disk survives a power cycle.  ``store_factory(node_id)``

@@ -235,6 +235,123 @@ async def _run(args) -> int:
     return 0 if auditor.ok else 1
 
 
+async def _run_sharded(args) -> int:
+    """``live --rings N``: the multi-ring scenario — N independent UDP
+    rings under one placement layer, closed-loop load on every ring,
+    then a kill/recover inside ring ``r0`` while the other rings keep
+    streaming (their token rotations never see the fault)."""
+    from repro.live.sharded import LiveShardedSystem
+
+    suffixes = [f"n{i + 1}" for i in range(args.nodes)]
+    manager, servers = suffixes[0], suffixes[1:]
+    app = LIVE_APPS[args.app]
+    telemetry = (TelemetryConfig(flight_dir=args.flight_dir)
+                 if args.flight_dir else None)
+    system = LiveShardedSystem(
+        rings=args.rings, node_template=tuple(suffixes),
+        eternal_config=EternalConfig(
+            read_lease=getattr(args, "read_lease", True)),
+        telemetry=telemetry,
+        store_dir=getattr(args, "store_dir", None),
+        store_fsync=getattr(args, "store_fsync", "checkpoint"))
+    uninstall_hooks = install_crash_hooks(system.telemetry,
+                                          on_dump=_print_dumps)
+    auditor = system.attach_auditor()
+    try:
+        if not await system.wait_for(system.ring_formed, timeout=20.0):
+            return _fail(f"{args.rings} Totem rings did not all form "
+                         f"within 20 s")
+        print(f"{args.rings} rings formed ({args.nodes} nodes each) at "
+              f"t={system.now * 1000:.0f} ms (wall clock)")
+
+        drivers = {}
+        for name, sub in system.rings.items():
+            server_nodes = [f"{name}.{s}" for s in servers]
+            driver_node = f"{name}.{manager}"
+            sub.register_factory(app.type_id,
+                                 app.make_factory(args.state_size),
+                                 nodes=server_nodes)
+            group = system.create_group(
+                f"app.{name}", app.type_id,
+                FTProperties(initial_replicas=len(server_nodes),
+                             min_replicas=1,
+                             fault_monitoring_interval=0.5),
+                nodes=server_nodes)
+            if not await system.wait_for(
+                    lambda: all(group.is_operational_on(n)
+                                for n in server_nodes), timeout=15.0):
+                return _fail(f"app group on ring {name} never became "
+                             f"operational")
+            iogr = group.iogr().stringify()
+            driver_factory = (app.make_driver(iogr) if app.make_driver
+                              else make_driver_factory(iogr, app.driver_op))
+            sub.register_factory(DRIVER_TYPE, driver_factory,
+                                 nodes=[driver_node])
+            driver_group = system.create_group(
+                f"driver.{name}", DRIVER_TYPE,
+                FTProperties(initial_replicas=1, min_replicas=1,
+                             fault_monitoring_interval=0.5),
+                nodes=[driver_node])
+            if not await system.wait_for(
+                    lambda: driver_group.is_operational_on(driver_node),
+                    timeout=15.0):
+                return _fail(f"driver on ring {name} never became "
+                             f"operational")
+            drivers[name] = (driver_group.servant_on(driver_node), group)
+        if not await system.wait_for(
+                lambda: all(d.acked >= 10 for d, _ in drivers.values()),
+                timeout=15.0):
+            return _fail("no load flowing on every ring (some driver got "
+                         "<10 replies in 15 s)")
+        t0 = system.now
+        print(f"closed-loop load flowing on all {args.rings} rings "
+              f"({app.driver_op!r} invocations)")
+
+        # -- kill / recover inside r0; the other rings never notice -----
+        victim_ring = "r0"
+        victim = f"{victim_ring}.{servers[-1]}"
+        group = drivers[victim_ring][1]
+        await system.run_for(max(0.0, (t0 + args.kill_after) - system.now))
+        acked_at_kill = {name: d.acked for name, (d, _) in drivers.items()}
+        print(f"killing {victim} at t={system.now - t0:.2f} s …")
+        system.kill_node(victim)
+        await system.run_for(args.downtime)
+        relaunched_at = system.now
+        print(f"re-launching {victim} after {args.downtime * 1000:.0f} ms "
+              f"downtime …")
+        system.restart_node(victim)
+        if not await system.wait_for(
+                lambda: group.is_operational_on(victim), timeout=30.0):
+            return _fail(f"replica on {victim} did not recover within 30 s")
+        recovery_wall = system.now - relaunched_at
+        await system.run_for(max(0.0, (t0 + args.duration) - system.now))
+
+        # -- report ------------------------------------------------------
+        print(f"\nrecovered {victim} in {recovery_wall * 1000:.2f} ms "
+              f"(wall clock, re-launch → operational)")
+        stalled = []
+        for name, (driver, _) in sorted(drivers.items()):
+            gained = driver.acked - acked_at_kill[name]
+            marker = " (faulted ring)" if name == victim_ring else ""
+            print(f"  ring {name}: driver acked {driver.acked} "
+                  f"(+{gained} since the kill){marker}")
+            if name != victim_ring and gained <= 0:
+                stalled.append(name)
+        print(f"gateway: {system.bridge.forwarded} cross-ring forwards, "
+              f"{system.bridge.duplicates} duplicates suppressed")
+        if stalled:
+            return _fail(f"fault in {victim_ring} stalled healthy "
+                         f"rings: {', '.join(stalled)}")
+    finally:
+        system.close()
+    if args.flight_dir:
+        _print_dumps(system.telemetry.flight.dump_all("shutdown"))
+    uninstall_hooks()
+    auditor.finish()
+    print(auditor.summary())
+    return 0 if auditor.ok else 1
+
+
 def run_live(args) -> int:
     """Entry point used by ``python -m repro live``."""
     if args.nodes < 3:
@@ -245,6 +362,14 @@ def run_live(args) -> int:
                      f"(choices: {', '.join(sorted(LIVE_APPS))})")
     if args.kill_after >= args.duration:
         return _fail("--kill-after must be less than --duration")
+    rings = getattr(args, "rings", 1)
+    if rings < 1:
+        return _fail("--rings must be >= 1")
+    if rings > 1 and (getattr(args, "profile", False) or args.trace_out
+                      or args.health_port is not None or args.health_out):
+        return _fail("--rings > 1 does not support --profile/--trace-out/"
+                     "--health-port/--health-out yet; run those "
+                     "single-ring")
     use_uvloop = getattr(args, "uvloop", False)
     try:
         # asyncio.Runner so the loop factory is pluggable (--uvloop swaps
@@ -252,7 +377,8 @@ def run_live(args) -> int:
         with asyncio.Runner(
                 loop_factory=lambda: new_event_loop(
                     use_uvloop=use_uvloop)) as runner:
-            return runner.run(_run(args))
+            return runner.run(_run_sharded(args) if rings > 1
+                              else _run(args))
     except RuntimeError as exc:
         if "uvloop" in str(exc):
             return _fail(str(exc))

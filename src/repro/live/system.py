@@ -74,6 +74,8 @@ class LiveSystem(SystemCore):
         store_dir: Optional[str] = None,
         store_fsync: str = "checkpoint",
         loop: Optional[asyncio.AbstractEventLoop] = None,
+        shared_observability=None,
+        ring_name: str = "",
     ) -> None:
         if loop is None:
             loop = asyncio.get_event_loop()
@@ -99,7 +101,12 @@ class LiveSystem(SystemCore):
             telemetry=telemetry,
             profiling=profiling,
             store_factory=store_factory,
+            shared_observability=shared_observability,
+            ring_name=ring_name,
         )
+        # A ring of a sharded facade adopts the facade's plane and must not
+        # tear it down in close(); the facade owns that lifecycle.
+        self._owns_observability = shared_observability is None
         # The two highest-volume record streams in a live run have no
         # consumer under the default telemetry config: ``totem.deliver``
         # and ``replication.duplicate`` are flight-excluded and ignored
@@ -183,8 +190,9 @@ class LiveSystem(SystemCore):
     def close(self) -> None:
         """Tear the deployment down: crash every node (cancelling all
         protocol timers via their crash listeners) and release sockets."""
-        self.telemetry.stop()
-        self.profiler.release()
+        if self._owns_observability:
+            self.telemetry.stop()
+            self.profiler.release()
         for node in self.nodes.values():
             node.kill()
         self.close_stores()

@@ -81,7 +81,13 @@ class AuditViolation(AssertionError):
 
 @dataclass(frozen=True)
 class AuditFinding:
-    """One detected invariant violation."""
+    """One detected invariant violation.
+
+    ``ring`` names the shard whose stream produced the evidence (empty
+    string for a single-ring deployment): every shadow structure the
+    auditor keeps is keyed by it, so a violation in one ring can neither
+    poison nor be masked by another ring's state.
+    """
 
     invariant: str
     time: float
@@ -90,11 +96,13 @@ class AuditFinding:
     node: Optional[str] = None
     span_id: Optional[str] = None
     message_id: Optional[str] = None
+    ring: Optional[str] = None
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         where = " ".join(f"{k}={v}" for k, v in (
-            ("group", self.group), ("node", self.node),
-            ("span", self.span_id), ("message", self.message_id),
+            ("ring", self.ring or None), ("group", self.group),
+            ("node", self.node), ("span", self.span_id),
+            ("message", self.message_id),
         ) if v is not None)
         return f"[{self.time:.6f}] {self.invariant}: {self.detail} ({where})"
 
@@ -124,24 +132,27 @@ class ConsistencyAuditor:
         self.findings: List[AuditFinding] = []
         self.records_scanned = 0
         self._finished = False
-        # state-digest: (group, transfer) -> node -> digest
-        self._digests: Dict[Tuple[str, str], Dict[str, str]] = {}
-        # order-digest: (ring, base, seq) -> (node, digest)
-        self._order: Dict[Tuple[str, int, int], Tuple[str, str]] = {}
+        # Every shadow structure below is keyed by the ring (shard) label
+        # first — "" in single-ring deployments — so invariant evidence
+        # from one ring can never be compared against another's.
+        # state-digest: (ring, group, transfer) -> node -> digest
+        self._digests: Dict[Tuple[str, str, str], Dict[str, str]] = {}
+        # order-digest: (ring, cfg, base, seq) -> (node, digest)
+        self._order: Dict[Tuple[str, str, int, int], Tuple[str, str]] = {}
         self._order_checked = 0
         # duplicate-delivery: one shadow filter per replica incarnation
-        self._delivered: Dict[Tuple[str, str], DuplicateFilter] = {}
-        # recovery windows: (node, group) -> open window
-        self._windows: Dict[Tuple[str, str], _RecoveryWindow] = {}
+        self._delivered: Dict[Tuple[str, str, str], DuplicateFilter] = {}
+        # recovery windows: (ring, node, group) -> open window
+        self._windows: Dict[Tuple[str, str, str], _RecoveryWindow] = {}
         # warm backups: announced checkpoint applications pending on
-        # (node, group); capped — a stale grant must not mask real
+        # (ring, node, group); capped — a stale grant must not mask real
         # violations forever.
-        self._checkpoint_grants: Dict[Tuple[str, str], int] = {}
+        self._checkpoint_grants: Dict[Tuple[str, str, str], int] = {}
         # lease-window: per-node installed ring (None while in GATHER),
-        # plus every ring membership ever installed by anyone — the
-        # evidence for judging lease.read_served events.
-        self._node_ring: Dict[str, Optional[int]] = {}
-        self._ring_members: Dict[int, Tuple[str, ...]] = {}
+        # plus every ring membership ever installed by anyone in the same
+        # shard — the evidence for judging lease.read_served events.
+        self._node_ring: Dict[Tuple[str, str], Optional[int]] = {}
+        self._ring_members: Dict[Tuple[str, int], Tuple[str, ...]] = {}
         self._spans = SpanTracker()
         #: Called with each new AuditFinding the moment it is flagged
         #: (the telemetry plane hooks this to dump the flight recorder).
@@ -240,26 +251,35 @@ class ConsistencyAuditor:
                 self._on_set_state(record)
         elif category == "totem":
             if record.event == "install":
+                ring = self._ring_of(record)
                 node = record.fields.get("node", "")
                 ring_id = int(record.fields.get("ring_id", 0))
-                self._node_ring[node] = ring_id
-                self._ring_members[ring_id] = tuple(
+                self._node_ring[(ring, node)] = ring_id
+                self._ring_members[(ring, ring_id)] = tuple(
                     record.fields.get("members", ()))
             elif record.event == "gather":
-                self._node_ring[record.fields.get("node", "")] = None
+                self._node_ring[
+                    (self._ring_of(record), record.fields.get("node", ""))
+                ] = None
         elif category == "lease":
             if record.event == "read_served":
                 self._on_read_served(record)
+
+    @staticmethod
+    def _ring_of(record: TraceRecord) -> str:
+        """The shard label stamped on the record ("" when single-ring)."""
+        return str(record.fields.get("ring", ""))
 
     # -- state digests -----------------------------------------------------
 
     def _on_state_digest(self, record: TraceRecord) -> None:
         fields = record.fields
+        ring = self._ring_of(record)
         group = fields.get("group", "")
         transfer = fields.get("transfer", "")
         node = fields.get("node", "")
         digest = fields.get("digest", "")
-        per_node = self._digests.setdefault((group, transfer), {})
+        per_node = self._digests.setdefault((ring, group, transfer), {})
         disagreeing = sorted(
             f"{other}={other_digest}"
             for other, other_digest in per_node.items()
@@ -272,14 +292,15 @@ class ConsistencyAuditor:
                 f"state digest {digest} from {node} "
                 f"({fields.get('role', '?')}) disagrees with "
                 f"{', '.join(disagreeing)}",
-                group=group, node=node, span_id=transfer,
+                group=group, node=node, span_id=transfer, ring=ring,
             )
 
     # -- delivery-order digests --------------------------------------------
 
     def _on_order_digest(self, record: TraceRecord) -> None:
         fields = record.fields
-        key = (str(fields.get("ring", "")), int(fields.get("base", 0)),
+        ring = self._ring_of(record)
+        key = (ring, str(fields.get("cfg", "")), int(fields.get("base", 0)),
                int(fields.get("seq", 0)))
         node = fields.get("node", "")
         digest = str(fields.get("digest", ""))
@@ -292,15 +313,16 @@ class ConsistencyAuditor:
         if digest != ref_digest:
             self._flag(
                 ORDER_DIGEST, record.time,
-                f"delivery-order hash diverged at ring {key[0]} "
-                f"seq {key[2]}: {node}={digest} vs {ref_node}={ref_digest}",
-                node=node, message_id=f"seq:{key[2]}",
+                f"delivery-order hash diverged at config {key[1]} "
+                f"seq {key[3]}: {node}={digest} vs {ref_node}={ref_digest}",
+                node=node, message_id=f"seq:{key[3]}", ring=ring,
             )
 
     # -- duplicate suppression ---------------------------------------------
 
     def _on_delivered(self, record: TraceRecord) -> None:
         fields = record.fields
+        ring = self._ring_of(record)
         node = fields.get("node", "")
         group = fields.get("group", "")
         op = OperationId(
@@ -308,20 +330,22 @@ class ConsistencyAuditor:
             int(fields.get("request_id", -1)),
             OpKind[fields.get("kind", "REQUEST")],
         )
-        shadow = self._delivered.setdefault((node, group), DuplicateFilter())
+        shadow = self._delivered.setdefault((ring, node, group),
+                                            DuplicateFilter())
         if shadow.seen_before(op):
             self._flag(
                 DUPLICATE_DELIVERY, record.time,
                 f"operation {op.kind.name} {fields.get('conn')}#"
                 f"{op.request_id} delivered twice to the servant",
-                group=group, node=node,
+                group=group, node=node, ring=ring,
                 message_id=f"{fields.get('conn')}#{op.request_id}"
                            f"/{op.kind.name}",
             )
 
     def _on_binding_reset(self, record: TraceRecord) -> None:
         """A replica incarnation began or ended: restart its shadows."""
-        key = (record.fields.get("node", ""), record.fields.get("group", ""))
+        key = (self._ring_of(record), record.fields.get("node", ""),
+               record.fields.get("group", ""))
         self._delivered.pop(key, None)
         self._windows.pop(key, None)
         self._checkpoint_grants.pop(key, None)
@@ -330,7 +354,8 @@ class ConsistencyAuditor:
 
     def _on_recovery_event(self, record: TraceRecord) -> None:
         fields = record.fields
-        key = (fields.get("node", ""), fields.get("group", ""))
+        key = (self._ring_of(record), fields.get("node", ""),
+               fields.get("group", ""))
         if record.event == "sync_point":
             self._windows[key] = _RecoveryWindow(
                 transfer=fields.get("transfer", ""),
@@ -357,7 +382,8 @@ class ConsistencyAuditor:
 
     def _on_executed(self, record: TraceRecord) -> None:
         fields = record.fields
-        key = (fields.get("node", ""), fields.get("group", ""))
+        key = (self._ring_of(record), fields.get("node", ""),
+               fields.get("group", ""))
         window = self._windows.get(key)
         if window is not None and window.kind != "coldboot":
             self._flag(
@@ -366,12 +392,14 @@ class ConsistencyAuditor:
                 f"inside the {window.kind} window opened at "
                 f"{window.opened_at:.6f} (messages must be enqueued "
                 f"until state assignment completes)",
-                group=key[1], node=key[0], span_id=window.transfer,
+                group=key[2], node=key[1], span_id=window.transfer,
+                ring=key[0],
             )
 
     def _on_set_state(self, record: TraceRecord) -> None:
         fields = record.fields
-        key = (fields.get("node", ""), fields.get("group", ""))
+        key = (self._ring_of(record), fields.get("node", ""),
+               fields.get("group", ""))
         window = self._windows.get(key)
         if window is not None:
             window.set_state_applied = True
@@ -384,7 +412,7 @@ class ConsistencyAuditor:
             SET_STATE_WINDOW, record.time,
             "set_state applied outside a quiesced window (no recovery "
             "sync point, no failover, no announced checkpoint)",
-            group=key[1], node=key[0],
+            group=key[2], node=key[1], ring=key[0],
         )
 
     # -- lease windows -----------------------------------------------------
@@ -398,17 +426,18 @@ class ConsistencyAuditor:
         first — a serve after such an install means that ordering was
         violated)."""
         fields = record.fields
+        ring = self._ring_of(record)
         node = fields.get("node", "")
         served_ring = int(fields.get("ring_id", 0))
         group = fields.get("group")
-        if node in self._node_ring:
-            installed = self._node_ring[node]
+        if (ring, node) in self._node_ring:
+            installed = self._node_ring[(ring, node)]
             if installed is None:
                 self._flag(
                     LEASE_WINDOW, record.time,
                     "fast read served while the node was in GATHER "
                     "(no installed ring — lease revoked)",
-                    group=group, node=node,
+                    group=group, node=node, ring=ring,
                 )
                 return
             if installed != served_ring:
@@ -416,30 +445,34 @@ class ConsistencyAuditor:
                     LEASE_WINDOW, record.time,
                     f"fast read served under ring {served_ring} but the "
                     f"node's installed ring is {installed}",
-                    group=group, node=node,
+                    group=group, node=node, ring=ring,
                 )
                 return
-            members = self._ring_members.get(installed, ())
+            members = self._ring_members.get((ring, installed), ())
             if members and node not in members:
                 self._flag(
                     LEASE_WINDOW, record.time,
                     f"fast read served by a node outside its own ring "
                     f"{installed} membership {members}",
-                    group=group, node=node,
+                    group=group, node=node, ring=ring,
                 )
                 return
         # Cross-node ordering: a newer installed ring that excludes the
         # server means its lease was already revoked when the new ring
         # became operational.  (Judged even when the server's own install
-        # predates our subscription.)
-        for ring_id, members in self._ring_members.items():
+        # predates our subscription.)  Strictly scoped to the same shard:
+        # ring ids of independent shards share a number space but nothing
+        # else, so only installs from this shard's stream are evidence.
+        for (shard, ring_id), members in self._ring_members.items():
+            if shard != ring:
+                continue
             if ring_id > served_ring and members and node not in members:
                 self._flag(
                     LEASE_WINDOW, record.time,
                     f"fast read served under ring {served_ring} after "
                     f"ring {ring_id} (which excludes the server) was "
                     f"installed",
-                    group=group, node=node,
+                    group=group, node=node, ring=ring,
                 )
                 return
 

@@ -176,6 +176,47 @@ def render_health(system, *, auditor=None) -> str:
                 "eternal_group_primary",
                 dict(labels, node=info.primary_node), 1))
 
+    # -- rings (sharded deployments) ---------------------------------------
+    # Each stack of a sharded facade belongs to a ring-scoped sub-system
+    # (``stack.system.ring_name``); single-ring systems have no ring names
+    # and skip this section entirely.
+    ring_systems: Dict[str, Any] = {}
+    for stack in system.stacks.values():
+        ring = getattr(stack.system, "ring_name", "")
+        if ring:
+            ring_systems.setdefault(ring, stack.system)
+    if ring_systems:
+        lines.append("# TYPE eternal_ring_nodes gauge")
+        for ring in sorted(ring_systems):
+            sub = ring_systems[ring]
+            labels = {"ring": ring}
+            lines.append(_series("eternal_ring_nodes", labels,
+                                 len(sub.stacks)))
+            lines.append(_series(
+                "eternal_ring_nodes_alive", labels,
+                sum(1 for s in sub.stacks.values() if s.process.alive)))
+            lines.append(_series("eternal_ring_formed", labels,
+                                 1 if sub.ring_formed() else 0))
+            ring_groups: set = set()
+            operational = 0
+            for s in sub.stacks.values():
+                if not s.process.alive or s.mechanisms is None:
+                    continue
+                ring_groups.update(s.mechanisms.groups)
+                operational += sum(
+                    1 for b in s.mechanisms.bindings.values()
+                    if b.operational)
+            lines.append(_series("eternal_ring_groups", labels,
+                                 len(ring_groups)))
+            lines.append(_series("eternal_ring_operational_replicas",
+                                 labels, operational))
+        bridge = getattr(system, "bridge", None)
+        if bridge is not None:
+            lines.append(_series("eternal_gateway_forwarded_total", {},
+                                 bridge.forwarded))
+            lines.append(_series("eternal_gateway_duplicates_total", {},
+                                 bridge.duplicates))
+
     if bulk_lines:
         lines.append("# TYPE eternal_bulk_sessions_active gauge")
         lines.extend(bulk_lines)

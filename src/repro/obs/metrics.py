@@ -250,7 +250,8 @@ class MetricsRegistry:
             return
         if (record.category == "recovery"
                 and record.event == "set_state_multicast"):
-            labels = {k: record.fields[k] for k in ("node", "group")
+            labels = {k: record.fields[k]
+                      for k in ("node", "group", "ring")
                       if k in record.fields}
             self.counter("state.bytes", lane="inorder", **labels).inc(
                 record.fields.get("app_bytes", 0))
@@ -258,19 +259,19 @@ class MetricsRegistry:
             self._observe_token(record)
             return
         if record.category == "totem" and record.event == "packed_frame":
-            labels = {k: record.fields[k] for k in ("node",)
+            labels = {k: record.fields[k] for k in ("node", "ring")
                       if k in record.fields}
             self.histogram("totem.payloads_per_frame", **labels).record(
                 record.fields.get("payloads", 1))
             return
         if record.category == "live" and record.event == "recv_batch":
-            labels = {k: record.fields[k] for k in ("node",)
+            labels = {k: record.fields[k] for k in ("node", "ring")
                       if k in record.fields}
             self.histogram("live.sys.recv_batch_size", **labels).record(
                 record.fields.get("n", 1))
             return
         if record.category == "lease":
-            labels = {k: record.fields[k] for k in ("node",)
+            labels = {k: record.fields[k] for k in ("node", "ring")
                       if k in record.fields}
             self.counter(f"lease.{record.event}", **labels).inc()
             return
@@ -284,7 +285,8 @@ class MetricsRegistry:
         elif record.event == "span_end":
             start = self._open_spans.pop(span_id, None)
             if start is not None:
-                labels = {k: start.fields[k] for k in ("node", "group")
+                labels = {k: start.fields[k]
+                          for k in ("node", "group", "ring")
                           if k in start.fields}
                 name = start.fields.get("name", span_id)
                 self.histogram(f"span.{name}", **labels).record(
@@ -297,7 +299,7 @@ class MetricsRegistry:
         transfers went out as page deltas vs. full bodies, the page and
         byte economics of the deltas, and how often a receiver had to fall
         back (couldn't reconstruct) or request a resync."""
-        labels = {k: record.fields[k] for k in ("node", "group")
+        labels = {k: record.fields[k] for k in ("node", "group", "ring")
                   if k in record.fields}
         if record.event == "delta_sent":
             self.counter("delta.transfers_delta", **labels).inc()
@@ -323,7 +325,7 @@ class MetricsRegistry:
         retransmit/restripe/drop economics, and the out-of-band byte lane
         (``state.bytes{lane=oob}`` — the in-order complement is counted
         off the ``set_state_multicast`` event)."""
-        labels = {k: record.fields[k] for k in ("node", "group")
+        labels = {k: record.fields[k] for k in ("node", "group", "ring")
                   if k in record.fields}
         event = record.event
         if event == "session_start":
@@ -354,7 +356,7 @@ class MetricsRegistry:
         write amplification (delta vs full bytes), and the cold-restart
         ladder's disk-rung outcomes (restores, replays, corruption
         fallbacks, cold-boot seeds)."""
-        labels = {k: record.fields[k] for k in ("node", "group")
+        labels = {k: record.fields[k] for k in ("node", "group", "ring")
                   if k in record.fields}
         event = record.event
         if event == "fsync":
@@ -406,22 +408,25 @@ class MetricsRegistry:
             return
         last_time, last_delta = last
         delta = record.time - last_time
+        extra = {k: record.fields[k] for k in ("ring",)
+                 if k in record.fields}
         src = record.fields.get("src")
         if src is not None:
             self.histogram("totem.token_interarrival",
-                           node=node, peer=src).record(delta)
+                           node=node, peer=src, **extra).record(delta)
         else:
-            self.histogram("totem.token_interarrival", node=node).record(delta)
+            self.histogram("totem.token_interarrival",
+                           node=node, **extra).record(delta)
         if last_delta is not None:
             self.histogram("totem.token_jitter",
-                           node=node).record(abs(delta - last_delta))
+                           node=node, **extra).record(abs(delta - last_delta))
         self._last_token[node] = (record.time, delta)
 
     def _observe_fault_detector(self, record: TraceRecord) -> None:
         """Turn fault-detector trace events into counters: a first strike
         is one suspicion; a refutation before the report threshold is a
         false positive; a report is a declared replica fault."""
-        labels = {k: record.fields[k] for k in ("node", "group")
+        labels = {k: record.fields[k] for k in ("node", "group", "ring")
                   if k in record.fields}
         if record.event == "suspect":
             if record.fields.get("strikes") == 1:

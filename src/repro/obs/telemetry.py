@@ -443,7 +443,19 @@ def render_top(snapshot: Dict[str, Any]) -> str:
     series = snapshot.get("series", {})
     latest: Dict[Tuple[str, str], list] = {}
     nodes: Dict[str, None] = {}
+    rings: Dict[str, None] = {}
     last_ts = None
+
+    def fold(name: str, row: str, point: list) -> None:
+        spot = latest.get((name, row))
+        if spot is None:
+            latest[(name, row)] = list(point)
+        elif name.startswith("span.") or name == "totem.token_interarrival":
+            if point[1] > spot[1]:
+                latest[(name, row)] = list(point)
+        else:
+            spot[1] += point[1]
+
     for key, slot in series.items():
         points = slot.get("points") or []
         if not points:
@@ -469,14 +481,13 @@ def render_top(snapshot: Dict[str, Any]) -> str:
                     break
             point = [ts, delta,
                      (ts - prev_ts) if prev_ts is not None else 0.0]
-        spot = latest.get((name, node))
-        if spot is None:
-            latest[(name, node)] = list(point)
-        elif name.startswith("span.") or name == "totem.token_interarrival":
-            if point[1] > spot[1]:
-                latest[(name, node)] = list(point)
-        else:
-            spot[1] += point[1]
+        fold(name, node, point)
+        ring = labels.get("ring")
+        if ring:
+            # Sharded deployments: the same sample also feeds the per-ring
+            # aggregate rows (sums for depths, slowest for latencies).
+            rings.setdefault(ring)
+            fold(name, f"ring={ring}", point)
     header = f"{'node':8s} " + " ".join(f"{h:>11s}" for h, _, _ in
                                         _TOP_COLUMNS)
     lines = [header, "-" * len(header)]
@@ -486,6 +497,15 @@ def render_top(snapshot: Dict[str, Any]) -> str:
             point = latest.get((name, node))
             cells.append(pick(point) if point is not None else "-")
         lines.append(f"{node:8s} " + " ".join(f"{c:>11s}" for c in cells))
+    if rings:
+        lines.append("-" * len(header))
+        for ring in sorted(rings):
+            cells = []
+            for _header, name, pick in _TOP_COLUMNS:
+                point = latest.get((name, f"ring={ring}"))
+                cells.append(pick(point) if point is not None else "-")
+            lines.append(f"{f'ring={ring}':8s} "
+                         + " ".join(f"{c:>11s}" for c in cells))
     if last_ts is not None:
         lines.append(f"(latest sample at t={last_ts:.3f}s; "
                      f"{len(series)} series)")

@@ -131,6 +131,15 @@ class Tracer:
         for fn in self._subscribers:
             fn(record)
 
+    def scoped(self, **extra: Any) -> "ScopedTracer":
+        """A view of this tracer whose emits carry ``extra`` fields.
+
+        Built for multi-ring deployments: each ring's stacks emit through
+        ``tracer.scoped(ring="r3")`` so every record in the shared stream
+        names its ring without any protocol layer knowing about shards.
+        """
+        return ScopedTracer(self, **extra)
+
     def count(self, key: str) -> int:
         """Counter value for ``category.event`` (0 if never emitted)."""
         return self.counters.get(key, 0)
@@ -154,6 +163,46 @@ class Tracer:
         self.counters.clear()
         if self.open_spans is not None:
             self.open_spans.clear()
+
+
+class ScopedTracer:
+    """A delegating view of a :class:`Tracer` that stamps extra fields.
+
+    ``emit`` injects the scope fields via ``setdefault`` — an explicit
+    field from the emitting component always wins — and everything else
+    (subscription, counters, retained records, span bookkeeping, clock
+    binding) is the parent's, so one shared stream serves all scopes.
+    Scoped counters still land in the parent's flat namespace: per-scope
+    accounting belongs to the metrics registry, which reads the injected
+    fields off each record.
+    """
+
+    __slots__ = ("_parent", "_extra")
+
+    def __init__(self, parent: Tracer, **extra: Any) -> None:
+        self._parent = parent
+        self._extra = extra
+
+    @property
+    def parent(self) -> Tracer:
+        return self._parent
+
+    @property
+    def scope_fields(self) -> Dict[str, Any]:
+        return dict(self._extra)
+
+    def emit(self, category: str, event: str, **fields: Any) -> None:
+        for key, value in self._extra.items():
+            fields.setdefault(key, value)
+        self._parent.emit(category, event, **fields)
+
+    def scoped(self, **extra: Any) -> "ScopedTracer":
+        merged = dict(self._extra)
+        merged.update(extra)
+        return ScopedTracer(self._parent, **merged)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._parent, name)
 
 
 class NullTracer(Tracer):

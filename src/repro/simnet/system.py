@@ -50,8 +50,14 @@ class EternalSystem(SystemCore):
         telemetry=None,
         profiling=None,
         store_factory=None,
+        scheduler: Optional[Scheduler] = None,
+        shared_observability=None,
+        ring_name: str = "",
     ) -> None:
-        self.scheduler = Scheduler()
+        # A sharded facade passes one shared scheduler so every ring's
+        # events interleave on one simulated clock (rotations still
+        # proceed in parallel: each ring has its own network medium).
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
         self._init_core(
             node_ids,
             totem_config=totem_config,
@@ -61,6 +67,8 @@ class EternalSystem(SystemCore):
             telemetry=telemetry,
             profiling=profiling,
             store_factory=store_factory,
+            shared_observability=shared_observability,
+            ring_name=ring_name,
         )
         self.network = Network(self.scheduler, network_config,
                                tracer=self.tracer)

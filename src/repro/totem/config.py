@@ -55,6 +55,14 @@ class TotemConfig:
     consistency auditor can compare members of one configuration
     (0 disables emission; the hash is maintained regardless)."""
 
+    ring_name: str = ""
+    """Shard identity of this ring in a multi-ring deployment.  Namespaces
+    the delivery-order configuration key and rotation span ids so two
+    shards that independently compute the same ring_id and member-set
+    fingerprint (e.g. symmetric rings ``r0.{m,s1}`` / ``r1.{m,s1}``) can
+    never be confused by the auditor or the span plane.  Empty for the
+    classic single-ring deployment."""
+
     def __post_init__(self) -> None:
         if self.token_timeout <= self.token_hold:
             raise ValueError("token_timeout must exceed token_hold")

@@ -258,7 +258,7 @@ class TotemMember:
                     and (self.delivered_aru - self._order_base)
                     % interval == 0):
                 self.tracer.emit("audit", "order_digest", node=self.node_id,
-                                 ring=self._order_ring_key,
+                                 cfg=self._order_ring_key,
                                  base=self._order_base,
                                  seq=self.delivered_aru,
                                  digest=f"{self._order_hash:08x}")
@@ -353,7 +353,7 @@ class TotemMember:
             self._spans.start(
                 "totem.rotation",
                 span_id=self._rotation_span_id(token.rotations),
-                node=self.node_id, ring=self.ring_id,
+                node=self.node_id, ring_id=self.ring_id,
                 rotation=token.rotations,
             )
             now = self._scheduler.now
@@ -421,6 +421,8 @@ class TotemMember:
         return self.members[(index + 1) % len(self.members)]
 
     def _rotation_span_id(self, rotation: int) -> str:
+        if self.config.ring_name:
+            return f"rot:{self.config.ring_name}:{self.ring_id}:{rotation}"
         return f"rot:{self.ring_id}:{rotation}"
 
     def _on_reassembly(self, event: str, msg_id, frag_count: int) -> None:
@@ -895,6 +897,9 @@ class TotemMember:
         # (all installing members agree on delivered_aru here).
         members_key = crc32(",".join(form.members).encode())
         self._order_ring_key = f"{form.ring_id}:{members_key:08x}"
+        if self.config.ring_name:
+            self._order_ring_key = (f"{self.config.ring_name}|"
+                                    f"{self._order_ring_key}")
         self._order_hash = crc32(self._order_ring_key.encode())
         self._order_base = self.delivered_aru
         # Record whether this install discarded our history (brand-new

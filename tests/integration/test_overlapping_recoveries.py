@@ -73,7 +73,7 @@ def test_both_groups_recover_concurrently_on_one_node(strict_audit):
     # both overlapping transfers were actually observed by the auditor,
     # and none of them produced a finding
     (auditor,) = strict_audit
-    audited_groups = {group for group, _ in auditor._digests}
+    audited_groups = {group for _ring, group, _ in auditor._digests}
     assert {"alpha", "beta"} <= audited_groups
     assert auditor.finish() == []
 

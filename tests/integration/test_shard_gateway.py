@@ -1,0 +1,147 @@
+"""Cross-ring gateway bridging: exactly-once under replay and failover.
+
+A driver group on ring ``r0`` invokes a kvstore group placed on ring
+``r1``.  Requests leave ``r0``'s total order with no local binding, the
+elected gateway node hands them to the shared :class:`GatewayBridge`,
+and the bridge re-multicasts them into ``r1`` — suppressing duplicates
+on the interceptor's own operation ids.  Replies bridge back the same
+way.  These tests replay bridged envelopes (same operation id) through
+every layer that could double-deliver and assert the target servant
+executed each invocation exactly once.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.kvstore import make_kvstore_factory
+from repro.apps.packet_driver import PacketDriverServant
+from repro.bench.deployments import DRIVER_TYPE, KVSTORE_TYPE
+from repro.core.identifiers import OpKind
+from repro.ftcorba.properties import FTProperties
+from repro.simnet.sharded import ShardedEternalSystem
+
+ECHOES = 20
+
+
+def _cross_ring_run(captured=None):
+    """Two rings; a driver on r0 streams ECHOES echoes into a 2-replica
+    store on r1.  Returns (system, store) once the stream completes."""
+    system = ShardedEternalSystem(rings=2, node_template=("m", "c", "s1", "s2"))
+    if captured is not None:
+        inner = system.bridge.forward
+        def spy(source, target, envelope):
+            captured.append((source, target, envelope))
+            inner(source, target, envelope)
+        system.bridge.forward = spy
+    system.register_factory(KVSTORE_TYPE, make_kvstore_factory(10))
+    assert system.wait_for(system.ring_formed, timeout=5.0)
+    store = system.create_group("store", KVSTORE_TYPE,
+                                FTProperties(initial_replicas=2),
+                                nodes=["r1.s1", "r1.s2"])
+    system.run_for(0.1)
+    iogr = store.iogr().stringify()
+    system.register_factory(
+        DRIVER_TYPE,
+        lambda: PacketDriverServant(iogr, max_invocations=ECHOES),
+        ring="r0")
+    driver = system.create_group("drv", DRIVER_TYPE,
+                                 FTProperties(initial_replicas=1),
+                                 nodes=["r0.c"])
+    assert system.wait_for(
+        lambda: (driver.servant_on("r0.c") is not None
+                 and driver.servant_on("r0.c").acked == ECHOES),
+        timeout=10.0), "cross-ring stream never completed"
+    return system, store
+
+
+def test_cross_ring_invocations_execute_exactly_once():
+    system, store = _cross_ring_run()
+    # Both replicas of the target group executed each echo exactly once.
+    assert store.servant_on("r1.s1").echo_count == ECHOES
+    assert store.servant_on("r1.s2").echo_count == ECHOES
+    # One forward per request plus one per reply; the second replica's
+    # identical reply envelope is suppressed at the bridge.
+    assert system.bridge.forwarded == 2 * ECHOES
+    assert system.bridge.duplicates == ECHOES
+    # Placement agrees with where the groups actually run.
+    assert system.resolve_ring("store") == "r1"
+    assert system.resolve_ring("drv") == "r0"
+
+
+def test_replayed_envelope_is_suppressed_at_the_bridge():
+    """A gateway failover re-forwarding an already-bridged envelope
+    (same operation id) must not reach the target ring again."""
+    captured = []
+    system, store = _cross_ring_run(captured=captured)
+    requests = [(s, t, e) for s, t, e in captured
+                if e.kind is OpKind.REQUEST]
+    assert len(requests) == ECHOES
+    source, target, envelope = requests[0]
+
+    before_fwd = system.bridge.forwarded
+    system.bridge.forward(source, target, envelope)
+    assert system.bridge.forwarded == before_fwd, \
+        "replayed envelope was re-injected into the target ring"
+    system.run_for(0.3)
+    assert store.servant_on("r1.s1").echo_count == ECHOES
+    assert store.servant_on("r1.s2").echo_count == ECHOES
+
+
+def test_replay_past_the_bridge_is_dropped_by_replica_filters():
+    """Exactly-once is enforced twice: wipe the bridge's filters (as a
+    bridge restart would) and replay — the envelope *is* re-multicast
+    into the target ring, and the replicas' own duplicate filters must
+    drop it before the servant runs."""
+    captured = []
+    system, store = _cross_ring_run(captured=captured)
+    source, target, envelope = next(
+        (s, t, e) for s, t, e in captured if e.kind is OpKind.REQUEST)
+
+    system.bridge._filters.clear()
+    before_fwd = system.bridge.forwarded
+    system.bridge.forward(source, target, envelope)
+    assert system.bridge.forwarded == before_fwd + 1, \
+        "wiped bridge should have forwarded the replay"
+    system.run_for(0.3)
+    assert store.servant_on("r1.s1").echo_count == ECHOES
+    assert store.servant_on("r1.s2").echo_count == ECHOES
+
+
+def test_dead_target_ring_does_not_poison_the_filter():
+    """With no live member to inject through, the bridge drops the
+    envelope *without* recording its operation id — a retransmission
+    after the ring recovers must still go through."""
+    captured = []
+    system, store = _cross_ring_run(captured=captured)
+    source, target, envelope = next(
+        (s, t, e) for s, t, e in captured if e.kind is OpKind.REQUEST)
+    # A fresh operation id the bridge has never seen.
+    fresh = dataclasses.replace(envelope,
+                                request_id=envelope.request_id + 1000)
+
+    for node in ("r1.m", "r1.c", "r1.s1", "r1.s2"):
+        system.kill_node(node)
+    before_fwd = system.bridge.forwarded
+    before_dup = system.bridge.duplicates
+    system.bridge.forward(source, target, fresh)
+    assert system.bridge.forwarded == before_fwd
+    assert system.bridge.duplicates == before_dup
+
+    for node in ("r1.m", "r1.c", "r1.s1", "r1.s2"):
+        system.restart_node(node)
+    system.run_for(0.5)
+    system.bridge.forward(source, target, fresh)
+    assert system.bridge.forwarded == before_fwd + 1, \
+        "retransmission after ring recovery was treated as a duplicate"
+
+
+def test_groups_cannot_span_rings():
+    system = ShardedEternalSystem(rings=2, node_template=("m", "s1"))
+    system.register_factory(KVSTORE_TYPE, make_kvstore_factory(10))
+    assert system.wait_for(system.ring_formed, timeout=5.0)
+    from repro.errors import SimulationError
+    with pytest.raises(SimulationError):
+        system.create_group("split", KVSTORE_TYPE,
+                            FTProperties(initial_replicas=2),
+                            nodes=["r0.s1", "r1.s1"])

@@ -89,7 +89,7 @@ def test_digests_of_distinct_transfers_never_compared():
 def test_matching_order_digests_pass():
     tracer, auditor, _ = make_stream()
     for node in ("s1", "s2"):
-        tracer.emit("audit", "order_digest", node=node, ring="7:abcd1234",
+        tracer.emit("audit", "order_digest", node=node, cfg="7:abcd1234",
                     base=0, seq=32, digest="deadbeef")
     assert auditor.ok
     assert auditor._order_checked == 2
@@ -97,9 +97,9 @@ def test_matching_order_digests_pass():
 
 def test_diverged_order_digest_flagged():
     tracer, auditor, _ = make_stream()
-    tracer.emit("audit", "order_digest", node="s1", ring="7:abcd1234",
+    tracer.emit("audit", "order_digest", node="s1", cfg="7:abcd1234",
                 base=0, seq=32, digest="deadbeef")
-    tracer.emit("audit", "order_digest", node="s2", ring="7:abcd1234",
+    tracer.emit("audit", "order_digest", node="s2", cfg="7:abcd1234",
                 base=0, seq=32, digest="0badf00d")
     (finding,) = auditor.findings
     assert finding.invariant == ORDER_DIGEST
@@ -111,11 +111,11 @@ def test_order_digests_scoped_to_ring_and_base():
     """Hashes from different rings (or different join points in the same
     ring) are incomparable and must not be cross-checked."""
     tracer, auditor, _ = make_stream()
-    tracer.emit("audit", "order_digest", node="s1", ring="7:aaaa0000",
+    tracer.emit("audit", "order_digest", node="s1", cfg="7:aaaa0000",
                 base=0, seq=32, digest="11111111")
-    tracer.emit("audit", "order_digest", node="s2", ring="8:bbbb0000",
+    tracer.emit("audit", "order_digest", node="s2", cfg="8:bbbb0000",
                 base=0, seq=32, digest="22222222")
-    tracer.emit("audit", "order_digest", node="s3", ring="7:aaaa0000",
+    tracer.emit("audit", "order_digest", node="s3", cfg="7:aaaa0000",
                 base=16, seq=32, digest="33333333")
     assert auditor.ok
 
